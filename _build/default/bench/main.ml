@@ -1,0 +1,575 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (Tables 1-3; Figures 1-3 are pseudocode, implemented as the solver and
+   checker themselves), plus Bechamel micro-benchmarks for the hot paths
+   and the design-choice ablations called out in DESIGN.md.
+
+   Usage:  dune exec bench/main.exe [table1|table2|table3|micro|all]
+
+   Absolute numbers are machine-specific; EXPERIMENTS.md records how the
+   *shapes* compare with the paper (who wins, by what factor, where the
+   outliers sit). *)
+
+let table = Harness.Table.render
+let fmt_f = Harness.Table.fmt_float
+let fmt_pct = Harness.Table.fmt_pct
+
+(* The simulated memory budget for Table 2, in words.  It plays the role
+   of the paper's 800 MB cap, scaled to our instance sizes: every checker
+   gets the same budget; the depth-first checker busts it on the two
+   hardest instances (the paper's starred 6pipe/7pipe rows) while
+   breadth-first — and the §5 hybrid — fit everywhere. *)
+let simulated_budget_words = 7_000_000
+
+type prepared = {
+  fam : Gen.Families.family;
+  f : Sat.Cnf.t;
+  stats : Solver.Cdcl.stats;
+  trace : string;
+  time_off : float;
+  time_on : float;
+}
+
+(* median of three runs for instances fast enough that scheduler noise
+   would otherwise dominate the overhead column *)
+let timed_median f =
+  let x, t1 = Harness.Timer.time f in
+  let reps = if t1 > 5.0 then 0 else if t1 > 1.0 then 2 else 4 in
+  if reps = 0 then (x, t1)
+  else begin
+    let ts = t1 :: List.init reps (fun _ -> Harness.Timer.time_only f) in
+    let ts = List.sort Float.compare ts in
+    (x, List.nth ts (List.length ts / 2))
+  end
+
+let prepare (fam : Gen.Families.family) =
+  let f = fam.generate () in
+  let _, time_off = timed_median (fun () -> Solver.Cdcl.solve f) in
+  let (result, stats, trace), time_on =
+    timed_median (fun () -> Pipeline.Validate.solve_with_trace f)
+  in
+  (match result with
+   | Solver.Cdcl.Unsat -> ()
+   | Solver.Cdcl.Sat _ ->
+     failwith (fam.name ^ ": benchmark instance unexpectedly satisfiable"));
+  { fam; f; stats; trace; time_off; time_on }
+
+let prepared_suite = lazy (List.map prepare (Gen.Families.suite ()))
+
+(* --- Table 1: trace-generation overhead -------------------------------- *)
+
+let table1 () =
+  print_endline
+    "Table 1. Statistics of the solver with trace generation off and on";
+  print_endline
+    "(paper: overhead 1.7%-12%, smaller for harder instances)\n";
+  let rows =
+    List.map
+      (fun p ->
+        let overhead =
+          if p.time_off > 0.0 then (p.time_on -. p.time_off) /. p.time_off
+          else 0.0
+        in
+        [
+          p.fam.name;
+          p.fam.paper_analogue;
+          string_of_int (Sat.Cnf.nvars p.f);
+          string_of_int (Sat.Cnf.nclauses p.f);
+          string_of_int p.stats.learned_clauses;
+          fmt_f ~decimals:3 p.time_off;
+          fmt_f ~decimals:3 p.time_on;
+          fmt_pct overhead;
+        ])
+      (Lazy.force prepared_suite)
+  in
+  Harness.Table.print
+    (table
+       ~headers:
+         [
+           "instance"; "stands for"; "vars"; "clauses"; "learned";
+           "trace off (s)"; "trace on (s)"; "overhead";
+         ]
+       ~align:[ Harness.Table.Left; Harness.Table.Left ]
+       rows)
+
+(* --- Table 2: the two checking strategies ------------------------------ *)
+
+let run_checker check p =
+  let meter = Harness.Meter.create ~limit_words:simulated_budget_words () in
+  try
+    let checked, seconds =
+      Harness.Timer.time (fun () ->
+          check ~meter p.f (Trace.Reader.From_string p.trace))
+    in
+    match checked with
+    | Ok r -> `Ok (r, seconds, Harness.Meter.peak_words meter)
+    | Error d -> `Failed d
+  with Harness.Meter.Out_of_memory_simulated _ -> `Memory_out
+
+let table2 () =
+  Printf.printf
+    "Table 2. Statistics for the checking strategies\n\
+     (simulated memory budget: %d words = %d KB for every checker; '*' = \
+     memory out, as in the paper's 6pipe/7pipe rows; the hybrid columns \
+     are the paper's §5 future work)\n\n"
+    simulated_budget_words (simulated_budget_words * 8 / 1024);
+  let kb words = string_of_int (words * 8 / 1024) in
+  let rows =
+    List.map
+      (fun p ->
+        let base =
+          [ p.fam.name; string_of_int (String.length p.trace / 1024) ]
+        in
+        let df_cells =
+          match run_checker (fun ~meter f src -> Checker.Df.check ~meter f src) p with
+          | `Ok (r, seconds, peak) ->
+            [
+              string_of_int r.Checker.Report.clauses_built;
+              fmt_pct (Checker.Report.built_ratio r);
+              fmt_f ~decimals:3 seconds;
+              kb peak;
+            ]
+          | `Memory_out -> [ "*"; "*"; "*"; "*" ]
+          | `Failed d ->
+            failwith ("DF check failed: " ^ Checker.Diagnostics.to_string d)
+        in
+        let bf_cells =
+          match run_checker (fun ~meter f src -> Checker.Bf.check ~meter f src) p with
+          | `Ok (_, seconds, peak) -> [ fmt_f ~decimals:3 seconds; kb peak ]
+          | `Memory_out -> [ "*"; "*" ]
+          | `Failed d ->
+            failwith ("BF check failed: " ^ Checker.Diagnostics.to_string d)
+        in
+        let hybrid_cells =
+          match run_checker (fun ~meter f src -> Checker.Hybrid.check ~meter f src) p with
+          | `Ok (_, seconds, peak) -> [ fmt_f ~decimals:3 seconds; kb peak ]
+          | `Memory_out -> [ "*"; "*" ]
+          | `Failed d ->
+            failwith
+              ("Hybrid check failed: " ^ Checker.Diagnostics.to_string d)
+        in
+        base @ df_cells @ bf_cells @ hybrid_cells)
+      (Lazy.force prepared_suite)
+  in
+  Harness.Table.print
+    (table
+       ~headers:
+         [
+           "instance"; "trace (KB)"; "df built"; "built%"; "df time (s)";
+           "df peak (KB)"; "bf time (s)"; "bf peak (KB)"; "hy time (s)";
+           "hy peak (KB)";
+         ]
+       ~align:[ Harness.Table.Left ]
+       rows)
+
+(* --- Table 3: iterated unsat-core shrinking ----------------------------- *)
+
+(* like the paper, the hardest instances are left out of the 30-round
+   iteration (each round re-solves the core) *)
+let table3_excluded = [ "pipe_5"; "pipe_6" ]
+
+let table3 () =
+  print_endline
+    "Table 3. Original clauses/variables involved in the proof\n\
+     (first iteration, then up to 30 iterations or a fixed point)\n";
+  let rows =
+    List.filter_map
+      (fun (p : prepared) ->
+        if List.mem p.fam.name table3_excluded then None
+        else
+          match Pipeline.Unsat_core.shrink ~max_rounds:30 p.f with
+          | Error _ -> failwith (p.fam.name ^ ": core shrinking failed")
+          | Ok s ->
+            let first =
+              match s.iterations with
+              | it :: _ -> it
+              | [] -> s.initial
+            in
+            let last =
+              match List.rev s.iterations with
+              | it :: _ -> it
+              | [] -> s.initial
+            in
+            Some
+              [
+                p.fam.name;
+                string_of_int s.initial.clauses;
+                string_of_int s.initial.vars;
+                string_of_int first.clauses;
+                string_of_int first.vars;
+                string_of_int last.clauses;
+                string_of_int last.vars;
+                (if s.reached_fixpoint then string_of_int s.rounds
+                 else Printf.sprintf ">%d" s.rounds);
+              ])
+      (Lazy.force prepared_suite)
+  in
+  Harness.Table.print
+    (table
+       ~headers:
+         [
+           "instance"; "orig cls"; "orig vars"; "iter1 cls"; "iter1 vars";
+           "final cls"; "final vars"; "iterations";
+         ]
+       ~align:[ Harness.Table.Left ]
+       rows)
+
+(* --- Ablation: solver design choices ------------------------------------ *)
+
+(* The design decisions DESIGN.md stars: restarts, learned-clause
+   deletion, random decisions, and the BCP scheme — each toggled on a
+   medium suite, reporting solve time and conflicts. *)
+let ablation () =
+  print_endline
+    "Ablation. Solver configurations on a medium suite (time s / conflicts)\n";
+  let base = Solver.Cdcl.default_config in
+  let configs =
+    [
+      ("default", base);
+      ("no restarts", { base with enable_restarts = false });
+      ("no deletion", { base with enable_deletion = false });
+      ("no random decisions", { base with random_decision_freq = 0.0 });
+      ("clause minimization (post-paper)",
+       { base with enable_minimization = true });
+      ("luby restarts",
+       { base with restart_sequence = Solver.Cdcl.Luby; restart_first = 32 });
+      ("counting BCP", { base with bcp = Solver.Cdcl.Counting });
+      ("no learning-aids at all",
+       { base with enable_restarts = false; enable_deletion = false;
+         random_decision_freq = 0.0 });
+    ]
+  in
+  let instances =
+    [
+      ("php_7", Gen.Php.unsat ~holes:7);
+      ("longmult_hi", Gen.Multiplier.miter_high_bits ~width:6 ~bits:5);
+      ("pipe_2", Gen.Pipeline_cpu.correct ~regs:4 ~width:4 ~depth:2);
+      ("rand_unsat",
+       Gen.Random3sat.generate_at_ratio (Sat.Rng.create 5) ~nvars:180
+         ~ratio:4.6);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (cname, config) ->
+        cname
+        :: List.concat_map
+             (fun (_, f) ->
+               let (_, stats), seconds =
+                 Harness.Timer.time (fun () -> Solver.Cdcl.solve ~config f)
+               in
+               [ fmt_f ~decimals:2 seconds; string_of_int stats.conflicts ])
+             instances)
+      configs
+  in
+  let headers =
+    "config"
+    :: List.concat_map
+         (fun (name, _) -> [ name ^ " (s)"; "cfl" ])
+         instances
+  in
+  Harness.Table.print (table ~headers ~align:[ Harness.Table.Left ] rows)
+
+(* --- Scaling series ------------------------------------------------------ *)
+
+(* Check time vs solve time as instances grow (the paper's headline claim
+   that checking is always much cheaper than solving), on the pigeonhole
+   ladder. *)
+let scaling () =
+  print_endline
+    "Scaling. Solve vs check time on the pigeonhole ladder (PHP(n+1, n))\n";
+  let rows =
+    List.map
+      (fun holes ->
+        let f = Gen.Php.unsat ~holes in
+        let (result, stats, trace), solve_s =
+          Harness.Timer.time (fun () -> Pipeline.Validate.solve_with_trace f)
+        in
+        (match result with
+         | Solver.Cdcl.Unsat -> ()
+         | Solver.Cdcl.Sat _ -> failwith "php sat?");
+        let src () = Trace.Reader.From_string trace in
+        let df_s =
+          Harness.Timer.time_only (fun () ->
+              ignore (Checker.Df.check f (src ())))
+        in
+        let bf_s =
+          Harness.Timer.time_only (fun () ->
+              ignore (Checker.Bf.check f (src ())))
+        in
+        let hy_s =
+          Harness.Timer.time_only (fun () ->
+              ignore (Checker.Hybrid.check f (src ())))
+        in
+        [
+          string_of_int holes;
+          string_of_int stats.conflicts;
+          string_of_int (String.length trace / 1024);
+          fmt_f ~decimals:3 solve_s;
+          fmt_f ~decimals:3 df_s;
+          fmt_f ~decimals:3 bf_s;
+          fmt_f ~decimals:3 hy_s;
+          fmt_f ~decimals:1 (solve_s /. Float.max 1e-6 df_s);
+        ])
+      [ 4; 5; 6; 7; 8; 9 ]
+  in
+  Harness.Table.print
+    (table
+       ~headers:
+         [
+           "holes"; "conflicts"; "trace (KB)"; "solve (s)"; "df check (s)";
+           "bf check (s)"; "hy check (s)"; "solve/df ratio";
+         ]
+       rows)
+
+(* --- Proof shape ---------------------------------------------------------- *)
+
+(* structural statistics of the checked proofs, the data behind Built% *)
+let proofshape () =
+  print_endline
+    "Proof shape. Structure of the checked resolution proofs\n";
+  let rows =
+    List.map
+      (fun p ->
+        match
+          Checker.Proof_stats.analyze p.f (Trace.Reader.From_string p.trace)
+        with
+        | Error d ->
+          failwith
+            (p.fam.name ^ ": " ^ Checker.Diagnostics.to_string d)
+        | Ok s ->
+          [
+            p.fam.name;
+            string_of_int s.learned_total;
+            string_of_int s.learned_needed;
+            fmt_pct
+              (if s.learned_total = 0 then 1.0
+               else
+                 float_of_int s.learned_needed
+                 /. float_of_int s.learned_total);
+            string_of_int s.resolution_steps;
+            string_of_int s.dag_depth;
+            fmt_f ~decimals:1 s.mean_clause_width;
+            string_of_int s.max_clause_width;
+            string_of_int s.final_chain_length;
+          ])
+      (Lazy.force prepared_suite)
+  in
+  Harness.Table.print
+    (table
+       ~headers:
+         [
+           "instance"; "learned"; "needed"; "needed%"; "resolutions";
+           "dag depth"; "mean width"; "max width"; "final chain";
+         ]
+       ~align:[ Harness.Table.Left ]
+       rows)
+
+(* --- Baseline: BDD CEC vs validated SAT CEC ------------------------------ *)
+
+(* The technology contrast of the paper's era: canonical-form equivalence
+   checking via ROBDDs against the SAT+checker flow.  Adders favour BDDs,
+   multipliers blow them up exponentially; SAT handles both, and its
+   UNSAT answers come with a checked proof. *)
+let baseline () =
+  print_endline
+    "Baseline. Equivalence checking: ROBDD vs validated SAT\n\
+     (node limit 300k; 'blow-up' = BDD construction exceeded it)\n";
+  let cec_pair name build =
+    let c = Circuit.Netlist.create () in
+    let o1, o2 = build c in
+    let bdd_cell, bdd_time =
+      Harness.Timer.time (fun () ->
+          match Bdd.Cec.check ~node_limit:300_000 c o1 o2 with
+          | Bdd.Cec.Equivalent -> "equivalent"
+          | Bdd.Cec.Counterexample _ -> "DIFFERENT?!"
+          | Bdd.Cec.Node_limit -> "blow-up")
+    in
+    let miter = Circuit.Miter.equivalence_cnf c o1 o2 in
+    let sat_cell, sat_time =
+      Harness.Timer.time (fun () ->
+          let o = Pipeline.Validate.run miter in
+          match o.Pipeline.Validate.verdict with
+          | Pipeline.Validate.Unsat_verified _ -> "equivalent+proof"
+          | Pipeline.Validate.Sat_verified _ -> "DIFFERENT?!"
+          | Pipeline.Validate.Sat_model_wrong _ | Pipeline.Validate.Unsat_check_failed _ ->
+            "CHECK FAILED")
+    in
+    [ name; bdd_cell; fmt_f ~decimals:3 bdd_time; sat_cell;
+      fmt_f ~decimals:3 sat_time ]
+  in
+  (* blocked input order (all of a, then all of b): pathological for BDDs
+     on adders; interleaved (a0 b0 a1 b1 …): the good order *)
+  let adder_blocked w c =
+    let a = Circuit.Arith.word_input c "a" w in
+    let b = Circuit.Arith.word_input c "b" w in
+    (Circuit.Arith.add_mod c a b w, Circuit.Arith.add_mod c b a w)
+  in
+  let adder_interleaved w c =
+    let bits =
+      List.init w (fun i ->
+          let a = Circuit.Netlist.input c (Printf.sprintf "a_%d" i) in
+          let b = Circuit.Netlist.input c (Printf.sprintf "b_%d" i) in
+          (a, b))
+    in
+    let a = List.map fst bits and b = List.map snd bits in
+    (Circuit.Arith.add_mod c a b w, Circuit.Arith.add_mod c b a w)
+  in
+  let mult w c =
+    let a = Circuit.Arith.word_input c "a" w in
+    let b = Circuit.Arith.word_input c "b" w in
+    (Circuit.Arith.mul_shift_add c a b, Circuit.Arith.mul_msb_first c a b)
+  in
+  let rows =
+    [
+      cec_pair "adder_8 (blocked order)" (adder_blocked 8);
+      cec_pair "adder_16 (blocked order)" (adder_blocked 16);
+      cec_pair "adder_16 (interleaved)" (adder_interleaved 16);
+      cec_pair "mult_4" (mult 4);
+      cec_pair "mult_6" (mult 6);
+    ]
+  in
+  Harness.Table.print
+    (table
+       ~headers:
+         [ "circuit"; "bdd verdict"; "bdd time (s)"; "sat verdict";
+           "sat time (s)" ]
+       ~align:[ Harness.Table.Left; Harness.Table.Left ]
+       rows)
+
+(* --- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let micro () =
+  print_endline
+    "Micro-benchmarks (Bechamel, monotonic clock, ns/run estimates)\n";
+  let php6 = Gen.Php.unsat ~holes:6 in
+  let php5 = Gen.Php.unsat ~holes:5 in
+  let counting_cfg =
+    { Solver.Cdcl.default_config with bcp = Solver.Cdcl.Counting }
+  in
+  let trace5 =
+    let _, _, t = Pipeline.Validate.solve_with_trace php5 in
+    t
+  in
+  let trace5_bin =
+    let w = Trace.Writer.create Trace.Writer.Binary in
+    ignore (Solver.Cdcl.solve ~trace:w php5);
+    Trace.Writer.contents w
+  in
+  let engine = Checker.Resolution.create_engine ~nvars:64 in
+  let c1 = Sat.Clause.of_ints [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let c2 = Sat.Clause.of_ints [ -1; 9; 10; 11; 12; 13; 14; 15 ] in
+  let tests =
+    [
+      (* ablation: Chaff's two-watched scheme vs counter-based BCP *)
+      Bechamel.Test.make ~name:"solve/php6/two-watched-bcp"
+        (Bechamel.Staged.stage (fun () -> Solver.Cdcl.solve php6));
+      Bechamel.Test.make ~name:"solve/php6/counting-bcp"
+        (Bechamel.Staged.stage (fun () ->
+             Solver.Cdcl.solve ~config:counting_cfg php6));
+      (* solving with and without trace generation (Table 1's contrast) *)
+      Bechamel.Test.make ~name:"solve/php5/trace-off"
+        (Bechamel.Staged.stage (fun () -> Solver.Cdcl.solve php5));
+      Bechamel.Test.make ~name:"solve/php5/trace-on"
+        (Bechamel.Staged.stage (fun () ->
+             let w = Trace.Writer.create Trace.Writer.Ascii in
+             Solver.Cdcl.solve ~trace:w php5));
+      (* the two checkers (Table 2's contrast) *)
+      Bechamel.Test.make ~name:"check/php5/depth-first"
+        (Bechamel.Staged.stage (fun () ->
+             Checker.Df.check php5 (Trace.Reader.From_string trace5)));
+      Bechamel.Test.make ~name:"check/php5/breadth-first"
+        (Bechamel.Staged.stage (fun () ->
+             Checker.Bf.check php5 (Trace.Reader.From_string trace5)));
+      (* trace parsing, ascii vs binary (the paper's compaction remark) *)
+      Bechamel.Test.make ~name:"trace/parse/ascii"
+        (Bechamel.Staged.stage (fun () ->
+             Trace.Reader.fold (Trace.Reader.From_string trace5)
+               (fun n _ -> n + 1)
+               0));
+      Bechamel.Test.make ~name:"trace/parse/binary"
+        (Bechamel.Staged.stage (fun () ->
+             Trace.Reader.fold (Trace.Reader.From_string trace5_bin)
+               (fun n _ -> n + 1)
+               0));
+      (* one checked resolution step *)
+      Bechamel.Test.make ~name:"resolution/checked-step"
+        (Bechamel.Staged.stage (fun () ->
+             Checker.Resolution.resolve engine ~context:"bench" ~c1_id:1
+               ~c2_id:2 c1 c2));
+    ]
+  in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:200
+      ~quota:(Bechamel.Time.second 0.5)
+      ~kde:None ()
+  in
+  let ols =
+    Bechamel.Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m =
+            Bechamel.Benchmark.run cfg
+              [ Bechamel.Toolkit.Instance.monotonic_clock ]
+              elt
+          in
+          Hashtbl.replace results (Bechamel.Test.Elt.name elt)
+            (Bechamel.Analyze.one ols Bechamel.Toolkit.Instance.monotonic_clock m))
+        (Bechamel.Test.elements test))
+    tests;
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Bechamel.Analyze.OLS.estimates est with
+          | Some [ t ] -> t
+          | _ -> nan
+        in
+        [ name; Printf.sprintf "%.0f" ns; fmt_f ~decimals:3 (ns /. 1e6) ]
+        :: acc)
+      results []
+    |> List.sort compare
+  in
+  Harness.Table.print
+    (table
+       ~headers:[ "benchmark"; "ns/run"; "ms/run" ]
+       ~align:[ Harness.Table.Left ]
+       rows)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "table3" -> table3 ()
+  | "micro" -> micro ()
+  | "ablation" -> ablation ()
+  | "scaling" -> scaling ()
+  | "baseline" -> baseline ()
+  | "proofshape" -> proofshape ()
+  | "all" ->
+    table1 ();
+    print_newline ();
+    table2 ();
+    print_newline ();
+    table3 ();
+    print_newline ();
+    proofshape ();
+    print_newline ();
+    scaling ();
+    print_newline ();
+    ablation ();
+    print_newline ();
+    baseline ();
+    print_newline ();
+    micro ()
+  | other ->
+    Printf.eprintf
+      "unknown mode %S (expected \
+       table1|table2|table3|proofshape|scaling|ablation|baseline|micro|all)\n"
+      other;
+    exit 2

@@ -1,0 +1,664 @@
+(* rescheck: the command-line frontend.
+
+   Subcommands mirror the paper's workflow and its descendants:
+     solve      solve a DIMACS file, optionally emitting a resolution trace
+     check      validate an UNSAT trace (df / bf / hybrid)
+     validate   solve and check in one step
+     core       extract / iteratively shrink an unsat core (--minimal: MUC)
+     trim       shrink a trace to its proof core
+     simplify   preprocess a formula
+     drup       convert a trace to DRUP and RUP-verify it
+     mc         BMC / interpolation-based model checking
+     gen        emit a benchmark-family instance as DIMACS *)
+
+open Cmdliner
+
+(* --- shared argument pieces -------------------------------------------- *)
+
+let formula_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FORMULA" ~doc:"Input CNF formula in DIMACS format.")
+
+let format_arg =
+  let parse = function
+    | "ascii" -> Ok Trace.Writer.Ascii
+    | "binary" -> Ok Trace.Writer.Binary
+    | s -> Error (`Msg (Printf.sprintf "unknown trace format %S" s))
+  in
+  let print fmt = function
+    | Trace.Writer.Ascii -> Format.pp_print_string fmt "ascii"
+    | Trace.Writer.Binary -> Format.pp_print_string fmt "binary"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Trace.Writer.Ascii
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Trace format: $(b,ascii) (readable) or $(b,binary) (compact).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int Solver.Cdcl.default_config.seed
+    & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the solver.")
+
+let bcp_arg =
+  let parse = function
+    | "watched" -> Ok Solver.Cdcl.Two_watched
+    | "counting" -> Ok Solver.Cdcl.Counting
+    | s -> Error (`Msg (Printf.sprintf "unknown BCP scheme %S" s))
+  in
+  let print fmt = function
+    | Solver.Cdcl.Two_watched -> Format.pp_print_string fmt "watched"
+    | Solver.Cdcl.Counting -> Format.pp_print_string fmt "counting"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Solver.Cdcl.Two_watched
+    & info [ "bcp" ] ~docv:"SCHEME"
+        ~doc:"Propagation scheme: $(b,watched) or $(b,counting).")
+
+let no_restarts_arg =
+  Arg.(value & flag & info [ "no-restarts" ] ~doc:"Disable restarts.")
+
+let no_deletion_arg =
+  Arg.(
+    value & flag
+    & info [ "no-deletion" ] ~doc:"Disable learned-clause deletion.")
+
+let minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:
+          "Enable conflict-clause minimization (a post-paper technique;            traces remain checkable).")
+
+let config_of seed bcp no_restarts no_deletion minimize =
+  {
+    Solver.Cdcl.default_config with
+    seed;
+    bcp;
+    enable_restarts = not no_restarts;
+    enable_deletion = not no_deletion;
+    enable_minimization = minimize;
+  }
+
+let load_formula path =
+  try Ok (Sat.Dimacs.parse_file path)
+  with Sat.Dimacs.Parse_error m -> Error m
+
+let print_stats (stats : Solver.Cdcl.stats) =
+  Printf.printf
+    "c decisions %d, propagations %d, conflicts %d, learned %d, deleted %d, restarts %d\n"
+    stats.decisions stats.propagations stats.conflicts stats.learned_clauses
+    stats.deleted_clauses stats.restarts
+
+(* --- solve -------------------------------------------------------------- *)
+
+let solve_cmd =
+  let run formula_path trace_path format seed bcp no_restarts no_deletion
+      minimize =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f ->
+      let config = config_of seed bcp no_restarts no_deletion minimize in
+      let writer = Option.map (fun _ -> Trace.Writer.create format) trace_path in
+      let (result, stats), seconds =
+        Harness.Timer.time (fun () -> Solver.Cdcl.solve ~config ?trace:writer f)
+      in
+      print_stats stats;
+      Printf.printf "c solved in %.3f s\n" seconds;
+      (match result with
+       | Solver.Cdcl.Sat a ->
+         print_endline "s SATISFIABLE";
+         let buf = Buffer.create 256 in
+         Buffer.add_string buf "v";
+         List.iter
+           (fun (v, b) ->
+             Buffer.add_char buf ' ';
+             Buffer.add_string buf (string_of_int (if b then v else -v)))
+           (Sat.Assignment.to_list a);
+         Buffer.add_string buf " 0";
+         print_endline (Buffer.contents buf);
+         exit 10
+       | Solver.Cdcl.Unsat ->
+         (match writer, trace_path with
+          | Some w, Some path ->
+            Trace.Writer.to_file w path;
+            Printf.printf "c trace written to %s (%d bytes)\n" path
+              (Trace.Writer.bytes_written w)
+          | _ -> ());
+         print_endline "s UNSATISFIABLE";
+         exit 20)
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace"; "t" ] ~docv:"FILE"
+          ~doc:"Write the resolution trace here when UNSAT.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a DIMACS formula, optionally with a trace.")
+    Term.(
+      const run $ formula_arg $ trace_arg $ format_arg $ seed_arg $ bcp_arg
+      $ no_restarts_arg $ no_deletion_arg $ minimize_arg)
+
+(* --- check -------------------------------------------------------------- *)
+
+let strategy_arg =
+  let parse = function
+    | "df" | "depth-first" -> Ok `Df
+    | "bf" | "breadth-first" -> Ok `Bf
+    | "hybrid" -> Ok `Hybrid
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt = function
+    | `Df -> Format.pp_print_string fmt "df"
+    | `Bf -> Format.pp_print_string fmt "bf"
+    | `Hybrid -> Format.pp_print_string fmt "hybrid"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Df
+    & info [ "strategy"; "s" ] ~docv:"S"
+        ~doc:
+          "Checking strategy: $(b,df) (fast, memory-hungry), $(b,bf) \
+           (streaming, bounded memory), or $(b,hybrid) (best of both, the \
+           paper's future work).")
+
+let mem_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-limit" ] ~docv:"WORDS"
+        ~doc:"Simulated memory budget in words (the paper's 800 MB cap).")
+
+let check_cmd =
+  let run formula_path trace_path strategy mem_limit =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f ->
+      let meter = Harness.Meter.create ?limit_words:mem_limit () in
+      let source = Trace.Reader.From_file trace_path in
+      let checked, seconds =
+        try
+          Harness.Timer.time (fun () ->
+              match strategy with
+              | `Df -> Checker.Df.check ~meter f source
+              | `Bf -> Checker.Bf.check ~meter f source
+              | `Hybrid -> Checker.Hybrid.check ~meter f source)
+        with Harness.Meter.Out_of_memory_simulated e ->
+          Printf.printf
+            "s MEMORY OUT (budget %d words, needed %d)\n" e.limit_words
+            e.wanted;
+          exit 3
+      in
+      (match checked with
+       | Ok report ->
+         Format.printf "%a@." Checker.Report.pp report;
+         Printf.printf "c checked in %.3f s\n" seconds;
+         print_endline "s VERIFIED UNSATISFIABLE";
+         exit 0
+       | Error d ->
+         Printf.printf "c check failed: %s\n" (Checker.Diagnostics.to_string d);
+         print_endline "s CHECK FAILED";
+         exit 1)
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Validate an unsatisfiability trace against its formula.")
+    Term.(const run $ formula_arg $ trace_pos $ strategy_arg $ mem_limit_arg)
+
+(* --- validate ------------------------------------------------------------ *)
+
+let validate_cmd =
+  let run formula_path strategy seed bcp no_restarts no_deletion minimize =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f ->
+      let config = config_of seed bcp no_restarts no_deletion minimize in
+      let strategy =
+        match strategy with
+        | `Df -> Pipeline.Validate.Depth_first
+        | `Bf -> Pipeline.Validate.Breadth_first
+        | `Hybrid -> Pipeline.Validate.Hybrid
+      in
+      let o = Pipeline.Validate.run ~config ~strategy f in
+      print_stats o.stats;
+      Printf.printf "c solve %.3f s, check %.3f s, trace %d bytes\n"
+        o.solve_seconds o.check_seconds o.trace_bytes;
+      (match o.verdict with
+       | Pipeline.Validate.Sat_verified _ ->
+         print_endline "s SATISFIABLE (model verified)";
+         exit 10
+       | Pipeline.Validate.Unsat_verified report ->
+         Format.printf "%a@." Checker.Report.pp report;
+         print_endline "s UNSATISFIABLE (proof verified)";
+         exit 20
+       | Pipeline.Validate.Sat_model_wrong i ->
+         Printf.printf "c SOLVER BUG: clause %d not satisfied by the model\n" i;
+         exit 1
+       | Pipeline.Validate.Unsat_check_failed d ->
+         Printf.printf "c SOLVER BUG: %s\n" (Checker.Diagnostics.to_string d);
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Solve and independently validate the answer in one step.")
+    Term.(
+      const run $ formula_arg $ strategy_arg $ seed_arg $ bcp_arg
+      $ no_restarts_arg $ no_deletion_arg $ minimize_arg)
+
+(* --- core ---------------------------------------------------------------- *)
+
+let core_cmd =
+  let run formula_path rounds output minimal =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f when minimal -> (
+      match Pipeline.Muc.minimize f with
+      | Error `Sat ->
+        print_endline "s SATISFIABLE (no unsat core)";
+        exit 10
+      | Ok r ->
+        Printf.printf
+          "c minimal unsatisfiable core: %d of %d clauses (%d solver calls)\n"
+          (Sat.Cnf.nclauses r.formula) (Sat.Cnf.nclauses f) r.solver_calls;
+        (match output with
+         | Some path ->
+           Sat.Dimacs.write_file
+             ~comment:(Printf.sprintf "minimal unsat core of %s" formula_path)
+             path r.formula;
+           Printf.printf "c core written to %s\n" path
+         | None -> ());
+        exit 20)
+    | Ok f -> (
+      match Pipeline.Unsat_core.shrink ~max_rounds:rounds f with
+      | Error `Sat ->
+        print_endline "s SATISFIABLE (no unsat core)";
+        exit 10
+      | Error (`Check_failed d) ->
+        Printf.printf "c check failed: %s\n" (Checker.Diagnostics.to_string d);
+        exit 1
+      | Ok s ->
+        let rows =
+          List.mapi
+            (fun i (it : Pipeline.Unsat_core.iteration) ->
+              [ string_of_int (i + 1); string_of_int it.clauses;
+                string_of_int it.vars ])
+            s.iterations
+        in
+        Harness.Table.print
+          (Harness.Table.render
+             ~headers:[ "iteration"; "clauses"; "vars" ]
+             ([ [ "0 (input)"; string_of_int s.initial.clauses;
+                  string_of_int s.initial.vars ] ] @ rows));
+        Printf.printf "c fixed point: %b after %d rounds\n" s.reached_fixpoint
+          s.rounds;
+        (match output with
+         | Some path ->
+           Sat.Dimacs.write_file
+             ~comment:
+               (Printf.sprintf "unsat core of %s (%d rounds)" formula_path
+                  s.rounds)
+             path s.final_core;
+           Printf.printf "c core written to %s\n" path
+         | None -> ());
+        exit 20)
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "rounds"; "r" ] ~docv:"N"
+          ~doc:"Maximum shrinking iterations (the paper measured 30).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write the final core as DIMACS.")
+  in
+  let minimal_arg =
+    Arg.(
+      value & flag
+      & info [ "minimal"; "m" ]
+          ~doc:
+            "Minimise destructively to a minimal unsatisfiable core \
+             (every clause necessary).")
+  in
+  Cmd.v
+    (Cmd.info "core"
+       ~doc:"Extract and iteratively shrink an unsatisfiable core (§4).")
+    Term.(const run $ formula_arg $ rounds_arg $ output_arg $ minimal_arg)
+
+(* --- simplify ------------------------------------------------------------ *)
+
+let simplify_cmd =
+  let run formula_path output =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f ->
+      let outcome, stats = Solver.Simplify.simplify f in
+      Printf.printf
+        "c units %d, pures %d, tautologies %d, subsumed %d, duplicates %d\n"
+        stats.units_propagated stats.pure_literals stats.tautologies_removed
+        stats.subsumed_removed stats.duplicates_removed;
+      (match outcome with
+       | Solver.Simplify.Proved_unsat ->
+         print_endline "s UNSATISFIABLE (by preprocessing)";
+         exit 20
+       | Solver.Simplify.Proved_sat _ ->
+         print_endline "s SATISFIABLE (by preprocessing)";
+         exit 10
+       | Solver.Simplify.Simplified { formula; _ } ->
+         Printf.printf "c %d/%d clauses remain\n" (Sat.Cnf.nclauses formula)
+           (Sat.Cnf.nclauses f);
+         (match output with
+          | Some path ->
+            Sat.Dimacs.write_file
+              ~comment:(Printf.sprintf "simplified from %s" formula_path)
+              path formula;
+            Printf.printf "c written to %s\n" path
+          | None -> print_string (Sat.Dimacs.to_string formula));
+         exit 0)
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:
+         "Preprocess a formula (units, pure literals, subsumption) into an \
+          equisatisfiable smaller one.")
+    Term.(const run $ formula_arg $ output_arg)
+
+(* --- trim ---------------------------------------------------------------- *)
+
+let trim_cmd =
+  let run formula_path trace_path output format =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f -> (
+      match Checker.Trim.trim f (Trace.Reader.From_file trace_path) with
+      | Error d ->
+        Printf.printf "c input trace does not check: %s\n"
+          (Checker.Diagnostics.to_string d);
+        exit 1
+      | Ok r ->
+        let w = Trace.Writer.create format in
+        Checker.Trim.write w r;
+        Trace.Writer.to_file w output;
+        Printf.printf
+          "c kept %d learned clauses, dropped %d; trimmed trace: %d bytes \
+           -> %s\n"
+          r.kept_learned r.dropped_learned
+          (Trace.Writer.bytes_written w)
+          output;
+        exit 0)
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
+  in
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Trimmed trace path.")
+  in
+  Cmd.v
+    (Cmd.info "trim"
+       ~doc:
+         "Shrink a trace to the clauses its proof actually uses (the \
+          proof-core trace).")
+    Term.(const run $ formula_arg $ trace_pos $ output_arg $ format_arg)
+
+(* --- drup ---------------------------------------------------------------- *)
+
+let drup_cmd =
+  let run formula_path trace_path output verify =
+    match load_formula formula_path with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok f -> (
+      match Pipeline.Drup.of_trace f (Trace.Reader.From_file trace_path) with
+      | Error d ->
+        Printf.printf "c conversion failed: %s\n"
+          (Checker.Diagnostics.to_string d);
+        exit 1
+      | Ok derivation ->
+        (if verify then
+           match Checker.Rup.check f derivation with
+           | Ok stats ->
+             Printf.printf "c RUP-verified: %d steps, %d propagations\n"
+               stats.clauses_checked stats.propagations
+           | Error e ->
+             Printf.printf "c RUP verification failed: %s\n"
+               (Format.asprintf "%a" Checker.Rup.pp_failure e);
+             exit 1);
+        let text = Pipeline.Drup.to_string derivation in
+        (match output with
+         | Some path ->
+           let oc = open_out path in
+           output_string oc text;
+           close_out oc;
+           Printf.printf "c DRUP written to %s (%d clauses, %d bytes)\n" path
+             (List.length derivation) (String.length text)
+         | None -> print_string text);
+        exit 0)
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"DRUP output path.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Re-check the derivation with the built-in RUP checker.")
+  in
+  Cmd.v
+    (Cmd.info "drup"
+       ~doc:
+         "Convert a resolve-source trace into a DRUP derivation (the \
+          modern proof format).")
+    Term.(const run $ formula_arg $ trace_pos $ output_arg $ verify_arg)
+
+(* --- mc ------------------------------------------------------------------ *)
+
+let parse_system spec =
+  match String.split_on_char ':' spec with
+  | [ "ring"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 2 -> Ok (Circuit.Transition.token_ring ~nodes:n)
+    | _ -> Error "ring:<nodes>, nodes >= 2")
+  | [ "ring-buggy"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 2 -> Ok (Circuit.Transition.token_ring_buggy ~nodes:n)
+    | _ -> Error "ring-buggy:<nodes>, nodes >= 2")
+  | [ "counter"; w; l; t ] -> (
+    match int_of_string_opt w, int_of_string_opt l, int_of_string_opt t with
+    | Some width, Some limit, Some target -> (
+      match Circuit.Transition.saturating_counter ~width ~limit ~target with
+      | ts -> Ok ts
+      | exception Invalid_argument m -> Error m)
+    | _ -> Error "counter:<width>:<limit>:<target>")
+  | [ "mutex" ] -> Ok (Circuit.Transition.mutex ())
+  | _ ->
+    Error
+      "unknown system (ring:<n>, ring-buggy:<n>, counter:<w>:<l>:<t>, mutex)"
+
+let mc_cmd =
+  let run spec bound unbounded =
+    match parse_system spec with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Ok ts ->
+      if unbounded then begin
+        match Pipeline.Bmc_engine.interpolation_mc ts with
+        | Pipeline.Bmc_engine.Proved_safe { iterations; reachable_nodes } ->
+          Printf.printf
+            "s SAFE (all depths; %d interpolation rounds, invariant %d BDD \
+             nodes)\n"
+            iterations reachable_nodes;
+          exit 0
+        | Pipeline.Bmc_engine.Counterexample { depth } ->
+          Printf.printf "s UNSAFE (violated within %d steps)\n" depth;
+          exit 1
+        | Pipeline.Bmc_engine.Inconclusive { iterations } ->
+          Printf.printf "s UNKNOWN (after %d rounds)\n" iterations;
+          exit 3
+        | Pipeline.Bmc_engine.Mc_check_failed d ->
+          Printf.printf "c proof rejected: %s\n"
+            (Checker.Diagnostics.to_string d);
+          exit 4
+      end
+      else begin
+        match Pipeline.Bmc_engine.bmc ~max_depth:bound ts with
+        | Pipeline.Bmc_engine.Cex d ->
+          Printf.printf "s UNSAFE (counterexample at depth %d)\n" d;
+          exit 1
+        | Pipeline.Bmc_engine.Safe_up_to d ->
+          Printf.printf "s SAFE UP TO DEPTH %d (use --unbounded to close)\n" d;
+          exit 0
+        | Pipeline.Bmc_engine.Check_failed x ->
+          Printf.printf "c proof rejected: %s\n"
+            (Checker.Diagnostics.to_string x);
+          exit 4
+      end
+  in
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SYSTEM"
+          ~doc:
+            "Transition system: $(b,ring:N), $(b,ring-buggy:N), \
+             $(b,counter:W:LIMIT:TARGET), or $(b,mutex).")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "bound"; "k" ] ~docv:"K" ~doc:"BMC depth bound.")
+  in
+  let unbounded_arg =
+    Arg.(
+      value & flag
+      & info [ "unbounded"; "u" ]
+          ~doc:"Interpolation-based unbounded checking instead of BMC.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Model-check a built-in transition system: BMC with validated \
+          proofs, or interpolation-based unbounded checking.")
+    Term.(const run $ spec_arg $ bound_arg $ unbounded_arg)
+
+(* --- gen ----------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run name list output =
+    if list then begin
+      List.iter
+        (fun (fam : Gen.Families.family) ->
+          Printf.printf "%-14s (stands in for %s)\n" fam.name
+            fam.paper_analogue)
+        (Gen.Families.suite ());
+      exit 0
+    end;
+    match name with
+    | None ->
+      prerr_endline "error: FAMILY required (or use --list)";
+      exit 2
+    | Some name -> (
+      match Gen.Families.find name with
+      | None ->
+        Printf.eprintf "error: unknown family %S (try --list)\n" name;
+        exit 2
+      | Some fam ->
+        let f = fam.generate () in
+        let doc =
+          Sat.Dimacs.to_string
+            ~comment:
+              (Printf.sprintf "%s: analogue of %s" fam.name fam.paper_analogue)
+            f
+        in
+        (match output with
+         | Some path ->
+           let oc = open_out path in
+           output_string oc doc;
+           close_out oc;
+           Printf.printf "c %s: %d vars, %d clauses -> %s\n" fam.name
+             (Sat.Cnf.nvars f) (Sat.Cnf.nclauses f) path
+         | None -> print_string doc);
+        exit 0)
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FAMILY" ~doc:"Benchmark family name.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list"; "l" ] ~doc:"List available families.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark instance as DIMACS.")
+    Term.(const run $ name_arg $ list_arg $ output_arg)
+
+let () =
+  let info =
+    Cmd.info "rescheck" ~version:"1.0.0"
+      ~doc:
+        "A CDCL SAT solver with resolution-trace generation and an \
+         independent checker (Zhang & Malik, DATE 2003)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd; check_cmd; validate_cmd; core_cmd; trim_cmd;
+            simplify_cmd; drup_cmd; mc_cmd; gen_cmd;
+          ]))

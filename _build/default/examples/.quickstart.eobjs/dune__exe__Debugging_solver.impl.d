@@ -1,0 +1,1 @@
+examples/debugging_solver.ml: Array Checker Gen List Pipeline Printf Solver Trace

@@ -1,0 +1,1 @@
+examples/debugging_solver.mli:

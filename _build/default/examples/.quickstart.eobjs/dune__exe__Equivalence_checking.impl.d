@@ -1,0 +1,1 @@
+examples/equivalence_checking.ml: Circuit List Pipeline Printf Sat

@@ -1,0 +1,1 @@
+examples/fpga_routing_core.ml: Checker Gen List Pipeline Printf Sat String

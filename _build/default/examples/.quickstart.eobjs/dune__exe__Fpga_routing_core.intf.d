@@ -1,0 +1,1 @@
+examples/fpga_routing_core.mli:

@@ -1,0 +1,1 @@
+examples/incremental_queries.ml: Array List Printf Sat Solver String

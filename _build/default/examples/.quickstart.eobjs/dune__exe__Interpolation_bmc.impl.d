@@ -1,0 +1,1 @@
+examples/interpolation_bmc.ml: Checker Gen List Pipeline Printf Sat Solver String Trace

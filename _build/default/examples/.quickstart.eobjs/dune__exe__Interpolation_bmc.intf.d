@@ -1,0 +1,1 @@
+examples/interpolation_bmc.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checker Gen List Pipeline Printf Sat String

@@ -1,0 +1,1 @@
+examples/unbounded_mc.ml: Checker Circuit Pipeline Printf

@@ -1,0 +1,1 @@
+examples/unbounded_mc.mli:

@@ -1,0 +1,62 @@
+(* Combinational equivalence checking — the EDA workload that motivates
+   the paper's introduction.  Two structurally different multiplier
+   implementations are mitered; when the SAT engine reports UNSAT
+   ("equivalent"), the independent checker replays the resolution proof,
+   because a silent solver bug here would sign off a broken chip.
+
+   Run with: dune exec examples/equivalence_checking.exe *)
+
+module N = Circuit.Netlist
+module A = Circuit.Arith
+
+let check_equivalence title build_b width =
+  let c = N.create () in
+  let a = A.word_input c "a" width in
+  let b = A.word_input c "b" width in
+  let reference = A.mul_shift_add c a b in
+  let candidate = build_b c a b in
+  let miter = Circuit.Miter.equivalence_cnf c reference candidate in
+  Printf.printf "--- %s (%d-bit): %d variables, %d clauses\n" title width
+    (Sat.Cnf.nvars miter) (Sat.Cnf.nclauses miter);
+  let outcome = Pipeline.Validate.run miter in
+  match outcome.verdict with
+  | Pipeline.Validate.Unsat_verified report ->
+    Printf.printf
+      "EQUIVALENT — and the proof checks (%d resolution steps, %.3f s \
+       solve, %.3f s check)\n"
+      report.resolution_steps outcome.solve_seconds outcome.check_seconds
+  | Pipeline.Validate.Sat_verified model ->
+    (* the model is a concrete input on which the circuits differ *)
+    let enc = Circuit.Tseitin.encode c ~constraints:[] in
+    let value_of prefix =
+      List.fold_right
+        (fun i acc ->
+          let v = enc.Circuit.Tseitin.var_of_input (Printf.sprintf "%s_%d" prefix i) in
+          (2 * acc)
+          + (if Sat.Assignment.value model v = Sat.Assignment.True then 1 else 0))
+        (List.init width (fun i -> i))
+        0
+    in
+    Printf.printf
+      "NOT EQUIVALENT — counterexample a=%d, b=%d (verified against the \
+       formula)\n"
+      (value_of "a") (value_of "b")
+  | Pipeline.Validate.Sat_model_wrong _
+  | Pipeline.Validate.Unsat_check_failed _ ->
+    print_endline "SOLVER BUG detected by the independent checker!"
+
+let () =
+  (* a correct alternative implementation: MSB-first accumulation *)
+  check_equivalence "shift-add vs MSB-first multiplier"
+    (fun c a b -> A.mul_msb_first c a b)
+    5;
+  (* a broken implementation: the top partial product is dropped *)
+  check_equivalence "shift-add vs broken multiplier"
+    (fun c a b ->
+      let b_broken =
+        List.mapi
+          (fun i bi -> if i = List.length b - 1 then N.const c false else bi)
+          b
+      in
+      A.mul_msb_first c a b_broken)
+    5

@@ -1,0 +1,1 @@
+lib/bdd/cec.ml: Array Circuit List Robdd

@@ -1,0 +1,1 @@
+lib/bdd/cec.mli: Circuit

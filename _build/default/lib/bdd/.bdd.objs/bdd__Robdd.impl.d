@@ -1,0 +1,1 @@
+lib/bdd/robdd.ml: Array Circuit Float Hashtbl List Option Sat

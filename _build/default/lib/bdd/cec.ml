@@ -1,0 +1,47 @@
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+  | Node_limit
+
+let check ?(node_limit = 1_000_000) c outs1 outs2 =
+  if List.length outs1 <> List.length outs2 then
+    invalid_arg "Cec.check: output width mismatch";
+  let nvars = max 1 (Circuit.Netlist.num_inputs c) in
+  let m = Robdd.create ~node_limit ~nvars () in
+  match Robdd.of_netlist m c (outs1 @ outs2) with
+  | exception Robdd.Node_limit_reached -> Node_limit
+  | bdds ->
+    let n = List.length outs1 in
+    let rec split i acc = function
+      | rest when i = n -> (List.rev acc, rest)
+      | x :: rest -> split (i + 1) (x :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    let b1, b2 = split 0 [] bdds in
+    (* canonical: inequivalence is a non-equal pair; the witness comes
+       from the XOR of the first differing pair *)
+    let rec find_diff b1 b2 =
+      match b1, b2 with
+      | [], [] -> Equivalent
+      | x :: xs, y :: ys ->
+        if Robdd.equal x y then find_diff xs ys
+        else begin
+          match Robdd.any_sat m (Robdd.xor_ m x y) with
+          | None -> find_diff xs ys (* cannot happen on unequal nodes *)
+          | Some valuation ->
+            let names = Array.of_list (Circuit.Netlist.input_names c) in
+            Counterexample
+              (List.map (fun (v, b) -> (names.(v - 1), b)) valuation)
+        end
+      | _, _ -> assert false
+    in
+    (try find_diff b1 b2
+     with Robdd.Node_limit_reached -> Node_limit)
+
+let output_size ?(node_limit = 1_000_000) c out =
+  let nvars = max 1 (Circuit.Netlist.num_inputs c) in
+  let m = Robdd.create ~node_limit ~nvars () in
+  match Robdd.of_netlist m c [ out ] with
+  | exception Robdd.Node_limit_reached -> None
+  | [ b ] -> Some (Robdd.size m b)
+  | _ -> None

@@ -1,0 +1,27 @@
+(** Combinational equivalence checking via BDDs — the baseline flow the
+    SAT-based flow of the paper displaced for these workloads.  Because
+    ROBDDs are canonical, equivalence is one pointer comparison once the
+    output functions are built; the cost (and the reason SAT won) is that
+    building them can blow up exponentially in the fixed variable order —
+    multipliers being the canonical offender. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+      (** an input valuation (by input name) on which the outputs differ *)
+  | Node_limit
+      (** construction exceeded the node budget: the blow-up case *)
+
+(** [check ?node_limit c outs1 outs2] compares two output lists of the
+    same circuit (default budget: one million nodes). *)
+val check :
+  ?node_limit:int ->
+  Circuit.Netlist.t ->
+  Circuit.Netlist.node list ->
+  Circuit.Netlist.node list ->
+  verdict
+
+(** [tautology_nodes ?node_limit c out] is the BDD node count of a single
+    output, for profiling blow-up (None when over budget). *)
+val output_size :
+  ?node_limit:int -> Circuit.Netlist.t -> Circuit.Netlist.node -> int option

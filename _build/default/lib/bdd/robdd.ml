@@ -1,0 +1,292 @@
+type node = int
+
+(* nodes 0 and 1 are the constants; internal node i has a variable and
+   two children.  Reduction invariants: low <> high, and (var, low, high)
+   triples are unique. *)
+exception Node_limit_reached
+
+type man = {
+  nvars : int;
+  node_limit : int;
+  var_of : int Sat.Vec.t;     (* per node: branching variable (0 for consts) *)
+  low_of : int Sat.Vec.t;
+  high_of : int Sat.Vec.t;
+  unique : (int * int * int, node) Hashtbl.t;
+  apply_cache : (int * node * node, node) Hashtbl.t;
+  neg_cache : (node, node) Hashtbl.t;
+}
+
+let bot_id = 0
+let top_id = 1
+
+let create ?(node_limit = max_int) ~nvars () =
+  let m = {
+    nvars;
+    node_limit;
+    var_of = Sat.Vec.create ~dummy:0;
+    low_of = Sat.Vec.create ~dummy:0;
+    high_of = Sat.Vec.create ~dummy:0;
+    unique = Hashtbl.create 4096;
+    apply_cache = Hashtbl.create 4096;
+    neg_cache = Hashtbl.create 1024;
+  } in
+  (* constants occupy slots 0 and 1; their "variable" sorts after all
+     real variables so cofactoring logic can treat them uniformly *)
+  for _ = 0 to 1 do
+    Sat.Vec.push m.var_of (nvars + 1);
+    Sat.Vec.push m.low_of 0;
+    Sat.Vec.push m.high_of 0
+  done;
+  m
+
+let bot _ = bot_id
+let top _ = top_id
+
+let mk m v low high =
+  if low = high then low
+  else
+    match Hashtbl.find_opt m.unique (v, low, high) with
+    | Some n -> n
+    | None ->
+      let n = Sat.Vec.length m.var_of in
+      if n - 2 >= m.node_limit then raise Node_limit_reached;
+      Sat.Vec.push m.var_of v;
+      Sat.Vec.push m.low_of low;
+      Sat.Vec.push m.high_of high;
+      Hashtbl.replace m.unique (v, low, high) n;
+      n
+
+let check_var m v =
+  if v < 1 || v > m.nvars then invalid_arg "Robdd: variable out of range"
+
+let var m v =
+  check_var m v;
+  mk m v bot_id top_id
+
+let nvar m v =
+  check_var m v;
+  mk m v top_id bot_id
+
+let node_var m n = Sat.Vec.get m.var_of n
+let node_low m n = Sat.Vec.get m.low_of n
+let node_high m n = Sat.Vec.get m.high_of n
+
+(* binary boolean operators encoded for the apply cache key *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+let apply_const op a b =
+  (* results when both operands are constants *)
+  let ab = a = top_id and bb = b = top_id in
+  let r =
+    if op = op_and then ab && bb
+    else if op = op_or then ab || bb
+    else ab <> bb
+  in
+  if r then top_id else bot_id
+
+(* terminal shortcuts for one constant operand *)
+let shortcut op a b =
+  if a > top_id && b > top_id then None
+  else if a <= top_id && b <= top_id then Some (apply_const op a b)
+  else begin
+    (* exactly one constant *)
+    let c, other = if a <= top_id then (a, b) else (b, a) in
+    if op = op_and then Some (if c = bot_id then bot_id else other)
+    else if op = op_or then Some (if c = top_id then top_id else other)
+    else (* xor *) if c = bot_id then Some other
+    else None (* xor with top = negation: handled by caller *)
+  end
+
+let rec neg m n =
+  if n = bot_id then top_id
+  else if n = top_id then bot_id
+  else
+    match Hashtbl.find_opt m.neg_cache n with
+    | Some r -> r
+    | None ->
+      let r = mk m (node_var m n) (neg m (node_low m n)) (neg m (node_high m n)) in
+      Hashtbl.replace m.neg_cache n r;
+      Hashtbl.replace m.neg_cache r n;
+      r
+
+let rec apply m op a b =
+  match shortcut op a b with
+  | Some r -> r
+  | None ->
+    if op = op_xor && (a = top_id || b = top_id) then
+      neg m (if a = top_id then b else a)
+    else begin
+      (* commutative: normalise the cache key *)
+      let a, b = if a <= b then (a, b) else (b, a) in
+      if op = op_and && a = b then a
+      else if op = op_or && a = b then a
+      else if op = op_xor && a = b then bot_id
+      else
+        match Hashtbl.find_opt m.apply_cache (op, a, b) with
+        | Some r -> r
+        | None ->
+          let va = node_var m a and vb = node_var m b in
+          let v = min va vb in
+          let a0, a1 =
+            if va = v then (node_low m a, node_high m a) else (a, a)
+          in
+          let b0, b1 =
+            if vb = v then (node_low m b, node_high m b) else (b, b)
+          in
+          let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+          Hashtbl.replace m.apply_cache (op, a, b) r;
+          r
+    end
+
+let and_ m a b = apply m op_and a b
+let or_ m a b = apply m op_or a b
+let xor_ m a b = apply m op_xor a b
+
+let ite m c t e = or_ m (and_ m c t) (and_ m (neg m c) e)
+
+let rec restrict m n ~var ~value =
+  if n <= top_id then n
+  else begin
+    let v = node_var m n in
+    if v > var then n
+    else if v = var then
+      if value then node_high m n else node_low m n
+    else
+      mk m v
+        (restrict m (node_low m n) ~var ~value)
+        (restrict m (node_high m n) ~var ~value)
+  end
+
+let exists m v n =
+  or_ m (restrict m n ~var:v ~value:false) (restrict m n ~var:v ~value:true)
+
+let equal (a : node) (b : node) = a = b
+let is_top _ n = n = top_id
+let is_bot _ n = n = bot_id
+
+let eval m n valuation =
+  let rec go n =
+    if n = top_id then true
+    else if n = bot_id then false
+    else
+      let v = node_var m n in
+      let b = Option.value ~default:false (List.assoc_opt v valuation) in
+      go (if b then node_high m n else node_low m n)
+  in
+  go n
+
+let sat_count m n =
+  let memo = Hashtbl.create 256 in
+  (* count assignments of variables in [from .. nvars] satisfying n *)
+  let rec go n from =
+    if n = bot_id then 0.0
+    else if n = top_id then Float.pow 2.0 (float_of_int (m.nvars - from + 1))
+    else
+      let key = (n, from) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        let v = node_var m n in
+        let skipped = Float.pow 2.0 (float_of_int (v - from)) in
+        let r =
+          skipped
+          *. (go (node_low m n) (v + 1) +. go (node_high m n) (v + 1))
+        in
+        Hashtbl.replace memo key r;
+        r
+  in
+  go n 1
+
+let any_sat m n =
+  if n = bot_id then None
+  else begin
+    let rec go n acc =
+      if n = top_id then List.rev acc
+      else if node_high m n <> bot_id then
+        go (node_high m n) ((node_var m n, true) :: acc)
+      else go (node_low m n) ((node_var m n, false) :: acc)
+    in
+    Some (go n [])
+  end
+
+let size m n =
+  let seen = Hashtbl.create 256 in
+  let rec go n =
+    if n > top_id && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      go (node_low m n);
+      go (node_high m n)
+    end
+  in
+  go n;
+  Hashtbl.length seen
+
+let num_nodes m = Sat.Vec.length m.var_of - 2
+
+let of_netlist_mapped m c outs ~var_of_input =
+  let table = Array.make (max 1 (Circuit.Netlist.num_nodes c)) bot_id in
+  Circuit.Netlist.iter_nodes
+    (fun n g ->
+      let get x = table.(Circuit.Netlist.node_id x) in
+      let r =
+        match g with
+        | Circuit.Netlist.G_input name -> var m (var_of_input name)
+        | Circuit.Netlist.G_const b -> if b then top_id else bot_id
+        | Circuit.Netlist.G_not a -> neg m (get a)
+        | Circuit.Netlist.G_and (a, b) -> and_ m (get a) (get b)
+        | Circuit.Netlist.G_or (a, b) -> or_ m (get a) (get b)
+        | Circuit.Netlist.G_xor (a, b) -> xor_ m (get a) (get b)
+      in
+      table.(Circuit.Netlist.node_id n) <- r)
+    c;
+  List.map (fun n -> table.(Circuit.Netlist.node_id n)) outs
+
+let of_netlist m c outs =
+  if Circuit.Netlist.num_inputs c > m.nvars then
+    invalid_arg "Robdd.of_netlist: not enough BDD variables";
+  let input_var = Hashtbl.create 16 in
+  List.iteri
+    (fun i name -> Hashtbl.replace input_var name (i + 1))
+    (Circuit.Netlist.input_names c);
+  of_netlist_mapped m c outs ~var_of_input:(fun name ->
+      Hashtbl.find input_var name)
+
+let to_netlist m n c ~input_of_var =
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if n = top_id then Circuit.Netlist.const c true
+    else if n = bot_id then Circuit.Netlist.const c false
+    else
+      match Hashtbl.find_opt memo n with
+      | Some x -> x
+      | None ->
+        let sel = input_of_var (node_var m n) in
+        let x =
+          Circuit.Netlist.mux c ~sel ~if_true:(go (node_high m n))
+            ~if_false:(go (node_low m n))
+        in
+        Hashtbl.replace memo n x;
+        x
+  in
+  go n
+
+let of_cnf m f =
+  let acc = ref top_id in
+  Sat.Cnf.iter_clauses
+    (fun _ c ->
+      let cl =
+        Array.fold_left
+          (fun acc l ->
+            let b =
+              if Sat.Lit.is_neg l then nvar m (Sat.Lit.var l)
+              else var m (Sat.Lit.var l)
+            in
+            or_ m acc b)
+          bot_id c
+      in
+      acc := and_ m !acc cl)
+    f;
+  !acc
+

@@ -1,0 +1,102 @@
+(** Reduced ordered binary decision diagrams — the symbolic-verification
+    technology SAT displaced for the workloads in the paper (its BMC
+    citation [2] is literally "Symbolic Model Checking without BDDs").
+    Implemented as a canonical DAG with a unique table and an apply
+    cache, so semantic equality is pointer equality: the classic BDD
+    equivalence-checking baseline the benches compare the SAT+checker
+    flow against.
+
+    Variables are [1 .. nvars] and the variable order is fixed to the
+    numeric order at manager creation (the multiplier benches demonstrate
+    the textbook consequence). *)
+
+type man
+type node
+
+(** Raised by any operation that would allocate past the manager's node
+    limit — BDD equivalence checking on multiplier-like circuits blows up
+    exponentially (the textbook contrast with the SAT flow), and callers
+    need a graceful abort. *)
+exception Node_limit_reached
+
+(** [create ?node_limit ~nvars ()] makes a manager for variables
+    [1 .. nvars]; allocations beyond [node_limit] raise
+    {!Node_limit_reached}. *)
+val create : ?node_limit:int -> nvars:int -> unit -> man
+
+(** the constant-false function *)
+val bot : man -> node
+
+(** the constant-true function *)
+val top : man -> node
+
+(** [var m v] / [nvar m v] are the positive / negative literal functions.
+    @raise Invalid_argument when [v] is out of range. *)
+val var : man -> Sat.Lit.var -> node
+val nvar : man -> Sat.Lit.var -> node
+
+val neg : man -> node -> node
+val and_ : man -> node -> node -> node
+val or_ : man -> node -> node -> node
+val xor_ : man -> node -> node -> node
+val ite : man -> node -> node -> node -> node
+
+(** [restrict m n ~var ~value] is the cofactor n|_{var=value}. *)
+val restrict : man -> node -> var:Sat.Lit.var -> value:bool -> node
+
+(** [exists m v n] is ∃v. n. *)
+val exists : man -> Sat.Lit.var -> node -> node
+
+(** Canonicity: equal functions are the same node. *)
+val equal : node -> node -> bool
+
+val is_top : man -> node -> bool
+val is_bot : man -> node -> bool
+
+(** [eval m n valuation] evaluates the function (missing variables
+    default to false). *)
+val eval : man -> node -> (Sat.Lit.var * bool) list -> bool
+
+(** [sat_count m n] counts satisfying assignments over all [nvars]
+    variables (as a float: counts overflow 63 bits quickly). *)
+val sat_count : man -> node -> float
+
+(** [any_sat m n] is a partial satisfying valuation, or [None] for the
+    constant-false node. *)
+val any_sat : man -> node -> (Sat.Lit.var * bool) list option
+
+(** [size m n] counts the internal nodes reachable from [n]. *)
+val size : man -> node -> int
+
+(** [num_nodes m] is the total allocation, the blow-up measure. *)
+val num_nodes : man -> int
+
+(** [of_netlist m c outs] builds the BDDs of circuit outputs (inputs are
+    mapped to BDD variables by declaration order: the i-th declared input
+    becomes variable i+1).
+    @raise Invalid_argument when the circuit has more inputs than the
+    manager has variables. *)
+val of_netlist : man -> Circuit.Netlist.t -> Circuit.Netlist.node list -> node list
+
+(** [of_netlist_mapped m c outs ~var_of_input] is {!of_netlist} with an
+    explicit input-name → BDD-variable mapping. *)
+val of_netlist_mapped :
+  man ->
+  Circuit.Netlist.t ->
+  Circuit.Netlist.node list ->
+  var_of_input:(string -> Sat.Lit.var) ->
+  node list
+
+(** [of_cnf m f] conjoins the clauses of [f]. *)
+val of_cnf : man -> Sat.Cnf.t -> node
+
+(** [to_netlist m n c ~input_of_var] synthesises the function back into a
+    circuit as a mux tree over the BDD structure; [input_of_var] supplies
+    the circuit node standing for each BDD variable. *)
+val to_netlist :
+  man ->
+  node ->
+  Circuit.Netlist.t ->
+  input_of_var:(Sat.Lit.var -> Circuit.Netlist.node) ->
+  Circuit.Netlist.node
+

@@ -1,0 +1,1 @@
+lib/circuit/arith.ml: List Netlist Printf

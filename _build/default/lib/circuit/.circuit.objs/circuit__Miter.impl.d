@@ -1,0 +1,1 @@
+lib/circuit/miter.ml: List Netlist Tseitin

@@ -1,0 +1,1 @@
+lib/circuit/sim.ml: Array Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuit/transition.ml: Arith Array List Netlist Printf

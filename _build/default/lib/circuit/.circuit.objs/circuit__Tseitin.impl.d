@@ -1,0 +1,1 @@
+lib/circuit/tseitin.ml: Array Hashtbl List Netlist Sat

@@ -1,0 +1,107 @@
+type word = Netlist.node list
+
+let word_input c prefix width =
+  List.init width (fun i -> Netlist.input c (Printf.sprintf "%s_%d" prefix i))
+
+let const_word c width n =
+  List.init width (fun i -> Netlist.const c ((n lsr i) land 1 = 1))
+
+let zero_extend c w width =
+  let len = List.length w in
+  if len >= width then w
+  else w @ List.init (width - len) (fun _ -> Netlist.const c false)
+
+let full_adder c a b cin =
+  let s1 = Netlist.xor_ c a b in
+  let sum = Netlist.xor_ c s1 cin in
+  let carry = Netlist.or_ c (Netlist.and_ c a b) (Netlist.and_ c s1 cin) in
+  (sum, carry)
+
+let add_with_width c a b width keep_carry =
+  let a = zero_extend c a width and b = zero_extend c b width in
+  let rec loop acc cin = function
+    | [], [] -> if keep_carry then List.rev (cin :: acc) else List.rev acc
+    | x :: xs, y :: ys ->
+      let sum, carry = full_adder c x y cin in
+      loop (sum :: acc) carry (xs, ys)
+    | _, _ -> assert false
+  in
+  loop [] (Netlist.const c false) (a, b)
+
+let add c a b =
+  let width = max (List.length a) (List.length b) in
+  add_with_width c a b width true
+
+let add_mod c a b width = add_with_width c a b width false
+
+let sub_mod c a b width =
+  let b = zero_extend c b width in
+  let not_b = List.map (Netlist.not_ c) b in
+  let one = const_word c width 1 in
+  add_mod c (add_mod c (zero_extend c a width) not_b width) one width
+
+let shift_left c w n =
+  List.init n (fun _ -> Netlist.const c false) @ w
+
+let partial_product c a bi = List.map (fun x -> Netlist.and_ c x bi) a
+
+let mul_shift_add c a b =
+  let width = List.length a + List.length b in
+  let acc = ref (const_word c width 0) in
+  List.iteri
+    (fun i bi ->
+      let pp = zero_extend c (shift_left c (partial_product c a bi) i) width in
+      acc := add_mod c !acc pp width)
+    b;
+  !acc
+
+let mul_msb_first c a b =
+  let width = List.length a + List.length b in
+  let acc = ref (const_word c width 0) in
+  let rows = List.mapi (fun i bi -> (i, bi)) b in
+  List.iter
+    (fun (i, bi) ->
+      let pp = zero_extend c (shift_left c (partial_product c a bi) i) width in
+      acc := add_mod c pp !acc width)
+    (List.rev rows);
+  !acc
+
+let map2_extended c op a b =
+  let width = max (List.length a) (List.length b) in
+  List.map2 (op c) (zero_extend c a width) (zero_extend c b width)
+
+let word_and c a b = map2_extended c Netlist.and_ a b
+let word_or c a b = map2_extended c Netlist.or_ a b
+let word_xor c a b = map2_extended c Netlist.xor_ a b
+
+let mux_word c ~sel ~if_true ~if_false =
+  if List.length if_true <> List.length if_false then
+    invalid_arg "Arith.mux_word: width mismatch";
+  List.map2
+    (fun t f -> Netlist.mux c ~sel ~if_true:t ~if_false:f)
+    if_true if_false
+
+let equal c a b =
+  let width = max (List.length a) (List.length b) in
+  let bits =
+    List.map2
+      (fun x y -> Netlist.xnor_ c x y)
+      (zero_extend c a width) (zero_extend c b width)
+  in
+  Netlist.big_and c bits
+
+let alu c ~op ~a ~b ~width =
+  let op0, op1 =
+    match op with
+    | [ o0; o1 ] -> (o0, o1)
+    | _ -> invalid_arg "Arith.alu: opcode must be 2 bits"
+  in
+  let a = zero_extend c a width and b = zero_extend c b width in
+  let sum = add_mod c a b width in
+  let diff = sub_mod c a b width in
+  let conj = word_and c a b in
+  let xo = word_xor c a b in
+  (* op1 selects between {arith, logic}; op0 within each group *)
+  let arith = mux_word c ~sel:op0 ~if_true:diff ~if_false:sum in
+  let logic = mux_word c ~sel:op0 ~if_true:xo ~if_false:conj in
+  mux_word c ~sel:op1 ~if_true:logic ~if_false:arith

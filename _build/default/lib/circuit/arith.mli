@@ -1,0 +1,54 @@
+(** Word-level arithmetic builders.  A [word] is a little-endian list of
+    nodes (LSB first).  These feed the multiplier-equivalence family (the
+    paper's `longmult` analogue: XOR-rich adder trees) and the pipelined
+    ALU verification family. *)
+
+type word = Netlist.node list
+
+(** [word_input c prefix width] declares inputs [prefix_0 .. prefix_{w-1}]. *)
+val word_input : Netlist.t -> string -> int -> word
+
+(** [const_word c width n] encodes the low [width] bits of [n]. *)
+val const_word : Netlist.t -> int -> int -> word
+
+(** [zero_extend c w width] pads with constant-false bits to [width]. *)
+val zero_extend : Netlist.t -> word -> int -> word
+
+(** [add c a b] is a ripple-carry sum, one bit wider than the longer
+    operand. *)
+val add : Netlist.t -> word -> word -> word
+
+(** [add_mod c a b width] is addition truncated to [width] bits. *)
+val add_mod : Netlist.t -> word -> word -> int -> word
+
+(** [sub_mod c a b width] is two's-complement subtraction mod 2^width. *)
+val sub_mod : Netlist.t -> word -> word -> int -> word
+
+(** [mul_shift_add c a b] multiplies by accumulating shifted partial
+    products LSB-first (the schoolbook "shift-add" multiplier); result
+    width is [|a| + |b|]. *)
+val mul_shift_add : Netlist.t -> word -> word -> word
+
+(** [mul_msb_first c a b] computes the same product with the partial
+    products accumulated in the opposite order — structurally different
+    gates, identical function.  The miter of the two is the `longmult`-
+    style XOR-heavy unsatisfiable instance. *)
+val mul_msb_first : Netlist.t -> word -> word -> word
+
+(** bitwise word operators (operands are zero-extended to equal width) *)
+val word_and : Netlist.t -> word -> word -> word
+val word_or : Netlist.t -> word -> word -> word
+val word_xor : Netlist.t -> word -> word -> word
+
+(** [mux_word c ~sel ~if_true ~if_false] selects between equal-width
+    words. *)
+val mux_word : Netlist.t -> sel:Netlist.node -> if_true:word -> if_false:word -> word
+
+(** [equal c a b] is a single node: words are equal (shorter operand
+    zero-extended). *)
+val equal : Netlist.t -> word -> word -> Netlist.node
+
+(** A tiny combinational ALU: opcode 2 bits (00 add, 01 sub, 10 and,
+    11 xor), [width]-bit result — the datapath replicated by the pipeline
+    verification family. *)
+val alu : Netlist.t -> op:word -> a:word -> b:word -> width:int -> word

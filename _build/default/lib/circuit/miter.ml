@@ -1,0 +1,10 @@
+let build c outs1 outs2 =
+  if List.length outs1 <> List.length outs2 then
+    invalid_arg "Miter.build: output width mismatch";
+  let diffs = List.map2 (fun a b -> Netlist.xor_ c a b) outs1 outs2 in
+  Netlist.big_or c diffs
+
+let equivalence_cnf c outs1 outs2 =
+  let m = build c outs1 outs2 in
+  let enc = Tseitin.encode c ~constraints:[ (m, true) ] in
+  enc.Tseitin.cnf

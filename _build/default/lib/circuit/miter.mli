@@ -1,0 +1,14 @@
+(** Miter construction for combinational equivalence checking: XOR the
+    corresponding outputs of two implementations sharing the same inputs,
+    OR the differences, and ask SAT whether the difference can be 1.
+    UNSAT ⇔ equivalent — the c5315/c7552-style workloads of the paper's
+    Table 1 and the motivating EDA application from its introduction. *)
+
+(** [build c outs1 outs2] is the difference node.
+    @raise Invalid_argument on width mismatch. *)
+val build : Netlist.t -> Netlist.node list -> Netlist.node list -> Netlist.node
+
+(** [equivalence_cnf c outs1 outs2] encodes the circuit with the miter
+    forced to 1: unsatisfiable iff the two output lists are equivalent. *)
+val equivalence_cnf :
+  Netlist.t -> Netlist.node list -> Netlist.node list -> Sat.Cnf.t

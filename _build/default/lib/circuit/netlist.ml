@@ -1,0 +1,120 @@
+type node = int
+
+type gate =
+  | G_input of string
+  | G_const of bool
+  | G_not of node
+  | G_and of node * node
+  | G_or of node * node
+  | G_xor of node * node
+
+type t = {
+  gates : gate Sat.Vec.t;
+  hash : (gate, node) Hashtbl.t;    (* structural hash-consing *)
+  names : (string, unit) Hashtbl.t;
+  input_order : string Sat.Vec.t;
+  input_nodes : node Sat.Vec.t;
+}
+
+let create () = {
+  gates = Sat.Vec.create ~dummy:(G_const false);
+  hash = Hashtbl.create 256;
+  names = Hashtbl.create 64;
+  input_order = Sat.Vec.create ~dummy:"";
+  input_nodes = Sat.Vec.create ~dummy:0;
+}
+
+let add c g =
+  match Hashtbl.find_opt c.hash g with
+  | Some n -> n
+  | None ->
+    let n = Sat.Vec.length c.gates in
+    Sat.Vec.push c.gates g;
+    Hashtbl.replace c.hash g n;
+    n
+
+let gate c n = Sat.Vec.get c.gates n
+
+let input c name =
+  if Hashtbl.mem c.names name then
+    invalid_arg (Printf.sprintf "Circuit.input: duplicate name %S" name);
+  Hashtbl.replace c.names name ();
+  let n = Sat.Vec.length c.gates in
+  Sat.Vec.push c.gates (G_input name);
+  Sat.Vec.push c.input_order name;
+  Sat.Vec.push c.input_nodes n;
+  n
+
+let const c b = add c (G_const b)
+
+let as_const c n =
+  match gate c n with
+  | G_const b -> Some b
+  | G_input _ | G_not _ | G_and _ | G_or _ | G_xor _ -> None
+
+let not_ c a =
+  match gate c a with
+  | G_const b -> const c (not b)
+  | G_not x -> x                               (* ¬¬x = x *)
+  | G_input _ | G_and _ | G_or _ | G_xor _ -> add c (G_not a)
+
+let order2 a b = if a <= b then (a, b) else (b, a)
+
+let and_ c a b =
+  let a, b = order2 a b in
+  match as_const c a, as_const c b with
+  | Some false, _ | _, Some false -> const c false
+  | Some true, _ -> b
+  | _, Some true -> a
+  | None, None -> if a = b then a else add c (G_and (a, b))
+
+let or_ c a b =
+  let a, b = order2 a b in
+  match as_const c a, as_const c b with
+  | Some true, _ | _, Some true -> const c true
+  | Some false, _ -> b
+  | _, Some false -> a
+  | None, None -> if a = b then a else add c (G_or (a, b))
+
+let xor_ c a b =
+  let a, b = order2 a b in
+  match as_const c a, as_const c b with
+  | Some x, Some y -> const c (x <> y)
+  | Some false, None -> b
+  | None, Some false -> a
+  | Some true, None -> not_ c b
+  | None, Some true -> not_ c a
+  | None, None -> if a = b then const c false else add c (G_xor (a, b))
+
+let nand_ c a b = not_ c (and_ c a b)
+let nor_ c a b = not_ c (or_ c a b)
+let xnor_ c a b = not_ c (xor_ c a b)
+
+let mux c ~sel ~if_true ~if_false =
+  or_ c (and_ c sel if_true) (and_ c (not_ c sel) if_false)
+
+let rec reduce c op neutral = function
+  | [] -> const c neutral
+  | [ x ] -> x
+  | xs ->
+    (* balanced halving keeps the DAG shallow *)
+    let rec split acc n = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split (x :: acc) (n - 1) rest
+    in
+    let half = List.length xs / 2 in
+    let left, right = split [] half xs in
+    op c (reduce c op neutral left) (reduce c op neutral right)
+
+let big_and c xs = reduce c and_ true xs
+let big_or c xs = reduce c or_ false xs
+let big_xor c xs = reduce c xor_ false xs
+
+let num_nodes c = Sat.Vec.length c.gates
+let num_inputs c = Sat.Vec.length c.input_order
+let input_names c = Sat.Vec.to_list c.input_order
+let inputs c = Sat.Vec.to_list c.input_nodes
+let node_id n = n
+
+let iter_nodes f c = Sat.Vec.iteri (fun i g -> f i g) c.gates

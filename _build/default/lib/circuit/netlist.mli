@@ -1,0 +1,58 @@
+(** Combinational circuits as growable gate DAGs — the substrate for the
+    EDA benchmark families (equivalence-checking miters, multiplier
+    comparisons, pipelined-datapath verification).  Nodes are created
+    through the smart constructors, which hash-cons structurally equal
+    gates and fold constants, so equivalent subcircuits share nodes. *)
+
+type t
+
+(** A node handle, only meaningful with the circuit that created it. *)
+type node
+
+val create : unit -> t
+
+(** [input c name] declares a primary input.  Names must be unique. *)
+val input : t -> string -> node
+
+val const : t -> bool -> node
+val not_ : t -> node -> node
+val and_ : t -> node -> node -> node
+val or_ : t -> node -> node -> node
+val xor_ : t -> node -> node -> node
+val nand_ : t -> node -> node -> node
+val nor_ : t -> node -> node -> node
+val xnor_ : t -> node -> node -> node
+
+(** [mux c ~sel ~if_true ~if_false] is a 2:1 multiplexer. *)
+val mux : t -> sel:node -> if_true:node -> if_false:node -> node
+
+(** n-ary balanced reductions; [big_and c []] is constant true,
+    [big_or c []] false, [big_xor c []] false. *)
+val big_and : t -> node list -> node
+val big_or : t -> node list -> node
+val big_xor : t -> node list -> node
+
+val num_nodes : t -> int
+val num_inputs : t -> int
+val input_names : t -> string list
+
+(** [inputs c] in declaration order. *)
+val inputs : t -> node list
+
+(** Internal view used by the simulator and the Tseitin encoder. *)
+type gate =
+  | G_input of string
+  | G_const of bool
+  | G_not of node
+  | G_and of node * node
+  | G_or of node * node
+  | G_xor of node * node
+
+val gate : t -> node -> gate
+
+(** [node_id n] is a dense index in [0 .. num_nodes-1], topologically
+    ordered (a gate's operands have smaller ids). *)
+val node_id : node -> int
+
+(** [iter_nodes f c] visits nodes in topological (creation) order. *)
+val iter_nodes : (node -> gate -> unit) -> t -> unit

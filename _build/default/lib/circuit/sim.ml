@@ -1,0 +1,35 @@
+let eval c ~inputs nodes =
+  let given = Hashtbl.create 16 in
+  List.iter
+    (fun (name, b) ->
+      if not (List.mem name (Netlist.input_names c)) then
+        invalid_arg (Printf.sprintf "Sim.eval: unknown input %S" name);
+      Hashtbl.replace given name b)
+    inputs;
+  let values = Array.make (Netlist.num_nodes c) false in
+  Netlist.iter_nodes
+    (fun n g ->
+      let v =
+        match g with
+        | Netlist.G_input name -> (
+          match Hashtbl.find_opt given name with
+          | Some b -> b
+          | None ->
+            invalid_arg (Printf.sprintf "Sim.eval: input %S not supplied" name))
+        | Netlist.G_const b -> b
+        | Netlist.G_not a -> not values.(Netlist.node_id a)
+        | Netlist.G_and (a, b) ->
+          values.(Netlist.node_id a) && values.(Netlist.node_id b)
+        | Netlist.G_or (a, b) ->
+          values.(Netlist.node_id a) || values.(Netlist.node_id b)
+        | Netlist.G_xor (a, b) ->
+          values.(Netlist.node_id a) <> values.(Netlist.node_id b)
+      in
+      values.(Netlist.node_id n) <- v)
+    c;
+  List.map (fun n -> values.(Netlist.node_id n)) nodes
+
+let eval1 c ~inputs node =
+  match eval c ~inputs [ node ] with
+  | [ b ] -> b
+  | _ -> assert false

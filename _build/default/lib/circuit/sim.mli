@@ -1,0 +1,14 @@
+(** Reference circuit simulator — the oracle the test suite uses to verify
+    that the Tseitin encoding and the arithmetic builders are faithful. *)
+
+(** [eval c ~inputs nodes] evaluates [nodes] under the input valuation
+    given by association list [inputs] (input name → value).
+    @raise Invalid_argument if an input is missing or unknown. *)
+val eval :
+  Netlist.t ->
+  inputs:(string * bool) list ->
+  Netlist.node list ->
+  bool list
+
+(** [eval1 c ~inputs node] evaluates a single node. *)
+val eval1 : Netlist.t -> inputs:(string * bool) list -> Netlist.node -> bool

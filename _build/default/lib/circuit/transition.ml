@@ -1,0 +1,112 @@
+module N = Netlist
+
+type t = {
+  name : string;
+  state_width : int;
+  init : bool list;
+  step :
+    N.t -> frame:int -> state:N.node list -> N.node list;
+  bad : N.t -> N.node list -> N.node;
+}
+
+let exactly_one c bits =
+  let at_least = N.big_or c bits in
+  let pairs = ref [] in
+  List.iteri
+    (fun i a ->
+      List.iteri (fun j b -> if j > i then pairs := N.and_ c a b :: !pairs) bits)
+    bits;
+  N.and_ c at_least (N.not_ c (N.big_or c !pairs))
+
+let rotate c ~stall state =
+  let arr = Array.of_list state in
+  let n = Array.length arr in
+  List.init n (fun i ->
+      let from = arr.((i - 1 + n) mod n) in
+      N.mux c ~sel:stall ~if_true:arr.(i) ~if_false:from)
+
+let token_ring ~nodes =
+  if nodes < 2 then invalid_arg "Transition.token_ring";
+  {
+    name = Printf.sprintf "token_ring_%d" nodes;
+    state_width = nodes;
+    init = List.init nodes (fun i -> i = 0);
+    step =
+      (fun c ~frame ~state ->
+        let stall = N.input c (Printf.sprintf "stall%d" frame) in
+        rotate c ~stall state);
+    bad = (fun c state -> N.not_ c (exactly_one c state));
+  }
+
+let token_ring_buggy ~nodes =
+  if nodes < 2 then invalid_arg "Transition.token_ring_buggy";
+  {
+    name = Printf.sprintf "token_ring_buggy_%d" nodes;
+    state_width = nodes;
+    init = List.init nodes (fun i -> i = 0);
+    step =
+      (fun c ~frame ~state ->
+        let stall = N.input c (Printf.sprintf "stall%d" frame) in
+        let glitch = N.input c (Printf.sprintf "glitch%d" frame) in
+        let rotated = rotate c ~stall state in
+        (* fault: under [glitch] the token both moves and stays *)
+        let arr = Array.of_list state in
+        List.mapi
+          (fun i r ->
+            N.mux c ~sel:glitch ~if_true:(N.or_ c r arr.(i)) ~if_false:r)
+          rotated);
+    bad = (fun c state -> N.not_ c (exactly_one c state));
+  }
+
+let saturating_counter ~width ~limit ~target =
+  if width < 1 then invalid_arg "Transition.saturating_counter";
+  if limit < 0 || (width < 62 && limit >= 1 lsl width) then
+    invalid_arg "Transition.saturating_counter: limit does not fit";
+  if target < 0 || (width < 62 && target >= 1 lsl width) then
+    invalid_arg "Transition.saturating_counter: target does not fit";
+  {
+    name = Printf.sprintf "sat_counter_w%d_l%d_t%d" width limit target;
+    state_width = width;
+    init = List.init width (fun _ -> false);
+    step =
+      (fun c ~frame ~state ->
+        let inc = N.input c (Printf.sprintf "inc%d" frame) in
+        let at_limit =
+          Arith.equal c state (Arith.const_word c width limit)
+        in
+        let sel = N.and_ c inc (N.not_ c at_limit) in
+        let incremented =
+          Arith.add_mod c state (Arith.const_word c width 1)
+            width
+        in
+        Arith.mux_word c ~sel ~if_true:incremented ~if_false:state);
+    bad =
+      (fun c state ->
+        Arith.equal c state (Arith.const_word c width target));
+  }
+
+let mutex () =
+  (* state = [c0; c1; turn] *)
+  {
+    name = "mutex";
+    state_width = 3;
+    init = [ false; false; false ];
+    step =
+      (fun c ~frame ~state ->
+        match state with
+        | [ c0; c1; turn ] ->
+          let req0 = N.input c (Printf.sprintf "req0_%d" frame) in
+          let req1 = N.input c (Printf.sprintf "req1_%d" frame) in
+          let enter0 = N.and_ c (N.not_ c c1) (N.not_ c turn) in
+          let enter1 = N.and_ c (N.not_ c c0) turn in
+          let c0' = N.and_ c req0 (N.or_ c c0 enter0) in
+          let c1' = N.and_ c req1 (N.or_ c c1 enter1) in
+          let turn' = N.not_ c turn in
+          [ c0'; c1'; turn' ]
+        | _ -> invalid_arg "mutex: bad state width");
+    bad =
+      (fun c state ->
+        match state with
+        | [ c0; c1; _ ] -> N.and_ c c0 c1
+        | _ -> invalid_arg "mutex: bad state width");
+  }

@@ -1,0 +1,44 @@
+(** Sequential transition systems for the model-checking workflows: a
+    symbolic state vector, an initial valuation, a one-step next-state
+    builder (instantiated per unrolling frame with fresh primary inputs),
+    and a safety property given as its violation predicate.
+
+    These are the systems behind the BMC benchmark family, packaged so
+    the BMC engine and the interpolation-based unbounded checker
+    (the BMC engine in the pipeline library) can unroll them. *)
+
+type t = {
+  name : string;
+  state_width : int;
+  init : bool list;
+      (** initial state values, length [state_width] *)
+  step :
+    Netlist.t ->
+    frame:int ->
+    state:Netlist.node list ->
+    Netlist.node list;
+      (** builds the next state inside the given netlist; [frame] salts
+          the names of any fresh primary inputs *)
+  bad :
+    Netlist.t ->
+    Netlist.node list ->
+    Netlist.node;
+      (** the property violation predicate over a state *)
+}
+
+(** A rotating one-hot token ring with a stall input; safe: the one-hot
+    invariant is inductive. *)
+val token_ring : nodes:int -> t
+
+(** The same ring with a fault: when the per-frame [glitch] input fires,
+    the token duplicates.  Unsafe: a counterexample exists at depth 1. *)
+val token_ring_buggy : nodes:int -> t
+
+(** A [width]-bit saturating counter with an increment input; property:
+    the counter never reaches [target].  Safe iff [target] exceeds
+    [limit], the saturation bound. *)
+val saturating_counter : width:int -> limit:int -> target:int -> t
+
+(** Two-process mutual exclusion with a turn-taking arbiter; safe: both
+    critical sections never coincide. *)
+val mutex : unit -> t

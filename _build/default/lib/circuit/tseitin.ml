@@ -1,0 +1,61 @@
+type encoding = {
+  cnf : Sat.Cnf.t;
+  var_of_node : Netlist.node -> Sat.Lit.var;
+  var_of_input : string -> Sat.Lit.var;
+}
+
+let encode c ~constraints =
+  let nvars = Netlist.num_nodes c in
+  let f = Sat.Cnf.create nvars in
+  let var n = Netlist.node_id n + 1 in
+  let add lits = ignore (Sat.Cnf.add_clause f (Array.of_list lits)) in
+  let input_vars = Hashtbl.create 16 in
+  Netlist.iter_nodes
+    (fun n g ->
+      let y = var n in
+      match g with
+      | Netlist.G_input name -> Hashtbl.replace input_vars name y
+      | Netlist.G_const b ->
+        add [ (if b then Sat.Lit.pos y else Sat.Lit.neg y) ]
+      | Netlist.G_not a ->
+        let a = var a in
+        add [ Sat.Lit.pos y; Sat.Lit.pos a ];
+        add [ Sat.Lit.neg y; Sat.Lit.neg a ]
+      | Netlist.G_and (a, b) ->
+        let a = var a and b = var b in
+        add [ Sat.Lit.neg y; Sat.Lit.pos a ];
+        add [ Sat.Lit.neg y; Sat.Lit.pos b ];
+        add [ Sat.Lit.pos y; Sat.Lit.neg a; Sat.Lit.neg b ]
+      | Netlist.G_or (a, b) ->
+        let a = var a and b = var b in
+        add [ Sat.Lit.pos y; Sat.Lit.neg a ];
+        add [ Sat.Lit.pos y; Sat.Lit.neg b ];
+        add [ Sat.Lit.neg y; Sat.Lit.pos a; Sat.Lit.pos b ]
+      | Netlist.G_xor (a, b) ->
+        let a = var a and b = var b in
+        add [ Sat.Lit.neg y; Sat.Lit.pos a; Sat.Lit.pos b ];
+        add [ Sat.Lit.neg y; Sat.Lit.neg a; Sat.Lit.neg b ];
+        add [ Sat.Lit.pos y; Sat.Lit.pos a; Sat.Lit.neg b ];
+        add [ Sat.Lit.pos y; Sat.Lit.neg a; Sat.Lit.pos b ])
+    c;
+  List.iter
+    (fun (n, b) ->
+      let y = var n in
+      add [ (if b then Sat.Lit.pos y else Sat.Lit.neg y) ])
+    constraints;
+  {
+    cnf = f;
+    var_of_node = var;
+    var_of_input =
+      (fun name ->
+        match Hashtbl.find_opt input_vars name with
+        | Some v -> v
+        | None -> raise Not_found);
+  }
+
+let model_to_inputs enc c a =
+  List.map
+    (fun name ->
+      let v = enc.var_of_input name in
+      (name, Sat.Assignment.value a v = Sat.Assignment.True))
+    (Netlist.input_names c)

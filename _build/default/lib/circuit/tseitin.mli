@@ -1,0 +1,24 @@
+(** Tseitin transformation: circuit → equisatisfiable CNF.  Every node
+    gets a fresh SAT variable; each gate contributes the standard defining
+    clauses; constraints pin chosen nodes to values.  This is how all the
+    EDA benchmark families (CEC, BMC, microprocessor verification) turn
+    into the CNF instances the paper's solver consumes. *)
+
+type encoding = {
+  cnf : Sat.Cnf.t;
+  var_of_node : Netlist.node -> Sat.Lit.var;
+      (** the SAT variable standing for a node's value *)
+  var_of_input : string -> Sat.Lit.var;
+      (** lookup by primary-input name.  @raise Not_found *)
+}
+
+(** [encode c ~constraints] encodes the whole circuit; each
+    [(node, value)] constraint adds a unit clause forcing the node.  The
+    CNF is satisfiable iff some input valuation realises all the
+    constraints. *)
+val encode : Netlist.t -> constraints:(Netlist.node * bool) list -> encoding
+
+(** [model_to_inputs enc c a] reads back an input valuation from a SAT
+    model. *)
+val model_to_inputs :
+  encoding -> Netlist.t -> Sat.Assignment.t -> (string * bool) list

@@ -1,0 +1,1 @@
+lib/core/bf.ml: Array Diagnostics Filename Final_chain Harness Hashtbl Int Level0 List Option Report Resolution Sat Sys Trace

@@ -1,0 +1,1 @@
+lib/core/bf.mli: Diagnostics Harness Report Sat Trace

@@ -1,0 +1,1 @@
+lib/core/df.ml: Array Diagnostics Final_chain Harness Hashtbl Int Level0 List Report Resolution Sat Trace

@@ -1,0 +1,1 @@
+lib/core/df.mli: Diagnostics Harness Report Sat Trace

@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Format List Sat String

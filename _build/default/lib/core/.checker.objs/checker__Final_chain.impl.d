@@ -1,0 +1,1 @@
+lib/core/final_chain.ml: Array Diagnostics Level0 Resolution Sat

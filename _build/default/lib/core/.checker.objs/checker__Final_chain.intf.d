@@ -1,0 +1,1 @@
+lib/core/final_chain.mli: Level0 Resolution Sat

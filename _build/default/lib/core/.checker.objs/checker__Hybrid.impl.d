@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Diagnostics Final_chain Harness Hashtbl Int Level0 List Option Report Resolution Sat Trace

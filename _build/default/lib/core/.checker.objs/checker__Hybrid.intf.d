@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Diagnostics Harness Report Sat Trace

@@ -1,0 +1,1 @@
+lib/core/level0.ml: Array Diagnostics Hashtbl Printf Sat

@@ -1,0 +1,1 @@
+lib/core/level0.mli: Sat

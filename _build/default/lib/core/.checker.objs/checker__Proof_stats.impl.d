@@ -1,0 +1,1 @@
+lib/core/proof_stats.ml: Array Diagnostics Final_chain Format Hashtbl Level0 List Option Resolution Sat Trace

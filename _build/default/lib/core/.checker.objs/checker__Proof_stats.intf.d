@@ -1,0 +1,1 @@
+lib/core/proof_stats.mli: Diagnostics Format Sat Trace

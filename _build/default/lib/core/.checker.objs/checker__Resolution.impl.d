@@ -1,0 +1,1 @@
+lib/core/resolution.ml: Array Diagnostics Int List Sat

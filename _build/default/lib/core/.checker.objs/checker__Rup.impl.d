@@ -1,0 +1,1 @@
+lib/core/rup.ml: Array Format Sat

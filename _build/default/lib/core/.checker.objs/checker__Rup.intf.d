@@ -1,0 +1,1 @@
+lib/core/rup.mli: Format Sat

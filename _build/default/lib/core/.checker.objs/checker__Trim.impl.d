@@ -1,0 +1,1 @@
+lib/core/trim.ml: Df Hashtbl List Report Trace

@@ -1,0 +1,1 @@
+lib/core/trim.mli: Diagnostics Sat Stdlib Trace

@@ -1,0 +1,63 @@
+(** Failure reporting.  The paper stresses that when checking fails the
+    checker should "provide as much information as possible about the
+    failure to help debug the solver" (§3.2); every way a trace can be
+    wrong maps to a distinct constructor carrying the offending IDs and
+    clauses, and {!pp} renders a bug report a solver author can act on. *)
+
+type failure =
+  | Malformed_trace of string
+      (** the trace stream failed to parse at all *)
+  | Missing_header
+      (** trace has no [t nvars norig] record *)
+  | Header_mismatch of { trace_nvars : int; trace_norig : int;
+                         formula_nvars : int; formula_norig : int }
+      (** trace and formula disagree on dimensions *)
+  | Missing_final_conflict
+      (** solver never recorded the level-0 conflicting clause (§3.1
+          modification 2 missing) *)
+  | Unknown_clause of { context : string; id : int }
+      (** a resolve source / antecedent ID that is neither an original
+          clause nor a learned clause defined by the trace *)
+  | Duplicate_definition of int
+      (** two [CL] records claim the same ID *)
+  | Shadows_original of int
+      (** a [CL] record reuses an original clause's ID *)
+  | Empty_source_list of int
+      (** a learned clause with no resolve sources *)
+  | Cyclic_definition of int
+      (** the resolve-source graph is not acyclic at this ID *)
+  | Forward_reference of { id : int; source : int }
+      (** breadth-first only: a source not yet defined in stream order *)
+  | No_clash of { context : string; c1_id : int; c2_id : int;
+                  c1 : Sat.Clause.t; c2 : Sat.Clause.t }
+      (** resolution attempted between clauses with no variable in
+          opposite phases *)
+  | Multiple_clash of { context : string; c1_id : int; c2_id : int;
+                        vars : Sat.Lit.var list }
+      (** more than one clashing variable: the resolvent would be a
+          tautology, which a correct CDCL run never produces *)
+  | Wrong_pivot of { context : string; expected : Sat.Lit.var;
+                     actual : Sat.Lit.var }
+      (** the final chain resolved on a different variable than the
+          level-0 record dictates *)
+  | Level0_var_unrecorded of Sat.Lit.var
+      (** a variable needed by the empty-clause construction has no VAR
+          record *)
+  | Level0_duplicate_var of Sat.Lit.var
+  | Final_literal_not_false of { clause_id : int; lit : Sat.Lit.t }
+      (** the claimed final conflicting clause has a literal not falsified
+          by the level-0 assignment *)
+  | Antecedent_mismatch of { var : Sat.Lit.var; ante : int; reason : string }
+      (** the recorded antecedent was not actually the unit clause that
+          implied the variable (paper §3.2's antecedent check); this also
+          guarantees the empty-clause chain terminates, since every
+          resolution strictly decreases the latest assignment position in
+          the clause *)
+
+(** Raised internally by checker passes; both public checkers catch it and
+    return the failure as data. *)
+exception Check_failed of failure
+
+val fail : failure -> 'a
+val pp : Format.formatter -> failure -> unit
+val to_string : failure -> string

@@ -1,0 +1,53 @@
+let check_all_false l0 ~clause_id c =
+  Array.iter
+    (fun l ->
+      if not (Level0.lit_false l0 l) then
+        Diagnostics.fail
+          (Diagnostics.Final_literal_not_false { clause_id; lit = l }))
+    c
+
+(* reverse chronological choice: the literal whose variable was assigned
+   last — the paper's choose_literal, which guarantees termination in at
+   most n resolutions *)
+let deepest_var l0 c =
+  let best = ref (-1) in
+  let best_order = ref (-1) in
+  Array.iter
+    (fun l ->
+      let v = Sat.Lit.var l in
+      let o = Level0.order l0 v in
+      if o > !best_order then begin
+        best := v;
+        best_order := o
+      end)
+    c;
+  !best
+
+let run engine l0 ~start ~start_id ~fetch =
+  check_all_false l0 ~clause_id:start_id start;
+  let cur = ref start in
+  let cur_id = ref start_id in
+  let steps = ref 0 in
+  while Array.length !cur > 0 do
+    let v = deepest_var l0 !cur in
+    let ante_id = Level0.ante l0 v in
+    let ante = fetch ante_id in
+    (match Level0.check_antecedent l0 ~var:v ante with
+     | None -> ()
+     | Some reason ->
+       Diagnostics.fail
+         (Diagnostics.Antecedent_mismatch { var = v; ante = ante_id; reason }));
+    let r, pivot =
+      Resolution.resolve engine ~context:"empty-clause construction"
+        ~c1_id:!cur_id ~c2_id:ante_id !cur ante
+    in
+    if pivot <> v then
+      Diagnostics.fail
+        (Diagnostics.Wrong_pivot
+           { context = "empty-clause construction"; expected = v;
+             actual = pivot });
+    incr steps;
+    cur := r;
+    cur_id := -1 (* intermediate chain resolvent *)
+  done;
+  !steps

@@ -1,0 +1,22 @@
+(** The empty-clause construction of Proposition 3, shared by both
+    checkers: starting from the final conflicting clause, repeatedly
+    resolve away the most recently assigned level-0 variable against its
+    recorded antecedent until the clause is empty.
+
+    Every step is checked: the start clause must be fully falsified by the
+    level-0 assignment, each antecedent must pass
+    {!Level0.check_antecedent}, and the resolution pivot must be the
+    chosen variable. *)
+
+(** [run engine l0 ~start ~start_id ~fetch] returns the number of
+    resolution steps performed.  [fetch id] must yield the (built)
+    literals of clause [id] and may itself raise
+    {!Diagnostics.Check_failed}.
+    @raise Diagnostics.Check_failed when the proof is invalid. *)
+val run :
+  Resolution.engine ->
+  Level0.t ->
+  start:Sat.Clause.t ->
+  start_id:int ->
+  fetch:(int -> Sat.Clause.t) ->
+  int

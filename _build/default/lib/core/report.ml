@@ -1,0 +1,23 @@
+type t = {
+  clauses_built : int;
+  total_learned : int;
+  resolution_steps : int;
+  core_original_ids : int list;
+  learned_built_ids : int list;
+  core_vars : int;
+  peak_mem_words : int;
+}
+
+let built_ratio r =
+  if r.total_learned = 0 then 1.0
+  else float_of_int r.clauses_built /. float_of_int r.total_learned
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>clauses built: %d / %d (%.1f%%)@,resolution steps: %d@,core: %d \
+     clauses over %d variables@,peak memory: %d words@]"
+    r.clauses_built r.total_learned
+    (100.0 *. built_ratio r)
+    r.resolution_steps
+    (List.length r.core_original_ids)
+    r.core_vars r.peak_mem_words

@@ -1,0 +1,90 @@
+(* Stamp array: stamp.(v) < epoch means variable v is unseen this round;
+   otherwise phase.(v) records which phases of v occur in c1.  No clearing
+   between rounds — bumping the epoch invalidates everything at once. *)
+type engine = {
+  stamp : int array;           (* per var: epoch of last touch *)
+  phase : int array;           (* per var: 1 = pos seen, 2 = neg seen, 3 = both *)
+  mutable epoch : int;
+}
+
+let create_engine ~nvars =
+  { stamp = Array.make (nvars + 1) 0; phase = Array.make (nvars + 1) 0;
+    epoch = 0 }
+
+let phase_bit l = if Sat.Lit.is_neg l then 2 else 1
+
+let resolve e ~context ~c1_id ~c2_id c1 c2 =
+  e.epoch <- e.epoch + 1;
+  let ep = e.epoch in
+  Array.iter
+    (fun l ->
+      let v = Sat.Lit.var l in
+      if e.stamp.(v) = ep then e.phase.(v) <- e.phase.(v) lor phase_bit l
+      else begin
+        e.stamp.(v) <- ep;
+        e.phase.(v) <- phase_bit l
+      end)
+    c1;
+  (* find clashing variables: a literal of c2 whose opposite phase occurs
+     in c1 *)
+  let pivot = ref 0 in
+  let clashes = ref [] in
+  Array.iter
+    (fun l ->
+      let v = Sat.Lit.var l in
+      if e.stamp.(v) = ep && e.phase.(v) land phase_bit (Sat.Lit.negate l) <> 0
+      then
+        if !pivot = 0 then begin
+          pivot := v;
+          clashes := [ v ]
+        end
+        else if not (List.mem v !clashes) then clashes := v :: !clashes)
+    c2;
+  match !clashes with
+  | [] ->
+    Diagnostics.fail (Diagnostics.No_clash { context; c1_id; c2_id; c1; c2 })
+  | _ :: _ :: _ ->
+    Diagnostics.fail
+      (Diagnostics.Multiple_clash
+         { context; c1_id; c2_id; vars = List.sort Int.compare !clashes })
+  | [ v ] ->
+    (* build the duplicate-free resolvent under a fresh epoch: each
+       (variable, phase) is emitted at most once, whether the duplicate
+       comes from c1, c2, or within a single clause *)
+    e.epoch <- e.epoch + 1;
+    let ep2 = e.epoch in
+    let out = ref [] in
+    let n = ref 0 in
+    let emit l =
+      let u = Sat.Lit.var l in
+      if u <> v then begin
+        let fresh = e.stamp.(u) <> ep2 in
+        let bit = phase_bit l in
+        if fresh || e.phase.(u) land bit = 0 then begin
+          e.phase.(u) <- (if fresh then bit else e.phase.(u) lor bit);
+          e.stamp.(u) <- ep2;
+          out := l :: !out;
+          incr n
+        end
+      end
+    in
+    Array.iter emit c1;
+    Array.iter emit c2;
+    let arr = Array.make !n Sat.Lit.undef in
+    List.iteri (fun i l -> arr.(i) <- l) !out;
+    (arr, v)
+
+let chain e ~context ~fetch ~learned_id ids =
+  if Array.length ids = 0 then
+    Diagnostics.fail (Diagnostics.Empty_source_list learned_id);
+  let cur = ref (fetch ids.(0)) in
+  let cur_id = ref ids.(0) in
+  let steps = ref 0 in
+  for i = 1 to Array.length ids - 1 do
+    let next = fetch ids.(i) in
+    let r, _pivot = resolve e ~context ~c1_id:!cur_id ~c2_id:ids.(i) !cur next in
+    incr steps;
+    cur := r;
+    cur_id := learned_id (* intermediate resolvents belong to the learned id *)
+  done;
+  (!cur, !steps)

@@ -1,0 +1,41 @@
+(** Checked resolution — the verification core.  Each step enforces the
+    side condition the paper calls out for [resolve(cl, cl1)]: "check
+    whether there is one and only one variable appearing in both clauses
+    with different phases" (§3.2).  Violations raise
+    {!Diagnostics.Check_failed} with enough context to debug the solver.
+
+    An {!engine} carries variable-indexed stamp arrays so that one
+    resolution costs O(|c1| + |c2|) instead of the naive quadratic scan —
+    checking must stay much cheaper than solving (Table 2). *)
+
+type engine
+
+val create_engine : nvars:int -> engine
+
+(** [resolve e ~context ~c1_id ~c2_id c1 c2] is [(resolvent, pivot)]; the
+    resolvent is duplicate-free.
+    @raise Diagnostics.Check_failed with [No_clash] or [Multiple_clash]
+    when the side condition fails. *)
+val resolve :
+  engine ->
+  context:string ->
+  c1_id:int ->
+  c2_id:int ->
+  Sat.Clause.t ->
+  Sat.Clause.t ->
+  Sat.Clause.t * Sat.Lit.var
+
+(** [chain e ~context ~fetch ~learned_id ids] folds checked resolution
+    left-to-right over the clauses named by [ids] ([fetch] maps an ID to
+    its literal array), returning the final resolvent and the number of
+    resolution steps.  A single-element chain is the clause itself (a
+    degenerate learned clause whose conflict was already asserting).
+    @raise Diagnostics.Check_failed on any invalid step, and with
+    [Empty_source_list] when [ids] is empty. *)
+val chain :
+  engine ->
+  context:string ->
+  fetch:(int -> Sat.Clause.t) ->
+  learned_id:int ->
+  int array ->
+  Sat.Clause.t * int

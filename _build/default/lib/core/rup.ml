@@ -1,0 +1,254 @@
+type failure =
+  | Not_rup of { index : int; clause : Sat.Clause.t }
+  | No_empty_clause
+  | Variable_out_of_range of { index : int; var : Sat.Lit.var }
+
+let pp_failure fmt = function
+  | Not_rup n ->
+    Format.fprintf fmt "derived clause %d %a is not reverse-unit-provable"
+      n.index Sat.Clause.pp n.clause
+  | No_empty_clause ->
+    Format.fprintf fmt "derivation does not reach the empty clause"
+  | Variable_out_of_range v ->
+    Format.fprintf fmt
+      "derived clause %d mentions variable %d, outside the formula's space"
+      v.index v.var
+
+type stats = {
+  clauses_checked : int;
+  propagations : int;
+}
+
+(* A minimal two-watched-literal propagation engine over a growing clause
+   database.  Permanent state is the level-0 closure of the database;
+   [with_assumptions] pushes temporary assignments and rolls the trail
+   back afterwards (watches need no undo: they only ever move to
+   literals that were non-false at the time, and undoing assignments
+   cannot falsify them). *)
+type engine = {
+  nvars : int;
+  value : int array;               (* 0 false, 1 true, 2 unassigned *)
+  watches : int Sat.Vec.t array;   (* per literal: indices into clauses *)
+  clauses : Sat.Clause.t Sat.Vec.t;
+  trail : int Sat.Vec.t;
+  mutable qhead : int;
+  mutable permanent : int;         (* trail prefix that is never undone *)
+  mutable contradictory : bool;    (* database itself propagates to conflict *)
+  mutable s_props : int;
+}
+
+let v_unassigned = 2
+
+let lit_value e l =
+  let v = e.value.(Sat.Lit.var l) in
+  if v = v_unassigned then v_unassigned
+  else if Sat.Lit.is_neg l then 1 - v
+  else v
+
+let enqueue e l =
+  e.value.(Sat.Lit.var l) <- (if Sat.Lit.is_neg l then 0 else 1);
+  Sat.Vec.push e.trail l
+
+let propagate e =
+  let conflict = ref false in
+  while (not !conflict) && e.qhead < Sat.Vec.length e.trail do
+    let l = Sat.Vec.get e.trail e.qhead in
+    e.qhead <- e.qhead + 1;
+    e.s_props <- e.s_props + 1;
+    let fl = Sat.Lit.negate l in
+    let ws = e.watches.(fl) in
+    let n = Sat.Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Sat.Vec.get ws !i in
+      incr i;
+      let c = Sat.Vec.get e.clauses ci in
+      if c.(0) = fl then begin
+        c.(0) <- c.(1);
+        c.(1) <- fl
+      end;
+      if lit_value e c.(0) = 1 then begin
+        Sat.Vec.set ws !j ci;
+        incr j
+      end
+      else begin
+        let len = Array.length c in
+        let k = ref 2 in
+        while !k < len && lit_value e c.(!k) = 0 do incr k done;
+        if !k < len then begin
+          c.(1) <- c.(!k);
+          c.(!k) <- fl;
+          Sat.Vec.push e.watches.(c.(1)) ci
+        end
+        else begin
+          Sat.Vec.set ws !j ci;
+          incr j;
+          if lit_value e c.(0) = 0 then begin
+            conflict := true;
+            while !i < n do
+              Sat.Vec.set ws !j (Sat.Vec.get ws !i);
+              incr i;
+              incr j
+            done
+          end
+          else enqueue e c.(0)
+        end
+      end
+    done;
+    Sat.Vec.shrink ws !j
+  done;
+  if !conflict then e.qhead <- Sat.Vec.length e.trail;
+  !conflict
+
+(* roll the trail back to the permanent prefix *)
+let undo_to_permanent e =
+  for i = Sat.Vec.length e.trail - 1 downto e.permanent do
+    e.value.(Sat.Lit.var (Sat.Vec.get e.trail i)) <- v_unassigned
+  done;
+  Sat.Vec.shrink e.trail e.permanent;
+  e.qhead <- e.permanent
+
+(* Add a clause permanently.  Returns false when the database has become
+   contradictory under unit propagation. *)
+let add_clause e c =
+  if e.contradictory then false
+  else begin
+    let c =
+      match Sat.Clause.normalize c with
+      | Some d -> d
+      | None -> [||] (* tautology: represent as no-op below *)
+    in
+    if Sat.Clause.is_tautology c then true
+    else
+      match Array.length c with
+      | 0 ->
+        e.contradictory <- true;
+        false
+      | 1 -> (
+        match lit_value e c.(0) with
+        | 1 -> true
+        | 0 ->
+          e.contradictory <- true;
+          false
+        | _ ->
+          enqueue e c.(0);
+          let conflict = propagate e in
+          e.permanent <- Sat.Vec.length e.trail;
+          if conflict then e.contradictory <- true;
+          not conflict)
+      | _ ->
+        (* watch two non-false literals when possible *)
+        let c = Array.copy c in
+        let len = Array.length c in
+        let place slot from =
+          let k = ref from in
+          while !k < len && lit_value e c.(!k) = 0 do incr k done;
+          if !k < len then begin
+            let tmp = c.(slot) in
+            c.(slot) <- c.(!k);
+            c.(!k) <- tmp;
+            true
+          end
+          else false
+        in
+        let have0 = place 0 0 in
+        let have1 = have0 && place 1 1 in
+        if not have0 then begin
+          (* all literals false under the permanent assignment *)
+          e.contradictory <- true;
+          false
+        end
+        else if not have1 then begin
+          (* unit under the permanent assignment *)
+          if lit_value e c.(0) = v_unassigned then enqueue e c.(0);
+          let conflict = propagate e in
+          e.permanent <- Sat.Vec.length e.trail;
+          if conflict then e.contradictory <- true;
+          (* keep the clause watched anyway for later steps *)
+          Sat.Vec.push e.clauses c;
+          let ci = Sat.Vec.length e.clauses - 1 in
+          Sat.Vec.push e.watches.(c.(0)) ci;
+          Sat.Vec.push e.watches.(c.(1)) ci;
+          not conflict
+        end
+        else begin
+          Sat.Vec.push e.clauses c;
+          let ci = Sat.Vec.length e.clauses - 1 in
+          Sat.Vec.push e.watches.(c.(0)) ci;
+          Sat.Vec.push e.watches.(c.(1)) ci;
+          true
+        end
+  end
+
+let create f =
+  let nvars = Sat.Cnf.nvars f in
+  let e = {
+    nvars;
+    value = Array.make (nvars + 1) v_unassigned;
+    watches = Array.init ((2 * nvars) + 2) (fun _ -> Sat.Vec.create ~dummy:0);
+    clauses = Sat.Vec.create ~dummy:[||];
+    trail = Sat.Vec.create ~dummy:0;
+    qhead = 0;
+    permanent = 0;
+    contradictory = false;
+    s_props = 0;
+  } in
+  Sat.Cnf.iter_clauses (fun _ c -> ignore (add_clause e c)) f;
+  e
+
+(* the RUP test: assume the negation of every literal, propagate *)
+let clause_is_rup e c =
+  if e.contradictory then true
+  else begin
+    let conflict = ref false in
+    (try
+       Array.iter
+         (fun l ->
+           let nl = Sat.Lit.negate l in
+           match lit_value e nl with
+           | 0 ->
+             conflict := true;
+             raise Exit
+           | 1 -> ()
+           | _ -> enqueue e nl)
+         c
+     with Exit -> ());
+    let result = !conflict || propagate e in
+    undo_to_permanent e;
+    result
+  end
+
+let bad_var e c =
+  Array.fold_left
+    (fun acc l ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let v = Sat.Lit.var l in
+        if v < 1 || v > e.nvars then Some v else None)
+    None c
+
+let is_rup f c =
+  let e = create f in
+  match bad_var e c with
+  | Some _ -> false
+  | None -> clause_is_rup e c
+
+let check f derivation =
+  let e = create f in
+  let rec loop index checked = function
+    | [] -> Error No_empty_clause
+    | c :: rest ->
+      (match bad_var e c with
+       | Some var -> Error (Variable_out_of_range { index; var })
+       | None ->
+      if not (clause_is_rup e c) then Error (Not_rup { index; clause = c })
+      else if Array.length c = 0 then
+        Ok { clauses_checked = checked + 1; propagations = e.s_props }
+      else begin
+        ignore (add_clause e c);
+        loop (index + 1) (checked + 1) rest
+      end)
+  in
+  loop 0 0 derivation

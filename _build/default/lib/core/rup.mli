@@ -1,0 +1,39 @@
+(** Reverse-unit-propagation (RUP) checking — the lineage from this paper
+    to modern practice.
+
+    Van Gelder's RUP criterion (cited as [13]) and today's DRUP/DRAT
+    toolchains validate a clause [c] against a database [F] by adding the
+    negation of every literal of [c] as an assumption and running unit
+    propagation: if that yields a conflict, [c] is a logical consequence
+    obtainable by trivial resolution.  A derivation — the learned clauses
+    in the order the solver produced them, ending with the empty clause —
+    certifies unsatisfiability without recording resolve sources at all:
+    fatter propagation at check time buys a much smaller proof artefact.
+    This module implements that checker; {!Pipeline.Drup} converts this
+    paper's resolve-source traces into such derivations. *)
+
+type failure =
+  | Not_rup of { index : int; clause : Sat.Clause.t }
+      (** derived clause [index] (0-based) is not reverse-unit-provable
+          from the database accumulated so far *)
+  | No_empty_clause
+      (** the derivation never reaches the empty clause *)
+  | Variable_out_of_range of { index : int; var : Sat.Lit.var }
+      (** a derived clause mentions a variable the formula does not have *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type stats = {
+  clauses_checked : int;   (** derivation steps validated *)
+  propagations : int;      (** literals propagated across all steps *)
+}
+
+(** [check f derivation] validates that the clause sequence is a RUP
+    derivation of the empty clause from [f].  Clauses after the first
+    empty clause are ignored. *)
+val check :
+  Sat.Cnf.t -> Sat.Clause.t list -> (stats, failure) result
+
+(** [is_rup f c] answers whether a single clause is RUP with respect to
+    [f] alone (convenience for tests and exploration). *)
+val is_rup : Sat.Cnf.t -> Sat.Clause.t -> bool

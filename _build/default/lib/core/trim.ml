@@ -1,0 +1,39 @@
+type trimmed = {
+  events : Trace.Event.t list;
+  kept_learned : int;
+  dropped_learned : int;
+}
+
+let trim f source =
+  match Df.check f source with
+  | Error d -> Error d
+  | Ok report ->
+    let events = Trace.Reader.to_list source in
+    (* the depth-first checker reports exactly the learned clauses the
+       proof constructs — keep those and nothing else *)
+    let needed = Hashtbl.create 1024 in
+    List.iter
+      (fun id -> Hashtbl.replace needed id ())
+      report.Report.learned_built_ids;
+    let kept = ref 0 in
+    let dropped = ref 0 in
+    let trimmed =
+      List.filter
+        (fun e ->
+          match e with
+          | Trace.Event.Learned l ->
+            if Hashtbl.mem needed l.id then begin
+              incr kept;
+              true
+            end
+            else begin
+              incr dropped;
+              false
+            end
+          | Trace.Event.Header _ | Trace.Event.Level0 _
+          | Trace.Event.Final_conflict _ -> true)
+        events
+    in
+    Ok { events = trimmed; kept_learned = !kept; dropped_learned = !dropped }
+
+let write w r = List.iter (Trace.Writer.emit w) r.events

@@ -1,0 +1,28 @@
+(** Trace trimming: rewrite a validated trace so it contains only the
+    learned clauses actually involved in the empty-clause derivation.
+
+    This is the trace-level counterpart of §4's unsatisfiable core — the
+    depth-first checker discovers which clauses the proof needs, and
+    trimming persists that discovery, so later re-checks skip the
+    construction of unneeded clauses entirely (the same idea modern
+    DRAT toolchains call the "core proof").
+
+    The trimmed trace is itself a valid trace for the same formula: it
+    passes both checkers, and its Built% is 100% by construction. *)
+
+type trimmed = {
+  events : Trace.Event.t list;  (** trimmed trace, original order *)
+  kept_learned : int;           (** CL records kept *)
+  dropped_learned : int;        (** CL records removed *)
+}
+
+(** [trim f source] validates [source] depth-first and returns the
+    trimmed trace.  Fails with the underlying diagnostic when the input
+    trace does not check. *)
+val trim :
+  Sat.Cnf.t ->
+  Trace.Reader.source ->
+  (trimmed, Diagnostics.failure) Stdlib.result
+
+(** [write w r] emits the trimmed events through a trace writer. *)
+val write : Trace.Writer.t -> trimmed -> unit

@@ -1,0 +1,1 @@
+lib/gen/bmc.ml: Array Circuit List Printf

@@ -1,0 +1,1 @@
+lib/gen/equiv.ml: Array Circuit List Printf Sat

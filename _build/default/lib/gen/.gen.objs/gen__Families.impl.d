@@ -1,0 +1,1 @@
+lib/gen/families.ml: Bmc Equiv List Multiplier Php Pipeline_cpu Planning Random3sat Routing Sat

@@ -1,0 +1,1 @@
+lib/gen/families.mli: Sat

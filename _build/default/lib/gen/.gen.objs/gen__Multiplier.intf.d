@@ -1,0 +1,1 @@
+lib/gen/multiplier.mli: Sat

@@ -1,0 +1,1 @@
+lib/gen/parity.ml: Sat

@@ -1,0 +1,1 @@
+lib/gen/php.mli: Sat

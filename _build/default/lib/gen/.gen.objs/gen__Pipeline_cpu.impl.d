@@ -1,0 +1,1 @@
+lib/gen/pipeline_cpu.ml: Array Circuit List Printf

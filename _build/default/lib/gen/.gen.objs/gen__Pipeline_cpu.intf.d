@@ -1,0 +1,1 @@
+lib/gen/pipeline_cpu.mli: Sat

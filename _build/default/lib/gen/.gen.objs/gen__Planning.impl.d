@@ -1,0 +1,1 @@
+lib/gen/planning.ml: Array List Sat

@@ -1,0 +1,1 @@
+lib/gen/random3sat.ml: Array Sat

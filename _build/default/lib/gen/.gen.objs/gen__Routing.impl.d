@@ -1,0 +1,1 @@
+lib/gen/routing.ml: Array List Sat

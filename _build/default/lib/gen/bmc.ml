@@ -1,0 +1,44 @@
+let counter_reach ~width ~steps ~target =
+  if width < 1 || steps < 0 then invalid_arg "Bmc.counter_reach";
+  if target < 0 || (width < 62 && target >= 1 lsl width) then
+    invalid_arg "Bmc.counter_reach: target does not fit the counter";
+  let c = Circuit.Netlist.create () in
+  let state = ref (Circuit.Arith.const_word c width 0) in
+  for t = 1 to steps do
+    let en = Circuit.Netlist.input c (Printf.sprintf "en%d" t) in
+    let incremented = Circuit.Arith.add_mod c !state (Circuit.Arith.const_word c width 1) width in
+    state := Circuit.Arith.mux_word c ~sel:en ~if_true:incremented ~if_false:!state
+  done;
+  let reached = Circuit.Arith.equal c !state (Circuit.Arith.const_word c width target) in
+  let enc = Circuit.Tseitin.encode c ~constraints:[ (reached, true) ] in
+  enc.Circuit.Tseitin.cnf
+
+let exactly_one c bits =
+  let at_least = Circuit.Netlist.big_or c bits in
+  let pairs = ref [] in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b -> if j > i then pairs := Circuit.Netlist.and_ c a b :: !pairs)
+        bits)
+    bits;
+  let two = Circuit.Netlist.big_or c !pairs in
+  Circuit.Netlist.and_ c at_least (Circuit.Netlist.not_ c two)
+
+let token_ring ~nodes ~steps =
+  if nodes < 2 || steps < 1 then invalid_arg "Bmc.token_ring";
+  let c = Circuit.Netlist.create () in
+  let state =
+    ref (List.init nodes (fun i -> Circuit.Netlist.const c (i = 0)))
+  in
+  for t = 1 to steps do
+    let stall = Circuit.Netlist.input c (Printf.sprintf "stall%d" t) in
+    let cur = Array.of_list !state in
+    state :=
+      List.init nodes (fun i ->
+          let from = cur.((i - 1 + nodes) mod nodes) in
+          Circuit.Netlist.mux c ~sel:stall ~if_true:cur.(i) ~if_false:from)
+  done;
+  let ok = exactly_one c !state in
+  let enc = Circuit.Tseitin.encode c ~constraints:[ (ok, false) ] in
+  enc.Circuit.Tseitin.cnf

@@ -1,0 +1,19 @@
+(** Bounded-model-checking workload (the paper's `barrel`/BMC family [2]):
+    a sequential circuit is unrolled for [steps] transitions from a fixed
+    initial state and the negation of a safety property is asserted at the
+    final step.  When the property actually holds within the bound, the
+    CNF is unsatisfiable and its resolution proof is what the checker
+    validates. *)
+
+(** [counter_reach ~width ~steps ~target] — a [width]-bit counter starts
+    at 0 and each step either holds or increments (per-step enable
+    inputs).  Asserting [counter = target] after [steps] transitions is
+    UNSAT iff [target > steps].
+    @raise Invalid_argument when [target] does not fit in [width] bits. *)
+val counter_reach : width:int -> steps:int -> target:int -> Sat.Cnf.t
+
+(** [token_ring ~nodes ~steps] — a one-hot token rotates around [nodes]
+    stations (with a per-step stall input); asserting that the one-hot
+    invariant breaks at the final step is UNSAT (the invariant is
+    inductive). *)
+val token_ring : nodes:int -> steps:int -> Sat.Cnf.t

@@ -1,0 +1,63 @@
+(* Shannon expansion of a truth table: mux on the top variable, recursing
+   into halves; [tt] is a bool array of size 2^k over inputs x0..x{k-1},
+   x0 the least significant selector. *)
+let rec shannon c xs tt lo len =
+  match xs with
+  | [] -> Circuit.Netlist.const c tt.(lo)
+  | x :: rest ->
+    let half = len / 2 in
+    let f0 = shannon c rest tt lo half in
+    let f1 = shannon c rest tt (lo + half) half in
+    Circuit.Netlist.mux c ~sel:x ~if_true:f1 ~if_false:f0
+
+(* Sum of products: one AND term per true minterm, ORed together. *)
+let sop c xs tt =
+  let k = List.length xs in
+  let terms = ref [] in
+  for m = 0 to (1 lsl k) - 1 do
+    if tt.(m) then begin
+      let lits =
+        List.mapi
+          (fun i x -> if (m lsr i) land 1 = 1 then x else Circuit.Netlist.not_ c x)
+          xs
+      in
+      terms := Circuit.Netlist.big_and c lits :: !terms
+    end
+  done;
+  Circuit.Netlist.big_or c !terms
+
+let build rng ~inputs ~outputs ~inject_bug =
+  if inputs < 1 || inputs > 12 then invalid_arg "Equiv: inputs must be 1..12";
+  let c = Circuit.Netlist.create () in
+  let xs = List.init inputs (fun i -> Circuit.Netlist.input c (Printf.sprintf "x%d" i)) in
+  let size = 1 lsl inputs in
+  let tables =
+    List.init outputs (fun _ -> Array.init size (fun _ -> Sat.Rng.bool rng))
+  in
+  (* implementation A: mux trees; the selector order sees x_{k-1} on top *)
+  let impl_a =
+    List.map (fun tt -> shannon c (List.rev xs) tt 0 size) tables
+  in
+  (* implementation B: sum of products, with an optional injected bug *)
+  let bug_output = if outputs = 0 then 0 else Sat.Rng.int rng outputs in
+  let bug_minterm = Sat.Rng.int rng size in
+  let impl_b =
+    List.mapi
+      (fun i tt ->
+        let tt =
+          if inject_bug && i = bug_output then begin
+            let tt' = Array.copy tt in
+            tt'.(bug_minterm) <- not tt'.(bug_minterm);
+            tt'
+          end
+          else tt
+        in
+        sop c xs tt)
+      tables
+  in
+  Circuit.Miter.equivalence_cnf c impl_a impl_b
+
+let miter rng ~inputs ~outputs = build rng ~inputs ~outputs ~inject_bug:false
+
+let miter_buggy rng ~inputs ~outputs =
+  build rng ~inputs ~outputs ~inject_bug:true

@@ -1,0 +1,14 @@
+(** Combinational-equivalence workload (the paper's c5315/c7552-style
+    instances).  Each output implements a random truth table over shared
+    inputs twice: once as a Shannon-expansion mux tree, once as a
+    minterm sum-of-products — structurally unrelated, functionally equal —
+    and the miter of the two is unsatisfiable. *)
+
+(** [miter rng ~inputs ~outputs] builds the UNSAT equivalence instance;
+    [inputs ≤ 12] keeps the SOP expansion bounded. *)
+val miter : Sat.Rng.t -> inputs:int -> outputs:int -> Sat.Cnf.t
+
+(** [miter_buggy rng ~inputs ~outputs] flips one minterm in one output of
+    the second implementation, so the instance is satisfiable and any
+    model is a counterexample input — the debugging direction of CEC. *)
+val miter_buggy : Sat.Rng.t -> inputs:int -> outputs:int -> Sat.Cnf.t

@@ -1,0 +1,51 @@
+type family = {
+  name : string;
+  paper_analogue : string;
+  generate : unit -> Sat.Cnf.t;
+}
+
+let mk name paper_analogue generate = { name; paper_analogue; generate }
+
+let suite () =
+  [
+    mk "equiv_small" "c5315"
+      (fun () -> Equiv.miter (Sat.Rng.create 11) ~inputs:7 ~outputs:8);
+    mk "bw_grid" "bw_large.d"
+      (fun () -> Planning.unreachable_goal ~width:12 ~height:12 ~horizon:18);
+    mk "fpga_route" "too_largefs3w8v262"
+      (fun () ->
+        Routing.channel (Sat.Rng.create 23) ~nets:48 ~tracks:8
+          ~extra_conflict_density:0.06);
+    mk "equiv_large" "c7552"
+      (fun () -> Equiv.miter (Sat.Rng.create 12) ~inputs:8 ~outputs:10);
+    mk "barrel_ring" "barrel"
+      (fun () -> Bmc.token_ring ~nodes:9 ~steps:11);
+    mk "counter_bmc" "barrel (counter variant)"
+      (fun () -> Bmc.counter_reach ~width:8 ~steps:24 ~target:40);
+    mk "pipe_2" "2dlx_cc_mc_ex_bp_f"
+      (fun () -> Pipeline_cpu.correct ~regs:4 ~width:4 ~depth:2);
+    mk "longmult_hi" "longmult12"
+      (fun () -> Multiplier.miter_high_bits ~width:6 ~bits:5);
+    mk "php_8" "hole-n (control)" (fun () -> Php.unsat ~holes:8);
+    mk "rand_unsat" "random 3-SAT (control)"
+      (fun () ->
+        Random3sat.generate_at_ratio (Sat.Rng.create 5) ~nvars:220 ~ratio:4.6);
+    mk "vliw_wide" "9vliw_bp_mc"
+      (fun () -> Pipeline_cpu.correct ~regs:8 ~width:4 ~depth:2);
+    mk "pipe_5" "6pipe"
+      (fun () -> Pipeline_cpu.correct ~regs:4 ~width:2 ~depth:5);
+    mk "pipe_6" "7pipe"
+      (fun () -> Pipeline_cpu.correct ~regs:4 ~width:4 ~depth:3);
+  ]
+
+let quick () =
+  [
+    mk "equiv_tiny" "c5315"
+      (fun () -> Equiv.miter (Sat.Rng.create 11) ~inputs:5 ~outputs:4);
+    mk "php_6" "hole-n (control)" (fun () -> Php.unsat ~holes:6);
+    mk "ring_small" "barrel" (fun () -> Bmc.token_ring ~nodes:6 ~steps:7);
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) (suite () @ quick ())
+
+let names () = List.map (fun f -> f.name) (suite ())

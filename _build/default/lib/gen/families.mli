@@ -1,0 +1,23 @@
+(** The benchmark suite: one generated instance per benchmark family of
+    the paper's evaluation (Tables 1–3), sized to finish on a laptop while
+    keeping the paper's qualitative contrasts.  Each entry names the paper
+    benchmark it stands in for; DESIGN.md documents why each substitution
+    preserves the relevant behaviour. *)
+
+type family = {
+  name : string;             (** our instance name *)
+  paper_analogue : string;   (** the paper benchmark it reproduces *)
+  generate : unit -> Sat.Cnf.t;  (** deterministic (internally seeded) *)
+}
+
+(** [suite ()] is the standard table suite, ordered roughly by solving
+    difficulty like the paper's tables. *)
+val suite : unit -> family list
+
+(** [quick ()] is a small sub-suite for smoke benches. *)
+val quick : unit -> family list
+
+(** [find name] looks a family up by {!family.name}. *)
+val find : string -> family option
+
+val names : unit -> string list

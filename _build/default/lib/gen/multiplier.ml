@@ -1,0 +1,34 @@
+let build ~width ~bits ~drop_pp =
+  if width < 1 then invalid_arg "Multiplier: width must be positive";
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Arith.word_input c "a" width in
+  let b = Circuit.Arith.word_input c "b" width in
+  let p1 = Circuit.Arith.mul_shift_add c a b in
+  let p2 =
+    if drop_pp then begin
+      (* a broken MSB-first multiplier that forgets the final (highest)
+         partial product *)
+      let b_broken =
+        List.mapi
+          (fun i bi -> if i = width - 1 then Circuit.Netlist.const c false else bi)
+          b
+      in
+      Circuit.Arith.mul_msb_first c a b_broken
+    end
+    else Circuit.Arith.mul_msb_first c a b
+  in
+  let take_last n xs =
+    let len = List.length xs in
+    List.filteri (fun i _ -> i >= len - n) xs
+  in
+  let o1, o2 =
+    if bits >= 2 * width then (p1, p2)
+    else (take_last bits p1, take_last bits p2)
+  in
+  Circuit.Miter.equivalence_cnf c o1 o2
+
+let miter ~width = build ~width ~bits:(2 * width) ~drop_pp:false
+
+let miter_high_bits ~width ~bits = build ~width ~bits ~drop_pp:false
+
+let miter_buggy ~width = build ~width ~bits:(2 * width) ~drop_pp:true

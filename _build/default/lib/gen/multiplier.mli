@@ -1,0 +1,19 @@
+(** Multiplier-equivalence workload — the analogue of the paper's
+    `longmult` BMC instances, whose XOR-rich adder trees force long
+    resolution proofs (the Built% outlier of Table 2).  Two structurally
+    different implementations of w-bit multiplication (LSB-first vs
+    MSB-first partial-product accumulation) are mitered. *)
+
+(** [miter ~width] compares full products of two [width]-bit operands;
+    UNSAT. *)
+val miter : width:int -> Sat.Cnf.t
+
+(** [miter_high_bits ~width ~bits] compares only the top [bits] output
+    bits — like `longmult`'s per-output-bit instances, hardest at the
+    MSB. *)
+val miter_high_bits : width:int -> bits:int -> Sat.Cnf.t
+
+(** [miter_buggy ~width] drops one partial product from the second
+    implementation: satisfiable, with the model exhibiting the operand
+    pair on which the broken multiplier differs. *)
+val miter_buggy : width:int -> Sat.Cnf.t

@@ -1,0 +1,45 @@
+(* CNF expansion of a ⊕ b = c for constant c *)
+let xor2 f a b c =
+  if c then begin
+    ignore (Sat.Cnf.add_clause f [| Sat.Lit.pos a; Sat.Lit.pos b |]);
+    ignore (Sat.Cnf.add_clause f [| Sat.Lit.neg a; Sat.Lit.neg b |])
+  end
+  else begin
+    ignore (Sat.Cnf.add_clause f [| Sat.Lit.pos a; Sat.Lit.neg b |]);
+    ignore (Sat.Cnf.add_clause f [| Sat.Lit.neg a; Sat.Lit.pos b |])
+  end
+
+(* CNF expansion of a ⊕ b ⊕ c = 0, i.e. c = a ⊕ b *)
+let xor3 f a b c =
+  ignore (Sat.Cnf.add_clause f [| Sat.Lit.neg a; Sat.Lit.neg b; Sat.Lit.neg c |]);
+  ignore (Sat.Cnf.add_clause f [| Sat.Lit.pos a; Sat.Lit.pos b; Sat.Lit.neg c |]);
+  ignore (Sat.Cnf.add_clause f [| Sat.Lit.pos a; Sat.Lit.neg b; Sat.Lit.pos c |]);
+  ignore (Sat.Cnf.add_clause f [| Sat.Lit.neg a; Sat.Lit.pos b; Sat.Lit.pos c |])
+
+let odd_cycle n =
+  if n < 2 then invalid_arg "Parity.odd_cycle: need at least 2 variables";
+  let f = Sat.Cnf.create n in
+  for i = 1 to n - 1 do
+    xor2 f i (i + 1) false
+  done;
+  xor2 f n 1 true;
+  f
+
+let chain ?(parity = true) n =
+  if n < 1 then invalid_arg "Parity.chain";
+  (* variables: x_1..x_n are 1..n; chaining s_1..s_n are n+1..2n *)
+  let x i = i in
+  let s i = n + i in
+  let f = Sat.Cnf.create (2 * n) in
+  xor2 f (s 1) (x 1) false;   (* s1 = x1 *)
+  for i = 2 to n do
+    xor3 f (s (i - 1)) (x i) (s i)
+  done;
+  (* pin the inputs to zero *)
+  for i = 1 to n do
+    ignore (Sat.Cnf.add_clause f [| Sat.Lit.neg (x i) |])
+  done;
+  (* demand the chain output equal [parity] *)
+  let final = if parity then Sat.Lit.pos (s n) else Sat.Lit.neg (s n) in
+  ignore (Sat.Cnf.add_clause f [| final |]);
+  f

@@ -1,0 +1,16 @@
+(** XOR/parity chain formulas.  A chain of XOR constraints
+    [x1 ⊕ x2 = c1, x2 ⊕ x3 = c2, …] closed into a cycle with odd total
+    parity is unsatisfiable, and — like the multiplier-derived `longmult`
+    instances in the paper — XOR structure forces resolution proofs that
+    touch a large fraction of the learned clauses (the paper's Built%
+    outlier). *)
+
+(** [odd_cycle n] is the unsatisfiable odd-parity cycle over [n ≥ 2]
+    variables, CNF-expanded (4 clauses per XOR for inner links). *)
+val odd_cycle : int -> Sat.Cnf.t
+
+(** [chain ?parity n] is a satisfiable-or-not parity chain: variables
+    [x1..xn], constraint [x1 ⊕ … ⊕ xn = parity] decomposed with chaining
+    variables, plus units pinning [x1..xn] to zero.  With [parity = true]
+    this is unsatisfiable. *)
+val chain : ?parity:bool -> int -> Sat.Cnf.t

@@ -1,0 +1,22 @@
+let generate ~pigeons ~holes =
+  if pigeons < 1 || holes < 1 then invalid_arg "Php.generate";
+  let var i j = ((i - 1) * holes) + j in
+  let f = Sat.Cnf.create (pigeons * holes) in
+  (* each pigeon occupies some hole *)
+  for i = 1 to pigeons do
+    let c = Array.init holes (fun j -> Sat.Lit.pos (var i (j + 1))) in
+    ignore (Sat.Cnf.add_clause f c)
+  done;
+  (* no hole holds two pigeons *)
+  for j = 1 to holes do
+    for i1 = 1 to pigeons do
+      for i2 = i1 + 1 to pigeons do
+        ignore
+          (Sat.Cnf.add_clause f
+             [| Sat.Lit.neg (var i1 j); Sat.Lit.neg (var i2 j) |])
+      done
+    done
+  done;
+  f
+
+let unsat ~holes = generate ~pigeons:(holes + 1) ~holes

@@ -1,0 +1,11 @@
+(** Pigeonhole formulas PHP(p, h): p pigeons into h holes.  Unsatisfiable
+    whenever [p > h], with exponentially long resolution proofs — the
+    classic stress test for resolution-based checking. *)
+
+(** [generate ~pigeons ~holes] uses variable [x_{i,j}] ⇔ pigeon [i] sits in
+    hole [j]; clauses: each pigeon somewhere, no two pigeons share a
+    hole. *)
+val generate : pigeons:int -> holes:int -> Sat.Cnf.t
+
+(** [unsat ~holes] is the standard hard instance PHP(holes+1, holes). *)
+val unsat : holes:int -> Sat.Cnf.t

@@ -1,0 +1,100 @@
+let index_width regs =
+  let rec bits n = if n <= 1 then 0 else 1 + bits ((n + 1) / 2) in
+  max 1 (bits regs)
+
+(* read port: mux tree selecting [regfile.(r)] where r = idx *)
+let reg_read c regfile idx =
+  let acc = ref regfile.(0) in
+  Array.iteri
+    (fun r w ->
+      if r > 0 then begin
+        let sel = Circuit.Arith.equal c idx (Circuit.Arith.const_word c (List.length idx) r) in
+        acc := Circuit.Arith.mux_word c ~sel ~if_true:w ~if_false:!acc
+      end)
+    regfile;
+  !acc
+
+(* write port: conditional update of every register *)
+let reg_write c regfile idx value enable =
+  Array.mapi
+    (fun r w ->
+      let hit = Circuit.Arith.equal c idx (Circuit.Arith.const_word c (List.length idx) r) in
+      let sel = Circuit.Netlist.and_ c hit enable in
+      Circuit.Arith.mux_word c ~sel ~if_true:value ~if_false:w)
+    regfile
+
+type instr = {
+  op : Circuit.Arith.word;
+  rs1 : Circuit.Arith.word;
+  rs2 : Circuit.Arith.word;
+  rd : Circuit.Arith.word;
+}
+
+let declare_instr c t iw =
+  {
+    op = Circuit.Arith.word_input c (Printf.sprintf "op%d" t) 2;
+    rs1 = Circuit.Arith.word_input c (Printf.sprintf "rs1_%d" t) iw;
+    rs2 = Circuit.Arith.word_input c (Printf.sprintf "rs2_%d" t) iw;
+    rd = Circuit.Arith.word_input c (Printf.sprintf "rd_%d" t) iw;
+  }
+
+(* reference semantics: immediate write-back *)
+let spec_machine c ~width regfile0 instrs =
+  List.fold_left
+    (fun regfile i ->
+      let v1 = reg_read c regfile i.rs1 in
+      let v2 = reg_read c regfile i.rs2 in
+      let res = Circuit.Arith.alu c ~op:i.op ~a:v1 ~b:v2 ~width in
+      reg_write c regfile i.rd res (Circuit.Netlist.const c true))
+    regfile0 instrs
+
+(* pipelined semantics: write-back delayed one instruction, with a
+   forwarding network reading the in-flight result when a source register
+   matches the pending destination *)
+let impl_machine c ~width ~forward_rs2 regfile0 instrs =
+  let iw = match instrs with i :: _ -> List.length i.rd | [] -> 1 in
+  let no_pending =
+    (Circuit.Netlist.const c false, Circuit.Arith.const_word c iw 0, Circuit.Arith.const_word c width 0)
+  in
+  let read_bypassed regfile (valid, prd, pval) rs ~forward =
+    let raw = reg_read c regfile rs in
+    if not forward then raw
+    else begin
+      let hit = Circuit.Netlist.and_ c valid (Circuit.Arith.equal c rs prd) in
+      Circuit.Arith.mux_word c ~sel:hit ~if_true:pval ~if_false:raw
+    end
+  in
+  let final_regfile, pending =
+    List.fold_left
+      (fun (regfile, pending) i ->
+        let v1 = read_bypassed regfile pending i.rs1 ~forward:true in
+        let v2 = read_bypassed regfile pending i.rs2 ~forward:forward_rs2 in
+        let res = Circuit.Arith.alu c ~op:i.op ~a:v1 ~b:v2 ~width in
+        (* retire the pending write while this instruction executes *)
+        let valid, prd, pval = pending in
+        let regfile = reg_write c regfile prd pval valid in
+        (regfile, (Circuit.Netlist.const c true, i.rd, res)))
+      (regfile0, no_pending) instrs
+  in
+  (* flush the write-back stage *)
+  let valid, prd, pval = pending in
+  reg_write c final_regfile prd pval valid
+
+let build ~regs ~width ~depth ~forward_rs2 =
+  if regs < 2 then invalid_arg "Pipeline_cpu: need at least 2 registers";
+  if depth < 1 then invalid_arg "Pipeline_cpu: need at least 1 instruction";
+  let c = Circuit.Netlist.create () in
+  let iw = index_width regs in
+  let regfile0 =
+    Array.init regs (fun r -> Circuit.Arith.word_input c (Printf.sprintf "r%d" r) width)
+  in
+  let instrs = List.init depth (fun t -> declare_instr c t iw) in
+  let spec = spec_machine c ~width regfile0 instrs in
+  let impl = impl_machine c ~width ~forward_rs2 regfile0 instrs in
+  let spec_bits = List.concat (Array.to_list (Array.map (fun w -> w) spec)) in
+  let impl_bits = List.concat (Array.to_list (Array.map (fun w -> w) impl)) in
+  Circuit.Miter.equivalence_cnf c spec_bits impl_bits
+
+let correct ~regs ~width ~depth = build ~regs ~width ~depth ~forward_rs2:true
+
+let buggy ~regs ~width ~depth = build ~regs ~width ~depth ~forward_rs2:false

@@ -1,0 +1,21 @@
+(** Microprocessor-verification workload — the analogue of the paper's
+    Velev 2dlx/5pipe/9vliw instances [1].
+
+    A register-file machine executes [depth] symbolic instructions
+    (opcode, two source registers, destination register — all primary
+    inputs).  The specification applies each write-back immediately; the
+    implementation delays write-back by one instruction and compensates
+    with a forwarding (bypass) network, the classic pipeline hazard
+    mechanism.  The two are equivalent for every program and every initial
+    register file, so the miter over the final register states is
+    unsatisfiable — and structurally it is exactly the
+    comparator-plus-bypass logic that makes the Velev instances hard. *)
+
+(** [correct ~regs ~width ~depth] is the UNSAT equivalence miter.
+    [regs ≥ 2] registers of [width] bits, [depth] instructions. *)
+val correct : regs:int -> width:int -> depth:int -> Sat.Cnf.t
+
+(** [buggy ~regs ~width ~depth] omits the forwarding path on the second
+    source operand — a real pipeline bug; the SAT model is a program
+    exhibiting the hazard. *)
+val buggy : regs:int -> width:int -> depth:int -> Sat.Cnf.t

@@ -1,0 +1,44 @@
+let build ~width ~height ~horizon =
+  if width < 1 || height < 1 || horizon < 0 then invalid_arg "Planning";
+  let cells = width * height in
+  let cell x y = (y * width) + x in
+  (* variable for cell c occupied at time t *)
+  let var c t = (t * cells) + c + 1 in
+  let f = Sat.Cnf.create (cells * (horizon + 1)) in
+  (* initial state: agent at (0,0), nowhere else *)
+  ignore (Sat.Cnf.add_clause f [| Sat.Lit.pos (var (cell 0 0) 0) |]);
+  for c = 1 to cells - 1 do
+    ignore (Sat.Cnf.add_clause f [| Sat.Lit.neg (var c 0) |])
+  done;
+  (* regression: occupied at t implies some neighbour (or self, a wait
+     move) was occupied at t-1 *)
+  let neighbours x y =
+    let own = [ (x, y) ] in
+    let cand = [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ] in
+    own
+    @ List.filter
+        (fun (a, b) -> a >= 0 && a < width && b >= 0 && b < height)
+        cand
+  in
+  for t = 1 to horizon do
+    for y = 0 to height - 1 do
+      for x = 0 to width - 1 do
+        let c = cell x y in
+        let pre =
+          List.map (fun (a, b) -> Sat.Lit.pos (var (cell a b) (t - 1)))
+            (neighbours x y)
+        in
+        ignore
+          (Sat.Cnf.add_clause f
+             (Array.of_list (Sat.Lit.neg (var c t) :: pre)))
+      done
+    done
+  done;
+  (* goal: bottom-right occupied at the horizon *)
+  ignore
+    (Sat.Cnf.add_clause f
+       [| Sat.Lit.pos (var (cell (width - 1) (height - 1)) horizon) |]);
+  f
+
+let unreachable_goal ~width ~height ~horizon = build ~width ~height ~horizon
+let reachable_goal ~width ~height ~horizon = build ~width ~height ~horizon

@@ -1,0 +1,18 @@
+(** AI-planning workload (the paper's `bw_large` family): step-bounded
+    reachability on a grid.  An agent starts at the top-left cell and may
+    move to a 4-neighbour each step; the goal cell must be occupied at the
+    horizon.  With a horizon shorter than the Manhattan distance the
+    encoding is unsatisfiable, and the unsatisfiable core is the temporal
+    cone around the goal — small against the full encoding, which is the
+    paper's point about planning cores (§4, Table 3). *)
+
+(** [unreachable_goal ~width ~height ~horizon] — UNSAT whenever
+    [horizon < (width-1) + (height-1)].  Variables [x_{cell,t}]; clauses:
+    the start cell holds at t=0 and nothing else does, occupancy
+    regresses to a neighbour (or the same cell) one step earlier, the
+    goal holds at [horizon]. *)
+val unreachable_goal : width:int -> height:int -> horizon:int -> Sat.Cnf.t
+
+(** [reachable_goal ~width ~height ~horizon] — the satisfiable control
+    with a long enough horizon (asserts nothing about minimality). *)
+val reachable_goal : width:int -> height:int -> horizon:int -> Sat.Cnf.t

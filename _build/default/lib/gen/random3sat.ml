@@ -1,0 +1,26 @@
+let generate ?(k = 3) rng ~nvars ~nclauses =
+  if nvars < k then invalid_arg "Random3sat: nvars < k";
+  let f = Sat.Cnf.create nvars in
+  for _ = 1 to nclauses do
+    (* draw k distinct variables by rejection; k is tiny *)
+    let vars = Array.make k 0 in
+    let n = ref 0 in
+    while !n < k do
+      let v = 1 + Sat.Rng.int rng nvars in
+      let dup = ref false in
+      for i = 0 to !n - 1 do
+        if vars.(i) = v then dup := true
+      done;
+      if not !dup then begin
+        vars.(!n) <- v;
+        incr n
+      end
+    done;
+    let c = Array.map (fun v -> Sat.Lit.make v (Sat.Rng.bool rng)) vars in
+    ignore (Sat.Cnf.add_clause f c)
+  done;
+  f
+
+let generate_at_ratio ?k rng ~nvars ~ratio =
+  generate ?k rng ~nvars
+    ~nclauses:(int_of_float (ratio *. float_of_int nvars))

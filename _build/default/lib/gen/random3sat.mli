@@ -1,0 +1,12 @@
+(** Uniform random k-SAT.  At clause/variable ratio ≈ 4.27 random 3-SAT
+    crosses the satisfiability threshold; above it instances are almost
+    surely unsatisfiable and hard for resolution — the standard synthetic
+    control next to the structured EDA families. *)
+
+(** [generate ?k rng ~nvars ~nclauses] draws [nclauses] clauses of [k]
+    distinct variables each with random phases.  Deterministic in [rng]. *)
+val generate : ?k:int -> Sat.Rng.t -> nvars:int -> nclauses:int -> Sat.Cnf.t
+
+(** [generate_at_ratio ?k rng ~nvars ~ratio] is
+    [generate ~nclauses:(ratio * nvars)]. *)
+val generate_at_ratio : ?k:int -> Sat.Rng.t -> nvars:int -> ratio:float -> Sat.Cnf.t

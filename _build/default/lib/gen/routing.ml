@@ -1,0 +1,52 @@
+let build rng ~nets ~tracks ~density ~plant_clique =
+  if nets < 1 || tracks < 1 then invalid_arg "Routing.channel";
+  if plant_clique && nets < tracks + 1 then
+    invalid_arg "Routing.channel: need tracks+1 nets for the unroutable clique";
+  let var n t = ((n - 1) * tracks) + t in
+  let f = Sat.Cnf.create (nets * tracks) in
+  (* every net is assigned at least one track *)
+  for n = 1 to nets do
+    let c = Array.init tracks (fun t -> Sat.Lit.pos (var n (t + 1))) in
+    ignore (Sat.Cnf.add_clause f c)
+  done;
+  let conflict n1 n2 =
+    for t = 1 to tracks do
+      ignore
+        (Sat.Cnf.add_clause f
+           [| Sat.Lit.neg (var n1 t); Sat.Lit.neg (var n2 t) |])
+    done
+  in
+  for n1 = 1 to nets do
+    for n2 = n1 + 1 to nets do
+      let in_clique = plant_clique && n1 <= tracks + 1 && n2 <= tracks + 1 in
+      if in_clique then conflict n1 n2
+      else if Sat.Rng.float rng < density then conflict n1 n2
+    done
+  done;
+  f
+
+let channel rng ~nets ~tracks ~extra_conflict_density =
+  build rng ~nets ~tracks ~density:extra_conflict_density ~plant_clique:true
+
+let routable rng ~nets ~tracks ~conflict_density =
+  build rng ~nets ~tracks ~density:conflict_density ~plant_clique:false
+
+let capacity ~nets ~tracks ~capacity =
+  if nets < 1 || tracks < 1 || capacity < 1 then invalid_arg "Routing.capacity";
+  let var n t = ((n - 1) * tracks) + t in
+  (* generous bound on auxiliaries: one AMO chain per net plus one
+     sequential counter per track *)
+  let primary = nets * tracks in
+  let aux_bound = (nets * tracks) + (tracks * nets * capacity) + 8 in
+  let f = Sat.Cnf.create (primary + aux_bound) in
+  let fresh, _used = Sat.Card.allocator ~first:(primary + 1) in
+  for n = 1 to nets do
+    let lits = List.init tracks (fun t -> Sat.Lit.pos (var n (t + 1))) in
+    Sat.Card.at_least_one f lits;
+    Sat.Card.at_most_one_sequential f fresh lits
+  done;
+  for t = 1 to tracks do
+    let lits = List.init nets (fun n -> Sat.Lit.pos (var (n + 1) t)) in
+    Sat.Card.at_most_k_sequential f fresh lits capacity
+  done;
+  f

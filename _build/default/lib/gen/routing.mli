@@ -1,0 +1,33 @@
+(** FPGA channel-routing workload (the paper's `too_largefs3w8v262` family
+    [3]): every net must be assigned one of [tracks] routing tracks, and
+    nets whose horizontal spans overlap may not share a track.  When a set
+    of mutually overlapping nets exceeds the track count the channel is
+    unroutable — UNSAT — and the unsatisfiable core localises the
+    congested region, exactly the designer feedback application of the
+    paper's §4. *)
+
+(** [channel rng ~nets ~tracks ~extra_conflict_density] builds an
+    over-subscribed instance: nets [1 .. tracks+1] form a mutually
+    overlapping clique (the unroutable hot spot) and every other net pair
+    conflicts independently with the given probability.  Variables:
+    [x_{n,t}] = net n uses track t.  UNSAT, with a core concentrated on
+    the clique (Table 3's "small core" row). *)
+val channel :
+  Sat.Rng.t ->
+  nets:int ->
+  tracks:int ->
+  extra_conflict_density:float ->
+  Sat.Cnf.t
+
+(** [routable rng ~nets ~tracks ~conflict_density] builds an instance with
+    no planted clique; typically satisfiable (a routing exists), used as
+    the SAT-side control. *)
+val routable :
+  Sat.Rng.t -> nets:int -> tracks:int -> conflict_density:float -> Sat.Cnf.t
+
+(** [capacity ~nets ~tracks ~capacity] — global-routing style: every net
+    picks exactly one track ({!Sat.Card.exactly_one} via the sequential
+    encoding), and each track carries at most [capacity] nets (Sinz
+    sequential counters).  Unsatisfiable iff [nets > tracks × capacity] —
+    a generalised pigeonhole with realistic EDA structure. *)
+val capacity : nets:int -> tracks:int -> capacity:int -> Sat.Cnf.t

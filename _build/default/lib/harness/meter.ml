@@ -1,0 +1,27 @@
+type t = {
+  mutable live : int;
+  mutable peak : int;
+  limit : int option;
+}
+
+exception Out_of_memory_simulated of { limit_words : int; wanted : int }
+
+let create ?limit_words () = { live = 0; peak = 0; limit = limit_words }
+
+let alloc m words =
+  assert (words >= 0);
+  let next = m.live + words in
+  (match m.limit with
+   | Some limit when next > limit ->
+     raise (Out_of_memory_simulated { limit_words = limit; wanted = next })
+   | Some _ | None -> ());
+  m.live <- next;
+  if next > m.peak then m.peak <- next
+
+let free m words =
+  assert (words >= 0);
+  m.live <- max 0 (m.live - words)
+
+let live_words m = m.live
+let peak_words m = m.peak
+let peak_bytes m = 8 * m.peak

@@ -1,0 +1,30 @@
+(** Simulated memory accounting.  The paper's Table 2 reports peak memory
+    of the two checkers on a fixed 800 MB budget; absolute process memory
+    is allocator- and GC-dependent, so we reproduce the comparison with an
+    exact logical meter: every clause a checker holds is charged by its
+    word footprint, every release credited.  [peak] is the high-water
+    mark, and an optional [limit] turns the paper's "memory out" rows into
+    a catchable {!Out_of_memory_simulated}. *)
+
+type t
+
+exception Out_of_memory_simulated of { limit_words : int; wanted : int }
+
+(** [create ?limit_words ()] — when [limit_words] is given, an allocation
+    pushing [live] beyond it raises. *)
+val create : ?limit_words:int -> unit -> t
+
+(** [alloc m words] charges an allocation.  @raise Out_of_memory_simulated
+    when over the configured limit. *)
+val alloc : t -> int -> unit
+
+(** [free m words] credits a release; never below zero (programming errors
+    assert in debug builds). *)
+val free : t -> int -> unit
+
+val live_words : t -> int
+val peak_words : t -> int
+
+(** [peak_bytes m] converts the peak to bytes (8-byte words), for
+    table rows comparable with the paper's KB columns. *)
+val peak_bytes : t -> int

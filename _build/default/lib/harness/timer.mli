@@ -1,0 +1,11 @@
+(** CPU-time measurement for the experiment tables.  [Sys.time] (process
+    CPU seconds) is used rather than wall clock: the benches are
+    single-threaded and CPU time is robust against machine noise, matching
+    how solver papers of the period reported runtimes. *)
+
+(** [time f] runs [f ()] and returns its result with elapsed CPU seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_only f] is the elapsed CPU seconds of [f ()], discarding the
+    result. *)
+val time_only : (unit -> 'a) -> float

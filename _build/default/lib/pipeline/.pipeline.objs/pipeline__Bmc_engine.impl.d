@@ -1,0 +1,1 @@
+lib/pipeline/bmc_engine.ml: Array Bdd Checker Circuit Hashtbl Interpolant List Printf Sat Solver String Trace Validate

@@ -1,0 +1,1 @@
+lib/pipeline/bmc_engine.mli: Checker Circuit Solver

@@ -1,0 +1,1 @@
+lib/pipeline/drup.ml: Array Buffer Checker Hashtbl List Sat String Trace

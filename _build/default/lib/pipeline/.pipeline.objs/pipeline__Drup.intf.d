@@ -1,0 +1,1 @@
+lib/pipeline/drup.mli: Checker Sat Trace

@@ -1,0 +1,1 @@
+lib/pipeline/interpolant.ml: Array Checker Circuit Hashtbl List Printf Sat Solver String Trace Validate

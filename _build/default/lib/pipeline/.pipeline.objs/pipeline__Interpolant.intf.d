@@ -1,0 +1,1 @@
+lib/pipeline/interpolant.mli: Checker Circuit Sat Solver Trace

@@ -1,0 +1,1 @@
+lib/pipeline/muc.ml: Int List Sat Solver Unsat_core

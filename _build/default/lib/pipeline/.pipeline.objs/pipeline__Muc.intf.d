@@ -1,0 +1,1 @@
+lib/pipeline/muc.mli: Sat Solver Stdlib

@@ -1,0 +1,1 @@
+lib/pipeline/selector_core.ml: Array Int List Sat Solver

@@ -1,0 +1,1 @@
+lib/pipeline/selector_core.mli: Sat Solver Stdlib

@@ -1,0 +1,1 @@
+lib/pipeline/unsat_core.ml: Array Checker List Sat Solver Trace Validate

@@ -1,0 +1,1 @@
+lib/pipeline/unsat_core.mli: Checker Sat Solver

@@ -1,0 +1,1 @@
+lib/pipeline/validate.ml: Checker Harness Sat Solver String Trace

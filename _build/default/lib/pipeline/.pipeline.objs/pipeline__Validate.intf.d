@@ -1,0 +1,1 @@
+lib/pipeline/validate.mli: Checker Harness Sat Solver Trace

@@ -1,0 +1,78 @@
+module D = Checker.Diagnostics
+
+(* Rebuild every learned clause in stream order (the breadth-first
+   discipline) and record its literals. *)
+let of_trace f source =
+  let num_original = Sat.Cnf.nclauses f in
+  let engine = Checker.Resolution.create_engine ~nvars:(Sat.Cnf.nvars f) in
+  let built = Hashtbl.create 1024 in
+  let order = ref [] in
+  let is_original id = id >= 1 && id <= num_original in
+  let fetch id =
+    match Hashtbl.find_opt built id with
+    | Some c -> c
+    | None ->
+      if is_original id then Sat.Cnf.clause f (id - 1)
+      else D.fail (D.Unknown_clause { context = "drup conversion"; id })
+  in
+  let saw_header = ref false in
+  try
+    Trace.Reader.iter source (fun e ->
+        match e with
+        | Trace.Event.Header h ->
+          saw_header := true;
+          if
+            h.nvars <> Sat.Cnf.nvars f || h.num_original <> num_original
+          then
+            D.fail
+              (D.Header_mismatch
+                 { trace_nvars = h.nvars; trace_norig = h.num_original;
+                   formula_nvars = Sat.Cnf.nvars f;
+                   formula_norig = num_original })
+        | Trace.Event.Learned l ->
+          if is_original l.id then D.fail (D.Shadows_original l.id);
+          if Hashtbl.mem built l.id then D.fail (D.Duplicate_definition l.id);
+          let c, _steps =
+            Checker.Resolution.chain engine ~context:"drup conversion"
+              ~fetch ~learned_id:l.id l.sources
+          in
+          Hashtbl.replace built l.id c;
+          order := c :: !order
+        | Trace.Event.Level0 _ | Trace.Event.Final_conflict _ -> ());
+    if not !saw_header then D.fail D.Missing_header;
+    Ok (List.rev ([||] :: !order))
+  with
+  | D.Check_failed d -> Error d
+  | Trace.Reader.Parse_error m -> Error (D.Malformed_trace m)
+
+let to_string derivation =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun l ->
+          Buffer.add_string buf (Sat.Lit.to_string l);
+          Buffer.add_char buf ' ')
+        c;
+      Buffer.add_string buf "0\n")
+    derivation;
+  Buffer.contents buf
+
+let parse s =
+  let clauses = ref [] in
+  let cur = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> 'c' then
+           String.split_on_char ' ' line
+           |> List.iter (fun w ->
+                  if w <> "" then
+                    match int_of_string_opt w with
+                    | Some 0 ->
+                      clauses := Sat.Clause.of_lits (List.rev !cur) :: !clauses;
+                      cur := []
+                    | Some d -> cur := Sat.Lit.of_int d :: !cur
+                    | None -> failwith ("Drup.parse: bad token " ^ w)));
+  if !cur <> [] then failwith "Drup.parse: trailing literals";
+  List.rev !clauses

@@ -1,0 +1,47 @@
+type result = {
+  indices : int list;
+  formula : Sat.Cnf.t;
+  solver_calls : int;
+}
+
+let is_unsat config f =
+  match Solver.Cdcl.solve ?config f with
+  | Solver.Cdcl.Unsat, _ -> true
+  | Solver.Cdcl.Sat _, _ -> false
+
+let minimize ?config ?(seed_with_proof_core = true) f =
+  let calls = ref 0 in
+  let solve_unsat g =
+    incr calls;
+    is_unsat config g
+  in
+  if not (solve_unsat f) then Error `Sat
+  else begin
+    (* seed: the §4 fixpoint core (cheap and usually much smaller) *)
+    let start_indices =
+      if seed_with_proof_core then
+        match Unsat_core.shrink ?config f with
+        | Ok s ->
+          calls := !calls + s.rounds;
+          s.final_indices
+        | Error _ -> List.init (Sat.Cnf.nclauses f) (fun i -> i)
+      else List.init (Sat.Cnf.nclauses f) (fun i -> i)
+    in
+    (* destructive minimisation: one pass is enough — a clause proven
+       necessary against a superset stays necessary against any subset
+       (satisfiability is monotone under clause removal) *)
+    let rec try_each kept = function
+      | [] -> List.rev kept
+      | idx :: rest ->
+        let candidate = List.rev_append kept rest in
+        if solve_unsat (Sat.Cnf.restrict_to f candidate) then
+          try_each kept rest        (* idx is redundant: drop it *)
+        else try_each (idx :: kept) rest
+    in
+    let indices = List.sort Int.compare (try_each [] start_indices) in
+    Ok {
+      indices;
+      formula = Sat.Cnf.restrict_to f indices;
+      solver_calls = !calls;
+    }
+  end

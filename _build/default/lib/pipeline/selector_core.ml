@@ -1,0 +1,36 @@
+type result = {
+  clause_indices : int list;
+  formula : Sat.Cnf.t;
+}
+
+let extract ?config f =
+  let nvars = Sat.Cnf.nvars f in
+  let m = Sat.Cnf.nclauses f in
+  (* selector variable for clause i (0-based) is nvars + i + 1 *)
+  let selector i = nvars + i + 1 in
+  let augmented = Sat.Cnf.create (nvars + m) in
+  Sat.Cnf.iter_clauses
+    (fun i c ->
+      let c' = Array.append c [| Sat.Lit.neg (selector i) |] in
+      ignore (Sat.Cnf.add_clause augmented c'))
+    f;
+  let session = Solver.Cdcl.Incremental.create ?config augmented in
+  let assumptions = List.init m (fun i -> Sat.Lit.pos (selector i)) in
+  match Solver.Cdcl.Incremental.solve ~assumptions session with
+  | Solver.Cdcl.A_sat _ -> Error `Sat
+  | Solver.Cdcl.A_unsat ->
+    (* cannot happen: with all selectors free the augmented formula is
+       satisfiable; be conservative and report the full set *)
+    let clause_indices = List.init m (fun i -> i) in
+    Ok { clause_indices; formula = Sat.Cnf.copy f }
+  | Solver.Cdcl.A_unsat_assumptions failed ->
+    let clause_indices =
+      List.filter_map
+        (fun l ->
+          let v = Sat.Lit.var l in
+          if v > nvars && not (Sat.Lit.is_neg l) then Some (v - nvars - 1)
+          else None)
+        failed
+      |> List.sort_uniq Int.compare
+    in
+    Ok { clause_indices; formula = Sat.Cnf.restrict_to f clause_indices }

@@ -1,0 +1,24 @@
+(** Unsatisfiable cores via assumption selectors — the technique that
+    succeeded the paper's trace-based extraction in MiniSat-era tooling,
+    implemented here to cross-validate §4's results.
+
+    Every clause [c_i] is augmented to [c_i ∨ ¬s_i] with a fresh selector
+    variable [s_i]; solving under the assumptions [s_1 … s_m] makes the
+    augmented formula equisatisfiable with the original, and when the
+    solver answers "unsatisfiable under assumptions" the failed-assumption
+    subset ({!Solver.Cdcl.Incremental}) names exactly a core of original
+    clauses — no proof trace needed, at the cost of m extra variables.
+
+    The test suite checks that both §4 extraction and this method return
+    genuine unsatisfiable cores of the same instances. *)
+
+type result = {
+  clause_indices : int list;  (** 0-based indices into the input formula *)
+  formula : Sat.Cnf.t;        (** the core as a formula *)
+}
+
+(** [extract ?config f] is [Error `Sat] when [f] is satisfiable. *)
+val extract :
+  ?config:Solver.Cdcl.config ->
+  Sat.Cnf.t ->
+  (result, [ `Sat ]) Stdlib.result

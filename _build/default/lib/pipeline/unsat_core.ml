@@ -1,0 +1,70 @@
+type core = {
+  clause_indices : int list;
+  num_clauses : int;
+  num_vars : int;
+}
+
+let extract ?config f =
+  let result, _stats, trace = Validate.solve_with_trace ?config f in
+  match result with
+  | Solver.Cdcl.Sat _ -> Error `Sat
+  | Solver.Cdcl.Unsat -> (
+    match Checker.Df.check f (Trace.Reader.From_string trace) with
+    | Error d -> Error (`Check_failed d)
+    | Ok report ->
+      let indices =
+        List.map (fun id -> id - 1) report.Checker.Report.core_original_ids
+      in
+      Ok {
+        clause_indices = indices;
+        num_clauses = List.length indices;
+        num_vars = report.Checker.Report.core_vars;
+      })
+
+type iteration = { clauses : int; vars : int }
+
+type shrink_outcome = {
+  initial : iteration;
+  iterations : iteration list;
+  reached_fixpoint : bool;
+  rounds : int;
+  final_core : Sat.Cnf.t;
+  final_indices : int list;
+}
+
+let shrink ?config ?(max_rounds = 30) f =
+  let initial =
+    { clauses = Sat.Cnf.nclauses f; vars = Sat.Cnf.num_distinct_vars f }
+  in
+  (* indices of the current core, relative to the original formula *)
+  let rec loop round current current_indices acc =
+    if round > max_rounds then
+      Ok (List.rev acc, false, current, current_indices)
+    else
+      match extract ?config current with
+      | Error e -> Error e
+      | Ok core ->
+        let next = Sat.Cnf.restrict_to current core.clause_indices in
+        let next_indices =
+          (* compose the restriction with the accumulated indices *)
+          let arr = Array.of_list current_indices in
+          List.map (fun i -> arr.(i)) core.clause_indices
+        in
+        let it = { clauses = core.num_clauses; vars = core.num_vars } in
+        if core.num_clauses = Sat.Cnf.nclauses current then
+          (* every clause was needed: fixed point *)
+          Ok (List.rev (it :: acc), true, next, next_indices)
+        else loop (round + 1) next next_indices (it :: acc)
+  in
+  let all_indices = List.init (Sat.Cnf.nclauses f) (fun i -> i) in
+  match loop 1 f all_indices [] with
+  | Error e -> Error e
+  | Ok (iterations, reached_fixpoint, final_core, final_indices) ->
+    Ok {
+      initial;
+      iterations;
+      reached_fixpoint;
+      rounds = List.length iterations;
+      final_core;
+      final_indices;
+    }

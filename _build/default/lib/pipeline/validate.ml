@@ -1,0 +1,46 @@
+type strategy = Depth_first | Breadth_first | Hybrid
+
+type verdict =
+  | Sat_verified of Sat.Assignment.t
+  | Unsat_verified of Checker.Report.t
+  | Sat_model_wrong of int
+  | Unsat_check_failed of Checker.Diagnostics.failure
+
+type outcome = {
+  verdict : verdict;
+  stats : Solver.Cdcl.stats;
+  trace_bytes : int;
+  solve_seconds : float;
+  check_seconds : float;
+}
+
+let solve_with_trace ?config ?(format = Trace.Writer.Ascii) f =
+  let w = Trace.Writer.create format in
+  let result, stats = Solver.Cdcl.solve ?config ~trace:w f in
+  (result, stats, Trace.Writer.contents w)
+
+let run ?config ?format ?(strategy = Depth_first) ?meter f =
+  let (result, stats, trace), solve_seconds =
+    Harness.Timer.time (fun () -> solve_with_trace ?config ?format f)
+  in
+  let verdict, check_seconds =
+    Harness.Timer.time (fun () ->
+        match result with
+        | Solver.Cdcl.Sat a -> (
+          match Sat.Model.first_falsified a f with
+          | None -> Sat_verified a
+          | Some i -> Sat_model_wrong i)
+        | Solver.Cdcl.Unsat -> (
+          let source = Trace.Reader.From_string trace in
+          let checked =
+            match strategy with
+            | Depth_first -> Checker.Df.check ?meter f source
+            | Breadth_first -> Checker.Bf.check ?meter f source
+            | Hybrid -> Checker.Hybrid.check ?meter f source
+          in
+          match checked with
+          | Ok report -> Unsat_verified report
+          | Error failure -> Unsat_check_failed failure))
+  in
+  { verdict; stats; trace_bytes = String.length trace; solve_seconds;
+    check_seconds }

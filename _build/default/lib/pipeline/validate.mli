@@ -1,0 +1,49 @@
+(** End-to-end validation workflow: run the solver with trace generation
+    and validate its answer with an independent check — the full loop the
+    paper advocates for mission-critical EDA deployments (§1).
+
+    SAT answers are checked in linear time against the formula; UNSAT
+    answers are checked by replaying the resolution trace with the chosen
+    checker. *)
+
+type strategy =
+  | Depth_first
+  | Breadth_first
+  | Hybrid  (** the §5 future-work checker, see {!Checker.Hybrid} *)
+
+type verdict =
+  | Sat_verified of Sat.Assignment.t
+      (** solver said SAT; the model satisfies the formula *)
+  | Unsat_verified of Checker.Report.t
+      (** solver said UNSAT; the trace is a valid resolution proof *)
+  | Sat_model_wrong of int
+      (** solver said SAT but clause [i] (0-based) is not satisfied: the
+          solver is buggy *)
+  | Unsat_check_failed of Checker.Diagnostics.failure
+      (** solver said UNSAT but the proof does not check: the solver (or
+          its trace generation) is buggy *)
+
+type outcome = {
+  verdict : verdict;
+  stats : Solver.Cdcl.stats;
+  trace_bytes : int;
+  solve_seconds : float;
+  check_seconds : float;
+}
+
+(** [run ?config ?format ?strategy ?meter f] solves and validates [f]. *)
+val run :
+  ?config:Solver.Cdcl.config ->
+  ?format:Trace.Writer.format ->
+  ?strategy:strategy ->
+  ?meter:Harness.Meter.t ->
+  Sat.Cnf.t ->
+  outcome
+
+(** [solve_with_trace ?config ?format f] is the solving half: result,
+    stats, and the serialised trace. *)
+val solve_with_trace :
+  ?config:Solver.Cdcl.config ->
+  ?format:Trace.Writer.format ->
+  Sat.Cnf.t ->
+  Solver.Cdcl.result * Solver.Cdcl.stats * string

@@ -1,0 +1,1 @@
+lib/sat/assignment.ml: Bytes List Lit

@@ -1,0 +1,1 @@
+lib/sat/assignment.mli: Lit

@@ -1,0 +1,1 @@
+lib/sat/card.mli: Cnf Lit

@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Clause Format Int List Lit Printf Vec

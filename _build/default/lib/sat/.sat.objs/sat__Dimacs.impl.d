@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Array Buffer Clause Cnf List Lit Printf String

@@ -1,0 +1,1 @@
+lib/sat/model.ml: Array Assignment Cnf Lit

@@ -1,0 +1,1 @@
+lib/sat/model.mli: Assignment Clause Cnf Lit

@@ -1,0 +1,51 @@
+type value = True | False | Unassigned
+
+(* one byte per variable: 0 unassigned, 1 true, 2 false *)
+type t = Bytes.t
+
+let create nvars = Bytes.make (nvars + 1) '\000'
+
+let nvars a = Bytes.length a - 1
+
+let check a v =
+  if v < 1 || v >= Bytes.length a then invalid_arg "Assignment: bad variable"
+
+let value a v =
+  check a v;
+  match Bytes.get a v with
+  | '\001' -> True
+  | '\002' -> False
+  | _ -> Unassigned
+
+let set a v b =
+  check a v;
+  Bytes.set a v (if b then '\001' else '\002')
+
+let unset a v =
+  check a v;
+  Bytes.set a v '\000'
+
+let is_assigned a v = value a v <> Unassigned
+
+let lit_value a l =
+  match value a (Lit.var l), Lit.is_neg l with
+  | True, false | False, true -> True
+  | True, true | False, false -> False
+  | Unassigned, _ -> Unassigned
+
+let of_bool_list bs =
+  let a = create (List.length bs) in
+  List.iteri (fun i b -> set a (i + 1) b) bs;
+  a
+
+let to_list a =
+  let out = ref [] in
+  for v = nvars a downto 1 do
+    match value a v with
+    | True -> out := (v, true) :: !out
+    | False -> out := (v, false) :: !out
+    | Unassigned -> ()
+  done;
+  !out
+
+let copy = Bytes.copy

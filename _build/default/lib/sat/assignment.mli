@@ -1,0 +1,27 @@
+(** Partial variable assignments, shared by the model verifier (the easy
+    half of the paper's validation story: SAT answers are checked in
+    linear time, §1) and by the checkers when replaying level-0
+    implications. *)
+
+type value = True | False | Unassigned
+
+type t
+
+val create : int -> t
+val nvars : t -> int
+
+val value : t -> Lit.var -> value
+val set : t -> Lit.var -> bool -> unit
+val unset : t -> Lit.var -> unit
+val is_assigned : t -> Lit.var -> bool
+
+(** [lit_value a l] is the truth value of literal [l] under [a]. *)
+val lit_value : t -> Lit.t -> value
+
+(** [of_bool_list bs] assigns variable [i+1] the [i]-th boolean. *)
+val of_bool_list : bool list -> t
+
+(** [to_list a] lists [(var, bool)] for every assigned variable. *)
+val to_list : t -> (Lit.var * bool) list
+
+val copy : t -> t

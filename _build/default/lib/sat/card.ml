@@ -1,0 +1,94 @@
+type fresh = unit -> Lit.var
+
+let allocator ~first =
+  let next = ref first in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  (fresh, fun () -> !next - first)
+
+let add f lits = ignore (Cnf.add_clause f (Array.of_list lits))
+
+let at_least_one f lits =
+  if lits = [] then add f []   (* vacuously unsatisfiable *)
+  else add f lits
+
+let at_most_one_pairwise f lits =
+  let arr = Array.of_list lits in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      add f [ Lit.negate arr.(i); Lit.negate arr.(j) ]
+    done
+  done
+
+let at_most_one_sequential f fresh lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+    (* s_i = "some literal among the first i+1 is true" *)
+    let s = ref (fresh ()) in
+    add f [ Lit.negate first; Lit.pos !s ];
+    let rec loop = function
+      | [] -> ()
+      | [ l ] ->
+        (* the last literal only needs the conflict clause *)
+        add f [ Lit.negate l; Lit.neg !s ]
+      | l :: rest ->
+        let s' = fresh () in
+        add f [ Lit.negate l; Lit.pos s' ];        (* l -> s' *)
+        add f [ Lit.neg !s; Lit.pos s' ];          (* s -> s' *)
+        add f [ Lit.negate l; Lit.neg !s ];        (* ¬(l ∧ s) *)
+        s := s';
+        loop rest
+    in
+    loop rest
+
+let exactly_one f lits =
+  at_least_one f lits;
+  at_most_one_pairwise f lits
+
+(* Sinz's sequential counter: registers r_{i,j} = "at least j of the
+   first i+1 literals are true". *)
+let at_most_k_sequential f fresh lits k =
+  if k < 0 then invalid_arg "Card.at_most_k_sequential: negative k";
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  if k = 0 then Array.iter (fun l -> add f [ Lit.negate l ]) arr
+  else if n > k then begin
+    let r = Array.make_matrix n k 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to k - 1 do
+        r.(i).(j) <- fresh ()
+      done
+    done;
+    for i = 0 to n - 1 do
+      (* x_i -> r_{i,1} *)
+      add f [ Lit.negate arr.(i); Lit.pos r.(i).(0) ];
+      if i > 0 then begin
+        for j = 0 to k - 1 do
+          (* r_{i-1,j} -> r_{i,j} *)
+          add f [ Lit.neg r.(i - 1).(j); Lit.pos r.(i).(j) ]
+        done;
+        for j = 1 to k - 1 do
+          (* x_i ∧ r_{i-1,j} -> r_{i,j+1} *)
+          add f
+            [ Lit.negate arr.(i); Lit.neg r.(i - 1).(j - 1);
+              Lit.pos r.(i).(j) ]
+        done;
+        (* overflow: x_i with the counter already at k *)
+        add f [ Lit.negate arr.(i); Lit.neg r.(i - 1).(k - 1) ]
+      end
+    done
+  end
+
+let at_least_k f fresh lits k =
+  let n = List.length lits in
+  if k > n then add f []   (* unsatisfiable *)
+  else if k > 0 then
+    at_most_k_sequential f fresh (List.map Lit.negate lits) (n - k)
+
+let exactly_k f fresh lits k =
+  at_most_k_sequential f fresh lits k;
+  at_least_k f fresh lits k

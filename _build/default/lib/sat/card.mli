@@ -1,0 +1,43 @@
+(** Cardinality-constraint encodings — the CNF idioms behind the EDA
+    formulations the paper cites (FPGA routing's track-capacity limits,
+    exclusivity constraints, one-hot controls).
+
+    Encodings write clauses into an existing formula; auxiliary variables
+    are allocated by the caller-supplied {!fresh} allocator so encodings
+    compose.  All encodings are satisfiability-preserving in both
+    directions over the original variables (checked by enumeration in the
+    test suite). *)
+
+(** Fresh-variable allocator over a growing variable space. *)
+type fresh = unit -> Lit.var
+
+(** [allocator ~first] hands out [first], [first+1], ... — the caller
+    sizes the formula's variable space accordingly (or builds the formula
+    with {!Cnf.create} after counting). *)
+val allocator : first:Lit.var -> fresh * (unit -> int)
+
+(** [at_least_one f lits] — one clause. *)
+val at_least_one : Cnf.t -> Lit.t list -> unit
+
+(** [at_most_one_pairwise f lits] — the quadratic classic: one binary
+    clause per pair.  No auxiliaries. *)
+val at_most_one_pairwise : Cnf.t -> Lit.t list -> unit
+
+(** [at_most_one_sequential f fresh lits] — the linear encoding with a
+    chain of commander auxiliaries (Sinz 2005's LTSeq specialised to
+    k = 1). *)
+val at_most_one_sequential : Cnf.t -> fresh -> Lit.t list -> unit
+
+(** [exactly_one f lits] — pairwise at-most-one plus at-least-one. *)
+val exactly_one : Cnf.t -> Lit.t list -> unit
+
+(** [at_most_k_sequential f fresh lits k] — Sinz's sequential-counter
+    encoding of Σ lits ≤ k; O(n·k) clauses and auxiliaries. *)
+val at_most_k_sequential : Cnf.t -> fresh -> Lit.t list -> int -> unit
+
+(** [at_least_k f fresh lits k] — via at-most on the negations:
+    Σ lits ≥ k  ⇔  Σ ¬lits ≤ n−k. *)
+val at_least_k : Cnf.t -> fresh -> Lit.t list -> int -> unit
+
+(** [exactly_k f fresh lits k]. *)
+val exactly_k : Cnf.t -> fresh -> Lit.t list -> int -> unit

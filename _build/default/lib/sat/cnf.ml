@@ -1,0 +1,61 @@
+type t = { nvars : int; clauses : Clause.t Vec.t }
+
+let create nvars =
+  if nvars < 0 then invalid_arg "Cnf.create: negative variable count";
+  { nvars; clauses = Vec.create ~dummy:[||] }
+
+let check_clause f c =
+  Array.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v < 1 || v > f.nvars then
+        invalid_arg
+          (Printf.sprintf "Cnf: variable %d outside 1..%d" v f.nvars))
+    c
+
+let add_clause f c =
+  check_clause f c;
+  Vec.push f.clauses c;
+  Vec.length f.clauses - 1
+
+let of_clauses nvars clauses =
+  let f = create nvars in
+  List.iter (fun c -> ignore (add_clause f c)) clauses;
+  f
+
+let nvars f = f.nvars
+let nclauses f = Vec.length f.clauses
+let clause f i = Vec.get f.clauses i
+let clauses f = Vec.to_array f.clauses
+let iter_clauses g f = Vec.iteri g f.clauses
+
+let num_distinct_vars f =
+  let seen = Array.make (f.nvars + 1) false in
+  Vec.iter (fun c -> Array.iter (fun l -> seen.(Lit.var l) <- true) c) f.clauses;
+  let n = ref 0 in
+  for v = 1 to f.nvars do
+    if seen.(v) then incr n
+  done;
+  !n
+
+let num_literals f = Vec.fold (fun acc c -> acc + Array.length c) 0 f.clauses
+
+let restrict_to f indices =
+  let idx = List.sort_uniq Int.compare indices in
+  let g = create f.nvars in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= nclauses f then invalid_arg "Cnf.restrict_to";
+      ignore (add_clause g (clause f i)))
+    idx;
+  g
+
+let copy f =
+  let g = create f.nvars in
+  Vec.iter (fun c -> ignore (add_clause g c)) f.clauses;
+  g
+
+let pp fmt f =
+  Format.fprintf fmt "@[<v>p cnf %d %d" f.nvars (nclauses f);
+  Vec.iter (fun c -> Format.fprintf fmt "@,%s" (Clause.to_string c)) f.clauses;
+  Format.fprintf fmt "@]"

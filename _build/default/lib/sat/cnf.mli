@@ -1,0 +1,41 @@
+(** CNF formulas: a variable count and an ordered list of clauses.  Clause
+    order matters — the paper's convention is that original clause IDs are
+    the order of appearance in the formula, agreed between solver and
+    checker (§3.1). *)
+
+type t
+
+(** [create nvars] is an empty formula over variables [1 .. nvars]. *)
+val create : int -> t
+
+(** [of_clauses nvars clauses] builds a formula; clauses keep the given
+    order.  @raise Invalid_argument if a clause mentions a variable
+    outside [1 .. nvars]. *)
+val of_clauses : int -> Clause.t list -> t
+
+val nvars : t -> int
+val nclauses : t -> int
+
+(** [clause f i] is the [i]-th clause, 0-indexed by order of appearance. *)
+val clause : t -> int -> Clause.t
+
+val clauses : t -> Clause.t array
+val iter_clauses : (int -> Clause.t -> unit) -> t -> unit
+
+(** [add_clause f c] appends [c], returning its 0-based index. *)
+val add_clause : t -> Clause.t -> int
+
+(** [num_distinct_vars f] counts variables that actually occur — the paper
+    notes (Table 3) that headers over-declare. *)
+val num_distinct_vars : t -> int
+
+(** [num_literals f] is the total literal count across clauses. *)
+val num_literals : t -> int
+
+(** [restrict_to f indices] is a new formula containing only the clauses at
+    the given 0-based [indices] (sorted, deduplicated), over the same
+    variable space.  Used by the iterated unsat-core loop. *)
+val restrict_to : t -> int list -> t
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type var = int
+type t = int
+
+let undef = 0
+
+let make v sign =
+  if v < 1 then invalid_arg "Lit.make: variable must be >= 1";
+  (v * 2) + if sign then 1 else 0
+
+let pos v = make v false
+let neg v = make v true
+let var l = l / 2
+let is_neg l = l land 1 = 1
+let negate l = l lxor 1
+
+let of_int d =
+  if d = 0 then invalid_arg "Lit.of_int: 0 is not a literal";
+  if d > 0 then pos d else neg (-d)
+
+let to_int l = if is_neg l then -(var l) else var l
+
+let to_string l = string_of_int (to_int l)
+let pp fmt l = Format.pp_print_int fmt (to_int l)
+let compare = Int.compare

@@ -1,0 +1,43 @@
+(** Literals and variables.
+
+    A variable is a positive integer [1 .. nvars], as in DIMACS.  A literal
+    packs a variable and a sign into one int: [lit = var * 2 + sign] where
+    sign 0 is the positive phase and sign 1 the negated phase.  Literal 0/1
+    (variable 0) is reserved as an invalid sentinel.  This is the encoding
+    used by Chaff-family solvers: negation is one XOR, array indexing by
+    literal is direct. *)
+
+type var = int
+type t = int
+
+(** Sentinel distinct from every real literal. *)
+val undef : t
+
+(** [make v sign] is the literal for variable [v]; [sign = true] means
+    negated.  @raise Invalid_argument when [v < 1]. *)
+val make : var -> bool -> t
+
+(** [pos v] / [neg v] are the two phases of variable [v]. *)
+val pos : var -> t
+val neg : var -> t
+
+val var : t -> var
+
+(** [is_neg l] is [true] on negated literals. *)
+val is_neg : t -> bool
+
+(** [negate l] flips the phase. *)
+val negate : t -> t
+
+(** [of_int d] converts a DIMACS signed integer ([3] ↦ x3, [-3] ↦ ¬x3).
+    @raise Invalid_argument on [0]. *)
+val of_int : int -> t
+
+(** [to_int l] is the DIMACS signed integer for [l]. *)
+val to_int : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Total order on literals (by the packed int). *)
+val compare : t -> t -> int

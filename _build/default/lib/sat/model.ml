@@ -1,0 +1,39 @@
+type clause_status =
+  | Satisfied
+  | Conflicting
+  | Unit of Lit.t
+  | Unresolved
+
+let clause_status a c =
+  let unassigned = ref Lit.undef in
+  let n_unassigned = ref 0 in
+  let sat = ref false in
+  Array.iter
+    (fun l ->
+      match Assignment.lit_value a l with
+      | Assignment.True -> sat := true
+      | Assignment.False -> ()
+      | Assignment.Unassigned ->
+        incr n_unassigned;
+        unassigned := l)
+    c;
+  if !sat then Satisfied
+  else
+    match !n_unassigned with
+    | 0 -> Conflicting
+    | 1 -> Unit !unassigned
+    | _ -> Unresolved
+
+let clause_satisfied a c =
+  Array.exists (fun l -> Assignment.lit_value a l = Assignment.True) c
+
+let first_falsified a f =
+  let n = Cnf.nclauses f in
+  let rec loop i =
+    if i >= n then None
+    else if clause_satisfied a (Cnf.clause f i) then loop (i + 1)
+    else Some i
+  in
+  loop 0
+
+let satisfies a f = first_falsified a f = None

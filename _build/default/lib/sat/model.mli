@@ -1,0 +1,21 @@
+(** Independent verification of SAT answers.  When the solver claims
+    satisfiability it hands back a model; checking it is linear in the
+    formula size (paper §1).  This module is that checker, plus clause
+    status queries used throughout the test suite. *)
+
+type clause_status =
+  | Satisfied          (** some literal true *)
+  | Conflicting        (** all literals false *)
+  | Unit of Lit.t      (** exactly one unassigned literal, the rest false *)
+  | Unresolved         (** at least two unassigned literals, none true *)
+
+val clause_status : Assignment.t -> Clause.t -> clause_status
+
+(** [satisfies a f] holds when every clause of [f] has a true literal under
+    [a].  Unassigned variables are not defaulted: a clause with no true
+    literal fails even if some literals are unassigned. *)
+val satisfies : Assignment.t -> Cnf.t -> bool
+
+(** [first_falsified a f] is the index of the first clause not satisfied by
+    [a], used for error reporting. *)
+val first_falsified : Assignment.t -> Cnf.t -> int option

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (splitmix64-based) so every
+    generated benchmark instance and randomised solver decision is
+    reproducible from a seed, independent of the OCaml stdlib [Random]
+    state. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [pick t arr] is a uniformly chosen element of [arr]. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator, e.g. one per benchmark
+    family. *)
+val split : t -> t

@@ -1,0 +1,99 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = [||]; len = 0; dummy }
+
+let make n x ~dummy = { data = Array.make (max n 1) x; len = n; dummy }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; v.data.(i)
+
+let set v i x = check v i; v.data.(i) <- x
+
+let ensure v n =
+  if n > Array.length v.data then begin
+    let cap = max 16 (max n (2 * Array.length v.data)) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.len - 1)
+
+let shrink v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.shrink";
+  for i = n to v.len - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.len <- n
+
+let clear v = shrink v 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.len - 1) []
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_list xs ~dummy =
+  let v = create ~dummy in
+  List.iter (push v) xs;
+  v
+
+let grow_to v n x =
+  ensure v n;
+  while v.len < n do
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+  done
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = v.data.(i) in
+    if p x then begin
+      v.data.(!j) <- x;
+      incr j
+    end
+  done;
+  shrink v !j

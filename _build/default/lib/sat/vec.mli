@@ -1,0 +1,50 @@
+(** Resizable arrays with amortised O(1) push, used pervasively by the
+    solver and checkers in place of linked lists.  A [Vec.t] owns its
+    backing array; [dummy] fills unused slots so the GC never sees stale
+    pointers. *)
+
+type 'a t
+
+(** [create ~dummy] is an empty vector whose spare capacity is filled with
+    [dummy]. *)
+val create : dummy:'a -> 'a t
+
+(** [make n x ~dummy] is a vector of [n] copies of [x]. *)
+val make : int -> 'a -> dummy:'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element.  @raise Invalid_argument when out of
+    bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [last v] is the last element without removing it. *)
+val last : 'a t -> 'a
+
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> dummy:'a -> 'a t
+
+(** [grow_to v n x] extends [v] with copies of [x] until its length is at
+    least [n]. *)
+val grow_to : 'a t -> int -> 'a -> unit
+
+(** [filter_in_place p v] keeps only elements satisfying [p], preserving
+    order. *)
+val filter_in_place : ('a -> bool) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/solver/cdcl.ml: Array Bytes Float Heap Int List Sat Trace

@@ -1,0 +1,1 @@
+lib/solver/cdcl.mli: Sat Trace

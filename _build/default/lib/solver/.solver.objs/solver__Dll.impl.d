@@ -1,0 +1,1 @@
+lib/solver/dll.ml: Array Cdcl List Sat

@@ -1,0 +1,1 @@
+lib/solver/dll.mli: Cdcl Sat

@@ -1,0 +1,1 @@
+lib/solver/dp.ml: Array Sat Set Stdlib

@@ -1,0 +1,1 @@
+lib/solver/enumerate.ml: Array Cdcl Sat

@@ -1,0 +1,1 @@
+lib/solver/enumerate.mli: Cdcl Sat

@@ -1,0 +1,1 @@
+lib/solver/simplify.ml: Array Hashtbl Int List Option Sat Seq

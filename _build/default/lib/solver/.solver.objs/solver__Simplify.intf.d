@@ -1,0 +1,1 @@
+lib/solver/simplify.mli: Sat

@@ -1,0 +1,898 @@
+type result =
+  | Sat of Sat.Assignment.t
+  | Unsat
+
+type bcp_scheme = Two_watched | Counting
+
+type restart_sequence = Geometric | Luby
+
+type config = {
+  var_decay : float;
+  restart_first : int;
+  restart_inc : float;
+  restart_sequence : restart_sequence;
+  enable_restarts : bool;
+  enable_deletion : bool;
+  enable_minimization : bool;
+  max_learned_factor : float;
+  max_learned_inc : float;
+  random_decision_freq : float;
+  seed : int;
+  bcp : bcp_scheme;
+}
+
+let default_config = {
+  var_decay = 0.95;
+  restart_first = 100;
+  restart_inc = 1.5;
+  restart_sequence = Geometric;
+  enable_restarts = true;
+  enable_deletion = true;
+  (* off by default: conflict-clause minimization postdates the paper
+     (MiniSat 1.13); enabling it keeps traces valid — see the ablation *)
+  enable_minimization = false;
+  max_learned_factor = 1.0 /. 3.0;
+  max_learned_inc = 1.1;
+  random_decision_freq = 0.02;
+  seed = 91648253;
+  bcp = Two_watched;
+}
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned_clauses : int;
+  learned_literals : int;
+  deleted_clauses : int;
+  restarts : int;
+  max_decision_level : int;
+}
+
+(* variable truth values packed as ints for speed *)
+let v_false = 0
+let v_true = 1
+let v_unassigned = 2
+
+type clause_rec = {
+  cid : int;
+  mutable lits : int array;      (* slots 0 and 1 are the watched literals *)
+  learned : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+  attached : bool;               (* unit and tautological clauses are not watched *)
+}
+
+type t = {
+  cfg : config;
+  tracer : Trace.Writer.t option;
+  nvars : int;
+  clauses : clause_rec Sat.Vec.t;           (* index cid-1 *)
+  watches : int Sat.Vec.t array;            (* per literal: watching cids *)
+  occurs : int Sat.Vec.t array;             (* Counting scheme occurrence lists *)
+  n_false : int Sat.Vec.t;                  (* Counting: false-literal count per cid-1 *)
+  n_true : int Sat.Vec.t;                   (* Counting: true-literal count per cid-1 *)
+  value : int array;                        (* per var *)
+  level : int array;                        (* per var *)
+  reason : int array;                       (* per var: antecedent cid or 0 *)
+  pos : int array;                          (* per var: trail position *)
+  trail : int Sat.Vec.t;                    (* literals, assignment order *)
+  trail_lim : int Sat.Vec.t;                (* trail length at each decision *)
+  mutable qhead : int;
+  activity : float array;                   (* per var: VSIDS score *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  order : Heap.t;
+  phase : Bytes.t;                          (* per var: saved polarity *)
+  seen : Bytes.t;                           (* per var: conflict-analysis mark *)
+  rng : Sat.Rng.t;
+  mutable n_learned_alive : int;
+  mutable max_learned : float;
+  mutable s_decisions : int;
+  mutable s_propagations : int;
+  mutable s_conflicts : int;
+  mutable s_learned : int;
+  mutable s_learned_lits : int;
+  mutable s_deleted : int;
+  mutable s_restarts : int;
+  mutable s_max_level : int;
+}
+
+let lit_value s l =
+  let v = s.value.(Sat.Lit.var l) in
+  if v = v_unassigned then v_unassigned
+  else if Sat.Lit.is_neg l then 1 - v
+  else v
+
+let decision_level s = Sat.Vec.length s.trail_lim
+
+let clause_of s cid = Sat.Vec.get s.clauses (cid - 1)
+
+let emit s e =
+  match s.tracer with
+  | None -> ()
+  | Some w -> Trace.Writer.emit w e
+
+(* --- assignment ------------------------------------------------------- *)
+
+(* Counters are maintained at assignment/unassignment time so that they
+   are exact even when a conflict aborts propagation mid-queue. *)
+let bump_counters s l delta =
+  Sat.Vec.iter
+    (fun cid ->
+      Sat.Vec.set s.n_true (cid - 1) (Sat.Vec.get s.n_true (cid - 1) + delta))
+    s.occurs.(l);
+  Sat.Vec.iter
+    (fun cid ->
+      Sat.Vec.set s.n_false (cid - 1) (Sat.Vec.get s.n_false (cid - 1) + delta))
+    s.occurs.(Sat.Lit.negate l)
+
+let enqueue s l reason =
+  let v = Sat.Lit.var l in
+  assert (s.value.(v) = v_unassigned);
+  s.value.(v) <- (if Sat.Lit.is_neg l then v_false else v_true);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.pos.(v) <- Sat.Vec.length s.trail;
+  Sat.Vec.push s.trail l;
+  if s.cfg.bcp = Counting then bump_counters s l 1
+
+(* --- two-watched-literal propagation ---------------------------------- *)
+
+let attach_watch s c =
+  Sat.Vec.push s.watches.(c.lits.(0)) c.cid;
+  Sat.Vec.push s.watches.(c.lits.(1)) c.cid
+
+let detach_watch s c =
+  Sat.Vec.filter_in_place (fun cid -> cid <> c.cid) s.watches.(c.lits.(0));
+  Sat.Vec.filter_in_place (fun cid -> cid <> c.cid) s.watches.(c.lits.(1))
+
+(* Propagate all pending assignments; returns the cid of a conflicting
+   clause, or 0.  This is the hot loop: when literal [fl] becomes false we
+   visit only the clauses watching [fl], trying to move the watch to a
+   non-false literal (MiniSat-style in-place watch repair). *)
+let propagate_watched s =
+  let conflict = ref 0 in
+  while !conflict = 0 && s.qhead < Sat.Vec.length s.trail do
+    let l = Sat.Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.s_propagations <- s.s_propagations + 1;
+    let fl = Sat.Lit.negate l in
+    let ws = s.watches.(fl) in
+    let n = Sat.Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let cid = Sat.Vec.get ws !i in
+      incr i;
+      let c = clause_of s cid in
+      if not c.deleted then begin
+        (* normalise: watched false literal at slot 1 *)
+        if c.lits.(0) = fl then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- fl
+        end;
+        let first = c.lits.(0) in
+        if lit_value s first = v_true then begin
+          (* clause satisfied; keep the watch *)
+          Sat.Vec.set ws !j cid;
+          incr j
+        end
+        else begin
+          (* search a replacement watch *)
+          let len = Array.length c.lits in
+          let k = ref 2 in
+          while !k < len && lit_value s c.lits.(!k) = v_false do incr k done;
+          if !k < len then begin
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- fl;
+            Sat.Vec.push s.watches.(c.lits.(1)) cid
+            (* watch moved: do not keep in ws *)
+          end
+          else begin
+            (* unit or conflicting *)
+            Sat.Vec.set ws !j cid;
+            incr j;
+            if lit_value s first = v_false then begin
+              conflict := cid;
+              (* keep the remaining watches intact *)
+              while !i < n do
+                Sat.Vec.set ws !j (Sat.Vec.get ws !i);
+                incr i;
+                incr j
+              done
+            end
+            else enqueue s first cid
+          end
+        end
+      end
+    done;
+    Sat.Vec.shrink ws !j
+  done;
+  if !conflict <> 0 then s.qhead <- Sat.Vec.length s.trail;
+  !conflict
+
+(* --- counter-based propagation (ablation baseline) -------------------- *)
+
+let propagate_counting s =
+  let conflict = ref 0 in
+  while !conflict = 0 && s.qhead < Sat.Vec.length s.trail do
+    let l = Sat.Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.s_propagations <- s.s_propagations + 1;
+    let fl = Sat.Lit.negate l in
+    let occ = s.occurs.(fl) in
+    let n = Sat.Vec.length occ in
+    let i = ref 0 in
+    while !conflict = 0 && !i < n do
+      let cid = Sat.Vec.get occ !i in
+      incr i;
+      let c = clause_of s cid in
+      if not c.deleted && Sat.Vec.get s.n_true (cid - 1) = 0 then begin
+        let size = Array.length c.lits in
+        let nf = Sat.Vec.get s.n_false (cid - 1) in
+        if nf = size then conflict := cid
+        else if nf = size - 1 then begin
+          (* the single non-false literal must be unassigned: were it
+             true, n_true would be positive *)
+          let m = ref Sat.Lit.undef in
+          Array.iter
+            (fun q -> if lit_value s q <> v_false then m := q)
+            c.lits;
+          if !m <> Sat.Lit.undef && lit_value s !m = v_unassigned then
+            enqueue s !m cid
+        end
+      end
+    done
+  done;
+  !conflict
+
+let propagate s =
+  match s.cfg.bcp with
+  | Two_watched -> propagate_watched s
+  | Counting -> propagate_counting s
+
+(* --- backtracking ------------------------------------------------------ *)
+
+let unassign s l =
+  let v = Sat.Lit.var l in
+  if s.cfg.bcp = Counting then bump_counters s l (-1);
+  Bytes.set s.phase v (if s.value.(v) = v_true then '\001' else '\000');
+  s.value.(v) <- v_unassigned;
+  s.reason.(v) <- 0;
+  Heap.insert s.order v
+
+(* Undo all assignments above [lvl]; this is the paper's assertion-based
+   back_track(blevel). *)
+let backtrack s lvl =
+  if decision_level s > lvl then begin
+    let keep = Sat.Vec.get s.trail_lim lvl in
+    for i = Sat.Vec.length s.trail - 1 downto keep do
+      unassign s (Sat.Vec.get s.trail i)
+    done;
+    Sat.Vec.shrink s.trail keep;
+    Sat.Vec.shrink s.trail_lim lvl;
+    s.qhead <- keep
+  end
+
+(* --- VSIDS -------------------------------------------------------------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for u = 1 to s.nvars do
+      s.activity.(u) <- s.activity.(u) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Heap.update s.order v
+
+let var_decay s = s.var_inc <- s.var_inc /. s.cfg.var_decay
+
+let cla_bump s (c : clause_rec) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Sat.Vec.iter
+      (fun cr -> if cr.learned then cr.activity <- cr.activity *. 1e-20)
+      s.clauses;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* --- conflict analysis (paper Figure 2, 1UIP stop criterion) ----------- *)
+
+(* Returns (learned literal array with the UIP at slot 0, asserting level,
+   resolve sources in resolution order).  The source list is what §3.1's
+   first solver modification records: the conflicting clause followed by
+   every antecedent resolved against. *)
+let analyze s confl_cid =
+  let cur_level = decision_level s in
+  let sources = ref [ confl_cid ] in
+  let learnt = Sat.Vec.create ~dummy:Sat.Lit.undef in
+  Sat.Vec.push learnt Sat.Lit.undef;   (* slot 0 reserved for the UIP *)
+  let path_count = ref 0 in
+  let p = ref Sat.Lit.undef in
+  let idx = ref (Sat.Vec.length s.trail - 1) in
+  let confl = ref confl_cid in
+  let continue = ref true in
+  while !continue do
+    let c = clause_of s !confl in
+    if c.learned then cla_bump s c;
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = Sat.Lit.var q in
+          if Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
+            Bytes.set s.seen v '\001';
+            var_bump s v;
+            if s.level.(v) >= cur_level then incr path_count
+            else Sat.Vec.push learnt q
+          end
+        end)
+      c.lits;
+    (* next literal to expand: deepest marked trail entry *)
+    while Bytes.get s.seen (Sat.Lit.var (Sat.Vec.get s.trail !idx)) = '\000' do
+      decr idx
+    done;
+    p := Sat.Vec.get s.trail !idx;
+    decr idx;
+    Bytes.set s.seen (Sat.Lit.var !p) '\000';
+    decr path_count;
+    if !path_count = 0 then continue := false
+    else begin
+      let r = s.reason.(Sat.Lit.var !p) in
+      assert (r <> 0);
+      sources := r :: !sources;
+      confl := r
+    end
+  done;
+  Sat.Vec.set learnt 0 (Sat.Lit.negate !p);
+  (* Local clause minimization: a literal q is redundant when every other
+     literal of reason(var q) is already in the clause or was assigned at
+     level 0.  Each removal is one more resolution, so the reason IDs are
+     appended to the resolve sources; processing removable literals in
+     decreasing trail position guarantees no removed literal is ever
+     re-introduced (a reason only mentions earlier assignments), keeping
+     the checker's left-to-right chain exact up to level-0 literals. *)
+  if s.cfg.enable_minimization && Sat.Vec.length learnt > 1 then begin
+    for i = 1 to Sat.Vec.length learnt - 1 do
+      Bytes.set s.seen (Sat.Lit.var (Sat.Vec.get learnt i)) '\001'
+    done;
+    let removable q =
+      let v = Sat.Lit.var q in
+      let r = s.reason.(v) in
+      r <> 0
+      && Array.for_all
+           (fun l ->
+             let u = Sat.Lit.var l in
+             u = v || s.level.(u) = 0 || Bytes.get s.seen u = '\001')
+           (clause_of s r).lits
+    in
+    let removed = ref [] in
+    Sat.Vec.filter_in_place
+      (fun q ->
+        if q = Sat.Vec.get learnt 0 then true
+        else if removable q then begin
+          removed := q :: !removed;
+          false
+        end
+        else true)
+      learnt;
+    (* hmm: filter_in_place sees the UIP too; guarded above *)
+    List.iter (fun q -> Bytes.set s.seen (Sat.Lit.var q) '\000') !removed;
+    for i = 0 to Sat.Vec.length learnt - 1 do
+      Bytes.set s.seen (Sat.Lit.var (Sat.Vec.get learnt i)) '\000'
+    done;
+    let by_pos_desc =
+      List.sort
+        (fun a b -> Int.compare s.pos.(Sat.Lit.var b) s.pos.(Sat.Lit.var a))
+        !removed
+    in
+    List.iter
+      (fun q -> sources := s.reason.(Sat.Lit.var q) :: !sources)
+      by_pos_desc
+  end;
+  (* asserting level: deepest among the non-UIP literals *)
+  let blevel = ref 0 in
+  let swap_slot = ref 1 in
+  for i = 1 to Sat.Vec.length learnt - 1 do
+    let lv = s.level.(Sat.Lit.var (Sat.Vec.get learnt i)) in
+    if lv > !blevel then begin
+      blevel := lv;
+      swap_slot := i
+    end
+  done;
+  (* put a deepest literal at slot 1 so the new clause is correctly
+     watched after backtracking *)
+  if Sat.Vec.length learnt > 1 then begin
+    let tmp = Sat.Vec.get learnt 1 in
+    Sat.Vec.set learnt 1 (Sat.Vec.get learnt !swap_slot);
+    Sat.Vec.set learnt !swap_slot tmp
+  end;
+  Sat.Vec.iter (fun q -> Bytes.set s.seen (Sat.Lit.var q) '\000') learnt;
+  (Sat.Vec.to_array learnt, !blevel, List.rev !sources)
+
+(* --- learned clause management ----------------------------------------- *)
+
+let new_clause s lits learned attached =
+  let cid = Sat.Vec.length s.clauses + 1 in
+  let c = { cid; lits; learned; activity = 0.0; deleted = false; attached } in
+  Sat.Vec.push s.clauses c;
+  if s.cfg.bcp = Counting && attached then begin
+    Array.iter (fun l -> Sat.Vec.push s.occurs.(l) cid) lits;
+    (* counters start from the current assignment *)
+    let nf = ref 0 and nt = ref 0 in
+    Array.iter
+      (fun l ->
+        match lit_value s l with
+        | v when v = v_false -> incr nf
+        | v when v = v_true -> incr nt
+        | _ -> ())
+      lits;
+    Sat.Vec.push s.n_false !nf;
+    Sat.Vec.push s.n_true !nt
+  end
+  else begin
+    Sat.Vec.push s.n_false 0;
+    Sat.Vec.push s.n_true 0
+  end;
+  if attached && s.cfg.bcp = Two_watched && Array.length lits >= 2 then
+    attach_watch s c;
+  c
+
+let delete_clause s c =
+  if not c.deleted then begin
+    c.deleted <- true;
+    s.s_deleted <- s.s_deleted + 1;
+    if c.learned then s.n_learned_alive <- s.n_learned_alive - 1;
+    if c.attached && s.cfg.bcp = Two_watched && Array.length c.lits >= 2 then
+      detach_watch s c
+  end
+
+(* Remove low-activity learned clauses.  Clauses that are the antecedent of
+   a currently assigned variable are kept — the paper's §2.1 requirement —
+   as are binary clauses. *)
+let reduce_db s =
+  let candidates = ref [] in
+  Sat.Vec.iter
+    (fun c ->
+      let locked =
+        Array.exists
+          (fun l ->
+            let v = Sat.Lit.var l in
+            s.value.(v) <> v_unassigned && s.reason.(v) = c.cid)
+          c.lits
+      in
+      if c.learned && not c.deleted && Array.length c.lits > 2 && not locked
+      then candidates := c :: !candidates)
+    s.clauses;
+  let arr = Array.of_list !candidates in
+  Array.sort (fun (a : clause_rec) b -> Float.compare a.activity b.activity) arr;
+  let to_delete = Array.length arr / 2 in
+  for i = 0 to to_delete - 1 do
+    delete_clause s arr.(i)
+  done
+
+(* --- trace for the final level-0 conflict (§3.1 modifications 2 and 3) - *)
+
+let emit_final_conflict s confl_cid =
+  (match s.tracer with
+   | None -> ()
+   | Some _ ->
+     Sat.Vec.iter
+       (fun l ->
+         let v = Sat.Lit.var l in
+         emit s
+           (Trace.Event.Level0
+              { var = v; value = s.value.(v) = v_true; ante = s.reason.(v) }))
+       s.trail);
+  emit s (Trace.Event.Final_conflict confl_cid)
+
+(* --- decisions ---------------------------------------------------------- *)
+
+let pick_branch_var s =
+  let v = ref 0 in
+  if
+    s.cfg.random_decision_freq > 0.0
+    && Sat.Rng.float s.rng < s.cfg.random_decision_freq
+  then begin
+    let u = 1 + Sat.Rng.int s.rng s.nvars in
+    if s.value.(u) = v_unassigned then v := u
+  end;
+  (try
+     while !v = 0 do
+       let u = Heap.pop_max s.order in
+       if s.value.(u) = v_unassigned then v := u
+     done
+   with Not_found -> ());
+  !v
+
+let decide s =
+  let v = pick_branch_var s in
+  if v = 0 then false
+  else begin
+    s.s_decisions <- s.s_decisions + 1;
+    Sat.Vec.push s.trail_lim (Sat.Vec.length s.trail);
+    if decision_level s > s.s_max_level then s.s_max_level <- decision_level s;
+    let sign = Bytes.get s.phase v = '\001' in
+    enqueue s (Sat.Lit.make v (not sign)) 0;
+    true
+  end
+
+(* --- initial clause loading -------------------------------------------- *)
+
+(* Load the original clauses, preserving the paper's ID convention:
+   clause i of the file owns ID i+1 whether or not it is degenerate.
+   Returns the cid of an immediately conflicting clause, or 0. *)
+let load_original s f =
+  let conflict = ref 0 in
+  Sat.Cnf.iter_clauses
+    (fun _ c ->
+      let dedup =
+        match Sat.Clause.normalize c with
+        | Some d -> d
+        | None -> [||]   (* tautology: keep the record, never attach *)
+      in
+      let taut = Sat.Clause.is_tautology c in
+      if !conflict <> 0 then
+        ignore (new_clause s (Array.copy c) false false)
+      else if taut then ignore (new_clause s (Array.copy c) false false)
+      else
+        match Array.length dedup with
+        | 0 ->
+          let cr = new_clause s [||] false false in
+          conflict := cr.cid
+        | 1 ->
+          let cr = new_clause s dedup false false in
+          let l = dedup.(0) in
+          (match lit_value s l with
+           | v when v = v_false -> conflict := cr.cid
+           | v when v = v_true -> ()
+           | _ -> enqueue s l cr.cid)
+        | _ -> ignore (new_clause s dedup false true))
+    f;
+  !conflict
+
+(* --- top level (paper Figure 1) ---------------------------------------- *)
+
+let make_state cfg tracer f =
+  let nvars = Sat.Cnf.nvars f in
+  let activity = Array.make (nvars + 1) 0.0 in
+  let order = Heap.create nvars ~score:(fun v -> activity.(v)) in
+  let s = {
+    cfg;
+    tracer;
+    nvars;
+    clauses = Sat.Vec.create
+        ~dummy:{ cid = 0; lits = [||]; learned = false; activity = 0.0;
+                 deleted = true; attached = false };
+    watches = Array.init ((2 * nvars) + 2) (fun _ -> Sat.Vec.create ~dummy:0);
+    occurs = Array.init ((2 * nvars) + 2) (fun _ -> Sat.Vec.create ~dummy:0);
+    n_false = Sat.Vec.create ~dummy:0;
+    n_true = Sat.Vec.create ~dummy:0;
+    value = Array.make (nvars + 1) v_unassigned;
+    level = Array.make (nvars + 1) 0;
+    reason = Array.make (nvars + 1) 0;
+    pos = Array.make (nvars + 1) 0;
+    trail = Sat.Vec.create ~dummy:0;
+    trail_lim = Sat.Vec.create ~dummy:0;
+    qhead = 0;
+    activity;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    order;
+    phase = Bytes.make (nvars + 1) '\000';
+    seen = Bytes.make (nvars + 1) '\000';
+    rng = Sat.Rng.create cfg.seed;
+    n_learned_alive = 0;
+    max_learned = 0.0;
+    s_decisions = 0;
+    s_propagations = 0;
+    s_conflicts = 0;
+    s_learned = 0;
+    s_learned_lits = 0;
+    s_deleted = 0;
+    s_restarts = 0;
+    s_max_level = 0;
+  } in
+  for v = 1 to nvars do
+    Heap.insert s.order v
+  done;
+  s
+
+let stats_of s = {
+  decisions = s.s_decisions;
+  propagations = s.s_propagations;
+  conflicts = s.s_conflicts;
+  learned_clauses = s.s_learned;
+  learned_literals = s.s_learned_lits;
+  deleted_clauses = s.s_deleted;
+  restarts = s.s_restarts;
+  max_decision_level = s.s_max_level;
+}
+
+let extract_model s =
+  let a = Sat.Assignment.create s.nvars in
+  for v = 1 to s.nvars do
+    (* variables untouched by any clause stay unassigned in the model and
+       are defaulted to false so the model is total *)
+    Sat.Assignment.set a v (s.value.(v) = v_true)
+  done;
+  a
+
+(* Collect the subset of assumptions a falsified assumption literal [p]
+   depends on: walk the implication graph from [p] back to assumption
+   decisions (MiniSat's analyzeFinal). *)
+let analyze_final s p =
+  if decision_level s = 0 then [ p ]
+  else begin
+    let failed = ref [ p ] in
+    Bytes.set s.seen (Sat.Lit.var p) '\001';
+    let bottom = Sat.Vec.get s.trail_lim 0 in
+    for i = Sat.Vec.length s.trail - 1 downto bottom do
+      let l = Sat.Vec.get s.trail i in
+      let v = Sat.Lit.var l in
+      if Bytes.get s.seen v = '\001' then begin
+        (if s.reason.(v) = 0 then
+           (* a decision inside the assumption prefix: an assumption
+              (possibly the complement of [p] itself, when contradictory
+              literals were both assumed) *)
+           failed := l :: !failed
+         else
+           Array.iter
+             (fun q ->
+               let u = Sat.Lit.var q in
+               if s.level.(u) > 0 then Bytes.set s.seen u '\001')
+             (clause_of s s.reason.(v)).lits);
+        Bytes.set s.seen v '\000'
+      end
+    done;
+    Bytes.set s.seen (Sat.Lit.var p) '\000';
+    !failed
+  end
+
+type search_outcome =
+  | O_sat of Sat.Assignment.t
+  | O_unsat_formula
+  | O_unsat_assumptions of int list
+
+(* The main CDCL loop (paper Figure 1), with an assumption prefix: the
+   first [n] decision levels are reserved for the assumption literals; a
+   falsified assumption ends the search with the failed subset. *)
+(* the Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (0-based index),
+   ported from MiniSat's luby() *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let search s config assumptions =
+  let assumptions = Array.of_list assumptions in
+  let n_assumptions = Array.length assumptions in
+  let restart_index = ref 0 in
+  let restart_budget = ref config.restart_first in
+  let conflicts_since_restart = ref 0 in
+  let answer = ref None in
+  while !answer = None do
+    let confl = propagate s in
+    if confl <> 0 then begin
+      s.s_conflicts <- s.s_conflicts + 1;
+      incr conflicts_since_restart;
+      if decision_level s = 0 then begin
+        emit_final_conflict s confl;
+        answer := Some O_unsat_formula
+      end
+      else begin
+        let lits, blevel, sources = analyze s confl in
+        let cr = new_clause s lits true true in
+        s.s_learned <- s.s_learned + 1;
+        s.s_learned_lits <- s.s_learned_lits + Array.length lits;
+        s.n_learned_alive <- s.n_learned_alive + 1;
+        emit s
+          (Trace.Event.Learned
+             { id = cr.cid; sources = Array.of_list sources });
+        backtrack s blevel;
+        enqueue s lits.(0) cr.cid;
+        var_decay s;
+        cla_decay s
+      end
+    end
+    else begin
+      (* no conflict: maybe restart, maybe reduce, then branch *)
+      if
+        config.enable_restarts
+        && !conflicts_since_restart >= !restart_budget
+        && decision_level s > 0
+      then begin
+        s.s_restarts <- s.s_restarts + 1;
+        conflicts_since_restart := 0;
+        incr restart_index;
+        (match config.restart_sequence with
+         | Geometric ->
+           (* growing interval: the termination caveat of §2.2 *)
+           restart_budget :=
+             int_of_float
+               (float_of_int !restart_budget *. config.restart_inc)
+         | Luby ->
+           restart_budget := config.restart_first * luby !restart_index);
+        backtrack s 0
+      end;
+      if
+        config.enable_deletion
+        && float_of_int s.n_learned_alive > s.max_learned
+      then begin
+        reduce_db s;
+        s.max_learned <- s.max_learned *. config.max_learned_inc
+      end;
+      (* place pending assumptions as decisions, then branch freely *)
+      let rec branch () =
+        let dl = decision_level s in
+        if dl < n_assumptions then begin
+          let p = assumptions.(dl) in
+          let v = lit_value s p in
+          if v = v_true then begin
+            (* already holds: open an empty decision level for it *)
+            Sat.Vec.push s.trail_lim (Sat.Vec.length s.trail);
+            branch ()
+          end
+          else if v = v_false then
+            answer := Some (O_unsat_assumptions (analyze_final s p))
+          else begin
+            s.s_decisions <- s.s_decisions + 1;
+            Sat.Vec.push s.trail_lim (Sat.Vec.length s.trail);
+            enqueue s p 0
+          end
+        end
+        else if not (decide s) then answer := Some (O_sat (extract_model s))
+      in
+      branch ()
+    end
+  done;
+  match !answer with
+  | Some o -> o
+  | None -> assert false
+
+(* one-shot setup: build the state, load the clauses, run the level-0
+   preprocessing BCP *)
+let setup config trace f =
+  let s = make_state config trace f in
+  emit s
+    (Trace.Event.Header
+       { nvars = s.nvars; num_original = Sat.Cnf.nclauses f });
+  s.max_learned <-
+    config.max_learned_factor *. float_of_int (Sat.Cnf.nclauses f);
+  let initial_conflict = load_original s f in
+  if initial_conflict <> 0 then begin
+    emit_final_conflict s initial_conflict;
+    (s, false)
+  end
+  else begin
+    let pre = propagate s in
+    if pre <> 0 then begin
+      s.s_conflicts <- s.s_conflicts + 1;
+      emit_final_conflict s pre;
+      (s, false)
+    end
+    else (s, true)
+  end
+
+let solve ?(config = default_config) ?trace f =
+  let s, alive = setup config trace f in
+  if not alive then (Unsat, stats_of s)
+  else
+    match search s config [] with
+    | O_sat a -> (Sat a, stats_of s)
+    | O_unsat_formula -> (Unsat, stats_of s)
+    | O_unsat_assumptions _ -> assert false
+
+type assumed_result =
+  | A_sat of Sat.Assignment.t
+  | A_unsat_assumptions of Sat.Lit.t list
+  | A_unsat
+
+module Incremental = struct
+  type session = {
+    state : t;
+    config : config;
+    mutable alive : bool;
+  }
+
+  type nonrec t = session
+
+  let create ?(config = default_config) f =
+    let state, alive = setup config None f in
+    { state; config; alive }
+
+  let stats i = stats_of i.state
+
+  let add_clause i c =
+    let s = i.state in
+    Array.iter
+      (fun l ->
+        let v = Sat.Lit.var l in
+        if v < 1 || v > s.nvars then
+          invalid_arg "Incremental.add_clause: variable out of range")
+      c;
+    if i.alive then begin
+      backtrack s 0;
+      match Sat.Clause.normalize c with
+      | None -> ignore (new_clause s (Array.copy c) false false)
+      | Some d -> (
+        match Array.length d with
+        | 0 -> i.alive <- false
+        | 1 -> (
+          let cr = new_clause s d false false in
+          match lit_value s d.(0) with
+          | v when v = v_true -> ()
+          | v when v = v_false -> i.alive <- false
+          | _ ->
+            enqueue s d.(0) cr.cid;
+            if propagate s <> 0 then i.alive <- false)
+        | _ -> (
+          (* attach, watching non-false slots when possible so level-0
+             units propagate immediately *)
+          let d = Array.copy d in
+          let len = Array.length d in
+          let place slot from =
+            let k = ref from in
+            while !k < len && lit_value s d.(!k) = v_false do incr k done;
+            if !k < len then begin
+              let tmp = d.(slot) in
+              d.(slot) <- d.(!k);
+              d.(!k) <- tmp;
+              true
+            end
+            else false
+          in
+          let have0 = place 0 0 in
+          let have1 = have0 && place 1 1 in
+          if not have0 then i.alive <- false
+          else if not have1 then begin
+            let cr = new_clause s d false false in
+            if lit_value s d.(0) = v_unassigned then begin
+              enqueue s d.(0) cr.cid;
+              if propagate s <> 0 then i.alive <- false
+            end
+          end
+          else ignore (new_clause s d false true)))
+    end
+
+  let solve ?(assumptions = []) i =
+    let s = i.state in
+    List.iter
+      (fun l ->
+        let v = Sat.Lit.var l in
+        if v < 1 || v > s.nvars then
+          invalid_arg "Incremental.solve: assumption variable out of range")
+      assumptions;
+    if not i.alive then A_unsat
+    else begin
+      backtrack s 0;
+      if propagate s <> 0 then begin
+        i.alive <- false;
+        A_unsat
+      end
+      else
+        match search s i.config assumptions with
+        | O_sat a ->
+          let a' = Sat.Assignment.copy a in
+          backtrack s 0;
+          A_sat a'
+        | O_unsat_formula ->
+          i.alive <- false;
+          A_unsat
+        | O_unsat_assumptions failed ->
+          backtrack s 0;
+          A_unsat_assumptions failed
+    end
+end

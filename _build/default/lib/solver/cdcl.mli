@@ -1,0 +1,112 @@
+(** Chaff-style CDCL SAT solver (paper §2, Figures 1 and 2), extended with
+    the three trace-generating modifications of §3.1.
+
+    The solver satisfies the checker's two requirements from §1: it is
+    DLL-based and it uses {e assertion-based backtracking} — every conflict
+    is analysed by iterated resolution down to an asserting (1UIP) clause,
+    the solver backtracks to the asserting level, and the flipped variable
+    is implied by the learned clause.  Consequently every variable assigned
+    at decision level 0 has an antecedent, which is what makes the final
+    empty-clause construction of Proposition 3 possible.
+
+    When a {!Trace.Writer.t} is supplied, the solver emits:
+    - a header event up front;
+    - one [Learned] event per learned clause, listing its resolve sources
+      in resolution order (conflicting clause first, then antecedents);
+    - on the final (level-0) conflict, the [Level0] records for the whole
+      trail in chronological order followed by the [Final_conflict] id.
+
+    Learned clauses drop literals already false at level 0 (standard CDCL
+    practice); the checker compensates by carrying those literals through
+    its rebuilt clauses and eliminating them with the level-0 antecedents,
+    so the recorded source lists remain a valid resolution proof. *)
+
+type result =
+  | Sat of Sat.Assignment.t  (** a full model, independently verifiable *)
+  | Unsat
+
+(** Boolean-constraint-propagation implementation.  [Two_watched] is the
+    Chaff scheme ([6] in the paper); [Counting] is the classic
+    occurrence-list + counter scheme it displaced, kept as an ablation
+    baseline. *)
+type bcp_scheme = Two_watched | Counting
+
+(** Restart-interval schedule.  [Geometric] grows the interval by
+    [restart_inc] each restart (the paper's §2.2 termination argument);
+    [Luby] follows the Luby–Sinclair–Zuckerman sequence scaled by
+    [restart_first], the schedule later adopted by MiniSat. *)
+type restart_sequence = Geometric | Luby
+
+type config = {
+  var_decay : float;         (** VSIDS decay applied between conflicts *)
+  restart_first : int;       (** conflicts before the first restart *)
+  restart_inc : float;       (** geometric restart-interval growth (>1
+                                 ensures termination, §2.2 Prop. 1) *)
+  restart_sequence : restart_sequence;
+  enable_restarts : bool;
+  enable_deletion : bool;    (** learned-clause database reduction *)
+  enable_minimization : bool;
+      (** local learned-clause minimization: redundant literals are
+          resolved away using their antecedents, which are appended to
+          the clause's recorded resolve sources so the trace remains a
+          valid proof *)
+  max_learned_factor : float;(** learned limit = factor × #original *)
+  max_learned_inc : float;   (** limit growth applied at each reduction *)
+  random_decision_freq : float; (** fraction of random decisions *)
+  seed : int;
+  bcp : bcp_scheme;
+}
+
+val default_config : config
+
+type stats = {
+  decisions : int;
+  propagations : int;        (** literals enqueued by BCP *)
+  conflicts : int;
+  learned_clauses : int;
+  learned_literals : int;
+  deleted_clauses : int;
+  restarts : int;
+  max_decision_level : int;
+}
+
+(** [solve ?config ?trace f] decides [f].  A [Sat] answer always carries a
+    model that satisfies [f] (checked by the test suite through
+    {!Sat.Model.satisfies}); an [Unsat] answer is what the checker
+    validates from the trace. *)
+val solve : ?config:config -> ?trace:Trace.Writer.t -> Sat.Cnf.t -> result * stats
+
+(** Result of solving under assumptions. *)
+type assumed_result =
+  | A_sat of Sat.Assignment.t
+      (** satisfiable with every assumption holding *)
+  | A_unsat_assumptions of Sat.Lit.t list
+      (** unsatisfiable under the assumptions; the carried list is the
+          subset of assumptions the conflict actually depends on (MiniSat's
+          analyzeFinal) — an assumption-level unsat core *)
+  | A_unsat
+      (** the formula itself is unsatisfiable, regardless of assumptions *)
+
+(** Incremental interface: keep one solver alive across queries so learned
+    clauses are reused, add clauses between queries, and solve under
+    assumption literals.  The trace-producing path is the one-shot
+    {!solve}; incremental sessions do not emit traces (a cross-query trace
+    has no single final conflict to anchor the §3.1 records to). *)
+module Incremental : sig
+  type t
+
+  (** [create ?config f] starts a session on [f]; the variable space is
+      fixed at creation. *)
+  val create : ?config:config -> Sat.Cnf.t -> t
+
+  (** [add_clause t c] conjoins a clause between queries.
+      @raise Invalid_argument if [c] mentions variables beyond the
+      session's space. *)
+  val add_clause : t -> Sat.Clause.t -> unit
+
+  (** [solve ?assumptions t] decides the current formula under the given
+      assumption literals (tried in order). *)
+  val solve : ?assumptions:Sat.Lit.t list -> t -> assumed_result
+
+  val stats : t -> stats
+end

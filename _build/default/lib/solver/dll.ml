@@ -1,0 +1,101 @@
+type stats = { decisions : int; propagations : int }
+
+exception Node_limit
+
+type state = {
+  f : Sat.Cnf.t;
+  a : Sat.Assignment.t;
+  mutable s_decisions : int;
+  mutable s_propagations : int;
+  mutable budget : int;
+}
+
+(* BCP by repeated full scans; simplicity over speed, this is a baseline.
+   Returns the literals assigned (for undo) and whether a conflict was
+   reached. *)
+let bcp st =
+  let assigned = ref [] in
+  let conflict = ref false in
+  let progress = ref true in
+  while !progress && not !conflict do
+    progress := false;
+    Sat.Cnf.iter_clauses
+      (fun _ c ->
+        if not !conflict then
+          match Sat.Model.clause_status st.a c with
+          | Sat.Model.Conflicting -> conflict := true
+          | Sat.Model.Unit l ->
+            Sat.Assignment.set st.a (Sat.Lit.var l) (not (Sat.Lit.is_neg l));
+            st.s_propagations <- st.s_propagations + 1;
+            assigned := Sat.Lit.var l :: !assigned;
+            progress := true
+          | Sat.Model.Satisfied | Sat.Model.Unresolved -> ())
+      st.f
+  done;
+  (!assigned, !conflict)
+
+let undo st vars = List.iter (Sat.Assignment.unset st.a) vars
+
+let pick_var st =
+  let nvars = Sat.Cnf.nvars st.f in
+  let count = Array.make (nvars + 1) 0 in
+  Sat.Cnf.iter_clauses
+    (fun _ c ->
+      if Sat.Model.clause_status st.a c <> Sat.Model.Satisfied then
+        Array.iter
+          (fun l ->
+            let v = Sat.Lit.var l in
+            if not (Sat.Assignment.is_assigned st.a v) then
+              count.(v) <- count.(v) + 1)
+          c)
+    st.f;
+  let best = ref 0 in
+  for v = 1 to nvars do
+    if count.(v) > 0 && (!best = 0 || count.(v) > count.(!best)) then best := v
+  done;
+  !best
+
+let rec search st =
+  if st.budget <= 0 then raise Node_limit;
+  st.budget <- st.budget - 1;
+  let assigned, conflict = bcp st in
+  let result =
+    if conflict then false
+    else begin
+      let v = pick_var st in
+      if v = 0 then true  (* every clause satisfied *)
+      else begin
+        st.s_decisions <- st.s_decisions + 1;
+        let try_phase b =
+          Sat.Assignment.set st.a v b;
+          let ok = search st in
+          if not ok then Sat.Assignment.unset st.a v;
+          ok
+        in
+        try_phase false || try_phase true
+      end
+    end
+  in
+  if not result then undo st assigned;
+  result
+
+let solve ?(node_limit = max_int) f =
+  let st = {
+    f;
+    a = Sat.Assignment.create (Sat.Cnf.nvars f);
+    s_decisions = 0;
+    s_propagations = 0;
+    budget = node_limit;
+  } in
+  match search st with
+  | true ->
+    for v = 1 to Sat.Cnf.nvars f do
+      if not (Sat.Assignment.is_assigned st.a v) then
+        Sat.Assignment.set st.a v false
+    done;
+    Some
+      (Cdcl.Sat st.a,
+       { decisions = st.s_decisions; propagations = st.s_propagations })
+  | false ->
+    Some (Cdcl.Unsat, { decisions = st.s_decisions; propagations = st.s_propagations })
+  | exception Node_limit -> None

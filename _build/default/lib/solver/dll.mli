@@ -1,0 +1,12 @@
+(** Plain DLL (Davis–Logemann–Loveland [9]) search without learning or
+    non-chronological backtracking — the historical baseline the paper's
+    §2 narrative starts from, and a useful differential-testing partner
+    for the CDCL solver.  Recursion over a functional assignment with BCP
+    at each node; branching on the most frequent unassigned variable. *)
+
+type stats = { decisions : int; propagations : int }
+
+(** [solve ?node_limit f] decides [f].  Returns [None] when the node limit
+    is exhausted (plain DLL blows up where CDCL does not — that contrast is
+    one of the ablation benches). *)
+val solve : ?node_limit:int -> Sat.Cnf.t -> (Cdcl.result * stats) option

@@ -1,0 +1,106 @@
+type outcome =
+  | Sat_dp
+  | Unsat_dp
+  | Out_of_budget
+
+type stats = {
+  eliminations : int;
+  resolvents : int;
+  peak_clauses : int;
+}
+
+module Clause_set = Set.Make (struct
+  type t = int array    (* sorted, deduplicated literal array *)
+  let compare = Stdlib.compare
+end)
+
+let normalize_opt c = Sat.Clause.normalize c
+
+(* Resolve every pos-occurrence against every neg-occurrence of [v],
+   dropping tautologies; this is one Davis–Putnam elimination step. *)
+let eliminate v clauses resolvent_count =
+  let with_pos, without =
+    Clause_set.partition (fun c -> Sat.Clause.mem (Sat.Lit.pos v) c) clauses
+  in
+  let with_neg, rest =
+    Clause_set.partition (fun c -> Sat.Clause.mem (Sat.Lit.neg v) c) without
+  in
+  let acc = ref rest in
+  Clause_set.iter
+    (fun cp ->
+      Clause_set.iter
+        (fun cn ->
+          incr resolvent_count;
+          match Sat.Clause.clashing_vars cp cn with
+          | [ u ] when u = v -> (
+            let r = Sat.Clause.resolve cp cn v in
+            match normalize_opt r with
+            | Some r -> acc := Clause_set.add r !acc
+            | None -> ())
+          | _ -> () (* double clash: resolvent is a tautology, drop *))
+        with_neg)
+    with_pos;
+  !acc
+
+let solve ?(clause_budget = 200_000) f =
+  let clauses = ref Clause_set.empty in
+  let trivially_unsat = ref false in
+  Sat.Cnf.iter_clauses
+    (fun _ c ->
+      match normalize_opt c with
+      | Some [||] -> trivially_unsat := true
+      | Some d -> clauses := Clause_set.add d !clauses
+      | None -> ())
+    f;
+  let eliminations = ref 0 in
+  let resolvents = ref 0 in
+  let peak = ref (Clause_set.cardinal !clauses) in
+  let stats () =
+    { eliminations = !eliminations; resolvents = !resolvents; peak_clauses = !peak }
+  in
+  if !trivially_unsat then (Unsat_dp, stats ())
+  else begin
+    let outcome = ref None in
+    while !outcome = None do
+      if Clause_set.is_empty !clauses then outcome := Some Sat_dp
+      else if Clause_set.mem [||] !clauses then outcome := Some Unsat_dp
+      else if Clause_set.cardinal !clauses > clause_budget then
+        outcome := Some Out_of_budget
+      else begin
+        (* cheapest variable first: fewest pos*neg product *)
+        let nvars = Sat.Cnf.nvars f in
+        let pos = Array.make (nvars + 1) 0 in
+        let neg = Array.make (nvars + 1) 0 in
+        Clause_set.iter
+          (fun c ->
+            Array.iter
+              (fun l ->
+                let v = Sat.Lit.var l in
+                if Sat.Lit.is_neg l then neg.(v) <- neg.(v) + 1
+                else pos.(v) <- pos.(v) + 1)
+              c)
+          !clauses;
+        let best = ref 0 in
+        let best_cost = ref max_int in
+        for v = 1 to nvars do
+          if pos.(v) + neg.(v) > 0 then begin
+            let cost = pos.(v) * neg.(v) in
+            if cost < !best_cost then begin
+              best := v;
+              best_cost := cost
+            end
+          end
+        done;
+        if !best = 0 then outcome := Some Sat_dp
+        else begin
+          incr eliminations;
+          clauses := eliminate !best !clauses resolvents;
+          if Clause_set.cardinal !clauses > !peak then
+            peak := Clause_set.cardinal !clauses
+        end
+      end
+    done;
+    match !outcome with
+    | Some o -> (o, stats ())
+    | None -> assert false
+  end

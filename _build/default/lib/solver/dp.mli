@@ -1,0 +1,22 @@
+(** The classic Davis–Putnam procedure [8]: ordered variable elimination by
+    resolution.  This is the algorithm the paper's Lemma rests on — a CNF
+    formula is unsatisfiable iff resolution can derive the empty clause —
+    and the historical motivation for resolution-based checking.  Space
+    blows up in practice (the reason DLL displaced it, §1), so a clause
+    budget caps the run. *)
+
+type outcome =
+  | Sat_dp
+  | Unsat_dp
+  | Out_of_budget
+
+type stats = {
+  eliminations : int;      (** variables eliminated *)
+  resolvents : int;        (** resolvents generated (incl. discarded) *)
+  peak_clauses : int;      (** high-water clause count — the blow-up *)
+}
+
+(** [solve ?clause_budget f] runs ordered elimination, cheapest variable
+    first.  [Unsat_dp] means the empty clause was derived — a resolution
+    proof exists, which is exactly what the checker validates for CDCL. *)
+val solve : ?clause_budget:int -> Sat.Cnf.t -> outcome * stats

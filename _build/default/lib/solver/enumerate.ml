@@ -1,0 +1,49 @@
+let occurring_vars f =
+  let seen = Array.make (Sat.Cnf.nvars f + 1) false in
+  Sat.Cnf.iter_clauses
+    (fun _ c -> Array.iter (fun l -> seen.(Sat.Lit.var l) <- true) c)
+    f;
+  let out = ref [] in
+  for v = Sat.Cnf.nvars f downto 1 do
+    if seen.(v) then out := v :: !out
+  done;
+  !out
+
+let fold_assignments f g init =
+  let vars = Array.of_list (occurring_vars f) in
+  let n = Array.length vars in
+  if n > 24 then invalid_arg "Enumerate: too many variables for the oracle";
+  let a = Sat.Assignment.create (Sat.Cnf.nvars f) in
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    for i = 0 to n - 1 do
+      Sat.Assignment.set a vars.(i) ((mask lsr i) land 1 = 1)
+    done;
+    acc := g !acc a
+  done;
+  !acc
+
+let solve f =
+  let found =
+    try
+      fold_assignments f
+        (fun acc a ->
+          match acc with
+          | Some _ -> acc
+          | None -> if Sat.Model.satisfies a f then Some (Sat.Assignment.copy a) else None)
+        None
+    with Invalid_argument _ as e -> raise e
+  in
+  match found with
+  | Some a ->
+    (* complete the model over unused variables *)
+    for v = 1 to Sat.Cnf.nvars f do
+      if not (Sat.Assignment.is_assigned a v) then Sat.Assignment.set a v false
+    done;
+    Cdcl.Sat a
+  | None -> Cdcl.Unsat
+
+let count_models f =
+  fold_assignments f
+    (fun acc a -> if Sat.Model.satisfies a f then acc + 1 else acc)
+    0

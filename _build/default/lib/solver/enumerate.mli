@@ -1,0 +1,13 @@
+(** Exhaustive truth-table solver, the test oracle: correct by
+    construction, exponential, usable up to ~20 variables.  The test suite
+    cross-checks every other solver against this on random small
+    formulas. *)
+
+(** [solve f] decides [f] by enumerating assignments over the variables
+    that actually occur.  @raise Invalid_argument beyond 24 occurring
+    variables (the point of an oracle is that it always finishes). *)
+val solve : Sat.Cnf.t -> Cdcl.result
+
+(** [count_models f] counts satisfying assignments over the occurring
+    variables (unused variables do not multiply the count). *)
+val count_models : Sat.Cnf.t -> int

@@ -1,0 +1,71 @@
+type t = {
+  score : int -> float;
+  heap : int Sat.Vec.t;          (* heap.(i) = variable at heap slot i *)
+  indices : int array;           (* indices.(v) = slot of v, or -1 *)
+}
+
+let create n ~score =
+  { score; heap = Sat.Vec.create ~dummy:0; indices = Array.make (n + 1) (-1) }
+
+let size h = Sat.Vec.length h.heap
+let is_empty h = size h = 0
+let mem h v = h.indices.(v) >= 0
+
+let swap h i j =
+  let vi = Sat.Vec.get h.heap i and vj = Sat.Vec.get h.heap j in
+  Sat.Vec.set h.heap i vj;
+  Sat.Vec.set h.heap j vi;
+  h.indices.(vi) <- j;
+  h.indices.(vj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.score (Sat.Vec.get h.heap i) > h.score (Sat.Vec.get h.heap parent)
+    then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = size h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && h.score (Sat.Vec.get h.heap l) > h.score (Sat.Vec.get h.heap !best)
+  then best := l;
+  if r < n && h.score (Sat.Vec.get h.heap r) > h.score (Sat.Vec.get h.heap !best)
+  then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let insert h v =
+  if not (mem h v) then begin
+    Sat.Vec.push h.heap v;
+    h.indices.(v) <- size h - 1;
+    sift_up h (size h - 1)
+  end
+
+let pop_max h =
+  if is_empty h then raise Not_found;
+  let top = Sat.Vec.get h.heap 0 in
+  let n = size h in
+  swap h 0 (n - 1);
+  ignore (Sat.Vec.pop h.heap);
+  h.indices.(top) <- -1;
+  if not (is_empty h) then sift_down h 0;
+  top
+
+let update h v =
+  let i = h.indices.(v) in
+  if i >= 0 then begin
+    sift_up h i;
+    sift_down h h.indices.(v)
+  end
+
+let rebuild h vars =
+  Sat.Vec.iter (fun v -> h.indices.(v) <- -1) h.heap;
+  Sat.Vec.clear h.heap;
+  List.iter (insert h) vars

@@ -1,0 +1,29 @@
+(** Binary max-heap over variables keyed by an external score function,
+    with an index side-array so that [decrease]/[increase] after an
+    activity bump is O(log n).  This is the decision-variable order used
+    by the VSIDS heuristic. *)
+
+type t
+
+(** [create n ~score] covers variables [1 .. n]; [score v] is read at
+    comparison time, so bumping activities requires notifying the heap via
+    [update]. *)
+val create : int -> score:(int -> float) -> t
+
+val size : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+(** [insert h v] adds variable [v]; no-op if already present. *)
+val insert : t -> int -> unit
+
+(** [pop_max h] removes and returns the variable with the highest score.
+    @raise Not_found when empty. *)
+val pop_max : t -> int
+
+(** [update h v] restores heap order after [score v] changed; no-op when
+    [v] is not in the heap. *)
+val update : t -> int -> unit
+
+(** [rebuild h vars] resets the heap to exactly [vars]. *)
+val rebuild : t -> int list -> unit

@@ -1,0 +1,238 @@
+type outcome =
+  | Simplified of {
+      formula : Sat.Cnf.t;
+      forced : (Sat.Lit.var * bool) list;
+      reconstruct : Sat.Assignment.t -> Sat.Assignment.t;
+    }
+  | Proved_unsat
+  | Proved_sat of Sat.Assignment.t
+
+type stats = {
+  units_propagated : int;
+  pure_literals : int;
+  tautologies_removed : int;
+  subsumed_removed : int;
+  duplicates_removed : int;
+}
+
+exception Empty_clause_derived
+
+(* working state: clause set as sorted literal lists, current forced
+   assignment *)
+type work = {
+  nvars : int;
+  mutable clauses : Sat.Clause.t list;
+  value : Sat.Assignment.t;
+  mutable forced_rev : (Sat.Lit.var * bool) list;
+  mutable s_units : int;
+  mutable s_pures : int;
+  mutable s_tauts : int;
+  mutable s_subsumed : int;
+  mutable s_dups : int;
+}
+
+let assign w v b =
+  match Sat.Assignment.value w.value v with
+  | Sat.Assignment.Unassigned ->
+    Sat.Assignment.set w.value v b;
+    w.forced_rev <- (v, b) :: w.forced_rev
+  | Sat.Assignment.True -> if not b then raise Empty_clause_derived
+  | Sat.Assignment.False -> if b then raise Empty_clause_derived
+
+(* apply the current assignment to every clause; detect units and
+   conflicts; returns true when some new assignment was made *)
+let propagate_pass w =
+  let progress = ref false in
+  let keep = ref [] in
+  List.iter
+    (fun c ->
+      match Sat.Model.clause_status w.value c with
+      | Sat.Model.Satisfied -> ()
+      | Sat.Model.Conflicting -> raise Empty_clause_derived
+      | Sat.Model.Unit l ->
+        w.s_units <- w.s_units + 1;
+        assign w (Sat.Lit.var l) (not (Sat.Lit.is_neg l));
+        progress := true
+      | Sat.Model.Unresolved -> keep := c :: !keep)
+    w.clauses;
+  w.clauses <- List.rev !keep;
+  !progress
+
+let pure_pass w =
+  let seen_pos = Array.make (w.nvars + 1) false in
+  let seen_neg = Array.make (w.nvars + 1) false in
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun l ->
+          match Sat.Assignment.lit_value w.value l with
+          | Sat.Assignment.True | Sat.Assignment.False -> ()
+          | Sat.Assignment.Unassigned ->
+            if Sat.Lit.is_neg l then seen_neg.(Sat.Lit.var l) <- true
+            else seen_pos.(Sat.Lit.var l) <- true)
+        c)
+    w.clauses;
+  let progress = ref false in
+  for v = 1 to w.nvars do
+    if not (Sat.Assignment.is_assigned w.value v) then
+      if seen_pos.(v) && not seen_neg.(v) then begin
+        w.s_pures <- w.s_pures + 1;
+        assign w v true;
+        progress := true
+      end
+      else if seen_neg.(v) && not seen_pos.(v) then begin
+        w.s_pures <- w.s_pures + 1;
+        assign w v false;
+        progress := true
+      end
+  done;
+  !progress
+
+(* structural cleanup under the current assignment: reduce each clause to
+   its unassigned literals, drop tautologies and duplicates *)
+let cleanup w =
+  let seen = Hashtbl.create 256 in
+  let keep = ref [] in
+  List.iter
+    (fun c ->
+      match Sat.Model.clause_status w.value c with
+      | Sat.Model.Satisfied -> ()
+      | Sat.Model.Conflicting | Sat.Model.Unit _ ->
+        (* propagate_pass runs first; these should not persist here, but
+           be safe and keep them for the next propagation round *)
+        keep := c :: !keep
+      | Sat.Model.Unresolved -> (
+        let remaining =
+          Array.of_seq
+            (Seq.filter
+               (fun l ->
+                 Sat.Assignment.lit_value w.value l
+                 = Sat.Assignment.Unassigned)
+               (Array.to_seq c))
+        in
+        match Sat.Clause.normalize remaining with
+        | None -> w.s_tauts <- w.s_tauts + 1
+        | Some d ->
+          if Hashtbl.mem seen d then w.s_dups <- w.s_dups + 1
+          else begin
+            Hashtbl.replace seen d ();
+            keep := d :: !keep
+          end))
+    w.clauses;
+  w.clauses <- List.rev !keep
+
+(* forward subsumption: a clause is removed when a (strictly shorter or
+   equal) clause is a subset of it.  Occurrence lists on the least
+   frequent literal keep it near-linear for our sizes. *)
+let subsumption_pass w =
+  let clauses = Array.of_list w.clauses in
+  let n = Array.length clauses in
+  let removed = Array.make n false in
+  (* occurrence lists: literal -> clause indexes *)
+  let occurs = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i c ->
+      Array.iter
+        (fun l ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt occurs l) in
+          Hashtbl.replace occurs l (i :: cur))
+        c)
+    clauses;
+  let subset small big =
+    Array.for_all (fun l -> Sat.Clause.mem l big) small
+  in
+  (* sort indexes by clause size so subsumers are processed first *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j -> Int.compare (Array.length clauses.(i)) (Array.length clauses.(j)))
+    order;
+  Array.iter
+    (fun i ->
+      if not removed.(i) then begin
+        let c = clauses.(i) in
+        if Array.length c > 0 then begin
+          (* candidates: clauses containing c's first literal *)
+          let best = ref c.(0) in
+          Array.iter
+            (fun l ->
+              let len ll =
+                List.length
+                  (Option.value ~default:[] (Hashtbl.find_opt occurs ll))
+              in
+              if len l < len !best then best := l)
+            c;
+          List.iter
+            (fun j ->
+              if
+                j <> i && not removed.(j)
+                && Array.length clauses.(j) >= Array.length c
+                && subset c clauses.(j)
+              then begin
+                removed.(j) <- true;
+                w.s_subsumed <- w.s_subsumed + 1
+              end)
+            (Option.value ~default:[] (Hashtbl.find_opt occurs !best))
+        end
+      end)
+    order;
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    if not removed.(i) then keep := clauses.(i) :: !keep
+  done;
+  w.clauses <- !keep
+
+let simplify f =
+  let w = {
+    nvars = Sat.Cnf.nvars f;
+    clauses = Array.to_list (Sat.Cnf.clauses f);
+    value = Sat.Assignment.create (Sat.Cnf.nvars f);
+    forced_rev = [];
+    s_units = 0;
+    s_pures = 0;
+    s_tauts = 0;
+    s_subsumed = 0;
+    s_dups = 0;
+  } in
+  let stats () = {
+    units_propagated = w.s_units;
+    pure_literals = w.s_pures;
+    tautologies_removed = w.s_tauts;
+    subsumed_removed = w.s_subsumed;
+    duplicates_removed = w.s_dups;
+  } in
+  try
+    let continue_ = ref true in
+    while !continue_ do
+      let p1 = propagate_pass w in
+      if not p1 then begin
+        cleanup w;
+        subsumption_pass w;
+        let p2 = pure_pass w in
+        continue_ := p2
+      end
+    done;
+    cleanup w;
+    let forced = List.rev w.forced_rev in
+    if w.clauses = [] then begin
+      let a = Sat.Assignment.create w.nvars in
+      List.iter (fun (v, b) -> Sat.Assignment.set a v b) forced;
+      for v = 1 to w.nvars do
+        if not (Sat.Assignment.is_assigned a v) then
+          Sat.Assignment.set a v false
+      done;
+      (Proved_sat a, stats ())
+    end
+    else begin
+      let formula = Sat.Cnf.of_clauses w.nvars w.clauses in
+      let reconstruct model =
+        let a = Sat.Assignment.copy model in
+        List.iter (fun (v, b) -> Sat.Assignment.set a v b) forced;
+        for v = 1 to w.nvars do
+          if not (Sat.Assignment.is_assigned a v) then
+            Sat.Assignment.set a v false
+        done;
+        a
+      in
+      (Simplified { formula; forced; reconstruct }, stats ())
+    end
+  with Empty_clause_derived -> (Proved_unsat, stats ())

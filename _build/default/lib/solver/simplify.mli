@@ -1,0 +1,42 @@
+(** CNF preprocessing: satisfiability-preserving simplification applied
+    before search, in the spirit of the preprocess() step of the paper's
+    Figure 1 but as a standalone formula-to-formula pass.
+
+    Techniques (iterated to a fixed point):
+    - unit propagation — forced assignments are applied, satisfied
+      clauses removed, falsified literals deleted;
+    - pure-literal elimination — a variable occurring in one phase only
+      is assigned that phase;
+    - tautology and duplicate-literal removal;
+    - subsumption — a clause that contains another as a subset is
+      removed.
+
+    The simplified formula lives in the same variable space (no
+    renumbering), so clause provenance stays obvious; [reconstruct] lifts
+    a model of the simplified formula to a model of the original by
+    replaying the forced and pure assignments.
+
+    Note: the solver's UNSAT traces refer to the formula actually given
+    to it — validate a preprocessed run against the simplified formula. *)
+
+type outcome =
+  | Simplified of {
+      formula : Sat.Cnf.t;
+      forced : (Sat.Lit.var * bool) list;
+          (** assignments applied by propagation / purity, in order *)
+      reconstruct : Sat.Assignment.t -> Sat.Assignment.t;
+          (** lift a model of [formula] to a model of the input *)
+    }
+  | Proved_unsat  (** propagation alone derived the empty clause *)
+  | Proved_sat of Sat.Assignment.t
+      (** everything simplified away; a model of the input *)
+
+type stats = {
+  units_propagated : int;
+  pure_literals : int;
+  tautologies_removed : int;
+  subsumed_removed : int;
+  duplicates_removed : int;
+}
+
+val simplify : Sat.Cnf.t -> outcome * stats

@@ -1,0 +1,1 @@
+lib/trace/reader.ml: Array Char Event List Printf String

@@ -1,0 +1,1 @@
+lib/trace/writer.ml: Array Buffer Bytes Char Event

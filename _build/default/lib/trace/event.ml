@@ -1,0 +1,25 @@
+type t =
+  | Header of { nvars : int; num_original : int }
+  | Learned of { id : int; sources : int array }
+  | Level0 of { var : Sat.Lit.var; value : bool; ante : int }
+  | Final_conflict of int
+
+let equal a b =
+  match a, b with
+  | Header h1, Header h2 ->
+    h1.nvars = h2.nvars && h1.num_original = h2.num_original
+  | Learned l1, Learned l2 -> l1.id = l2.id && l1.sources = l2.sources
+  | Level0 v1, Level0 v2 ->
+    v1.var = v2.var && v1.value = v2.value && v1.ante = v2.ante
+  | Final_conflict c1, Final_conflict c2 -> c1 = c2
+  | (Header _ | Learned _ | Level0 _ | Final_conflict _), _ -> false
+
+let pp fmt = function
+  | Header h ->
+    Format.fprintf fmt "HEADER vars=%d original=%d" h.nvars h.num_original
+  | Learned l ->
+    Format.fprintf fmt "CL %d <-" l.id;
+    Array.iter (fun s -> Format.fprintf fmt " %d" s) l.sources
+  | Level0 v ->
+    Format.fprintf fmt "VAR %d = %b (ante %d)" v.var v.value v.ante
+  | Final_conflict id -> Format.fprintf fmt "CONF %d" id

@@ -1,0 +1,23 @@
+(** Events of a resolution trace, in the order the solver emits them
+    (paper §3.1).  Clause IDs are positive: the original clauses of the
+    formula own IDs [1 .. num_original] in order of appearance; learned
+    clauses take fresh increasing IDs.
+
+    The three solver modifications of §3.1 map to three event kinds:
+    - modification 1 → [Learned]: a learned clause's ID with its resolve
+      sources (first the conflicting clause, then each antecedent, in
+      resolution order);
+    - modification 3 → [Level0]: on the final conflict, every variable
+      assigned at decision level 0, chronologically, with its value and
+      antecedent clause ID;
+    - modification 2 → [Final_conflict]: the ID of one clause that is
+      conflicting at decision level 0. *)
+
+type t =
+  | Header of { nvars : int; num_original : int }
+  | Learned of { id : int; sources : int array }
+  | Level0 of { var : Sat.Lit.var; value : bool; ante : int }
+  | Final_conflict of int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type source =
+  | From_string of string
+  | From_file of string
+
+let read_source = function
+  | From_string s -> s
+  | From_file path ->
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+
+let binary_magic = "ZKB1"
+
+let is_binary s =
+  String.length s >= String.length binary_magic
+  && String.sub s 0 (String.length binary_magic) = binary_magic
+
+let iter_ascii s f =
+  let parse_line line =
+    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+    | [] -> None
+    | "t" :: rest -> (
+      match List.map int_of_string rest with
+      | [ nvars; num_original ] -> Some (Event.Header { nvars; num_original })
+      | _ -> fail "bad header line %S" line)
+    | "CL" :: rest -> (
+      match List.map int_of_string rest with
+      | id :: srcs when srcs <> [] ->
+        Some (Event.Learned { id; sources = Array.of_list srcs })
+      | _ -> fail "bad CL line %S" line)
+    | "VAR" :: rest -> (
+      match List.map int_of_string rest with
+      | [ var; value; ante ] when value = 0 || value = 1 ->
+        Some (Event.Level0 { var; value = value = 1; ante })
+      | _ -> fail "bad VAR line %S" line)
+    | [ "CONF"; id ] -> (
+      match int_of_string_opt id with
+      | Some id -> Some (Event.Final_conflict id)
+      | None -> fail "bad CONF line" )
+    | w :: _ -> fail "unknown trace record %S" w
+  in
+  let parse_line line =
+    try parse_line line
+    with Failure _ -> fail "non-numeric field in %S" line
+  in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then
+           match parse_line line with
+           | Some e -> f e
+           | None -> ())
+
+let iter_binary s f =
+  let pos = ref (String.length binary_magic) in
+  let len = String.length s in
+  let byte () =
+    if !pos >= len then fail "truncated binary trace";
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let varint () =
+    let rec loop shift acc =
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then loop (shift + 7) acc else acc
+    in
+    loop 0 0
+  in
+  while !pos < len do
+    match byte () with
+    | 0 ->
+      let nvars = varint () in
+      let num_original = varint () in
+      f (Event.Header { nvars; num_original })
+    | 1 ->
+      let id = varint () in
+      let n = varint () in
+      (* explicit loop: Array.init's application order is unspecified and
+         varint reads are stateful *)
+      let sources = Array.make n 0 in
+      for i = 0 to n - 1 do
+        sources.(i) <- varint ()
+      done;
+      f (Event.Learned { id; sources })
+    | 2 ->
+      let packed = varint () in
+      let ante = varint () in
+      f (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
+    | 3 -> f (Event.Final_conflict (varint ()))
+    | tag -> fail "unknown binary tag %d" tag
+  done
+
+let iter source f =
+  let s = read_source source in
+  if is_binary s then iter_binary s f else iter_ascii s f
+
+let fold source f init =
+  let acc = ref init in
+  iter source (fun e -> acc := f !acc e);
+  !acc
+
+let to_list source = List.rev (fold source (fun acc e -> e :: acc) [])
+
+let size_bytes source = String.length (read_source source)

@@ -1,0 +1,26 @@
+(** Streaming trace reader.  The breadth-first checker (§3.3) must be able
+    to scan the trace several times without holding it in memory, so a
+    reader is created from a re-readable {!source} and exposes a
+    fold-style pass.  Format (ASCII vs binary) is auto-detected from the
+    magic bytes. *)
+
+exception Parse_error of string
+
+type source =
+  | From_string of string  (** in-memory trace, e.g. from {!Writer.contents} *)
+  | From_file of string    (** trace file on disk *)
+
+(** [iter source f] streams every event of the trace through [f], in file
+    order.  @raise Parse_error on malformed input. *)
+val iter : source -> (Event.t -> unit) -> unit
+
+(** [fold source f init] folds [f] over the events in file order. *)
+val fold : source -> ('a -> Event.t -> 'a) -> 'a -> 'a
+
+(** [to_list source] materialises all events (used by tests and the
+    depth-first checker, which reads the whole trace into memory —
+    the paper's §3.2 caveat). *)
+val to_list : source -> Event.t list
+
+(** [size_bytes source] is the byte length of the serialised trace. *)
+val size_bytes : source -> int

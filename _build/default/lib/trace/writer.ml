@@ -1,0 +1,102 @@
+type format = Ascii | Binary
+
+type t = { fmt : format; buf : Buffer.t }
+
+let binary_magic = "ZKB1"
+
+let create fmt =
+  let buf = Buffer.create 65536 in
+  if fmt = Binary then Buffer.add_string buf binary_magic;
+  { fmt; buf }
+
+let format w = w.fmt
+
+let add_varint buf n =
+  assert (n >= 0);
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+(* Trace emission sits on the solver's hot path (Table 1 measures its
+   overhead), so integers are rendered by hand instead of through
+   Printf's interpreter. *)
+let add_uint buf n =
+  assert (n >= 0);
+  if n < 10 then Buffer.add_char buf (Char.chr (Char.code '0' + n))
+  else begin
+    let digits = Bytes.create 19 in
+    let rec fill i n =
+      if n = 0 then i
+      else begin
+        Bytes.set digits i (Char.chr (Char.code '0' + (n mod 10)));
+        fill (i + 1) (n / 10)
+      end
+    in
+    let len = fill 0 n in
+    for i = len - 1 downto 0 do
+      Buffer.add_char buf (Bytes.get digits i)
+    done
+  end
+
+let emit_ascii buf (e : Event.t) =
+  (match e with
+   | Header h ->
+     Buffer.add_string buf "t ";
+     add_uint buf h.nvars;
+     Buffer.add_char buf ' ';
+     add_uint buf h.num_original
+   | Learned l ->
+     Buffer.add_string buf "CL ";
+     add_uint buf l.id;
+     Array.iter
+       (fun s ->
+         Buffer.add_char buf ' ';
+         add_uint buf s)
+       l.sources
+   | Level0 v ->
+     Buffer.add_string buf "VAR ";
+     add_uint buf v.var;
+     Buffer.add_string buf (if v.value then " 1 " else " 0 ");
+     add_uint buf v.ante
+   | Final_conflict id ->
+     Buffer.add_string buf "CONF ";
+     add_uint buf id);
+  Buffer.add_char buf '\n'
+
+let emit_binary buf (e : Event.t) =
+  match e with
+  | Header h ->
+    Buffer.add_char buf '\000';
+    add_varint buf h.nvars;
+    add_varint buf h.num_original
+  | Learned l ->
+    Buffer.add_char buf '\001';
+    add_varint buf l.id;
+    add_varint buf (Array.length l.sources);
+    Array.iter (add_varint buf) l.sources
+  | Level0 v ->
+    Buffer.add_char buf '\002';
+    add_varint buf ((v.var * 2) + if v.value then 1 else 0);
+    add_varint buf v.ante
+  | Final_conflict id ->
+    Buffer.add_char buf '\003';
+    add_varint buf id
+
+let emit w e =
+  match w.fmt with
+  | Ascii -> emit_ascii w.buf e
+  | Binary -> emit_binary w.buf e
+
+let bytes_written w = Buffer.length w.buf
+
+let contents w = Buffer.contents w.buf
+
+let to_file w path =
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc w.buf;
+  close_out oc

@@ -1,0 +1,34 @@
+(** Trace serialisation.  Two on-disk formats, as discussed in the paper's
+    §4: a human-readable ASCII format (the default, large) and a compact
+    binary format using LEB128 varints (the "2-3x compaction" the paper
+    predicts, which also speeds up checking since parsing dominates).
+
+    ASCII grammar, one event per line:
+    {v
+    t <nvars> <num_original>
+    CL <id> <src_1> ... <src_k>
+    VAR <var> <0|1> <ante_id>
+    CONF <id>
+    v}
+
+    Binary format: magic "ZKB1", then per event a tag byte
+    (0 header, 1 learned, 2 level0, 3 final-conflict) followed by LEB128
+    unsigned varints; the learned-source list is length-prefixed; the
+    level-0 value is folded into the variable varint's low bit. *)
+
+type format = Ascii | Binary
+
+(** A writer appends events to an internal buffer.  [bytes_written] lets
+    the harness report trace sizes (Table 2, column "Trace Size"). *)
+type t
+
+val create : format -> t
+val format : t -> format
+val emit : t -> Event.t -> unit
+val bytes_written : t -> int
+
+(** [contents w] is the serialised trace so far. *)
+val contents : t -> string
+
+(** [to_file w path] writes the serialised trace to disk. *)
+val to_file : t -> string -> unit

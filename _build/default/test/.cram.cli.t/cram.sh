@@ -1,0 +1,26 @@
+  $ R=../bin/rescheck.exe
+  $ $R gen php_8 -o php8.cnf
+  $ head -2 php8.cnf
+  $ $R solve php8.cnf --trace php8.trc > solve.out; echo "exit $?"
+  $ grep -o "s UNSATISFIABLE" solve.out
+  $ $R check php8.cnf php8.trc -s df | grep "^s "
+  $ $R check php8.cnf php8.trc -s bf | grep "^s "
+  $ $R check php8.cnf php8.trc -s hybrid | grep "^s "
+  $ head -c 2000 php8.trc > broken.trc
+  $ $R check php8.cnf broken.trc > check.out; echo "exit $?"
+  $ grep "^s " check.out
+  $ $R check php8.cnf php8.trc --mem-limit 1000 > memout.out; echo "exit $?"
+  $ grep -o "s MEMORY OUT" memout.out
+  $ $R validate php8.cnf | grep "^s "
+  $ $R core php8.cnf | grep "fixed point"
+  $ $R trim php8.cnf php8.trc -o trimmed.trc > /dev/null; echo "exit $?"
+  $ $R check php8.cnf trimmed.trc -s bf | grep "^s "
+  $ $R drup php8.cnf php8.trc -o php8.drup | grep -c "DRUP written"
+  $ printf 'p cnf 2 2\n1 2 0\n-1 2 0\n' > sat.cnf
+  $ $R validate sat.cnf > sat.out; echo "exit $?"
+  $ grep "^s " sat.out
+  $ $R mc ring:5 --unbounded | grep -o "s SAFE"
+  $ $R mc ring-buggy:4 -k 4 > mc.out; echo "exit $?"
+  $ grep "^s " mc.out
+  $ printf 'p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n' > units.cnf
+  $ $R simplify units.cnf | grep "^s "

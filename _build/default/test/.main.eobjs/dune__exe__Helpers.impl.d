@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Checker Gen List Pipeline QCheck QCheck_alcotest Sat Solver Trace

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Circuit Helpers List Printf QCheck

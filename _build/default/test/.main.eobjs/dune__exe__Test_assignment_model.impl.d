@@ -1,0 +1,1 @@
+test/test_assignment_model.ml: Alcotest Array Helpers List QCheck Sat

@@ -1,0 +1,1 @@
+test/test_assumptions.ml: Alcotest Gen Helpers Int List Sat Solver

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Circuit Float Gen Helpers List Option Printf QCheck Sat Solver

@@ -1,0 +1,1 @@
+test/test_bf.ml: Alcotest Array Checker Gen Harness Helpers List Pipeline Printf Sat Solver Trace

@@ -1,0 +1,1 @@
+test/test_bmc_engine.ml: Alcotest Checker Circuit List Pipeline

@@ -1,0 +1,1 @@
+test/test_card.ml: Alcotest List Printf Sat Solver

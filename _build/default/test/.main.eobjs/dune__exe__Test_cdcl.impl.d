@@ -1,0 +1,1 @@
+test/test_cdcl.ml: Alcotest Checker Gen Hashtbl Helpers List Pipeline Sat Solver Trace

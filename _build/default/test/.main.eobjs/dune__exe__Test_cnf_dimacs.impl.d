@@ -1,0 +1,1 @@
+test/test_cnf_dimacs.ml: Alcotest Filename Gen Helpers Sat Sys

@@ -1,0 +1,1 @@
+test/test_df.ml: Alcotest Array Checker Gen Harness Helpers List Pipeline Sat Solver Trace

@@ -1,0 +1,1 @@
+test/test_dll_dp.ml: Alcotest Gen Helpers List Sat Solver

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Checker Gen Pipeline Printexc Sat Solver String Trace

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Gen Helpers Int List Pipeline Sat Solver String

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Float Helpers List QCheck Sat Solver

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Checker Gen Harness Helpers List Pipeline Printf Sat Solver Trace

@@ -1,0 +1,1 @@
+test/test_interpolant.ml: Alcotest Checker Circuit Gen Helpers List Pipeline QCheck Sat Solver String Trace

@@ -1,0 +1,1 @@
+test/test_level0.ml: Alcotest Checker Format List Sat

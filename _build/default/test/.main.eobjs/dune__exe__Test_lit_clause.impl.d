@@ -1,0 +1,1 @@
+test/test_lit_clause.ml: Alcotest Array Helpers Int List Printf QCheck Sat

@@ -1,0 +1,1 @@
+test/test_mc_oracle.ml: Alcotest Array Checker Circuit Hashtbl List Pipeline Printf Sat

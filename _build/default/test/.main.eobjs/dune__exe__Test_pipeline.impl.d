@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Checker Gen Helpers List Pipeline Printf Sat Solver Trace

@@ -1,0 +1,1 @@
+test/test_proof_stats.ml: Alcotest Checker Gen Helpers List Pipeline Sat Solver Trace

@@ -1,0 +1,1 @@
+test/test_resolution.ml: Alcotest Array Checker Helpers Int List QCheck Sat

@@ -1,0 +1,1 @@
+test/test_rup.ml: Alcotest Checker Format Gen List Pipeline Sat Solver Trace

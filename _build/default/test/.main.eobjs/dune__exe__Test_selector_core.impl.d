@@ -1,0 +1,1 @@
+test/test_selector_core.ml: Alcotest Gen Helpers List Pipeline Printf Sat Solver

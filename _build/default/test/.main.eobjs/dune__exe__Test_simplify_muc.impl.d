@@ -1,0 +1,1 @@
+test/test_simplify_muc.ml: Alcotest Gen Helpers List Pipeline Printf QCheck Sat Solver

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Gen Helpers List Printf QCheck Solver Sys Trace

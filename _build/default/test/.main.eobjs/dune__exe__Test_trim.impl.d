@@ -1,0 +1,1 @@
+test/test_trim.ml: Alcotest Checker Gen List Pipeline Solver String Trace

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Helpers List QCheck Sat

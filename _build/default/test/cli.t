@@ -1,0 +1,89 @@
+The rescheck CLI, end to end on a pigeonhole instance.  Timing and
+byte-count lines are filtered out for determinism.
+
+  $ R=../bin/rescheck.exe
+
+Generate a benchmark instance:
+
+  $ $R gen php_8 -o php8.cnf
+  c php_8: 72 vars, 297 clauses -> php8.cnf
+
+  $ head -2 php8.cnf
+  c php_8: analogue of hole-n (control)
+  p cnf 72 297
+
+Solve with a trace (exit code 20 = UNSAT):
+
+  $ $R solve php8.cnf --trace php8.trc > solve.out; echo "exit $?"
+  exit 20
+  $ grep -o "s UNSATISFIABLE" solve.out
+  s UNSATISFIABLE
+
+Check the trace with each strategy:
+
+  $ $R check php8.cnf php8.trc -s df | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R check php8.cnf php8.trc -s bf | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R check php8.cnf php8.trc -s hybrid | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+A corrupted trace is rejected (exit code 1):
+
+  $ head -c 2000 php8.trc > broken.trc
+  $ $R check php8.cnf broken.trc > check.out; echo "exit $?"
+  exit 1
+  $ grep "^s " check.out
+  s CHECK FAILED
+
+A tiny simulated memory budget reproduces the paper's memory-out rows:
+
+  $ $R check php8.cnf php8.trc --mem-limit 1000 > memout.out; echo "exit $?"
+  exit 3
+  $ grep -o "s MEMORY OUT" memout.out
+  s MEMORY OUT
+
+Solve-and-validate in one step:
+
+  $ $R validate php8.cnf | grep "^s "
+  s UNSATISFIABLE (proof verified)
+
+Unsat-core iteration (php needs every clause, fixed point after round 1):
+
+  $ $R core php8.cnf | grep "fixed point"
+  c fixed point: true after 1 rounds
+
+Trim the trace to its proof core and re-check it:
+
+  $ $R trim php8.cnf php8.trc -o trimmed.trc > /dev/null; echo "exit $?"
+  exit 0
+  $ $R check php8.cnf trimmed.trc -s bf | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+Convert to DRUP and verify by reverse unit propagation:
+
+  $ $R drup php8.cnf php8.trc -o php8.drup | grep -c "DRUP written"
+  1
+
+A satisfiable instance reports a verified model (exit code 10):
+
+  $ printf 'p cnf 2 2\n1 2 0\n-1 2 0\n' > sat.cnf
+  $ $R validate sat.cnf > sat.out; echo "exit $?"
+  exit 10
+  $ grep "^s " sat.out
+  s SATISFIABLE (model verified)
+
+Model checking built-in transition systems:
+
+  $ $R mc ring:5 --unbounded | grep -o "s SAFE"
+  s SAFE
+  $ $R mc ring-buggy:4 -k 4 > mc.out; echo "exit $?"
+  exit 1
+  $ grep "^s " mc.out
+  s UNSAFE (counterexample at depth 1)
+
+Preprocessing reports its statistics:
+
+  $ printf 'p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n' > units.cnf
+  $ $R simplify units.cnf | grep "^s "
+  s SATISFIABLE (by preprocessing)

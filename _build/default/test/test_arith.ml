@@ -1,0 +1,155 @@
+(* Tests for word-level arithmetic builders against integer arithmetic. *)
+
+module N = Circuit.Netlist
+module A = Circuit.Arith
+
+let eval_word c ~inputs w =
+  let bits = Circuit.Sim.eval c ~inputs w in
+  List.fold_right (fun b acc -> (2 * acc) + if b then 1 else 0) bits 0
+
+let inputs_of_word prefix width value =
+  List.init width (fun i ->
+      (Printf.sprintf "%s_%d" prefix i, (value lsr i) land 1 = 1))
+
+let test_const_word () =
+  let c = N.create () in
+  let w = A.const_word c 6 45 in
+  Alcotest.check Alcotest.int "const roundtrip" 45 (eval_word c ~inputs:[] w)
+
+let check_binop name width build expected =
+  let c = N.create () in
+  let a = A.word_input c "a" width in
+  let b = A.word_input c "b" width in
+  let out = build c a b in
+  for x = 0 to (1 lsl width) - 1 do
+    for y = 0 to (1 lsl width) - 1 do
+      let inputs = inputs_of_word "a" width x @ inputs_of_word "b" width y in
+      let got = eval_word c ~inputs out in
+      let want = expected x y in
+      if got <> want then
+        Alcotest.failf "%s: %d op %d = %d, expected %d" name x y got want
+    done
+  done
+
+let test_add () =
+  check_binop "add" 4 (fun c a b -> A.add c a b) (fun x y -> x + y)
+
+let test_add_mod () =
+  check_binop "add_mod" 4
+    (fun c a b -> A.add_mod c a b 4)
+    (fun x y -> (x + y) land 0xf)
+
+let test_sub_mod () =
+  check_binop "sub_mod" 4
+    (fun c a b -> A.sub_mod c a b 4)
+    (fun x y -> (x - y) land 0xf)
+
+let test_mul_shift_add () =
+  check_binop "mul_shift_add" 3
+    (fun c a b -> A.mul_shift_add c a b)
+    (fun x y -> x * y)
+
+let test_mul_msb_first () =
+  check_binop "mul_msb_first" 3
+    (fun c a b -> A.mul_msb_first c a b)
+    (fun x y -> x * y)
+
+let test_bitwise () =
+  check_binop "word_and" 3 (fun c a b -> A.word_and c a b) ( land );
+  check_binop "word_or" 3 (fun c a b -> A.word_or c a b) ( lor );
+  check_binop "word_xor" 3 (fun c a b -> A.word_xor c a b) ( lxor )
+
+let test_equal () =
+  let c = N.create () in
+  let a = A.word_input c "a" 3 in
+  let b = A.word_input c "b" 3 in
+  let eq = A.equal c a b in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let inputs = inputs_of_word "a" 3 x @ inputs_of_word "b" 3 y in
+      let got = Circuit.Sim.eval1 c ~inputs eq in
+      if got <> (x = y) then Alcotest.failf "equal %d %d wrong" x y
+    done
+  done
+
+let test_zero_extend () =
+  let c = N.create () in
+  let a = A.word_input c "a" 3 in
+  let w = A.zero_extend c a 6 in
+  Alcotest.check Alcotest.int "width" 6 (List.length w);
+  Alcotest.check Alcotest.int "value preserved" 5
+    (eval_word c ~inputs:(inputs_of_word "a" 3 5) w)
+
+let test_mux_word () =
+  let c = N.create () in
+  let s = N.input c "s" in
+  let a = A.word_input c "a" 3 in
+  let b = A.word_input c "b" 3 in
+  let m = A.mux_word c ~sel:s ~if_true:a ~if_false:b in
+  let inputs vs = (("s", vs) :: inputs_of_word "a" 3 6) @ inputs_of_word "b" 3 1 in
+  Alcotest.check Alcotest.int "sel=1" 6 (eval_word c ~inputs:(inputs true) m);
+  Alcotest.check Alcotest.int "sel=0" 1 (eval_word c ~inputs:(inputs false) m)
+
+let test_alu () =
+  let width = 4 in
+  let c = N.create () in
+  let op = A.word_input c "op" 2 in
+  let a = A.word_input c "a" width in
+  let b = A.word_input c "b" width in
+  let out = A.alu c ~op ~a ~b ~width in
+  let expected o x y =
+    match o with
+    | 0 -> (x + y) land 0xf
+    | 1 -> (x - y) land 0xf
+    | 2 -> x land y
+    | _ -> x lxor y
+  in
+  for o = 0 to 3 do
+    for x = 0 to 15 do
+      for y = 0 to 15 do
+        let inputs =
+          inputs_of_word "op" 2 o @ inputs_of_word "a" width x
+          @ inputs_of_word "b" width y
+        in
+        let got = eval_word c ~inputs out in
+        if got <> expected o x y then
+          Alcotest.failf "alu op=%d %d,%d: got %d want %d" o x y got
+            (expected o x y)
+      done
+    done
+  done
+
+(* random-width property: both multipliers agree with integer product *)
+let prop_multipliers_agree =
+  Helpers.qtest ~count:40 "multipliers = integer product"
+    QCheck.(triple (int_bound 4) small_int small_int)
+    (fun (w, x, y) ->
+      let width = 1 + w in
+      let x = x land ((1 lsl width) - 1) in
+      let y = y land ((1 lsl width) - 1) in
+      let c = N.create () in
+      let a = A.word_input c "a" width in
+      let b = A.word_input c "b" width in
+      let p1 = A.mul_shift_add c a b in
+      let p2 = A.mul_msb_first c a b in
+      let inputs = inputs_of_word "a" width x @ inputs_of_word "b" width y in
+      eval_word c ~inputs p1 = x * y && eval_word c ~inputs p2 = x * y)
+
+let suite =
+  [
+    ( "arith",
+      [
+        Alcotest.test_case "const word" `Quick test_const_word;
+        Alcotest.test_case "ripple add" `Quick test_add;
+        Alcotest.test_case "modular add" `Quick test_add_mod;
+        Alcotest.test_case "modular sub" `Quick test_sub_mod;
+        Alcotest.test_case "shift-add multiplier" `Quick test_mul_shift_add;
+        Alcotest.test_case "msb-first multiplier" `Quick test_mul_msb_first;
+        Alcotest.test_case "bitwise ops" `Quick test_bitwise;
+        Alcotest.test_case "equality" `Quick test_equal;
+        Alcotest.test_case "zero extend" `Quick test_zero_extend;
+        Alcotest.test_case "mux word" `Quick test_mux_word;
+        Alcotest.test_case "alu" `Quick test_alu;
+        prop_multipliers_agree;
+      ] );
+  ]

@@ -1,0 +1,120 @@
+(* Tests for partial assignments and the linear-time model verifier —
+   the "easy half" of validation (paper §1). *)
+
+let test_assignment_basics () =
+  let a = Sat.Assignment.create 5 in
+  Alcotest.check Alcotest.bool "fresh unassigned" false
+    (Sat.Assignment.is_assigned a 3);
+  Sat.Assignment.set a 3 true;
+  Alcotest.check Alcotest.bool "assigned now" true
+    (Sat.Assignment.is_assigned a 3);
+  Alcotest.check Alcotest.bool "value" true
+    (Sat.Assignment.value a 3 = Sat.Assignment.True);
+  Sat.Assignment.unset a 3;
+  Alcotest.check Alcotest.bool "unset" false (Sat.Assignment.is_assigned a 3)
+
+let test_lit_value () =
+  let a = Sat.Assignment.create 3 in
+  Sat.Assignment.set a 1 true;
+  Sat.Assignment.set a 2 false;
+  let v = Sat.Assignment.lit_value a in
+  Alcotest.check Alcotest.bool "x1 true" true (v (Sat.Lit.pos 1) = Sat.Assignment.True);
+  Alcotest.check Alcotest.bool "-x1 false" true (v (Sat.Lit.neg 1) = Sat.Assignment.False);
+  Alcotest.check Alcotest.bool "-x2 true" true (v (Sat.Lit.neg 2) = Sat.Assignment.True);
+  Alcotest.check Alcotest.bool "x3 unassigned" true
+    (v (Sat.Lit.pos 3) = Sat.Assignment.Unassigned)
+
+let test_to_list_roundtrip () =
+  let a = Sat.Assignment.of_bool_list [ true; false; true ] in
+  Alcotest.check Alcotest.int "nvars" 3 (Sat.Assignment.nvars a);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.bool))
+    "to_list"
+    [ (1, true); (2, false); (3, true) ]
+    (Sat.Assignment.to_list a)
+
+let test_clause_status () =
+  let a = Sat.Assignment.create 4 in
+  Sat.Assignment.set a 1 false;
+  Sat.Assignment.set a 2 false;
+  let status c = Sat.Model.clause_status a (Sat.Clause.of_ints c) in
+  Alcotest.check Alcotest.bool "conflicting" true
+    (status [ 1; 2 ] = Sat.Model.Conflicting);
+  Alcotest.check Alcotest.bool "unit" true
+    (status [ 1; 2; 3 ] = Sat.Model.Unit (Sat.Lit.pos 3));
+  Alcotest.check Alcotest.bool "satisfied" true
+    (status [ -1; 3 ] = Sat.Model.Satisfied);
+  Alcotest.check Alcotest.bool "unresolved" true
+    (status [ 3; 4 ] = Sat.Model.Unresolved)
+
+let test_satisfies () =
+  let f =
+    Sat.Cnf.of_clauses 3
+      [ Sat.Clause.of_ints [ 1; 2 ]; Sat.Clause.of_ints [ -1; 3 ] ]
+  in
+  let a = Sat.Assignment.of_bool_list [ true; false; true ] in
+  Alcotest.check Alcotest.bool "model satisfies" true (Sat.Model.satisfies a f);
+  let b = Sat.Assignment.of_bool_list [ true; false; false ] in
+  Alcotest.check Alcotest.bool "non-model rejected" false
+    (Sat.Model.satisfies b f);
+  Alcotest.check (Alcotest.option Alcotest.int) "falsified index" (Some 1)
+    (Sat.Model.first_falsified b f)
+
+let test_partial_not_defaulted () =
+  (* an unassigned variable does not satisfy a clause *)
+  let f = Sat.Cnf.of_clauses 2 [ Sat.Clause.of_ints [ 1 ] ] in
+  let a = Sat.Assignment.create 2 in
+  Alcotest.check Alcotest.bool "partial assignment fails" false
+    (Sat.Model.satisfies a f)
+
+(* agreement between clause_status and a straightforward recomputation *)
+let prop_status_consistent =
+  Helpers.qtest ~count:300 "clause_status consistency"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Sat.Rng.create seed in
+      let nvars = 6 in
+      let a = Sat.Assignment.create nvars in
+      for v = 1 to nvars do
+        match Sat.Rng.int rng 3 with
+        | 0 -> Sat.Assignment.set a v true
+        | 1 -> Sat.Assignment.set a v false
+        | _ -> ()
+      done;
+      let len = 1 + Sat.Rng.int rng 4 in
+      let c =
+        Sat.Clause.of_lits
+          (List.init len (fun _ ->
+               Sat.Lit.make (1 + Sat.Rng.int rng nvars) (Sat.Rng.bool rng)))
+      in
+      let n_true = ref 0 and n_false = ref 0 and n_un = ref 0 in
+      Array.iter
+        (fun l ->
+          match Sat.Assignment.lit_value a l with
+          | Sat.Assignment.True -> incr n_true
+          | Sat.Assignment.False -> incr n_false
+          | Sat.Assignment.Unassigned -> incr n_un)
+        c;
+      match Sat.Model.clause_status a c with
+      | Sat.Model.Satisfied -> !n_true > 0
+      | Sat.Model.Conflicting -> !n_true = 0 && !n_un = 0
+      | Sat.Model.Unit _ -> !n_true = 0 && !n_un = 1
+      | Sat.Model.Unresolved -> !n_true = 0 && !n_un >= 2)
+
+let suite =
+  [
+    ( "assignment",
+      [
+        Alcotest.test_case "basics" `Quick test_assignment_basics;
+        Alcotest.test_case "lit_value" `Quick test_lit_value;
+        Alcotest.test_case "to_list" `Quick test_to_list_roundtrip;
+      ] );
+    ( "model",
+      [
+        Alcotest.test_case "clause status" `Quick test_clause_status;
+        Alcotest.test_case "satisfies" `Quick test_satisfies;
+        Alcotest.test_case "partial not defaulted" `Quick
+          test_partial_not_defaulted;
+        prop_status_consistent;
+      ] );
+  ]

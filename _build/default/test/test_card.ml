@@ -1,0 +1,148 @@
+(* Tests for the cardinality encodings: model counts over the original
+   variables match binomial expectations, and every encoding agrees with
+   a direct semantic check via enumeration. *)
+
+let binomial n k =
+  let rec c n k = if k = 0 || k = n then 1 else c (n - 1) (k - 1) + c (n - 1) k in
+  if k < 0 || k > n then 0 else c n k
+
+let sum_binomials n upto =
+  let acc = ref 0 in
+  for k = 0 to min upto n do
+    acc := !acc + binomial n k
+  done;
+  !acc
+
+(* Count models of the encoding projected onto the first [n] variables
+   by enumerating all assignments of the full space and checking
+   satisfiability of the aux part via the solver on the restricted
+   formula... simpler: enumerate assignments of originals, and for each,
+   ask the CDCL solver whether the encoding is consistent with it. *)
+let count_projected f n =
+  let count = ref 0 in
+  let total_vars = Sat.Cnf.nvars f in
+  for mask = 0 to (1 lsl n) - 1 do
+    let g = Sat.Cnf.create total_vars in
+    Sat.Cnf.iter_clauses (fun _ c -> ignore (Sat.Cnf.add_clause g c)) f;
+    for v = 1 to n do
+      let lit =
+        if (mask lsr (v - 1)) land 1 = 1 then Sat.Lit.pos v else Sat.Lit.neg v
+      in
+      ignore (Sat.Cnf.add_clause g [| lit |])
+    done;
+    match Solver.Cdcl.solve g with
+    | Solver.Cdcl.Sat _, _ -> incr count
+    | Solver.Cdcl.Unsat, _ -> ()
+  done;
+  !count
+
+let lits n = List.init n (fun i -> Sat.Lit.pos (i + 1))
+
+let test_pairwise_amo () =
+  for n = 1 to 6 do
+    let f = Sat.Cnf.create n in
+    Sat.Card.at_most_one_pairwise f (lits n);
+    Alcotest.check Alcotest.int
+      (Printf.sprintf "amo pairwise n=%d" n)
+      (n + 1) (* zero or one true *)
+      (Solver.Enumerate.count_models f
+       * (1 lsl (n - Sat.Cnf.num_distinct_vars f)))
+  done
+
+let test_sequential_amo () =
+  for n = 2 to 7 do
+    (* size the variable space generously for auxiliaries *)
+    let f = Sat.Cnf.create (2 * n + 2) in
+    let fresh, _used = Sat.Card.allocator ~first:(n + 1) in
+    Sat.Card.at_most_one_sequential f fresh (lits n);
+    Alcotest.check Alcotest.int
+      (Printf.sprintf "amo sequential n=%d" n)
+      (n + 1)
+      (count_projected f n)
+  done
+
+let test_exactly_one () =
+  for n = 1 to 6 do
+    let f = Sat.Cnf.create n in
+    Sat.Card.exactly_one f (lits n);
+    Alcotest.check Alcotest.int
+      (Printf.sprintf "exactly-one n=%d" n)
+      n
+      (count_projected f n)
+  done
+
+let test_at_most_k () =
+  List.iter
+    (fun (n, k) ->
+      let f = Sat.Cnf.create (n + (n * k) + 4) in
+      let fresh, _ = Sat.Card.allocator ~first:(n + 1) in
+      Sat.Card.at_most_k_sequential f fresh (lits n) k;
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "amk n=%d k=%d" n k)
+        (sum_binomials n k)
+        (count_projected f n))
+    [ (4, 2); (5, 1); (5, 3); (6, 2); (3, 0); (4, 4) ]
+
+let test_at_least_k () =
+  List.iter
+    (fun (n, k) ->
+      let f = Sat.Cnf.create (n + (n * n) + 4) in
+      let fresh, _ = Sat.Card.allocator ~first:(n + 1) in
+      Sat.Card.at_least_k f fresh (lits n) k;
+      let expected =
+        let acc = ref 0 in
+        for j = k to n do
+          acc := !acc + binomial n j
+        done;
+        !acc
+      in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "alk n=%d k=%d" n k)
+        expected
+        (count_projected f n))
+    [ (4, 2); (5, 4); (5, 0); (4, 5) ]
+
+let test_exactly_k () =
+  List.iter
+    (fun (n, k) ->
+      let f = Sat.Cnf.create (n + (2 * n * n) + 8) in
+      let fresh, _ = Sat.Card.allocator ~first:(n + 1) in
+      Sat.Card.exactly_k f fresh (lits n) k;
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "exk n=%d k=%d" n k)
+        (binomial n k)
+        (count_projected f n))
+    [ (4, 2); (5, 3); (5, 0); (3, 3) ]
+
+let test_mixed_phases () =
+  (* constraints over negative literals too: at most one of ¬x1..¬x4,
+     i.e. at least three of x1..x4 *)
+  let n = 4 in
+  let f = Sat.Cnf.create (2 * n + 2) in
+  let fresh, _ = Sat.Card.allocator ~first:(n + 1) in
+  Sat.Card.at_most_one_sequential f fresh
+    (List.init n (fun i -> Sat.Lit.neg (i + 1)));
+  Alcotest.check Alcotest.int "amo over negations"
+    (binomial n n + binomial n (n - 1))
+    (count_projected f n)
+
+let test_allocator () =
+  let fresh, used = Sat.Card.allocator ~first:10 in
+  Alcotest.check Alcotest.int "first" 10 (fresh ());
+  Alcotest.check Alcotest.int "second" 11 (fresh ());
+  Alcotest.check Alcotest.int "used" 2 (used ())
+
+let suite =
+  [
+    ( "cardinality",
+      [
+        Alcotest.test_case "pairwise AMO" `Quick test_pairwise_amo;
+        Alcotest.test_case "sequential AMO" `Quick test_sequential_amo;
+        Alcotest.test_case "exactly one" `Quick test_exactly_one;
+        Alcotest.test_case "at most k" `Slow test_at_most_k;
+        Alcotest.test_case "at least k" `Quick test_at_least_k;
+        Alcotest.test_case "exactly k" `Slow test_exactly_k;
+        Alcotest.test_case "mixed phases" `Quick test_mixed_phases;
+        Alcotest.test_case "allocator" `Quick test_allocator;
+      ] );
+  ]

@@ -1,0 +1,189 @@
+(* Tests for the circuit substrate: netlist construction and folding, the
+   simulator, and faithfulness of the Tseitin encoding. *)
+
+module N = Circuit.Netlist
+
+let test_constant_folding () =
+  let c = N.create () in
+  let x = N.input c "x" in
+  let t = N.const c true and f = N.const c false in
+  Alcotest.check Alcotest.bool "and with false folds" true
+    (N.and_ c x f = f);
+  Alcotest.check Alcotest.bool "and with true is identity" true
+    (N.and_ c x t = x);
+  Alcotest.check Alcotest.bool "or with true folds" true (N.or_ c x t = t);
+  Alcotest.check Alcotest.bool "xor with false is identity" true
+    (N.xor_ c x f = x);
+  Alcotest.check Alcotest.bool "x and x is x" true (N.and_ c x x = x);
+  Alcotest.check Alcotest.bool "x xor x is false" true (N.xor_ c x x = f);
+  Alcotest.check Alcotest.bool "double negation cancels" true
+    (N.not_ c (N.not_ c x) = x)
+
+let test_hash_consing () =
+  let c = N.create () in
+  let x = N.input c "x" and y = N.input c "y" in
+  let a1 = N.and_ c x y in
+  let a2 = N.and_ c y x in
+  Alcotest.check Alcotest.bool "commutative sharing" true (a1 = a2);
+  let before = N.num_nodes c in
+  ignore (N.and_ c x y);
+  Alcotest.check Alcotest.int "no new node" before (N.num_nodes c)
+
+let test_duplicate_input_rejected () =
+  let c = N.create () in
+  ignore (N.input c "x");
+  try
+    ignore (N.input c "x");
+    Alcotest.fail "duplicate input accepted"
+  with Invalid_argument _ -> ()
+
+let test_sim_gates () =
+  let c = N.create () in
+  let x = N.input c "x" and y = N.input c "y" in
+  let nodes =
+    [ N.and_ c x y; N.or_ c x y; N.xor_ c x y; N.not_ c x;
+      N.nand_ c x y; N.nor_ c x y; N.xnor_ c x y ]
+  in
+  let eval bx by =
+    Circuit.Sim.eval c ~inputs:[ ("x", bx); ("y", by) ] nodes
+  in
+  Alcotest.check (Alcotest.list Alcotest.bool) "11"
+    [ true; true; false; false; false; false; true ] (eval true true);
+  Alcotest.check (Alcotest.list Alcotest.bool) "10"
+    [ false; true; true; false; true; false; false ] (eval true false);
+  Alcotest.check (Alcotest.list Alcotest.bool) "00"
+    [ false; false; false; true; true; true; true ] (eval false false)
+
+let test_sim_missing_input () =
+  let c = N.create () in
+  let x = N.input c "x" in
+  try
+    ignore (Circuit.Sim.eval1 c ~inputs:[] x);
+    Alcotest.fail "missing input accepted"
+  with Invalid_argument _ -> ()
+
+let test_mux () =
+  let c = N.create () in
+  let s = N.input c "s" and a = N.input c "a" and b = N.input c "b" in
+  let m = N.mux c ~sel:s ~if_true:a ~if_false:b in
+  let eval vs va vb =
+    Circuit.Sim.eval1 c ~inputs:[ ("s", vs); ("a", va); ("b", vb) ] m
+  in
+  Alcotest.check Alcotest.bool "sel=1 picks a" true (eval true true false);
+  Alcotest.check Alcotest.bool "sel=0 picks b" false (eval false true false)
+
+let test_big_ops () =
+  let c = N.create () in
+  let xs = List.init 5 (fun i -> N.input c (Printf.sprintf "x%d" i)) in
+  let all = N.big_and c xs and any = N.big_or c xs and parity = N.big_xor c xs in
+  let inputs bs = List.mapi (fun i b -> (Printf.sprintf "x%d" i, b)) bs in
+  let v = Circuit.Sim.eval c ~inputs:(inputs [ true; true; false; true; true ]) in
+  Alcotest.check (Alcotest.list Alcotest.bool) "mixed"
+    [ false; true; false ] (v [ all; any; parity ]);
+  let v2 = Circuit.Sim.eval c ~inputs:(inputs [ true; true; true; true; true ]) in
+  Alcotest.check (Alcotest.list Alcotest.bool) "all ones"
+    [ true; true; true ] (v2 [ all; any; parity ]);
+  Alcotest.check Alcotest.bool "empty big_and is true" true
+    (N.big_and c [] = N.const c true)
+
+(* Tseitin faithfulness: for random circuits and random input pinnings,
+   the CNF is satisfiable exactly when the simulator agrees, and the SAT
+   model evaluates the circuit consistently. *)
+let prop_tseitin_faithful =
+  Helpers.qtest ~count:60 "tseitin encodes the circuit"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Sat.Rng.create seed in
+      let c = N.create () in
+      let n_inputs = 2 + Sat.Rng.int rng 4 in
+      let inputs =
+        List.init n_inputs (fun i -> N.input c (Printf.sprintf "x%d" i))
+      in
+      (* grow a random DAG *)
+      let pool = ref (Array.of_list inputs) in
+      for _ = 1 to 10 + Sat.Rng.int rng 15 do
+        let pick () = Sat.Rng.pick rng !pool in
+        let n =
+          match Sat.Rng.int rng 4 with
+          | 0 -> N.and_ c (pick ()) (pick ())
+          | 1 -> N.or_ c (pick ()) (pick ())
+          | 2 -> N.xor_ c (pick ()) (pick ())
+          | _ -> N.not_ c (pick ())
+        in
+        pool := Array.append !pool [| n |]
+      done;
+      let out = !pool.(Array.length !pool - 1) in
+      let want = Sat.Rng.bool rng in
+      let enc = Circuit.Tseitin.encode c ~constraints:[ (out, want) ] in
+      (* oracle: does some input valuation give [want]? *)
+      let expected = ref false in
+      for mask = 0 to (1 lsl n_inputs) - 1 do
+        let inputs_v =
+          List.mapi
+            (fun i _ -> (Printf.sprintf "x%d" i, (mask lsr i) land 1 = 1))
+            inputs
+        in
+        if Circuit.Sim.eval1 c ~inputs:inputs_v out = want then
+          expected := true
+      done;
+      match Solver.Cdcl.solve enc.Circuit.Tseitin.cnf with
+      | Solver.Cdcl.Sat a, _ ->
+        (* read back the model and re-simulate *)
+        let inputs_v = Circuit.Tseitin.model_to_inputs enc c a in
+        !expected && Circuit.Sim.eval1 c ~inputs:inputs_v out = want
+      | Solver.Cdcl.Unsat, _ -> not !expected)
+
+let test_miter_equivalent () =
+  (* two forms of xor: a⊕b vs (a∧¬b)∨(¬a∧b) *)
+  let c = N.create () in
+  let a = N.input c "a" and b = N.input c "b" in
+  let x1 = N.xor_ c a b in
+  let x2 = N.or_ c (N.and_ c a (N.not_ c b)) (N.and_ c (N.not_ c a) b) in
+  let f = Circuit.Miter.equivalence_cnf c [ x1 ] [ x2 ] in
+  match Solver.Cdcl.solve f with
+  | Solver.Cdcl.Unsat, _ -> ()
+  | Solver.Cdcl.Sat _, _ -> Alcotest.fail "equivalent circuits distinguished"
+
+let test_miter_inequivalent () =
+  let c = N.create () in
+  let a = N.input c "a" and b = N.input c "b" in
+  let f = Circuit.Miter.equivalence_cnf c [ N.and_ c a b ] [ N.or_ c a b ] in
+  match Solver.Cdcl.solve f with
+  | Solver.Cdcl.Sat m, _ ->
+    Alcotest.check Alcotest.bool "counterexample verified" true
+      (Sat.Model.satisfies m f)
+  | Solver.Cdcl.Unsat, _ -> Alcotest.fail "and = or ?!"
+
+let test_miter_width_mismatch () =
+  let c = N.create () in
+  let a = N.input c "a" in
+  try
+    ignore (Circuit.Miter.build c [ a ] []);
+    Alcotest.fail "width mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "netlist",
+      [
+        Alcotest.test_case "constant folding" `Quick test_constant_folding;
+        Alcotest.test_case "hash consing" `Quick test_hash_consing;
+        Alcotest.test_case "duplicate input" `Quick
+          test_duplicate_input_rejected;
+        Alcotest.test_case "big and/or/xor" `Quick test_big_ops;
+        Alcotest.test_case "mux" `Quick test_mux;
+      ] );
+    ( "sim",
+      [
+        Alcotest.test_case "gate semantics" `Quick test_sim_gates;
+        Alcotest.test_case "missing input" `Quick test_sim_missing_input;
+      ] );
+    ( "tseitin",
+      [
+        prop_tseitin_faithful;
+        Alcotest.test_case "miter equivalent" `Quick test_miter_equivalent;
+        Alcotest.test_case "miter inequivalent" `Quick test_miter_inequivalent;
+        Alcotest.test_case "miter width mismatch" `Quick
+          test_miter_width_mismatch;
+      ] );
+  ]

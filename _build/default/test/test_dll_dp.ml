@@ -1,0 +1,128 @@
+(* Tests for the historical baselines: plain DLL search and the classic
+   Davis-Putnam elimination procedure. *)
+
+let test_dll_agrees_with_oracle () =
+  let rng = Sat.Rng.create 555 in
+  for _ = 1 to 80 do
+    let nvars = 3 + Sat.Rng.int rng 9 in
+    let f =
+      Helpers.random_messy_cnf rng ~nvars ~nclauses:(1 + Sat.Rng.int rng 35)
+    in
+    let oracle = Solver.Enumerate.solve f in
+    match Solver.Dll.solve f with
+    | Some (result, _) ->
+      if not (Helpers.same_status oracle result) then
+        Alcotest.failf "DLL disagrees: oracle %s, dll %s"
+          (Helpers.status_to_string oracle)
+          (Helpers.status_to_string result)
+    | None -> Alcotest.fail "DLL hit the node limit on a tiny instance"
+  done
+
+let test_dll_models_verified () =
+  let rng = Sat.Rng.create 556 in
+  for _ = 1 to 40 do
+    let f = Helpers.random_3sat rng ~nvars:10 ~nclauses:25 in
+    match Solver.Dll.solve f with
+    | Some (Solver.Cdcl.Sat a, _) ->
+      Alcotest.check Alcotest.bool "dll model satisfies" true
+        (Sat.Model.satisfies a f)
+    | Some (Solver.Cdcl.Unsat, _) -> ()
+    | None -> Alcotest.fail "node limit"
+  done
+
+let test_dll_node_limit () =
+  let f = Gen.Php.unsat ~holes:7 in
+  match Solver.Dll.solve ~node_limit:10 f with
+  | None -> ()
+  | Some _ -> Alcotest.fail "node limit not respected"
+
+let test_dll_stats () =
+  let f = Gen.Php.unsat ~holes:3 in
+  match Solver.Dll.solve f with
+  | Some (Solver.Cdcl.Unsat, stats) ->
+    Alcotest.check Alcotest.bool "made decisions" true (stats.decisions > 0)
+  | Some (Solver.Cdcl.Sat _, _) -> Alcotest.fail "php unsat"
+  | None -> Alcotest.fail "node limit"
+
+let test_dp_agrees_with_oracle () =
+  let rng = Sat.Rng.create 557 in
+  for _ = 1 to 60 do
+    let nvars = 3 + Sat.Rng.int rng 8 in
+    let f =
+      Helpers.random_messy_cnf rng ~nvars ~nclauses:(1 + Sat.Rng.int rng 30)
+    in
+    let oracle = Solver.Enumerate.solve f in
+    let outcome, _ = Solver.Dp.solve f in
+    match outcome, oracle with
+    | Solver.Dp.Sat_dp, Solver.Cdcl.Sat _ -> ()
+    | Solver.Dp.Unsat_dp, Solver.Cdcl.Unsat -> ()
+    | Solver.Dp.Out_of_budget, _ -> Alcotest.fail "budget on tiny instance"
+    | Solver.Dp.Sat_dp, Solver.Cdcl.Unsat
+    | Solver.Dp.Unsat_dp, Solver.Cdcl.Sat _ ->
+      Alcotest.fail "DP disagrees with oracle"
+  done
+
+let test_dp_space_blowup () =
+  (* the paper's motivation for DLL over DP: elimination blows up in
+     space; a pigeonhole instance must overflow a small clause budget *)
+  let f = Gen.Php.unsat ~holes:7 in
+  let outcome, stats = Solver.Dp.solve ~clause_budget:600 f in
+  match outcome with
+  | Solver.Dp.Out_of_budget ->
+    Alcotest.check Alcotest.bool "peak tracked" true
+      (stats.peak_clauses > 600)
+  | Solver.Dp.Sat_dp -> Alcotest.fail "php is unsat"
+  | Solver.Dp.Unsat_dp ->
+    (* acceptable if elimination order got lucky; but the peak must at
+       least have been recorded *)
+    Alcotest.check Alcotest.bool "peak recorded" true (stats.peak_clauses > 0)
+
+let test_dp_trivial () =
+  let empty_clause = Sat.Cnf.of_clauses 1 [ [||] ] in
+  (match Solver.Dp.solve empty_clause with
+   | Solver.Dp.Unsat_dp, _ -> ()
+   | (Solver.Dp.Sat_dp | Solver.Dp.Out_of_budget), _ ->
+     Alcotest.fail "empty clause is unsat");
+  let empty_formula = Sat.Cnf.create 2 in
+  match Solver.Dp.solve empty_formula with
+  | Solver.Dp.Sat_dp, _ -> ()
+  | (Solver.Dp.Unsat_dp | Solver.Dp.Out_of_budget), _ ->
+    Alcotest.fail "empty formula is sat"
+
+let test_enumerate_count_models () =
+  (* x1 or x2 over exactly those two vars: 3 models *)
+  let f = Sat.Cnf.of_clauses 2 [ Sat.Clause.of_ints [ 1; 2 ] ] in
+  Alcotest.check Alcotest.int "count" 3 (Solver.Enumerate.count_models f)
+
+let test_enumerate_limit () =
+  let f = Sat.Cnf.create 30 in
+  let c = Sat.Clause.of_lits (List.init 30 (fun i -> Sat.Lit.pos (i + 1))) in
+  ignore (Sat.Cnf.add_clause f c);
+  try
+    ignore (Solver.Enumerate.solve f);
+    Alcotest.fail "oracle accepted 30 variables"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "dll",
+      [
+        Alcotest.test_case "agrees with oracle" `Slow
+          test_dll_agrees_with_oracle;
+        Alcotest.test_case "models verified" `Quick test_dll_models_verified;
+        Alcotest.test_case "node limit" `Quick test_dll_node_limit;
+        Alcotest.test_case "stats" `Quick test_dll_stats;
+      ] );
+    ( "dp",
+      [
+        Alcotest.test_case "agrees with oracle" `Slow
+          test_dp_agrees_with_oracle;
+        Alcotest.test_case "space blowup" `Quick test_dp_space_blowup;
+        Alcotest.test_case "trivial formulas" `Quick test_dp_trivial;
+      ] );
+    ( "enumerate",
+      [
+        Alcotest.test_case "count models" `Quick test_enumerate_count_models;
+        Alcotest.test_case "variable limit" `Quick test_enumerate_limit;
+      ] );
+  ]

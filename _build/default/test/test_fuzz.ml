@@ -1,0 +1,134 @@
+(* Robustness fuzzing: arbitrary corruption of serialized artefacts must
+   surface as a structured error (Parse_error / Check_failed / a checker
+   Error value), never as a crash, a hang, or a silent acceptance of an
+   invalid proof. *)
+
+let mutate_string rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let n_edits = 1 + Sat.Rng.int rng 4 in
+    for _ = 1 to n_edits do
+      let i = Sat.Rng.int rng (Bytes.length b) in
+      match Sat.Rng.int rng 3 with
+      | 0 -> Bytes.set b i (Char.chr (Sat.Rng.int rng 256))
+      | 1 -> Bytes.set b i '0'
+      | _ -> Bytes.set b i ' '
+    done;
+    Bytes.to_string b
+  end
+
+let truncate_string rng s =
+  if String.length s < 2 then s
+  else String.sub s 0 (Sat.Rng.int rng (String.length s))
+
+(* The reader either parses (possibly into a semantically broken trace,
+   which the checkers must then reject or validly accept) or raises
+   Parse_error.  Nothing else. *)
+let test_fuzz_trace_bytes () =
+  let f = Gen.Php.unsat ~holes:4 in
+  let _, _, ascii = Pipeline.Validate.solve_with_trace f in
+  let wb = Trace.Writer.create Trace.Writer.Binary in
+  ignore (Solver.Cdcl.solve ~trace:wb f);
+  let binary = Trace.Writer.contents wb in
+  let rng = Sat.Rng.create 60601 in
+  let exercise payload =
+    let source = Trace.Reader.From_string payload in
+    match Trace.Reader.to_list source with
+    | exception Trace.Reader.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "reader raised unexpected %s" (Printexc.to_string e)
+    | _events -> (
+      (* parsed: every checker must produce a structured verdict *)
+      match
+        ( Checker.Df.check f source,
+          Checker.Bf.check f source,
+          Checker.Hybrid.check f source )
+      with
+      | (Ok _ | Error _), (Ok _ | Error _), (Ok _ | Error _) -> ()
+      | exception e ->
+        Alcotest.failf "checker raised unexpected %s" (Printexc.to_string e))
+  in
+  for _ = 1 to 150 do
+    exercise (mutate_string rng ascii);
+    exercise (mutate_string rng binary);
+    exercise (truncate_string rng ascii);
+    exercise (truncate_string rng binary)
+  done
+
+(* Mutations must never turn a satisfiable formula's trace into an
+   accepted proof: acceptance by any checker implies the formula really
+   is unsatisfiable.  We fuzz traces from an UNSAT instance against a
+   *different*, satisfiable formula: nothing may accept. *)
+let test_no_cross_acceptance () =
+  let unsat = Gen.Php.unsat ~holes:4 in
+  let sat_formula =
+    Gen.Random3sat.generate (Sat.Rng.create 5) ~nvars:20 ~nclauses:45
+  in
+  (match Solver.Cdcl.solve sat_formula with
+   | Solver.Cdcl.Sat _, _ -> ()
+   | Solver.Cdcl.Unsat, _ -> Alcotest.fail "control formula must be sat");
+  let _, _, trace = Pipeline.Validate.solve_with_trace unsat in
+  let source = Trace.Reader.From_string trace in
+  (match Checker.Df.check sat_formula source with
+   | Ok _ -> Alcotest.fail "DF accepted a proof for a satisfiable formula"
+   | Error _ -> ());
+  (match Checker.Bf.check sat_formula source with
+   | Ok _ -> Alcotest.fail "BF accepted a proof for a satisfiable formula"
+   | Error _ -> ());
+  match Checker.Hybrid.check sat_formula source with
+  | Ok _ -> Alcotest.fail "Hybrid accepted a proof for a satisfiable formula"
+  | Error _ -> ()
+
+(* DIMACS parser: corrupted documents raise Parse_error, never crash *)
+let test_fuzz_dimacs () =
+  let doc = Sat.Dimacs.to_string (Gen.Php.unsat ~holes:4) in
+  let rng = Sat.Rng.create 60602 in
+  for _ = 1 to 200 do
+    let payload =
+      if Sat.Rng.bool rng then mutate_string rng doc
+      else truncate_string rng doc
+    in
+    match Sat.Dimacs.parse_string payload with
+    | exception Sat.Dimacs.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "dimacs raised unexpected %s" (Printexc.to_string e)
+    | _f -> ()
+  done
+
+(* DRUP text parser robustness *)
+let test_fuzz_drup_text () =
+  let f = Gen.Php.unsat ~holes:4 in
+  let _, _, trace = Pipeline.Validate.solve_with_trace f in
+  let derivation =
+    match Pipeline.Drup.of_trace f (Trace.Reader.From_string trace) with
+    | Ok d -> d
+    | Error _ -> Alcotest.fail "conversion failed"
+  in
+  let text = Pipeline.Drup.to_string derivation in
+  let rng = Sat.Rng.create 60603 in
+  for _ = 1 to 100 do
+    let payload = mutate_string rng text in
+    match Pipeline.Drup.parse payload with
+    | exception Failure _ -> ()
+    | exception Invalid_argument _ -> ()
+    | exception e ->
+      Alcotest.failf "drup parse raised unexpected %s" (Printexc.to_string e)
+    | clauses -> (
+      (* parsed garbage must not check as a proof unless it genuinely is
+         one — Rup.check decides; any structured outcome is fine *)
+      match Checker.Rup.check f clauses with
+      | Ok _ | Error _ -> ())
+  done
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "trace bytes" `Slow test_fuzz_trace_bytes;
+        Alcotest.test_case "no cross acceptance" `Quick
+          test_no_cross_acceptance;
+        Alcotest.test_case "dimacs bytes" `Quick test_fuzz_dimacs;
+        Alcotest.test_case "drup text" `Quick test_fuzz_drup_text;
+      ] );
+  ]

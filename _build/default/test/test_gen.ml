@@ -1,0 +1,172 @@
+(* Tests for the workload generators: expected satisfiability status of
+   every family, SAT/UNSAT control pairs, and structural properties. *)
+
+let is_unsat f =
+  match Solver.Cdcl.solve f with
+  | Solver.Cdcl.Unsat, _ -> true
+  | Solver.Cdcl.Sat _, _ -> false
+
+let expect_unsat name f =
+  if not (is_unsat f) then Alcotest.failf "%s should be unsat" name
+
+let expect_sat name f =
+  if is_unsat f then Alcotest.failf "%s should be sat" name
+
+let test_php_statuses () =
+  expect_unsat "php(5,4)" (Gen.Php.generate ~pigeons:5 ~holes:4);
+  expect_sat "php(4,4)" (Gen.Php.generate ~pigeons:4 ~holes:4);
+  expect_sat "php(3,4)" (Gen.Php.generate ~pigeons:3 ~holes:4)
+
+let test_php_oracle () =
+  (* n pigeons in n holes: exactly n! placements *)
+  let f = Gen.Php.generate ~pigeons:3 ~holes:3 in
+  Alcotest.check Alcotest.int "3! models" 6 (Solver.Enumerate.count_models f)
+
+let test_parity () =
+  expect_unsat "odd cycle 8" (Gen.Parity.odd_cycle 8);
+  expect_unsat "odd cycle 9" (Gen.Parity.odd_cycle 9);
+  expect_unsat "chain parity=1" (Gen.Parity.chain ~parity:true 20);
+  expect_sat "chain parity=0" (Gen.Parity.chain ~parity:false 20)
+
+let test_random3sat_shape () =
+  let rng = Sat.Rng.create 31 in
+  let f = Gen.Random3sat.generate rng ~nvars:30 ~nclauses:100 in
+  Alcotest.check Alcotest.int "clause count" 100 (Sat.Cnf.nclauses f);
+  Sat.Cnf.iter_clauses
+    (fun i c ->
+      if Sat.Clause.size c <> 3 then Alcotest.failf "clause %d not ternary" i;
+      let vars = List.map abs (Sat.Clause.to_ints c) in
+      if List.sort_uniq Int.compare vars <> List.sort Int.compare vars then
+        Alcotest.failf "clause %d repeats a variable" i)
+    f
+
+let test_equiv_pair () =
+  let rng = Sat.Rng.create 41 in
+  expect_unsat "equiv correct" (Gen.Equiv.miter rng ~inputs:5 ~outputs:3);
+  let rng = Sat.Rng.create 41 in
+  expect_sat "equiv buggy" (Gen.Equiv.miter_buggy rng ~inputs:5 ~outputs:3)
+
+let test_multiplier_pair () =
+  expect_unsat "multiplier correct" (Gen.Multiplier.miter ~width:3);
+  expect_unsat "multiplier high bits"
+    (Gen.Multiplier.miter_high_bits ~width:4 ~bits:3);
+  expect_sat "multiplier buggy" (Gen.Multiplier.miter_buggy ~width:3)
+
+let test_multiplier_bug_is_real () =
+  (* the SAT model of the buggy miter must be a genuine counterexample *)
+  let f = Gen.Multiplier.miter_buggy ~width:3 in
+  match Solver.Cdcl.solve f with
+  | Solver.Cdcl.Sat a, _ ->
+    Alcotest.check Alcotest.bool "model verified" true
+      (Sat.Model.satisfies a f)
+  | Solver.Cdcl.Unsat, _ -> Alcotest.fail "buggy miter unsat"
+
+let test_pipeline_pair () =
+  expect_unsat "pipeline correct"
+    (Gen.Pipeline_cpu.correct ~regs:2 ~width:2 ~depth:2);
+  expect_sat "pipeline missing forwarding"
+    (Gen.Pipeline_cpu.buggy ~regs:2 ~width:2 ~depth:2)
+
+let test_bmc_counter () =
+  expect_unsat "target beyond horizon"
+    (Gen.Bmc.counter_reach ~width:5 ~steps:6 ~target:10);
+  expect_sat "target within horizon"
+    (Gen.Bmc.counter_reach ~width:5 ~steps:12 ~target:10);
+  try
+    ignore (Gen.Bmc.counter_reach ~width:3 ~steps:4 ~target:9);
+    Alcotest.fail "oversized target accepted"
+  with Invalid_argument _ -> ()
+
+let test_bmc_token_ring () =
+  expect_unsat "one-hot invariant holds" (Gen.Bmc.token_ring ~nodes:5 ~steps:7)
+
+let test_routing_pair () =
+  expect_unsat "over-subscribed channel"
+    (Gen.Routing.channel (Sat.Rng.create 7) ~nets:12 ~tracks:3
+       ~extra_conflict_density:0.1);
+  expect_sat "lightly loaded channel"
+    (Gen.Routing.routable (Sat.Rng.create 7) ~nets:10 ~tracks:5
+       ~conflict_density:0.1)
+
+let test_planning_pair () =
+  expect_unsat "horizon too short"
+    (Gen.Planning.unreachable_goal ~width:5 ~height:5 ~horizon:7);
+  expect_sat "horizon long enough"
+    (Gen.Planning.reachable_goal ~width:5 ~height:5 ~horizon:8)
+
+let test_families_registry () =
+  Alcotest.check Alcotest.bool "suite nonempty" true
+    (List.length (Gen.Families.suite ()) >= 10);
+  (match Gen.Families.find "php_8" with
+   | Some fam ->
+     Alcotest.check Alcotest.string "analogue recorded" "hole-n (control)"
+       fam.paper_analogue
+   | None -> Alcotest.fail "php_8 not found");
+  Alcotest.check Alcotest.bool "unknown name" true
+    (Gen.Families.find "no_such_family" = None);
+  (* names are unique *)
+  let names = Gen.Families.names () in
+  Alcotest.check Alcotest.int "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_families_deterministic () =
+  List.iter
+    (fun (fam : Gen.Families.family) ->
+      let a = Sat.Dimacs.to_string (fam.generate ()) in
+      let b = Sat.Dimacs.to_string (fam.generate ()) in
+      if a <> b then Alcotest.failf "%s not deterministic" fam.name)
+    (Gen.Families.quick ())
+
+let suite =
+  [
+    ( "generators",
+      [
+        Alcotest.test_case "php statuses" `Quick test_php_statuses;
+        Alcotest.test_case "php model count" `Quick test_php_oracle;
+        Alcotest.test_case "parity" `Quick test_parity;
+        Alcotest.test_case "random 3-sat shape" `Quick test_random3sat_shape;
+        Alcotest.test_case "equiv pair" `Quick test_equiv_pair;
+        Alcotest.test_case "multiplier pair" `Quick test_multiplier_pair;
+        Alcotest.test_case "multiplier bug is real" `Quick
+          test_multiplier_bug_is_real;
+        Alcotest.test_case "pipeline pair" `Slow test_pipeline_pair;
+        Alcotest.test_case "bmc counter" `Quick test_bmc_counter;
+        Alcotest.test_case "bmc token ring" `Quick test_bmc_token_ring;
+        Alcotest.test_case "routing pair" `Quick test_routing_pair;
+        Alcotest.test_case "planning pair" `Quick test_planning_pair;
+        Alcotest.test_case "families registry" `Quick test_families_registry;
+        Alcotest.test_case "families deterministic" `Quick
+          test_families_deterministic;
+      ] );
+  ]
+
+let test_routing_capacity () =
+  (* unsat iff nets > tracks * capacity *)
+  Helpers.check Helpers.bool_t "7 nets, 3x2 capacity" true
+    (match Solver.Cdcl.solve (Gen.Routing.capacity ~nets:7 ~tracks:3 ~capacity:2) with
+     | Solver.Cdcl.Unsat, _ -> true
+     | Solver.Cdcl.Sat _, _ -> false);
+  match Solver.Cdcl.solve (Gen.Routing.capacity ~nets:6 ~tracks:3 ~capacity:2) with
+  | Solver.Cdcl.Sat a, _ ->
+    Helpers.check Helpers.bool_t "6 nets fit and model verifies" true
+      (Sat.Model.satisfies a (Gen.Routing.capacity ~nets:6 ~tracks:3 ~capacity:2))
+  | Solver.Cdcl.Unsat, _ -> Alcotest.fail "6 nets should fit 3x2"
+
+let test_routing_capacity_checkable () =
+  let f = Gen.Routing.capacity ~nets:9 ~tracks:4 ~capacity:2 in
+  let o = Pipeline.Validate.run f in
+  match o.verdict with
+  | Pipeline.Validate.Unsat_verified _ -> ()
+  | _ -> Alcotest.fail "capacity instance not unsat-verified"
+
+let suite =
+  suite
+  @ [
+      ( "routing-capacity",
+        [
+          Alcotest.test_case "status boundary" `Quick test_routing_capacity;
+          Alcotest.test_case "proof checkable" `Quick
+            test_routing_capacity_checkable;
+        ] );
+    ]

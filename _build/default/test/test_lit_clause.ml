@@ -1,0 +1,158 @@
+(* Tests for literals and the clause/resolution algebra. *)
+
+let lit_gen =
+  QCheck.map
+    (fun (v, s) -> Sat.Lit.make (1 + abs v mod 50) s)
+    QCheck.(pair small_int bool)
+
+let test_lit_basics () =
+  let l = Sat.Lit.pos 3 in
+  Alcotest.check Alcotest.int "var" 3 (Sat.Lit.var l);
+  Alcotest.check Alcotest.bool "pos is not neg" false (Sat.Lit.is_neg l);
+  Alcotest.check Alcotest.bool "negate flips" true
+    (Sat.Lit.is_neg (Sat.Lit.negate l));
+  Alcotest.check Alcotest.int "negate keeps var" 3
+    (Sat.Lit.var (Sat.Lit.negate l))
+
+let test_lit_dimacs () =
+  Alcotest.check Alcotest.int "pos to_int" 7 (Sat.Lit.to_int (Sat.Lit.pos 7));
+  Alcotest.check Alcotest.int "neg to_int" (-7) (Sat.Lit.to_int (Sat.Lit.neg 7));
+  Alcotest.check Alcotest.int "of_int pos" (Sat.Lit.pos 9) (Sat.Lit.of_int 9);
+  Alcotest.check Alcotest.int "of_int neg" (Sat.Lit.neg 9) (Sat.Lit.of_int (-9));
+  Alcotest.check_raises "of_int 0 rejected"
+    (Invalid_argument "Lit.of_int: 0 is not a literal") (fun () ->
+      ignore (Sat.Lit.of_int 0))
+
+let test_lit_invalid () =
+  Alcotest.check_raises "variable 0 rejected"
+    (Invalid_argument "Lit.make: variable must be >= 1") (fun () ->
+      ignore (Sat.Lit.make 0 false))
+
+let prop_negate_involutive =
+  Helpers.qtest "negate is an involution" lit_gen (fun l ->
+      Sat.Lit.negate (Sat.Lit.negate l) = l)
+
+let prop_dimacs_roundtrip =
+  Helpers.qtest "of_int/to_int roundtrip" lit_gen (fun l ->
+      Sat.Lit.of_int (Sat.Lit.to_int l) = l)
+
+let test_normalize () =
+  let c = Sat.Clause.of_ints [ 3; -1; 3; 2 ] in
+  (match Sat.Clause.normalize c with
+   | Some d ->
+     Alcotest.check (Alcotest.list Alcotest.int) "sorted deduped"
+       [ -1; 2; 3 ]
+       (List.sort Int.compare (Sat.Clause.to_ints d))
+   | None -> Alcotest.fail "not a tautology");
+  let t = Sat.Clause.of_ints [ 1; -1; 2 ] in
+  Alcotest.check Alcotest.bool "tautology detected" true
+    (Sat.Clause.normalize t = None)
+
+let test_is_tautology () =
+  Alcotest.check Alcotest.bool "x + -x" true
+    (Sat.Clause.is_tautology (Sat.Clause.of_ints [ 4; -4 ]));
+  Alcotest.check Alcotest.bool "plain clause" false
+    (Sat.Clause.is_tautology (Sat.Clause.of_ints [ 4; 5; -6 ]))
+
+let test_resolution_example () =
+  (* the paper's example: (x + y)(y' + z) resolves to (x + z) on y *)
+  let c1 = Sat.Clause.of_ints [ 1; 2 ] in
+  let c2 = Sat.Clause.of_ints [ -2; 3 ] in
+  let r = Sat.Clause.resolve c1 c2 2 in
+  Alcotest.check (Alcotest.list Alcotest.int) "resolvent"
+    [ 1; 3 ]
+    (List.sort Int.compare (Sat.Clause.to_ints r))
+
+let test_resolution_empty () =
+  let c1 = Sat.Clause.of_ints [ 5 ] in
+  let c2 = Sat.Clause.of_ints [ -5 ] in
+  Alcotest.check Alcotest.int "unit vs unit gives empty clause" 0
+    (Sat.Clause.size (Sat.Clause.resolve c1 c2 5))
+
+let test_resolution_errors () =
+  let c1 = Sat.Clause.of_ints [ 1; 2 ] in
+  let c2 = Sat.Clause.of_ints [ 1; 3 ] in
+  (try
+     ignore (Sat.Clause.resolve c1 c2 1);
+     Alcotest.fail "no clash accepted"
+   with Invalid_argument _ -> ());
+  let c3 = Sat.Clause.of_ints [ -1; -2; 4 ] in
+  (try
+     ignore (Sat.Clause.resolve c1 c3 1);
+     Alcotest.fail "double clash accepted"
+   with Invalid_argument _ -> ())
+
+let test_clashing_vars () =
+  let c1 = Sat.Clause.of_ints [ 1; 2; -3 ] in
+  let c2 = Sat.Clause.of_ints [ -1; -2; 4 ] in
+  Alcotest.check (Alcotest.list Alcotest.int) "both clashes found" [ 1; 2 ]
+    (Sat.Clause.clashing_vars c1 c2)
+
+(* Soundness of resolution: any total assignment satisfying both premises
+   satisfies the resolvent. *)
+let prop_resolution_sound =
+  let gen =
+    QCheck.make
+      ~print:(fun (s, _) -> Printf.sprintf "seed %d" s)
+      (QCheck.Gen.pair (QCheck.Gen.int_bound 100_000) (QCheck.Gen.return ()))
+  in
+  Helpers.qtest ~count:200 "resolution soundness" gen (fun (seed, ()) ->
+      let rng = Sat.Rng.create seed in
+      let nvars = 6 in
+      let v = 1 + Sat.Rng.int rng nvars in
+      let other () =
+        let u = ref v in
+        while !u = v do
+          u := 1 + Sat.Rng.int rng nvars
+        done;
+        Sat.Lit.make !u (Sat.Rng.bool rng)
+      in
+      let c1 =
+        Sat.Clause.of_lits
+          (Sat.Lit.pos v :: List.init (Sat.Rng.int rng 3) (fun _ -> other ()))
+      in
+      let c2 =
+        Sat.Clause.of_lits
+          (Sat.Lit.neg v :: List.init (Sat.Rng.int rng 3) (fun _ -> other ()))
+      in
+      match Sat.Clause.clashing_vars c1 c2 with
+      | [ u ] when u = v ->
+        let r = Sat.Clause.resolve c1 c2 v in
+        let ok = ref true in
+        for mask = 0 to (1 lsl nvars) - 1 do
+          let a = Sat.Assignment.create nvars in
+          for i = 1 to nvars do
+            Sat.Assignment.set a i ((mask lsr (i - 1)) land 1 = 1)
+          done;
+          let sat c =
+            Array.exists
+              (fun l -> Sat.Assignment.lit_value a l = Sat.Assignment.True)
+              c
+          in
+          if sat c1 && sat c2 && not (sat r) then ok := false
+        done;
+        !ok
+      | _ -> QCheck.assume_fail ())
+
+let suite =
+  [
+    ( "lit",
+      [
+        Alcotest.test_case "basics" `Quick test_lit_basics;
+        Alcotest.test_case "dimacs conversion" `Quick test_lit_dimacs;
+        Alcotest.test_case "invalid variable" `Quick test_lit_invalid;
+        prop_negate_involutive;
+        prop_dimacs_roundtrip;
+      ] );
+    ( "clause",
+      [
+        Alcotest.test_case "normalize" `Quick test_normalize;
+        Alcotest.test_case "tautology" `Quick test_is_tautology;
+        Alcotest.test_case "paper resolution example" `Quick
+          test_resolution_example;
+        Alcotest.test_case "empty resolvent" `Quick test_resolution_empty;
+        Alcotest.test_case "resolution errors" `Quick test_resolution_errors;
+        Alcotest.test_case "clashing vars" `Quick test_clashing_vars;
+        prop_resolution_sound;
+      ] );
+  ]

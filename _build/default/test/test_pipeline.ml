@@ -1,0 +1,158 @@
+(* Tests for the end-to-end validation workflow and the §4 unsat-core
+   extraction/iteration. *)
+
+let test_validate_sat () =
+  let rng = Sat.Rng.create 321 in
+  let f = Helpers.random_3sat rng ~nvars:20 ~nclauses:40 in
+  let o = Pipeline.Validate.run f in
+  match o.verdict with
+  | Pipeline.Validate.Sat_verified a ->
+    Alcotest.check Alcotest.bool "model verified" true
+      (Sat.Model.satisfies a f)
+  | Pipeline.Validate.Unsat_verified _ -> Alcotest.fail "sparse 3sat is sat"
+  | Pipeline.Validate.Sat_model_wrong _ -> Alcotest.fail "model wrong"
+  | Pipeline.Validate.Unsat_check_failed _ -> Alcotest.fail "check failed"
+
+let test_validate_unsat_both_strategies () =
+  let f = Gen.Php.unsat ~holes:4 in
+  List.iter
+    (fun strategy ->
+      let o = Pipeline.Validate.run ~strategy f in
+      match o.verdict with
+      | Pipeline.Validate.Unsat_verified r ->
+        Alcotest.check Alcotest.bool "some resolution happened" true
+          (r.Checker.Report.resolution_steps > 0);
+        Alcotest.check Alcotest.bool "trace was produced" true
+          (o.trace_bytes > 0)
+      | Pipeline.Validate.Sat_verified _ | Pipeline.Validate.Sat_model_wrong _
+      | Pipeline.Validate.Unsat_check_failed _ ->
+        Alcotest.fail "php must be unsat-verified")
+    [ Pipeline.Validate.Depth_first; Pipeline.Validate.Breadth_first ]
+
+let test_validate_binary_format () =
+  let f = Gen.Php.unsat ~holes:4 in
+  let o = Pipeline.Validate.run ~format:Trace.Writer.Binary f in
+  match o.verdict with
+  | Pipeline.Validate.Unsat_verified _ -> ()
+  | _ -> Alcotest.fail "binary-format validation failed"
+
+let test_extract_sat_formula () =
+  let f = Sat.Cnf.of_clauses 2 [ Sat.Clause.of_ints [ 1; 2 ] ] in
+  match Pipeline.Unsat_core.extract f with
+  | Error `Sat -> ()
+  | Error (`Check_failed _) -> Alcotest.fail "check failed"
+  | Ok _ -> Alcotest.fail "sat formula produced a core"
+
+let test_extract_core_properties () =
+  let f = Gen.Php.unsat ~holes:4 in
+  match Pipeline.Unsat_core.extract f with
+  | Error _ -> Alcotest.fail "extraction failed"
+  | Ok core ->
+    Alcotest.check Alcotest.int "count consistent"
+      (List.length core.clause_indices) core.num_clauses;
+    Alcotest.check Alcotest.bool "indices in range" true
+      (List.for_all
+         (fun i -> i >= 0 && i < Sat.Cnf.nclauses f)
+         core.clause_indices);
+    Alcotest.check Alcotest.bool "core nonempty" true (core.num_clauses > 0);
+    (* the core itself must be unsatisfiable *)
+    let g = Sat.Cnf.restrict_to f core.clause_indices in
+    (match Solver.Cdcl.solve g with
+     | Solver.Cdcl.Unsat, _ -> ()
+     | Solver.Cdcl.Sat _, _ -> Alcotest.fail "core is satisfiable")
+
+let test_shrink_monotone_and_fixpoint () =
+  let f = Gen.Php.unsat ~holes:4 in
+  match Pipeline.Unsat_core.shrink ~max_rounds:30 f with
+  | Error _ -> Alcotest.fail "shrink failed"
+  | Ok s ->
+    Alcotest.check Alcotest.bool "ran at least one round" true (s.rounds >= 1);
+    (* sizes never increase *)
+    let sizes =
+      s.initial.clauses :: List.map (fun (it : Pipeline.Unsat_core.iteration) -> it.clauses) s.iterations
+    in
+    let rec non_increasing = function
+      | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+      | [ _ ] | [] -> true
+    in
+    Alcotest.check Alcotest.bool "monotone" true (non_increasing sizes);
+    (* the final core is unsat and matches final_indices *)
+    Alcotest.check Alcotest.int "final indices count"
+      (Sat.Cnf.nclauses s.final_core)
+      (List.length s.final_indices);
+    (match Solver.Cdcl.solve s.final_core with
+     | Solver.Cdcl.Unsat, _ -> ()
+     | Solver.Cdcl.Sat _, _ -> Alcotest.fail "final core satisfiable");
+    (* indices must actually pick those clauses from the input *)
+    List.iteri
+      (fun pos idx ->
+        if
+          Sat.Clause.to_ints (Sat.Cnf.clause s.final_core pos)
+          <> Sat.Clause.to_ints (Sat.Cnf.clause f idx)
+        then Alcotest.fail "final_indices do not match final_core")
+      s.final_indices;
+    if s.reached_fixpoint then
+      (* one more extraction must keep every clause *)
+      match Pipeline.Unsat_core.extract s.final_core with
+      | Ok core ->
+        Alcotest.check Alcotest.int "fixpoint really fixed"
+          (Sat.Cnf.nclauses s.final_core) core.num_clauses
+      | Error _ -> Alcotest.fail "re-extraction failed"
+
+let test_routing_core_small () =
+  (* the Table 3 story: the unroutable clique dominates the core *)
+  let f =
+    Gen.Routing.channel (Sat.Rng.create 99) ~nets:80 ~tracks:4
+      ~extra_conflict_density:0.03
+  in
+  match Pipeline.Unsat_core.shrink ~max_rounds:10 f with
+  | Error _ -> Alcotest.fail "routing shrink failed"
+  | Ok s ->
+    let final = Sat.Cnf.nclauses s.final_core in
+    Alcotest.check Alcotest.bool
+      (Printf.sprintf "core (%d) much smaller than formula (%d)" final
+         (Sat.Cnf.nclauses f))
+      true
+      (final * 3 < Sat.Cnf.nclauses f)
+
+let test_planning_core_small () =
+  let f = Gen.Planning.unreachable_goal ~width:8 ~height:8 ~horizon:10 in
+  match Pipeline.Unsat_core.extract f with
+  | Error _ -> Alcotest.fail "planning extraction failed"
+  | Ok core ->
+    Alcotest.check Alcotest.bool
+      (Printf.sprintf "core (%d) smaller than formula (%d)" core.num_clauses
+         (Sat.Cnf.nclauses f))
+      true
+      (core.num_clauses * 2 < Sat.Cnf.nclauses f)
+
+let test_shrink_max_rounds_respected () =
+  let f = Gen.Php.unsat ~holes:4 in
+  match Pipeline.Unsat_core.shrink ~max_rounds:1 f with
+  | Error _ -> Alcotest.fail "shrink failed"
+  | Ok s -> Alcotest.check Alcotest.bool "at most 1 round" true (s.rounds <= 1)
+
+let suite =
+  [
+    ( "validate",
+      [
+        Alcotest.test_case "sat verified" `Quick test_validate_sat;
+        Alcotest.test_case "unsat verified (df+bf)" `Quick
+          test_validate_unsat_both_strategies;
+        Alcotest.test_case "binary trace format" `Quick
+          test_validate_binary_format;
+      ] );
+    ( "unsat-core",
+      [
+        Alcotest.test_case "sat formula" `Quick test_extract_sat_formula;
+        Alcotest.test_case "core properties" `Quick
+          test_extract_core_properties;
+        Alcotest.test_case "shrink monotone + fixpoint" `Quick
+          test_shrink_monotone_and_fixpoint;
+        Alcotest.test_case "routing core small" `Slow test_routing_core_small;
+        Alcotest.test_case "planning core small" `Quick
+          test_planning_core_small;
+        Alcotest.test_case "max rounds respected" `Quick
+          test_shrink_max_rounds_respected;
+      ] );
+  ]

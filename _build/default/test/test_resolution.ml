@@ -1,0 +1,153 @@
+(* Tests for the checker's stamp-based resolution engine, including
+   agreement with the reference Clause.resolve. *)
+
+let engine () = Checker.Resolution.create_engine ~nvars:64
+
+let resolve e c1 c2 =
+  Checker.Resolution.resolve e ~context:"test" ~c1_id:1 ~c2_id:2 c1 c2
+
+let sorted c = List.sort Int.compare (Sat.Clause.to_ints c)
+
+let test_basic () =
+  let e = engine () in
+  let r, pivot =
+    resolve e (Sat.Clause.of_ints [ 1; 2 ]) (Sat.Clause.of_ints [ -2; 3 ])
+  in
+  Alcotest.check Alcotest.int "pivot" 2 pivot;
+  Alcotest.check (Alcotest.list Alcotest.int) "resolvent" [ 1; 3 ] (sorted r)
+
+let test_dedup () =
+  let e = engine () in
+  let r, _ =
+    resolve e (Sat.Clause.of_ints [ 1; 3; 5 ]) (Sat.Clause.of_ints [ -1; 3; 5 ])
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "shared literals once"
+    [ 3; 5 ] (sorted r)
+
+let test_empty_resolvent () =
+  let e = engine () in
+  let r, _ = resolve e (Sat.Clause.of_ints [ 9 ]) (Sat.Clause.of_ints [ -9 ]) in
+  Alcotest.check Alcotest.int "empty" 0 (Sat.Clause.size r)
+
+let expect_failure f pred name =
+  try
+    ignore (f ());
+    Alcotest.failf "%s: no failure raised" name
+  with Checker.Diagnostics.Check_failed d ->
+    if not (pred d) then
+      Alcotest.failf "%s: wrong diagnostic %s" name
+        (Checker.Diagnostics.to_string d)
+
+let test_no_clash () =
+  let e = engine () in
+  expect_failure
+    (fun () -> resolve e (Sat.Clause.of_ints [ 1; 2 ]) (Sat.Clause.of_ints [ 2; 3 ]))
+    (function Checker.Diagnostics.No_clash _ -> true | _ -> false)
+    "no clash"
+
+let test_multiple_clash () =
+  let e = engine () in
+  expect_failure
+    (fun () ->
+      resolve e (Sat.Clause.of_ints [ 1; 2; 5 ]) (Sat.Clause.of_ints [ -1; -2 ]))
+    (function
+      | Checker.Diagnostics.Multiple_clash m -> m.vars = [ 1; 2 ]
+      | _ -> false)
+    "multiple clash"
+
+let test_engine_reuse () =
+  (* stale stamps from earlier rounds must not leak *)
+  let e = engine () in
+  ignore (resolve e (Sat.Clause.of_ints [ 1; 2 ]) (Sat.Clause.of_ints [ -2; 3 ]));
+  let r, _ =
+    resolve e (Sat.Clause.of_ints [ 4; 5 ]) (Sat.Clause.of_ints [ -5; 6 ])
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "second round clean" [ 4; 6 ]
+    (sorted r)
+
+let test_chain_single () =
+  let e = engine () in
+  let fetch = function
+    | 1 -> Sat.Clause.of_ints [ 1; 2 ]
+    | _ -> Alcotest.fail "unexpected fetch"
+  in
+  let c, steps =
+    Checker.Resolution.chain e ~context:"test" ~fetch ~learned_id:9 [| 1 |]
+  in
+  Alcotest.check Alcotest.int "no steps" 0 steps;
+  Alcotest.check (Alcotest.list Alcotest.int) "clause itself" [ 1; 2 ] (sorted c)
+
+let test_chain_sequence () =
+  (* (1 2)(−2 3)(−3 4) chains to (1 4) in two steps *)
+  let clauses =
+    [| [||]; Sat.Clause.of_ints [ 1; 2 ]; Sat.Clause.of_ints [ -2; 3 ];
+       Sat.Clause.of_ints [ -3; 4 ] |]
+  in
+  let e = engine () in
+  let c, steps =
+    Checker.Resolution.chain e ~context:"test"
+      ~fetch:(fun i -> clauses.(i))
+      ~learned_id:9 [| 1; 2; 3 |]
+  in
+  Alcotest.check Alcotest.int "two steps" 2 steps;
+  Alcotest.check (Alcotest.list Alcotest.int) "chained resolvent" [ 1; 4 ]
+    (sorted c)
+
+let test_chain_empty_sources () =
+  let e = engine () in
+  expect_failure
+    (fun () ->
+      Checker.Resolution.chain e ~context:"test"
+        ~fetch:(fun _ -> [||])
+        ~learned_id:7 [||])
+    (function Checker.Diagnostics.Empty_source_list 7 -> true | _ -> false)
+    "empty sources"
+
+(* agreement with the reference implementation on random valid pairs *)
+let prop_matches_reference =
+  Helpers.qtest ~count:300 "engine = Clause.resolve"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Sat.Rng.create seed in
+      let nvars = 10 in
+      let v = 1 + Sat.Rng.int rng nvars in
+      let lits_without exclude n =
+        List.init n (fun _ ->
+            let u = ref v in
+            while List.mem !u exclude do
+              u := 1 + Sat.Rng.int rng nvars
+            done;
+            Sat.Lit.make !u (Sat.Rng.bool rng))
+      in
+      let c1 =
+        Sat.Clause.of_lits (Sat.Lit.pos v :: lits_without [ v ] (Sat.Rng.int rng 5))
+      in
+      let c2 =
+        Sat.Clause.of_lits (Sat.Lit.neg v :: lits_without [ v ] (Sat.Rng.int rng 5))
+      in
+      match Sat.Clause.clashing_vars c1 c2 with
+      | [ u ] when u = v ->
+        let reference = Sat.Clause.resolve c1 c2 v in
+        let e = Checker.Resolution.create_engine ~nvars in
+        let r, pivot =
+          Checker.Resolution.resolve e ~context:"qc" ~c1_id:1 ~c2_id:2 c1 c2
+        in
+        pivot = v && sorted r = sorted reference
+      | _ -> QCheck.assume_fail ())
+
+let suite =
+  [
+    ( "resolution-engine",
+      [
+        Alcotest.test_case "basic" `Quick test_basic;
+        Alcotest.test_case "dedup" `Quick test_dedup;
+        Alcotest.test_case "empty resolvent" `Quick test_empty_resolvent;
+        Alcotest.test_case "no clash" `Quick test_no_clash;
+        Alcotest.test_case "multiple clash" `Quick test_multiple_clash;
+        Alcotest.test_case "engine reuse" `Quick test_engine_reuse;
+        Alcotest.test_case "chain single" `Quick test_chain_single;
+        Alcotest.test_case "chain sequence" `Quick test_chain_sequence;
+        Alcotest.test_case "chain empty" `Quick test_chain_empty_sources;
+        prop_matches_reference;
+      ] );
+  ]

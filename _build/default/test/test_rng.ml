@@ -1,0 +1,91 @@
+(* Tests for the deterministic PRNG. *)
+
+let test_determinism () =
+  let a = Sat.Rng.create 1234 and b = Sat.Rng.create 1234 in
+  for _ = 1 to 1000 do
+    Alcotest.check Alcotest.int "same seed, same stream" (Sat.Rng.int a 1000)
+      (Sat.Rng.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sat.Rng.create 1 and b = Sat.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Sat.Rng.int a 1_000_000 = Sat.Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.check Alcotest.bool "different seeds diverge" true (!same < 5)
+
+let test_int_range () =
+  let rng = Sat.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Sat.Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_int_coverage () =
+  let rng = Sat.Rng.create 8 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Sat.Rng.int rng 10) <- true
+  done;
+  Alcotest.check Alcotest.bool "all residues hit" true
+    (Array.for_all (fun b -> b) seen)
+
+let test_float_range () =
+  let rng = Sat.Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let x = Sat.Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_bool_balance () =
+  let rng = Sat.Rng.create 10 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Sat.Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.check Alcotest.bool "bool is roughly fair" true
+    (ratio > 0.45 && ratio < 0.55)
+
+let test_shuffle_permutation () =
+  let rng = Sat.Rng.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  Sat.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.check Alcotest.bool "shuffle is a permutation" true
+    (sorted = Array.init 50 (fun i -> i));
+  Alcotest.check Alcotest.bool "shuffle moved something" true
+    (arr <> Array.init 50 (fun i -> i))
+
+let test_split_independent () =
+  let rng = Sat.Rng.create 12 in
+  let child = Sat.Rng.split rng in
+  (* drawing from the child must not replay the parent stream *)
+  let c = List.init 20 (fun _ -> Sat.Rng.int child 1000) in
+  let p = List.init 20 (fun _ -> Sat.Rng.int rng 1000) in
+  Alcotest.check Alcotest.bool "parent and child streams differ" true (c <> p)
+
+let test_invalid_bound () =
+  let rng = Sat.Rng.create 13 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sat.Rng.int rng 0))
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "int range" `Quick test_int_range;
+        Alcotest.test_case "int coverage" `Quick test_int_coverage;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "bool balance" `Quick test_bool_balance;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "invalid bound" `Quick test_invalid_bound;
+      ] );
+  ]

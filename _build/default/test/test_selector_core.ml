@@ -1,0 +1,69 @@
+(* Tests for assumption-selector core extraction, cross-validated against
+   the paper's trace-based method. *)
+
+let test_sat_input () =
+  let f = Sat.Cnf.of_clauses 2 [ Sat.Clause.of_ints [ 1; 2 ] ] in
+  match Pipeline.Selector_core.extract f with
+  | Error `Sat -> ()
+  | Ok _ -> Alcotest.fail "sat input produced a core"
+
+let test_core_is_unsat () =
+  let f = Gen.Php.unsat ~holes:4 in
+  match Pipeline.Selector_core.extract f with
+  | Error `Sat -> Alcotest.fail "php unsat"
+  | Ok r ->
+    Alcotest.check Alcotest.bool "nonempty" true (r.clause_indices <> []);
+    (match Solver.Cdcl.solve r.formula with
+     | Solver.Cdcl.Unsat, _ -> ()
+     | Solver.Cdcl.Sat _, _ -> Alcotest.fail "selector core satisfiable")
+
+let test_routing_core_small () =
+  let f =
+    Gen.Routing.channel (Sat.Rng.create 77) ~nets:40 ~tracks:4
+      ~extra_conflict_density:0.03
+  in
+  match Pipeline.Selector_core.extract f with
+  | Error `Sat -> Alcotest.fail "channel routable"
+  | Ok r ->
+    Alcotest.check Alcotest.bool
+      (Printf.sprintf "selector core (%d) smaller than input (%d)"
+         (List.length r.clause_indices) (Sat.Cnf.nclauses f))
+      true
+      (List.length r.clause_indices * 2 < Sat.Cnf.nclauses f)
+
+let test_agrees_with_trace_core () =
+  (* both methods must return genuine cores of the same instance; they
+     need not be identical, but both shrink to something unsat *)
+  let rng = Sat.Rng.create 31337 in
+  let tried = ref 0 in
+  while !tried < 5 do
+    let f = Helpers.random_3sat rng ~nvars:12 ~nclauses:70 in
+    match Pipeline.Selector_core.extract f, Pipeline.Unsat_core.extract f with
+    | Error `Sat, Error `Sat -> ()
+    | Ok sel, Ok tr ->
+      incr tried;
+      (match Solver.Enumerate.solve sel.formula with
+       | Solver.Cdcl.Unsat -> ()
+       | Solver.Cdcl.Sat _ -> Alcotest.fail "selector core sat");
+      (match
+         Solver.Enumerate.solve (Sat.Cnf.restrict_to f tr.clause_indices)
+       with
+       | Solver.Cdcl.Unsat -> ()
+       | Solver.Cdcl.Sat _ -> Alcotest.fail "trace core sat")
+    | Ok _, Error `Sat | Error `Sat, Ok _ ->
+      Alcotest.fail "core methods disagree about satisfiability"
+    | _, Error (`Check_failed _) -> Alcotest.fail "check failed"
+  done
+
+let suite =
+  [
+    ( "selector-core",
+      [
+        Alcotest.test_case "sat input" `Quick test_sat_input;
+        Alcotest.test_case "core is unsat" `Quick test_core_is_unsat;
+        Alcotest.test_case "routing core small" `Quick
+          test_routing_core_small;
+        Alcotest.test_case "agrees with trace core" `Slow
+          test_agrees_with_trace_core;
+      ] );
+  ]

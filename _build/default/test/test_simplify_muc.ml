@@ -1,0 +1,183 @@
+(* Tests for the CNF preprocessor and minimal-core extraction. *)
+
+module S = Solver.Simplify
+
+let simplify f = fst (S.simplify f)
+
+let test_unit_chain_solved () =
+  (* (x1)(¬x1 ∨ x2)(¬x2 ∨ x3): propagation alone finishes *)
+  let f =
+    Sat.Cnf.of_clauses 3
+      [
+        Sat.Clause.of_ints [ 1 ];
+        Sat.Clause.of_ints [ -1; 2 ];
+        Sat.Clause.of_ints [ -2; 3 ];
+      ]
+  in
+  match simplify f with
+  | S.Proved_sat a ->
+    Alcotest.check Alcotest.bool "model checks" true (Sat.Model.satisfies a f)
+  | S.Proved_unsat | S.Simplified _ -> Alcotest.fail "expected solved"
+
+let test_unit_conflict () =
+  let f =
+    Sat.Cnf.of_clauses 2
+      [ Sat.Clause.of_ints [ 1 ]; Sat.Clause.of_ints [ -1 ] ]
+  in
+  match simplify f with
+  | S.Proved_unsat -> ()
+  | S.Proved_sat _ | S.Simplified _ -> Alcotest.fail "expected unsat"
+
+let test_pure_literals () =
+  (* x1 occurs only positively, x2 only negatively: everything satisfied *)
+  let f =
+    Sat.Cnf.of_clauses 2
+      [ Sat.Clause.of_ints [ 1; -2 ]; Sat.Clause.of_ints [ 1 ] ]
+  in
+  let outcome, stats = S.simplify f in
+  (match outcome with
+   | S.Proved_sat a ->
+     Alcotest.check Alcotest.bool "model checks" true (Sat.Model.satisfies a f)
+   | S.Proved_unsat | S.Simplified _ -> Alcotest.fail "expected solved");
+  Alcotest.check Alcotest.bool "pure or unit stats recorded" true
+    (stats.pure_literals + stats.units_propagated > 0)
+
+let test_subsumption () =
+  (* (1 2) subsumes (1 2 3); php keeps the rest busy *)
+  let f =
+    Sat.Cnf.of_clauses 4
+      [
+        Sat.Clause.of_ints [ 1; 2 ];
+        Sat.Clause.of_ints [ 1; 2; 3 ];
+        Sat.Clause.of_ints [ -1; -2 ];
+        Sat.Clause.of_ints [ 1; -2; 4 ];
+        Sat.Clause.of_ints [ -1; 2; -4 ];
+      ]
+  in
+  let outcome, stats = S.simplify f in
+  Alcotest.check Alcotest.bool "subsumed clause removed" true
+    (stats.subsumed_removed >= 1);
+  match outcome with
+  | S.Simplified { formula; _ } ->
+    Alcotest.check Alcotest.bool "fewer clauses" true
+      (Sat.Cnf.nclauses formula < Sat.Cnf.nclauses f)
+  | S.Proved_sat _ | S.Proved_unsat -> ()
+
+let test_tautology_removed () =
+  let f =
+    Sat.Cnf.of_clauses 3
+      [
+        Sat.Clause.of_ints [ 1; -1; 2 ];
+        Sat.Clause.of_ints [ 1; 2 ];
+        Sat.Clause.of_ints [ -1; 3 ];
+        Sat.Clause.of_ints [ -2; -3 ];
+        Sat.Clause.of_ints [ 2; 3 ];
+      ]
+  in
+  let _, stats = S.simplify f in
+  Alcotest.check Alcotest.int "tautology dropped" 1 stats.tautologies_removed
+
+(* equivalence: simplification preserves satisfiability and reconstructed
+   models satisfy the original *)
+let prop_simplify_equivalence =
+  Helpers.qtest ~count:150 "simplify preserves satisfiability"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Sat.Rng.create (seed + 13) in
+      let nvars = 4 + Sat.Rng.int rng 8 in
+      let f =
+        Helpers.random_messy_cnf rng ~nvars ~nclauses:(1 + Sat.Rng.int rng 35)
+      in
+      let oracle = Solver.Enumerate.solve f in
+      match simplify f with
+      | S.Proved_unsat ->
+        (match oracle with Solver.Cdcl.Unsat -> true | Solver.Cdcl.Sat _ -> false)
+      | S.Proved_sat a ->
+        (match oracle with
+         | Solver.Cdcl.Sat _ -> Sat.Model.satisfies a f
+         | Solver.Cdcl.Unsat -> false)
+      | S.Simplified { formula; reconstruct; _ } -> (
+        match Solver.Enumerate.solve formula, oracle with
+        | Solver.Cdcl.Unsat, Solver.Cdcl.Unsat -> true
+        | Solver.Cdcl.Sat m, Solver.Cdcl.Sat _ ->
+          Sat.Model.satisfies (reconstruct m) f
+        | (Solver.Cdcl.Sat _ | Solver.Cdcl.Unsat), _ -> false))
+
+let test_muc_minimal () =
+  let f = Gen.Php.unsat ~holes:3 in
+  match Pipeline.Muc.minimize f with
+  | Error `Sat -> Alcotest.fail "php unsat"
+  | Ok r ->
+    (* the MUC is unsat *)
+    (match Solver.Enumerate.solve r.formula with
+     | Solver.Cdcl.Unsat -> ()
+     | Solver.Cdcl.Sat _ -> Alcotest.fail "core not unsat");
+    (* dropping any single clause makes it sat: true minimality *)
+    let n = Sat.Cnf.nclauses r.formula in
+    for drop = 0 to n - 1 do
+      let rest = List.filter (fun i -> i <> drop) (List.init n (fun i -> i)) in
+      match Solver.Enumerate.solve (Sat.Cnf.restrict_to r.formula rest) with
+      | Solver.Cdcl.Sat _ -> ()
+      | Solver.Cdcl.Unsat -> Alcotest.failf "clause %d is redundant" drop
+    done
+
+let test_muc_on_routing () =
+  (* the MUC of an over-subscribed channel is within the planted clique *)
+  let nets = 40 and tracks = 3 in
+  let f =
+    Gen.Routing.channel (Sat.Rng.create 5) ~nets ~tracks
+      ~extra_conflict_density:0.02
+  in
+  match Pipeline.Muc.minimize f with
+  | Error `Sat -> Alcotest.fail "channel routable"
+  | Ok r ->
+    Alcotest.check Alcotest.bool
+      (Printf.sprintf "muc (%d) much smaller than input (%d)"
+         (Sat.Cnf.nclauses r.formula) (Sat.Cnf.nclauses f))
+      true
+      (Sat.Cnf.nclauses r.formula * 4 < Sat.Cnf.nclauses f);
+    (* still unsat with the real solver *)
+    match Solver.Cdcl.solve r.formula with
+    | Solver.Cdcl.Unsat, _ -> ()
+    | Solver.Cdcl.Sat _, _ -> Alcotest.fail "muc not unsat"
+
+let test_muc_sat_input () =
+  let f = Sat.Cnf.of_clauses 2 [ Sat.Clause.of_ints [ 1; 2 ] ] in
+  match Pipeline.Muc.minimize f with
+  | Error `Sat -> ()
+  | Ok _ -> Alcotest.fail "sat input produced a core"
+
+let test_muc_subset_of_input () =
+  let f = Gen.Php.unsat ~holes:3 in
+  match Pipeline.Muc.minimize f with
+  | Error `Sat -> Alcotest.fail "unsat expected"
+  | Ok r ->
+    List.iteri
+      (fun pos idx ->
+        if
+          Sat.Clause.to_ints (Sat.Cnf.clause r.formula pos)
+          <> Sat.Clause.to_ints (Sat.Cnf.clause f idx)
+        then Alcotest.fail "indices do not match formula")
+      r.indices;
+    Alcotest.check Alcotest.bool "solver calls counted" true
+      (r.solver_calls > 0)
+
+let suite =
+  [
+    ( "simplify",
+      [
+        Alcotest.test_case "unit chain" `Quick test_unit_chain_solved;
+        Alcotest.test_case "unit conflict" `Quick test_unit_conflict;
+        Alcotest.test_case "pure literals" `Quick test_pure_literals;
+        Alcotest.test_case "subsumption" `Quick test_subsumption;
+        Alcotest.test_case "tautology removal" `Quick test_tautology_removed;
+        prop_simplify_equivalence;
+      ] );
+    ( "muc",
+      [
+        Alcotest.test_case "true minimality" `Slow test_muc_minimal;
+        Alcotest.test_case "routing clique" `Slow test_muc_on_routing;
+        Alcotest.test_case "sat input" `Quick test_muc_sat_input;
+        Alcotest.test_case "subset of input" `Quick test_muc_subset_of_input;
+      ] );
+  ]

@@ -1,0 +1,126 @@
+(* Tests for the trace formats: ASCII and binary writers, the streaming
+   reader, format autodetection, and the compaction claim. *)
+
+let sample_events =
+  [
+    Trace.Event.Header { nvars = 10; num_original = 5 };
+    Trace.Event.Learned { id = 6; sources = [| 1; 2; 3 |] };
+    Trace.Event.Learned { id = 7; sources = [| 6; 4 |] };
+    Trace.Event.Level0 { var = 3; value = true; ante = 7 };
+    Trace.Event.Level0 { var = 5; value = false; ante = 2 };
+    Trace.Event.Final_conflict 7;
+  ]
+
+let write fmt events =
+  let w = Trace.Writer.create fmt in
+  List.iter (Trace.Writer.emit w) events;
+  Trace.Writer.contents w
+
+let events_testable =
+  Alcotest.testable
+    (fun fmt e -> Trace.Event.pp fmt e)
+    Trace.Event.equal
+
+let test_ascii_roundtrip () =
+  let s = write Trace.Writer.Ascii sample_events in
+  Alcotest.check (Alcotest.list events_testable) "ascii roundtrip"
+    sample_events
+    (Trace.Reader.to_list (Trace.Reader.From_string s))
+
+let test_binary_roundtrip () =
+  let s = write Trace.Writer.Binary sample_events in
+  Alcotest.check (Alcotest.list events_testable) "binary roundtrip"
+    sample_events
+    (Trace.Reader.to_list (Trace.Reader.From_string s))
+
+let test_binary_smaller () =
+  (* the paper predicts 2-3x compaction from a binary encoding *)
+  let f = Gen.Php.unsat ~holes:5 in
+  let wa = Trace.Writer.create Trace.Writer.Ascii in
+  let result, _ = Solver.Cdcl.solve ~trace:wa f in
+  (match result with
+   | Solver.Cdcl.Unsat -> ()
+   | Solver.Cdcl.Sat _ -> Alcotest.fail "php must be unsat");
+  let wb = Trace.Writer.create Trace.Writer.Binary in
+  let _ = Solver.Cdcl.solve ~trace:wb f in
+  let ra = Trace.Writer.bytes_written wa in
+  let rb = Trace.Writer.bytes_written wb in
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "binary (%dB) at most half of ascii (%dB)" rb ra)
+    true
+    (rb * 2 <= ra)
+
+let test_binary_equivalent_to_ascii () =
+  let f = Gen.Php.unsat ~holes:4 in
+  let wa = Trace.Writer.create Trace.Writer.Ascii in
+  ignore (Solver.Cdcl.solve ~trace:wa f);
+  let wb = Trace.Writer.create Trace.Writer.Binary in
+  ignore (Solver.Cdcl.solve ~trace:wb f);
+  let ea = Trace.Reader.to_list (Trace.Reader.From_string (Trace.Writer.contents wa)) in
+  let eb = Trace.Reader.to_list (Trace.Reader.From_string (Trace.Writer.contents wb)) in
+  Alcotest.check (Alcotest.list events_testable)
+    "both formats carry identical events" ea eb
+
+let test_file_roundtrip () =
+  let w = Trace.Writer.create Trace.Writer.Binary in
+  List.iter (Trace.Writer.emit w) sample_events;
+  let path = Filename.temp_file "trace_test" ".zkb" in
+  Trace.Writer.to_file w path;
+  let events = Trace.Reader.to_list (Trace.Reader.From_file path) in
+  let size = Trace.Reader.size_bytes (Trace.Reader.From_file path) in
+  Sys.remove path;
+  Alcotest.check (Alcotest.list events_testable) "file roundtrip"
+    sample_events events;
+  Alcotest.check Alcotest.int "size matches writer" (Trace.Writer.bytes_written w) size
+
+let expect_reader_error s name =
+  try
+    ignore (Trace.Reader.to_list (Trace.Reader.From_string s));
+    Alcotest.failf "%s: accepted" name
+  with Trace.Reader.Parse_error _ -> ()
+
+let test_reader_errors () =
+  expect_reader_error "CL 5\n" "CL without sources";
+  expect_reader_error "VAR 3 2 1\n" "VAR with non-boolean value";
+  expect_reader_error "FROB 1 2\n" "unknown record";
+  expect_reader_error "CL x y\n" "non-numeric field";
+  expect_reader_error "ZKB1\x09" "unknown binary tag";
+  expect_reader_error "ZKB1\x01\x85" "truncated binary varint"
+
+let test_fold_order () =
+  let s = write Trace.Writer.Ascii sample_events in
+  let count =
+    Trace.Reader.fold (Trace.Reader.From_string s) (fun n _ -> n + 1) 0
+  in
+  Alcotest.check Alcotest.int "fold sees all events"
+    (List.length sample_events) count
+
+(* varint edge values survive the binary encoding *)
+let prop_binary_varint =
+  Helpers.qtest ~count:200 "binary roundtrip of large ids"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      let events =
+        [
+          Trace.Event.Header { nvars = a; num_original = b };
+          Trace.Event.Final_conflict (a + b);
+        ]
+      in
+      let s = write Trace.Writer.Binary events in
+      Trace.Reader.to_list (Trace.Reader.From_string s) = events)
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "ascii roundtrip" `Quick test_ascii_roundtrip;
+        Alcotest.test_case "binary roundtrip" `Quick test_binary_roundtrip;
+        Alcotest.test_case "binary compaction" `Quick test_binary_smaller;
+        Alcotest.test_case "format equivalence" `Quick
+          test_binary_equivalent_to_ascii;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "reader errors" `Quick test_reader_errors;
+        Alcotest.test_case "fold order" `Quick test_fold_order;
+        prop_binary_varint;
+      ] );
+  ]

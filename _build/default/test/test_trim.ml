@@ -1,0 +1,88 @@
+(* Tests for trace trimming (the proof-core trace). *)
+
+module D = Checker.Diagnostics
+
+let trimmed_source (r : Checker.Trim.trimmed) =
+  let w = Trace.Writer.create Trace.Writer.Ascii in
+  Checker.Trim.write w r;
+  Trace.Reader.From_string (Trace.Writer.contents w)
+
+let test_trim_revalidates () =
+  let f = Gen.Php.unsat ~holes:5 in
+  let result, _, trace = Pipeline.Validate.solve_with_trace f in
+  (match result with
+   | Solver.Cdcl.Unsat -> ()
+   | Solver.Cdcl.Sat _ -> Alcotest.fail "php unsat");
+  match Checker.Trim.trim f (Trace.Reader.From_string trace) with
+  | Error d -> Alcotest.failf "trim failed: %s" (D.to_string d)
+  | Ok r ->
+    Alcotest.check Alcotest.bool "something was dropped" true
+      (r.dropped_learned > 0);
+    let src = trimmed_source r in
+    (match Checker.Df.check f src with
+     | Ok report ->
+       Alcotest.check Alcotest.int "kept = total learned after trim"
+         r.kept_learned report.total_learned;
+       (* the trimmed trace is all needed: DF builds everything *)
+       Alcotest.check Alcotest.int "built% is 100%" report.total_learned
+         report.clauses_built
+     | Error d -> Alcotest.failf "trimmed trace DF-rejected: %s" (D.to_string d));
+    (match Checker.Bf.check f src with
+     | Ok _ -> ()
+     | Error d -> Alcotest.failf "trimmed trace BF-rejected: %s" (D.to_string d));
+    (match Checker.Hybrid.check f src with
+     | Ok _ -> ()
+     | Error d ->
+       Alcotest.failf "trimmed trace hybrid-rejected: %s" (D.to_string d))
+
+let test_trim_idempotent () =
+  let f = Gen.Php.unsat ~holes:4 in
+  let _, _, trace = Pipeline.Validate.solve_with_trace f in
+  match Checker.Trim.trim f (Trace.Reader.From_string trace) with
+  | Error d -> Alcotest.failf "trim failed: %s" (D.to_string d)
+  | Ok r1 -> (
+    match Checker.Trim.trim f (trimmed_source r1) with
+    | Error d -> Alcotest.failf "re-trim failed: %s" (D.to_string d)
+    | Ok r2 ->
+      Alcotest.check Alcotest.int "second trim drops nothing" 0
+        r2.dropped_learned;
+      Alcotest.check Alcotest.int "same kept count" r1.kept_learned
+        r2.kept_learned)
+
+let test_trim_shrinks_bytes () =
+  let f = Gen.Php.unsat ~holes:5 in
+  let _, _, trace = Pipeline.Validate.solve_with_trace f in
+  match Checker.Trim.trim f (Trace.Reader.From_string trace) with
+  | Error _ -> Alcotest.fail "trim failed"
+  | Ok r ->
+    let w = Trace.Writer.create Trace.Writer.Ascii in
+    Checker.Trim.write w r;
+    Alcotest.check Alcotest.bool "serialised trim is smaller" true
+      (Trace.Writer.bytes_written w < String.length trace)
+
+let test_trim_rejects_invalid () =
+  let f = Gen.Php.unsat ~holes:4 in
+  let _, _, trace = Pipeline.Validate.solve_with_trace f in
+  let events =
+    Trace.Reader.to_list (Trace.Reader.From_string trace)
+    |> List.filter (function Trace.Event.Learned _ -> false | _ -> true)
+  in
+  let w = Trace.Writer.create Trace.Writer.Ascii in
+  List.iter (Trace.Writer.emit w) events;
+  match
+    Checker.Trim.trim f (Trace.Reader.From_string (Trace.Writer.contents w))
+  with
+  | Ok _ -> Alcotest.fail "trim accepted a broken trace"
+  | Error _ -> ()
+
+let suite =
+  [
+    ( "trim",
+      [
+        Alcotest.test_case "revalidates, built%=100" `Quick
+          test_trim_revalidates;
+        Alcotest.test_case "idempotent" `Quick test_trim_idempotent;
+        Alcotest.test_case "shrinks bytes" `Quick test_trim_shrinks_bytes;
+        Alcotest.test_case "rejects invalid" `Quick test_trim_rejects_invalid;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+(* Unit and property tests for the resizable vector. *)
+
+let test_push_pop () =
+  let v = Sat.Vec.create ~dummy:0 in
+  Alcotest.check Alcotest.bool "fresh vector is empty" true (Sat.Vec.is_empty v);
+  for i = 1 to 100 do
+    Sat.Vec.push v i
+  done;
+  Alcotest.check Alcotest.int "length after pushes" 100 (Sat.Vec.length v);
+  Alcotest.check Alcotest.int "last" 100 (Sat.Vec.last v);
+  Alcotest.check Alcotest.int "pop returns last" 100 (Sat.Vec.pop v);
+  Alcotest.check Alcotest.int "length after pop" 99 (Sat.Vec.length v)
+
+let test_get_set () =
+  let v = Sat.Vec.make 5 7 ~dummy:0 in
+  Alcotest.check Alcotest.int "make fills" 7 (Sat.Vec.get v 4);
+  Sat.Vec.set v 2 42;
+  Alcotest.check Alcotest.int "set/get" 42 (Sat.Vec.get v 2);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Sat.Vec.get v 5))
+
+let test_shrink_clear () =
+  let v = Sat.Vec.of_list [ 1; 2; 3; 4; 5 ] ~dummy:0 in
+  Sat.Vec.shrink v 2;
+  Alcotest.check (Alcotest.list Alcotest.int) "shrink keeps prefix" [ 1; 2 ]
+    (Sat.Vec.to_list v);
+  Sat.Vec.clear v;
+  Alcotest.check Alcotest.bool "clear empties" true (Sat.Vec.is_empty v)
+
+let test_grow_to () =
+  let v = Sat.Vec.of_list [ 1 ] ~dummy:0 in
+  Sat.Vec.grow_to v 4 9;
+  Alcotest.check (Alcotest.list Alcotest.int) "grow_to pads" [ 1; 9; 9; 9 ]
+    (Sat.Vec.to_list v);
+  Sat.Vec.grow_to v 2 0;
+  Alcotest.check Alcotest.int "grow_to never shrinks" 4 (Sat.Vec.length v)
+
+let test_filter_in_place () =
+  let v = Sat.Vec.of_list [ 1; 2; 3; 4; 5; 6 ] ~dummy:0 in
+  Sat.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.check (Alcotest.list Alcotest.int) "keeps evens in order"
+    [ 2; 4; 6 ] (Sat.Vec.to_list v)
+
+let test_iter_fold () =
+  let v = Sat.Vec.of_list [ 1; 2; 3 ] ~dummy:0 in
+  Alcotest.check Alcotest.int "fold sums" 6 (Sat.Vec.fold ( + ) 0 v);
+  let acc = ref [] in
+  Sat.Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.check Alcotest.int "iteri visits all" 3 (List.length !acc);
+  Alcotest.check Alcotest.bool "exists" true (Sat.Vec.exists (( = ) 2) v);
+  Alcotest.check Alcotest.bool "exists negative" false
+    (Sat.Vec.exists (( = ) 9) v)
+
+let test_pop_empty () =
+  let v = Sat.Vec.create ~dummy:0 in
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Sat.Vec.pop v))
+
+let prop_roundtrip =
+  Helpers.qtest "of_list/to_list roundtrip"
+    QCheck.(list int)
+    (fun xs -> Sat.Vec.to_list (Sat.Vec.of_list xs ~dummy:0) = xs)
+
+let prop_to_array =
+  Helpers.qtest "to_array agrees with to_list"
+    QCheck.(list int)
+    (fun xs ->
+      let v = Sat.Vec.of_list xs ~dummy:0 in
+      Array.to_list (Sat.Vec.to_array v) = Sat.Vec.to_list v)
+
+let prop_filter =
+  Helpers.qtest "filter_in_place = List.filter"
+    QCheck.(list small_int)
+    (fun xs ->
+      let v = Sat.Vec.of_list xs ~dummy:0 in
+      Sat.Vec.filter_in_place (fun x -> x mod 3 <> 0) v;
+      Sat.Vec.to_list v = List.filter (fun x -> x mod 3 <> 0) xs)
+
+let suite =
+  [
+    ( "vec",
+      [
+        Alcotest.test_case "push/pop/last" `Quick test_push_pop;
+        Alcotest.test_case "get/set bounds" `Quick test_get_set;
+        Alcotest.test_case "shrink/clear" `Quick test_shrink_clear;
+        Alcotest.test_case "grow_to" `Quick test_grow_to;
+        Alcotest.test_case "filter_in_place" `Quick test_filter_in_place;
+        Alcotest.test_case "iter/fold/exists" `Quick test_iter_fold;
+        Alcotest.test_case "pop empty raises" `Quick test_pop_empty;
+        prop_roundtrip;
+        prop_to_array;
+        prop_filter;
+      ] );
+  ]
