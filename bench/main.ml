@@ -13,6 +13,36 @@ let table = Harness.Table.render
 let fmt_f = Harness.Table.fmt_float
 let fmt_pct = Harness.Table.fmt_pct
 
+(* Every table is also dumped as BENCH_<mode>.json next to the working
+   directory, so dashboards and regression scripts can diff runs without
+   scraping the pretty-printed output. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_json mode ~headers rows =
+  let oc = open_out (Printf.sprintf "BENCH_%s.json" mode) in
+  let cell c = Printf.sprintf "\"%s\"" (json_escape c) in
+  let row r = "[" ^ String.concat ", " (List.map cell r) ^ "]" in
+  Printf.fprintf oc "{\n  \"table\": %s,\n  \"headers\": %s,\n  \"rows\": [\n%s\n  ]\n}\n"
+    (cell mode) (row headers)
+    (String.concat ",\n" (List.map (fun r -> "    " ^ row r) rows));
+  close_out oc
+
+let print_table mode ~headers ?align rows =
+  emit_json mode ~headers rows;
+  Harness.Table.print (table ~headers ?align rows)
+
 (* The simulated memory budget for Table 2, in words.  It plays the role
    of the paper's 800 MB cap, scaled to our instance sizes: every checker
    gets the same budget; the depth-first checker busts it on the two
@@ -81,15 +111,14 @@ let table1 () =
         ])
       (Lazy.force prepared_suite)
   in
-  Harness.Table.print
-    (table
-       ~headers:
-         [
-           "instance"; "stands for"; "vars"; "clauses"; "learned";
-           "trace off (s)"; "trace on (s)"; "overhead";
-         ]
-       ~align:[ Harness.Table.Left; Harness.Table.Left ]
-       rows)
+  print_table "table1"
+    ~headers:
+      [
+        "instance"; "stands for"; "vars"; "clauses"; "learned";
+        "trace off (s)"; "trace on (s)"; "overhead";
+      ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows
 
 (* --- Table 2: the two checking strategies ------------------------------ *)
 
@@ -150,16 +179,15 @@ let table2 () =
         base @ df_cells @ bf_cells @ hybrid_cells)
       (Lazy.force prepared_suite)
   in
-  Harness.Table.print
-    (table
-       ~headers:
-         [
-           "instance"; "trace (KB)"; "df built"; "built%"; "df time (s)";
-           "df peak (KB)"; "bf time (s)"; "bf peak (KB)"; "hy time (s)";
-           "hy peak (KB)";
-         ]
-       ~align:[ Harness.Table.Left ]
-       rows)
+  print_table "table2"
+    ~headers:
+      [
+        "instance"; "trace (KB)"; "df built"; "built%"; "df time (s)";
+        "df peak (KB)"; "bf time (s)"; "bf peak (KB)"; "hy time (s)";
+        "hy peak (KB)";
+      ]
+    ~align:[ Harness.Table.Left ]
+    rows
 
 (* --- Table 3: iterated unsat-core shrinking ----------------------------- *)
 
@@ -203,15 +231,14 @@ let table3 () =
               ])
       (Lazy.force prepared_suite)
   in
-  Harness.Table.print
-    (table
-       ~headers:
-         [
-           "instance"; "orig cls"; "orig vars"; "iter1 cls"; "iter1 vars";
-           "final cls"; "final vars"; "iterations";
-         ]
-       ~align:[ Harness.Table.Left ]
-       rows)
+  print_table "table3"
+    ~headers:
+      [
+        "instance"; "orig cls"; "orig vars"; "iter1 cls"; "iter1 vars";
+        "final cls"; "final vars"; "iterations";
+      ]
+    ~align:[ Harness.Table.Left ]
+    rows
 
 (* --- Ablation: solver design choices ------------------------------------ *)
 
@@ -267,7 +294,7 @@ let ablation () =
          (fun (name, _) -> [ name ^ " (s)"; "cfl" ])
          instances
   in
-  Harness.Table.print (table ~headers ~align:[ Harness.Table.Left ] rows)
+  print_table "ablation" ~headers ~align:[ Harness.Table.Left ] rows
 
 (* --- Scaling series ------------------------------------------------------ *)
 
@@ -312,14 +339,13 @@ let scaling () =
         ])
       [ 4; 5; 6; 7; 8; 9 ]
   in
-  Harness.Table.print
-    (table
-       ~headers:
-         [
-           "holes"; "conflicts"; "trace (KB)"; "solve (s)"; "df check (s)";
-           "bf check (s)"; "hy check (s)"; "solve/df ratio";
-         ]
-       rows)
+  print_table "scaling"
+    ~headers:
+      [
+        "holes"; "conflicts"; "trace (KB)"; "solve (s)"; "df check (s)";
+        "bf check (s)"; "hy check (s)"; "solve/df ratio";
+      ]
+    rows
 
 (* --- Proof shape ---------------------------------------------------------- *)
 
@@ -354,15 +380,14 @@ let proofshape () =
           ])
       (Lazy.force prepared_suite)
   in
-  Harness.Table.print
-    (table
-       ~headers:
-         [
-           "instance"; "learned"; "needed"; "needed%"; "resolutions";
-           "dag depth"; "mean width"; "max width"; "final chain";
-         ]
-       ~align:[ Harness.Table.Left ]
-       rows)
+  print_table "proofshape"
+    ~headers:
+      [
+        "instance"; "learned"; "needed"; "needed%"; "resolutions";
+        "dag depth"; "mean width"; "max width"; "final chain";
+      ]
+    ~align:[ Harness.Table.Left ]
+    rows
 
 (* --- Baseline: BDD CEC vs validated SAT CEC ------------------------------ *)
 
@@ -428,13 +453,12 @@ let baseline () =
       cec_pair "mult_6" (mult 6);
     ]
   in
-  Harness.Table.print
-    (table
-       ~headers:
-         [ "circuit"; "bdd verdict"; "bdd time (s)"; "sat verdict";
-           "sat time (s)" ]
-       ~align:[ Harness.Table.Left; Harness.Table.Left ]
-       rows)
+  print_table "baseline"
+    ~headers:
+      [ "circuit"; "bdd verdict"; "bdd time (s)"; "sat verdict";
+        "sat time (s)" ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows
 
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -455,7 +479,7 @@ let micro () =
     ignore (Solver.Cdcl.solve ~trace:w php5);
     Trace.Writer.contents w
   in
-  let engine = Checker.Resolution.create_engine ~nvars:64 in
+  let kernel = Proof.Kernel.create (Sat.Cnf.create 64) in
   let c1 = Sat.Clause.of_ints [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let c2 = Sat.Clause.of_ints [ -1; 9; 10; 11; 12; 13; 14; 15 ] in
   let tests =
@@ -491,10 +515,10 @@ let micro () =
              Trace.Reader.fold (Trace.Reader.From_string trace5_bin)
                (fun n _ -> n + 1)
                0));
-      (* one checked resolution step *)
+      (* one checked resolution step through the shared kernel *)
       Bechamel.Test.make ~name:"resolution/checked-step"
         (Bechamel.Staged.stage (fun () ->
-             Checker.Resolution.resolve engine ~context:"bench" ~c1_id:1
+             Proof.Kernel.resolve_lits kernel ~context:"bench" ~c1_id:1
                ~c2_id:2 c1 c2));
     ]
   in
@@ -534,11 +558,10 @@ let micro () =
       results []
     |> List.sort compare
   in
-  Harness.Table.print
-    (table
-       ~headers:[ "benchmark"; "ns/run"; "ms/run" ]
-       ~align:[ Harness.Table.Left ]
-       rows)
+  print_table "micro"
+    ~headers:[ "benchmark"; "ns/run"; "ms/run" ]
+    ~align:[ Harness.Table.Left ]
+    rows
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

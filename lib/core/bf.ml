@@ -1,5 +1,3 @@
-let clause_overhead = 3
-
 type counting = [ `In_memory | `Temp_file of int (* chunk size *) ]
 
 (* The use counts are the paper's "temporary file".  In-memory mode keeps
@@ -11,18 +9,8 @@ type counts =
   | File_counts of { ic : in_channel; live : (int, int) Hashtbl.t }
 
 type state = {
-  formula : Sat.Cnf.t;
-  meter : Harness.Meter.t;
-  engine : Resolution.engine;
-  num_original : int;
+  kernel : Proof.Kernel.t;
   mutable counts : counts;
-  alive : (int, Sat.Clause.t) Hashtbl.t;  (* clauses currently in memory *)
-  defined : (int, unit) Hashtbl.t;        (* learned ids seen (pass 2) *)
-  l0 : Level0.t;
-  mutable final_conflict : int option;
-  mutable total_learned : int;
-  mutable clauses_built : int;
-  mutable resolution_steps : int;
 }
 
 let read_count_from_file ic id =
@@ -47,25 +35,24 @@ let set_count st id n =
   | File_counts { live; _ } ->
     if n <= 0 then Hashtbl.remove live id else Hashtbl.replace live id n
 
-let is_original st id = id >= 1 && id <= st.num_original
-
 let add_use st id = set_count st id (1 + get_count st id)
 
 (* Temp-file counting: stream the trace once per chunk of the ID space,
    accumulate that chunk's use counts in a bounded slab, and append the
    slab to the file — the paper's multi-pass variant of pass one. *)
-let iter_use_ids source f =
-  Trace.Reader.iter source (fun e ->
+let iter_use_ids cur f =
+  Trace.Reader.rewind cur;
+  Trace.Reader.iter_cursor cur (fun e ->
       match e with
       | Trace.Event.Header _ -> ()
       | Trace.Event.Learned l -> Array.iter f l.sources
       | Trace.Event.Level0 v -> f v.ante
       | Trace.Event.Final_conflict id -> f id)
 
-let write_counts_file source ~chunk =
+let write_counts_file cur ~chunk =
   let chunk = max 1 chunk in
   let max_id = ref 0 in
-  iter_use_ids source (fun id -> if id > !max_id then max_id := id);
+  iter_use_ids cur (fun id -> if id > !max_id then max_id := id);
   let path = Filename.temp_file "bf_counts" ".bin" in
   let oc = open_out_bin path in
   let slab = Array.make chunk 0 in
@@ -73,7 +60,7 @@ let write_counts_file source ~chunk =
   while !lo <= !max_id do
     Array.fill slab 0 chunk 0;
     let hi = !lo + chunk in
-    iter_use_ids source (fun id ->
+    iter_use_ids cur (fun id ->
         if id >= !lo && id < hi then slab.(id - !lo) <- slab.(id - !lo) + 1);
     for i = 0 to chunk - 1 do
       let n = slab.(i) in
@@ -87,100 +74,35 @@ let write_counts_file source ~chunk =
   close_out oc;
   path
 
-(* Pass one: validate record shape and count uses.  Stream order is
-   enforced here: a learned clause may only reference already-defined
-   clauses, which is exactly the property that makes pass two possible. *)
-let count_pass st ~count_in_memory source =
-  let saw_header = ref false in
-  let seen = Hashtbl.create 1024 in
-  Trace.Reader.iter source (fun e ->
-      match e with
-      | Trace.Event.Header h ->
-        saw_header := true;
-        if
-          h.nvars <> Sat.Cnf.nvars st.formula
-          || h.num_original <> Sat.Cnf.nclauses st.formula
-        then
-          Diagnostics.fail
-            (Diagnostics.Header_mismatch
-               { trace_nvars = h.nvars; trace_norig = h.num_original;
-                 formula_nvars = Sat.Cnf.nvars st.formula;
-                 formula_norig = Sat.Cnf.nclauses st.formula })
-      | Trace.Event.Learned l ->
-        if is_original st l.id then
-          Diagnostics.fail (Diagnostics.Shadows_original l.id);
-        if Hashtbl.mem seen l.id then
-          Diagnostics.fail (Diagnostics.Duplicate_definition l.id);
-        if Array.length l.sources = 0 then
-          Diagnostics.fail (Diagnostics.Empty_source_list l.id);
-        Array.iter
-          (fun s ->
-            if not (is_original st s) && not (Hashtbl.mem seen s) then
-              Diagnostics.fail
-                (Diagnostics.Forward_reference { id = l.id; source = s });
-            if count_in_memory then add_use st s)
-          l.sources;
-        Hashtbl.replace seen l.id ();
-        st.total_learned <- st.total_learned + 1
-      | Trace.Event.Level0 v ->
-        Level0.add st.l0 ~var:v.var ~value:v.value ~ante:v.ante;
-        if count_in_memory then add_use st v.ante
-      | Trace.Event.Final_conflict id ->
-        st.final_conflict <- Some id;
-        if count_in_memory then add_use st id);
-  if not !saw_header then Diagnostics.fail Diagnostics.Missing_header
-
-let store st id c =
-  Harness.Meter.alloc st.meter (Array.length c + clause_overhead);
-  Hashtbl.replace st.alive id c
-
 let release_one_use st id =
   match get_count st id with
   | 0 -> ()
   | n when n <= 1 ->
     set_count st id 0;
-    (match Hashtbl.find_opt st.alive id with
-     | Some c ->
-       Harness.Meter.free st.meter (Array.length c + clause_overhead);
-       Hashtbl.remove st.alive id
-     | None -> ())
+    Proof.Kernel.release_id st.kernel id
   | n -> set_count st id (n - 1)
 
-(* Fetch a clause for use as a resolve source or antecedent; original
-   clauses are materialised on demand and participate in use counting so
-   they too are released when no longer needed. *)
-let fetch st context id =
-  match Hashtbl.find_opt st.alive id with
-  | Some c -> c
-  | None ->
-    if is_original st id then begin
-      let c = Sat.Cnf.clause st.formula (id - 1) in
-      store st id c;
-      c
-    end
-    else Diagnostics.fail (Diagnostics.Unknown_clause { context; id })
-
-let build_pass st source =
-  Trace.Reader.iter source (fun e ->
+(* Pass two: rebuild each learned clause in stream order — all sources are
+   guaranteed to be already constructed (pass one enforced stream order) —
+   and release a clause the moment its use count drains.  Breadth-first
+   builds every learned clause (the 100% Built column); ones with no
+   recorded use are validated but not stored. *)
+let build_pass st cur =
+  let k = st.kernel in
+  let context = "breadth-first reconstruction" in
+  let fetch id = Proof.Kernel.find k ~context id in
+  Trace.Reader.rewind cur;
+  Trace.Reader.iter_cursor cur (fun e ->
       match e with
       | Trace.Event.Header _ -> ()
       | Trace.Event.Learned l ->
-        (* breadth-first builds every learned clause (the 100% Built
-           column); ones with no recorded use are validated but not
-           stored *)
-        let c, steps =
-          Resolution.chain st.engine ~context:"breadth-first reconstruction"
-            ~fetch:(fun id -> fetch st "breadth-first reconstruction" id)
-            ~learned_id:l.id l.sources
-        in
-        st.resolution_steps <- st.resolution_steps + steps;
-        st.clauses_built <- st.clauses_built + 1;
-        Hashtbl.replace st.defined l.id ();
+        let h = Proof.Kernel.chain_ids k ~context ~fetch ~learned_id:l.id l.sources in
         if get_count st l.id > 0 then begin
-          store st l.id c;
+          Proof.Kernel.define k l.id h;
           (* temp-file mode: cache the counter while the clause is alive *)
           set_count st l.id (get_count st l.id)
-        end;
+        end
+        else Proof.Clause_db.release (Proof.Kernel.db k) h;
         Array.iter (fun s -> release_one_use st s) l.sources
       | Trace.Event.Level0 _ -> ()
       | Trace.Event.Final_conflict _ -> ())
@@ -189,28 +111,17 @@ let check ?meter ?(counting = `In_memory) formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
+  let kernel = Proof.Kernel.create ~meter formula in
+  let cur = Trace.Reader.cursor source in
   let counts, temp_path =
     match counting with
     | `In_memory -> (Mem_counts (Hashtbl.create 4096), None)
     | `Temp_file chunk ->
-      let path = write_counts_file source ~chunk in
+      let path = write_counts_file cur ~chunk in
       let ic = open_in_bin path in
       (File_counts { ic; live = Hashtbl.create 256 }, Some (path, ic))
   in
-  let st = {
-    formula;
-    meter;
-    engine = Resolution.create_engine ~nvars:(Sat.Cnf.nvars formula);
-    num_original = Sat.Cnf.nclauses formula;
-    counts;
-    alive = Hashtbl.create 1024;
-    defined = Hashtbl.create 1024;
-    l0 = Level0.create ();
-    final_conflict = None;
-    total_learned = 0;
-    clauses_built = 0;
-    resolution_steps = 0;
-  } in
+  let st = { kernel; counts } in
   let cleanup () =
     match temp_path with
     | Some (path, ic) ->
@@ -218,31 +129,46 @@ let check ?meter ?(counting = `In_memory) formula source =
       (try Sys.remove path with Sys_error _ -> ())
     | None -> ()
   in
-  let count_in_memory = match counting with `In_memory -> true | `Temp_file _ -> false in
+  let count_in_memory =
+    match counting with `In_memory -> true | `Temp_file _ -> false
+  in
   try
-    count_pass st ~count_in_memory source;
+    (* pass one: validate record shape / stream order and count uses *)
+    let l0 = Proof.Level0.create () in
+    let pass =
+      Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
+        ~on_event:(fun e ->
+          if count_in_memory then
+            match e with
+            | Trace.Event.Header _ -> ()
+            | Trace.Event.Learned l -> Array.iter (add_use st) l.sources
+            | Trace.Event.Level0 v -> add_use st v.ante
+            | Trace.Event.Final_conflict id -> add_use st id)
+        cur
+    in
     let conf_id =
-      match st.final_conflict with
+      match pass.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
     in
-    build_pass st source;
-    let start = fetch st "final conflict" conf_id in
-    let steps =
-      Final_chain.run st.engine st.l0 ~start ~start_id:conf_id
-        ~fetch:(fun id -> fetch st "empty-clause construction" id)
+    build_pass st cur;
+    let fetch id =
+      Proof.Kernel.find kernel ~context:"empty-clause construction" id
     in
-    st.resolution_steps <- st.resolution_steps + steps;
+    let (_ : int) =
+      Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
+    in
+    let c = Proof.Kernel.counters kernel in
     Ok {
-      Report.clauses_built = st.clauses_built;
-      total_learned = st.total_learned;
-      resolution_steps = st.resolution_steps;
+      Report.clauses_built = c.Proof.Kernel.clauses_built;
+      total_learned = pass.Proof.Kernel.total_learned;
+      resolution_steps = c.Proof.Kernel.resolution_steps;
       core_original_ids = [];
-      learned_built_ids =
-        List.sort Int.compare
-          (Hashtbl.fold (fun id () acc -> id :: acc) st.defined []);
+      learned_built_ids = Proof.Kernel.built_ids kernel;
       core_vars = 0;
       peak_mem_words = Harness.Meter.peak_words meter;
+      peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
+      arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
     }
     |> fun r ->
     cleanup ();

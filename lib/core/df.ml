@@ -1,201 +1,43 @@
-(* clause storage overhead in words, on top of one word per literal *)
-let clause_overhead = 3
-
-type state = {
-  formula : Sat.Cnf.t;
-  meter : Harness.Meter.t;
-  engine : Resolution.engine;
-  num_original : int;
-  sources : (int, int array) Hashtbl.t;   (* learned id -> resolve sources *)
-  built : (int, Sat.Clause.t) Hashtbl.t;  (* id -> constructed literals *)
-  in_progress : (int, unit) Hashtbl.t;    (* DFS cycle detection *)
-  core : (int, unit) Hashtbl.t;           (* original ids touched *)
-  mutable clauses_built : int;
-  mutable resolution_steps : int;
-  l0 : Level0.t;
-  mutable final_conflict : int option;
-  mutable total_learned : int;
-}
-
-let store st id c =
-  Harness.Meter.alloc st.meter (Array.length c + clause_overhead);
-  Hashtbl.replace st.built id c
-
-let is_original st id = id >= 1 && id <= st.num_original
-
-let original_clause st id =
-  st.core |> fun core ->
-  Hashtbl.replace core id ();
-  Sat.Cnf.clause st.formula (id - 1)
-
-(* Figure 3's recursive_build, iteratively with an explicit stack so deep
-   proofs cannot overflow the OCaml call stack. *)
-let rec_build st root =
-  let stack = ref [ root ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | id :: rest ->
-      if Hashtbl.mem st.built id then begin
-        Hashtbl.remove st.in_progress id;
-        stack := rest
-      end
-      else if is_original st id then begin
-        store st id (original_clause st id);
-        st.clauses_built <- st.clauses_built + 1;
-        stack := rest
-      end
-      else begin
-        match Hashtbl.find_opt st.sources id with
-        | None ->
-          Diagnostics.fail
-            (Diagnostics.Unknown_clause
-               { context = "depth-first build"; id })
-        | Some srcs ->
-          let missing = ref 0 in
-          Array.iter
-            (fun s ->
-              if !missing = 0 && not (Hashtbl.mem st.built s)
-                 && not (is_original st s)
-              then missing := s)
-            srcs;
-          (* original sources are built inline: they never recurse *)
-          Array.iter
-            (fun s ->
-              if is_original st s && not (Hashtbl.mem st.built s) then begin
-                store st s (original_clause st s);
-                st.clauses_built <- st.clauses_built + 1
-              end)
-            srcs;
-          if !missing = 0 then begin
-            let fetch s =
-              match Hashtbl.find_opt st.built s with
-              | Some c -> c
-              | None ->
-                Diagnostics.fail
-                  (Diagnostics.Unknown_clause
-                     { context = "depth-first build"; id = s })
-            in
-            let c, steps =
-              Resolution.chain st.engine
-                ~context:"learned-clause reconstruction"
-                ~fetch ~learned_id:id srcs
-            in
-            st.resolution_steps <- st.resolution_steps + steps;
-            store st id c;
-            st.clauses_built <- st.clauses_built + 1;
-            Hashtbl.remove st.in_progress id;
-            stack := rest
-          end
-          else begin
-            if Hashtbl.mem st.in_progress !missing then
-              Diagnostics.fail (Diagnostics.Cyclic_definition !missing);
-            Hashtbl.replace st.in_progress id ();
-            Hashtbl.replace st.in_progress !missing ();
-            stack := !missing :: !stack
-          end
-      end
-  done;
-  Hashtbl.find st.built root
-
-(* words charged for holding the parsed trace in memory (§3.2's
-   disadvantage: "the checker needs to read in the entire trace file into
-   main memory") *)
-let trace_residency_words = function
-  | Trace.Event.Header _ -> 2
-  | Trace.Event.Learned l -> 2 + Array.length l.sources
-  | Trace.Event.Level0 _ -> 3
-  | Trace.Event.Final_conflict _ -> 1
-
-let load st source =
-  let saw_header = ref false in
-  Trace.Reader.iter source (fun e ->
-      Harness.Meter.alloc st.meter (trace_residency_words e);
-      match e with
-      | Trace.Event.Header h ->
-        saw_header := true;
-        if
-          h.nvars <> Sat.Cnf.nvars st.formula
-          || h.num_original <> Sat.Cnf.nclauses st.formula
-        then
-          Diagnostics.fail
-            (Diagnostics.Header_mismatch
-               { trace_nvars = h.nvars; trace_norig = h.num_original;
-                 formula_nvars = Sat.Cnf.nvars st.formula;
-                 formula_norig = Sat.Cnf.nclauses st.formula })
-      | Trace.Event.Learned l ->
-        if is_original st l.id then
-          Diagnostics.fail (Diagnostics.Shadows_original l.id);
-        if Hashtbl.mem st.sources l.id then
-          Diagnostics.fail (Diagnostics.Duplicate_definition l.id);
-        if Array.length l.sources = 0 then
-          Diagnostics.fail (Diagnostics.Empty_source_list l.id);
-        Hashtbl.replace st.sources l.id l.sources;
-        st.total_learned <- st.total_learned + 1
-      | Trace.Event.Level0 v ->
-        Level0.add st.l0 ~var:v.var ~value:v.value ~ante:v.ante
-      | Trace.Event.Final_conflict id -> st.final_conflict <- Some id);
-  if not !saw_header then Diagnostics.fail Diagnostics.Missing_header
-
-let core_vars st =
-  let seen = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun id () ->
-      Array.iter
-        (fun l -> Hashtbl.replace seen (Sat.Lit.var l) ())
-        (Sat.Cnf.clause st.formula (id - 1)))
-    st.core;
-  Hashtbl.length seen
+(* Depth-first checking (§3.2, Figure 3) on the shared kernel: load the
+   whole trace (charged to the meter — the paper's stated DF
+   disadvantage), then reconstruct on demand through the resolve-source
+   DAG from the final conflict, so only proof-relevant clauses are ever
+   built and the touched originals form an unsat core. *)
 
 let check ?meter formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
-  let st = {
-    formula;
-    meter;
-    engine = Resolution.create_engine ~nvars:(Sat.Cnf.nvars formula);
-    num_original = Sat.Cnf.nclauses formula;
-    sources = Hashtbl.create 1024;
-    built = Hashtbl.create 1024;
-    in_progress = Hashtbl.create 64;
-    core = Hashtbl.create 256;
-    clauses_built = 0;
-    resolution_steps = 0;
-    l0 = Level0.create ();
-    final_conflict = None;
-    total_learned = 0;
-  } in
+  let k = Proof.Kernel.create ~meter formula in
   try
-    load st source;
+    let cur = Trace.Reader.cursor source in
+    let proof = Proof.Kernel.load k ~charge:`Full cur in
     let conf_id =
-      match st.final_conflict with
+      match proof.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
     in
-    let start = rec_build st conf_id in
-    let steps =
-      Final_chain.run st.engine st.l0 ~start ~start_id:conf_id
-        ~fetch:(fun id -> rec_build st id)
+    let b =
+      Proof.Kernel.builder k ~sources:proof.Proof.Kernel.sources
+        Proof.Kernel.unit_annotation
     in
-    st.resolution_steps <- st.resolution_steps + steps;
-    let learned_built_ids =
-      (* only learned clauses count towards Built%, as in the paper *)
-      Hashtbl.fold
-        (fun id _ acc -> if is_original st id then acc else id :: acc)
-        st.built []
-      |> List.sort Int.compare
+    let fetch id = fst (Proof.Kernel.build b id) in
+    let (_ : int) =
+      Proof.Kernel.final_chain_ids k ~l0:proof.Proof.Kernel.l0 ~fetch
+        ~conflict_id:conf_id
     in
+    let learned_built_ids = Proof.Kernel.built_ids k in
+    let c = Proof.Kernel.counters k in
     Ok {
       Report.clauses_built = List.length learned_built_ids;
       learned_built_ids;
-      total_learned = st.total_learned;
-      resolution_steps = st.resolution_steps;
-      core_original_ids =
-        List.sort Int.compare
-          (Hashtbl.fold (fun id () acc -> id :: acc) st.core []);
-      core_vars = core_vars st;
+      total_learned = proof.Proof.Kernel.total_learned;
+      resolution_steps = c.Proof.Kernel.resolution_steps;
+      core_original_ids = Proof.Kernel.core_ids k;
+      core_vars = Proof.Kernel.core_var_count k;
       peak_mem_words = Harness.Meter.peak_words meter;
+      peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
+      arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
     }
   with
   | Diagnostics.Check_failed f -> Error f

@@ -1,83 +1,4 @@
-type failure =
-  | Malformed_trace of string
-  | Missing_header
-  | Header_mismatch of { trace_nvars : int; trace_norig : int;
-                         formula_nvars : int; formula_norig : int }
-  | Missing_final_conflict
-  | Unknown_clause of { context : string; id : int }
-  | Duplicate_definition of int
-  | Shadows_original of int
-  | Empty_source_list of int
-  | Cyclic_definition of int
-  | Forward_reference of { id : int; source : int }
-  | No_clash of { context : string; c1_id : int; c2_id : int;
-                  c1 : Sat.Clause.t; c2 : Sat.Clause.t }
-  | Multiple_clash of { context : string; c1_id : int; c2_id : int;
-                        vars : Sat.Lit.var list }
-  | Wrong_pivot of { context : string; expected : Sat.Lit.var;
-                     actual : Sat.Lit.var }
-  | Level0_var_unrecorded of Sat.Lit.var
-  | Level0_duplicate_var of Sat.Lit.var
-  | Final_literal_not_false of { clause_id : int; lit : Sat.Lit.t }
-  | Antecedent_mismatch of { var : Sat.Lit.var; ante : int; reason : string }
-
-exception Check_failed of failure
-
-let fail f = raise (Check_failed f)
-
-let pp fmt = function
-  | Malformed_trace m -> Format.fprintf fmt "trace does not parse: %s" m
-  | Missing_header -> Format.fprintf fmt "trace has no header record"
-  | Header_mismatch h ->
-    Format.fprintf fmt
-      "trace header (%d vars, %d clauses) disagrees with formula (%d vars, %d clauses)"
-      h.trace_nvars h.trace_norig h.formula_nvars h.formula_norig
-  | Missing_final_conflict ->
-    Format.fprintf fmt
-      "no final conflicting clause recorded: the solver claimed UNSAT \
-       without reaching a level-0 conflict, or trace generation is \
-       incomplete"
-  | Unknown_clause u ->
-    Format.fprintf fmt "%s references clause id %d, which is neither \
-                        original nor defined by the trace" u.context u.id
-  | Duplicate_definition id ->
-    Format.fprintf fmt "clause id %d defined twice in the trace" id
-  | Shadows_original id ->
-    Format.fprintf fmt "learned-clause record reuses original clause id %d" id
-  | Empty_source_list id ->
-    Format.fprintf fmt "learned clause %d has an empty resolve-source list" id
-  | Cyclic_definition id ->
-    Format.fprintf fmt "resolve sources of clause %d form a cycle" id
-  | Forward_reference f ->
-    Format.fprintf fmt
-      "clause %d uses source %d before it is defined (stream order)" f.id
-      f.source
-  | No_clash n ->
-    Format.fprintf fmt
-      "%s: no clashing variable between clause %d %a and clause %d %a"
-      n.context n.c1_id Sat.Clause.pp n.c1 n.c2_id Sat.Clause.pp n.c2
-  | Multiple_clash m ->
-    Format.fprintf fmt
-      "%s: clauses %d and %d clash on several variables (%s); the \
-       resolvent would be tautological"
-      m.context m.c1_id m.c2_id
-      (String.concat ", " (List.map string_of_int m.vars))
-  | Wrong_pivot w ->
-    Format.fprintf fmt "%s: expected resolution pivot %d, got %d" w.context
-      w.expected w.actual
-  | Level0_var_unrecorded v ->
-    Format.fprintf fmt
-      "variable %d is needed by the empty-clause construction but has no \
-       level-0 record" v
-  | Level0_duplicate_var v ->
-    Format.fprintf fmt "variable %d has two level-0 records" v
-  | Final_literal_not_false f ->
-    Format.fprintf fmt
-      "claimed final conflicting clause %d contains literal %a which the \
-       level-0 assignment does not falsify" f.clause_id Sat.Lit.pp f.lit
-  | Antecedent_mismatch a ->
-    Format.fprintf fmt
-      "clause %d is not a valid antecedent for variable %d: %s" a.ante a.var
-      a.reason
-
-let to_string f = Format.asprintf "%a" pp f
+(* Re-exported from the shared proof kernel so existing
+   [Checker.Diagnostics] users (and the [Check_failed] exception itself)
+   keep working unchanged. *)
+include Proof.Diagnostics

@@ -1,67 +1,14 @@
-let clause_overhead = 3
+(* The paper's §5 future-work checker on the shared kernel: pass one keeps
+   only the resolve-source ID lists (charged to the meter, like DF's trace
+   residency but literal-free), a reverse sweep computes the exact needed
+   set and per-clause use counts, the lists are released, and pass two
+   rebuilds only the needed clauses BF-style with use-count freeing. *)
 
 type state = {
-  formula : Sat.Cnf.t;
-  meter : Harness.Meter.t;
-  engine : Resolution.engine;
-  num_original : int;
-  built_ids : int Sat.Vec.t;              (* learned ids built in pass 2 *)
-  defs : (int * int array) Sat.Vec.t;     (* pass 1: (id, sources) in order *)
-  antes : int Sat.Vec.t;                  (* antecedent ids of VAR records *)
-  needed : (int, unit) Hashtbl.t;         (* reachable from the conflict *)
-  use_count : (int, int) Hashtbl.t;       (* uses among needed clauses *)
-  alive : (int, Sat.Clause.t) Hashtbl.t;
-  core : (int, unit) Hashtbl.t;           (* original ids in the proof *)
-  l0 : Level0.t;
-  mutable final_conflict : int option;
-  mutable total_learned : int;
-  mutable clauses_built : int;
-  mutable resolution_steps : int;
+  kernel : Proof.Kernel.t;
+  needed : (int, unit) Hashtbl.t;   (* reachable from the conflict *)
+  use_count : (int, int) Hashtbl.t; (* uses among needed clauses *)
 }
-
-let is_original st id = id >= 1 && id <= st.num_original
-
-(* Pass one: collect source lists (charged to the meter: this is the part
-   of the trace the hybrid must hold, like DF) and validate record
-   shape / stream order, like BF. *)
-let collect_pass st source =
-  let saw_header = ref false in
-  let seen = Hashtbl.create 1024 in
-  Trace.Reader.iter source (fun e ->
-      match e with
-      | Trace.Event.Header h ->
-        saw_header := true;
-        if
-          h.nvars <> Sat.Cnf.nvars st.formula
-          || h.num_original <> Sat.Cnf.nclauses st.formula
-        then
-          Diagnostics.fail
-            (Diagnostics.Header_mismatch
-               { trace_nvars = h.nvars; trace_norig = h.num_original;
-                 formula_nvars = Sat.Cnf.nvars st.formula;
-                 formula_norig = Sat.Cnf.nclauses st.formula })
-      | Trace.Event.Learned l ->
-        if is_original st l.id then
-          Diagnostics.fail (Diagnostics.Shadows_original l.id);
-        if Hashtbl.mem seen l.id then
-          Diagnostics.fail (Diagnostics.Duplicate_definition l.id);
-        if Array.length l.sources = 0 then
-          Diagnostics.fail (Diagnostics.Empty_source_list l.id);
-        Array.iter
-          (fun s ->
-            if not (is_original st s) && not (Hashtbl.mem seen s) then
-              Diagnostics.fail
-                (Diagnostics.Forward_reference { id = l.id; source = s }))
-          l.sources;
-        Hashtbl.replace seen l.id ();
-        Harness.Meter.alloc st.meter (2 + Array.length l.sources);
-        Sat.Vec.push st.defs (l.id, l.sources);
-        st.total_learned <- st.total_learned + 1
-      | Trace.Event.Level0 v ->
-        Level0.add st.l0 ~var:v.var ~value:v.value ~ante:v.ante;
-        Sat.Vec.push st.antes v.ante
-      | Trace.Event.Final_conflict id -> st.final_conflict <- Some id);
-  if not !saw_header then Diagnostics.fail Diagnostics.Missing_header
 
 let add_need st id =
   Hashtbl.replace st.needed id ();
@@ -71,124 +18,97 @@ let add_need st id =
 (* Reverse sweep: because stream order forbids forward references, one
    backward pass over the definitions computes the exact reachable set
    from the final conflict and per-clause use counts. *)
-let mark_needed st conf_id =
+let mark_needed st ~defs ~antes conf_id =
   add_need st conf_id;
   (* every recorded antecedent may be used by the empty-clause chain *)
-  Sat.Vec.iter (fun ante -> add_need st ante) st.antes;
-  for i = Sat.Vec.length st.defs - 1 downto 0 do
-    let id, sources = Sat.Vec.get st.defs i in
+  Sat.Vec.iter (fun ante -> add_need st ante) antes;
+  for i = Sat.Vec.length defs - 1 downto 0 do
+    let id, sources = Sat.Vec.get defs i in
     if Hashtbl.mem st.needed id then Array.iter (fun s -> add_need st s) sources
   done
-
-let store st id c =
-  Harness.Meter.alloc st.meter (Array.length c + clause_overhead);
-  Hashtbl.replace st.alive id c
 
 let release_one_use st id =
   match Hashtbl.find_opt st.use_count id with
   | None -> ()
   | Some n when n <= 1 ->
     Hashtbl.remove st.use_count id;
-    (match Hashtbl.find_opt st.alive id with
-     | Some c ->
-       Harness.Meter.free st.meter (Array.length c + clause_overhead);
-       Hashtbl.remove st.alive id
-     | None -> ())
+    Proof.Kernel.release_id st.kernel id
   | Some n -> Hashtbl.replace st.use_count id (n - 1)
 
-let fetch st context id =
-  match Hashtbl.find_opt st.alive id with
-  | Some c -> c
-  | None ->
-    if is_original st id then begin
-      Hashtbl.replace st.core id ();
-      let c = Sat.Cnf.clause st.formula (id - 1) in
-      store st id c;
-      c
-    end
-    else Diagnostics.fail (Diagnostics.Unknown_clause { context; id })
-
 (* Pass two: rebuild only the needed clauses, in stream order. *)
-let build_pass st source =
-  Trace.Reader.iter source (fun e ->
+let build_pass st cur =
+  let k = st.kernel in
+  let context = "hybrid reconstruction" in
+  let fetch id = Proof.Kernel.find k ~context id in
+  Trace.Reader.rewind cur;
+  Trace.Reader.iter_cursor cur (fun e ->
       match e with
       | Trace.Event.Learned l when Hashtbl.mem st.needed l.id ->
-        let c, steps =
-          Resolution.chain st.engine ~context:"hybrid reconstruction"
-            ~fetch:(fun id -> fetch st "hybrid reconstruction" id)
-            ~learned_id:l.id l.sources
+        let h =
+          Proof.Kernel.chain_ids k ~context ~fetch ~learned_id:l.id l.sources
         in
-        st.resolution_steps <- st.resolution_steps + steps;
-        st.clauses_built <- st.clauses_built + 1;
-        Sat.Vec.push st.built_ids l.id;
-        store st l.id c;
+        Proof.Kernel.define k l.id h;
         Array.iter (fun s -> release_one_use st s) l.sources
       | Trace.Event.Learned _ | Trace.Event.Header _ | Trace.Event.Level0 _
       | Trace.Event.Final_conflict _ -> ())
-
-let core_vars st =
-  let seen = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun id () ->
-      Array.iter
-        (fun l -> Hashtbl.replace seen (Sat.Lit.var l) ())
-        (Sat.Cnf.clause st.formula (id - 1)))
-    st.core;
-  Hashtbl.length seen
 
 let check ?meter formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
+  let kernel = Proof.Kernel.create ~meter formula in
+  let cur = Trace.Reader.cursor source in
   let st = {
-    formula;
-    meter;
-    engine = Resolution.create_engine ~nvars:(Sat.Cnf.nvars formula);
-    num_original = Sat.Cnf.nclauses formula;
-    built_ids = Sat.Vec.create ~dummy:0;
-    defs = Sat.Vec.create ~dummy:(0, [||]);
-    antes = Sat.Vec.create ~dummy:0;
+    kernel;
     needed = Hashtbl.create 1024;
     use_count = Hashtbl.create 1024;
-    alive = Hashtbl.create 256;
-    core = Hashtbl.create 256;
-    l0 = Level0.create ();
-    final_conflict = None;
-    total_learned = 0;
-    clauses_built = 0;
-    resolution_steps = 0;
   } in
   try
-    collect_pass st source;
+    (* pass one: collect source lists (charged: this is the part of the
+       trace the hybrid must hold, like DF) and validate record shape and
+       stream order, like BF *)
+    let l0 = Proof.Level0.create () in
+    let defs = Sat.Vec.create ~dummy:(0, [||]) in
+    let antes = Sat.Vec.create ~dummy:0 in
+    let pass =
+      Proof.Kernel.stream_pass kernel ~stream_order:true ~l0 ~charge:`Defs
+        ~on_event:(fun e ->
+          match e with
+          | Trace.Event.Learned l -> Sat.Vec.push defs (l.id, l.sources)
+          | Trace.Event.Level0 v -> Sat.Vec.push antes v.ante
+          | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ())
+        cur
+    in
     let conf_id =
-      match st.final_conflict with
+      match pass.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
     in
-    mark_needed st conf_id;
+    mark_needed st ~defs ~antes conf_id;
     (* release the source lists: pass two re-reads them from the stream *)
     let defs_words =
-      Sat.Vec.fold (fun acc (_, s) -> acc + 2 + Array.length s) 0 st.defs
+      Sat.Vec.fold (fun acc (_, s) -> acc + 2 + Array.length s) 0 defs
     in
-    Sat.Vec.clear st.defs;
-    Harness.Meter.free st.meter defs_words;
-    build_pass st source;
-    let start = fetch st "final conflict" conf_id in
-    let steps =
-      Final_chain.run st.engine st.l0 ~start ~start_id:conf_id
-        ~fetch:(fun id -> fetch st "empty-clause construction" id)
+    Sat.Vec.clear defs;
+    Harness.Meter.free meter defs_words;
+    build_pass st cur;
+    let fetch id =
+      Proof.Kernel.find kernel ~context:"empty-clause construction" id
     in
-    st.resolution_steps <- st.resolution_steps + steps;
+    let (_ : int) =
+      Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
+    in
+    let c = Proof.Kernel.counters kernel in
     Ok {
-      Report.clauses_built = st.clauses_built;
-      total_learned = st.total_learned;
-      resolution_steps = st.resolution_steps;
-      core_original_ids =
-        List.sort Int.compare
-          (Hashtbl.fold (fun id () acc -> id :: acc) st.core []);
-      learned_built_ids = List.sort Int.compare (Sat.Vec.to_list st.built_ids);
-      core_vars = core_vars st;
+      Report.clauses_built = c.Proof.Kernel.clauses_built;
+      total_learned = pass.Proof.Kernel.total_learned;
+      resolution_steps = c.Proof.Kernel.resolution_steps;
+      core_original_ids = Proof.Kernel.core_ids kernel;
+      learned_built_ids = Proof.Kernel.built_ids kernel;
+      core_vars = Proof.Kernel.core_var_count kernel;
       peak_mem_words = Harness.Meter.peak_words meter;
+      peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
+      arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
     }
   with
   | Diagnostics.Check_failed f -> Error f

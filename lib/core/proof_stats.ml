@@ -8,86 +8,58 @@ type t = {
   final_chain_length : int;
 }
 
-(* Measure while rebuilding breadth-first: clause literals give widths,
-   the source lists give DAG depth (originals have depth 0), and a
-   reverse sweep gives the needed set. *)
+(* Measure while rebuilding breadth-first through the kernel: clause
+   literals give widths, the source lists give DAG depth (originals have
+   depth 0), and a reverse sweep gives the needed set. *)
 let analyze formula source =
-  let num_original = Sat.Cnf.nclauses formula in
-  let is_original id = id >= 1 && id <= num_original in
-  let engine =
-    Resolution.create_engine ~nvars:(Sat.Cnf.nvars formula)
-  in
-  let built = Hashtbl.create 1024 in
+  let k = Proof.Kernel.create formula in
+  let cur = Trace.Reader.cursor source in
+  let is_original id = Proof.Kernel.is_original k id in
+  let context = "proof statistics" in
+  let fetch id = Proof.Kernel.find k ~context id in
   let depth = Hashtbl.create 1024 in
   let defs = ref [] in
   let antes = ref [] in
-  let l0 = Level0.create () in
-  let final_conflict = ref None in
-  let saw_header = ref false in
-  let steps = ref 0 in
-  let total = ref 0 in
+  let l0 = Proof.Level0.create () in
   let width_sum = ref 0 in
   let width_max = ref 0 in
-  let fetch id =
-    match Hashtbl.find_opt built id with
-    | Some c -> c
-    | None ->
-      if is_original id then Sat.Cnf.clause formula (id - 1)
-      else
-        Diagnostics.fail
-          (Diagnostics.Unknown_clause { context = "proof statistics"; id })
-  in
   let depth_of id =
     if is_original id then 0
     else Option.value ~default:0 (Hashtbl.find_opt depth id)
   in
   try
-    Trace.Reader.iter source (fun e ->
-        match e with
-        | Trace.Event.Header h ->
-          saw_header := true;
-          if
-            h.nvars <> Sat.Cnf.nvars formula || h.num_original <> num_original
-          then
-            Diagnostics.fail
-              (Diagnostics.Header_mismatch
-                 { trace_nvars = h.nvars; trace_norig = h.num_original;
-                   formula_nvars = Sat.Cnf.nvars formula;
-                   formula_norig = num_original })
-        | Trace.Event.Learned l ->
-          if is_original l.id then
-            Diagnostics.fail (Diagnostics.Shadows_original l.id);
-          if Hashtbl.mem built l.id then
-            Diagnostics.fail (Diagnostics.Duplicate_definition l.id);
-          let c, st =
-            Resolution.chain engine ~context:"proof statistics" ~fetch
-              ~learned_id:l.id l.sources
-          in
-          steps := !steps + st;
-          incr total;
-          let w = Array.length c in
-          width_sum := !width_sum + w;
-          if w > !width_max then width_max := w;
-          Hashtbl.replace built l.id c;
-          let d =
-            1 + Array.fold_left (fun acc s -> max acc (depth_of s)) 0 l.sources
-          in
-          Hashtbl.replace depth l.id d;
-          defs := (l.id, l.sources) :: !defs
-        | Trace.Event.Level0 v ->
-          Level0.add l0 ~var:v.var ~value:v.value ~ante:v.ante;
-          antes := v.ante :: !antes
-        | Trace.Event.Final_conflict id -> final_conflict := Some id);
-    if not !saw_header then Diagnostics.fail Diagnostics.Missing_header;
+    let pass =
+      Proof.Kernel.stream_pass k ~stream_order:true ~l0
+        ~on_event:(fun e ->
+          match e with
+          | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ()
+          | Trace.Event.Learned l ->
+            let h =
+              Proof.Kernel.chain_ids k ~context ~fetch ~learned_id:l.id
+                l.sources
+            in
+            Proof.Kernel.define k l.id h;
+            let w = Proof.Clause_db.size (Proof.Kernel.db k) h in
+            width_sum := !width_sum + w;
+            if w > !width_max then width_max := w;
+            let d =
+              1
+              + Array.fold_left (fun acc s -> max acc (depth_of s)) 0 l.sources
+            in
+            Hashtbl.replace depth l.id d;
+            defs := (l.id, l.sources) :: !defs
+          | Trace.Event.Level0 v -> antes := v.ante :: !antes)
+        cur
+    in
+    let total = pass.Proof.Kernel.total_learned in
     let conf_id =
-      match !final_conflict with
+      match pass.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
     in
     (* run the final chain for its length and validity *)
     let chain_len =
-      Final_chain.run engine l0 ~start:(fetch conf_id) ~start_id:conf_id
-        ~fetch
+      Proof.Kernel.final_chain_ids k ~l0 ~fetch ~conflict_id:conf_id
     in
     (* needed set: conflict + antecedents, closed backwards over defs
        (defs is in reverse stream order already) *)
@@ -105,17 +77,17 @@ let analyze formula source =
         needed 0
     in
     Ok {
-      learned_total = !total;
+      learned_total = total;
       learned_needed;
-      resolution_steps = !steps + chain_len;
+      resolution_steps = Proof.Kernel.resolution_steps k;
       dag_depth =
         List.fold_left
           (fun acc id -> max acc (depth_of id))
           (depth_of conf_id) !antes;
       max_clause_width = !width_max;
       mean_clause_width =
-        (if !total = 0 then 0.0
-         else float_of_int !width_sum /. float_of_int !total);
+        (if total = 0 then 0.0
+         else float_of_int !width_sum /. float_of_int total);
       final_chain_length = chain_len;
     }
   with

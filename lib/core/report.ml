@@ -6,6 +6,8 @@ type t = {
   learned_built_ids : int list;
   core_vars : int;
   peak_mem_words : int;
+  peak_live_clauses : int;
+  arena_bytes_resident : int;
 }
 
 let built_ratio r =
@@ -15,9 +17,10 @@ let built_ratio r =
 let pp fmt r =
   Format.fprintf fmt
     "@[<v>clauses built: %d / %d (%.1f%%)@,resolution steps: %d@,core: %d \
-     clauses over %d variables@,peak memory: %d words@]"
+     clauses over %d variables@,peak memory: %d words@,peak live clauses: \
+     %d (%d arena bytes)@]"
     r.clauses_built r.total_learned
     (100.0 *. built_ratio r)
     r.resolution_steps
     (List.length r.core_original_ids)
-    r.core_vars r.peak_mem_words
+    r.core_vars r.peak_mem_words r.peak_live_clauses r.arena_bytes_resident

@@ -23,6 +23,10 @@ type t = {
       (** distinct variables among the core clauses *)
   peak_mem_words : int;
       (** simulated peak memory, from {!Harness.Meter} *)
+  peak_live_clauses : int;
+      (** most clauses simultaneously live in the shared clause store *)
+  arena_bytes_resident : int;
+      (** peak clause-store arena residency, in bytes *)
 }
 
 (** [built_ratio r] is Table 2's "Built%" — constructed learned clauses

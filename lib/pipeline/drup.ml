@@ -1,45 +1,29 @@
 module D = Checker.Diagnostics
 
 (* Rebuild every learned clause in stream order (the breadth-first
-   discipline) and record its literals. *)
+   discipline) through the shared kernel and record its literals. *)
 let of_trace f source =
-  let num_original = Sat.Cnf.nclauses f in
-  let engine = Checker.Resolution.create_engine ~nvars:(Sat.Cnf.nvars f) in
-  let built = Hashtbl.create 1024 in
+  let k = Proof.Kernel.create f in
+  let cur = Trace.Reader.cursor source in
+  let context = "drup conversion" in
+  let fetch id = Proof.Kernel.find k ~context id in
   let order = ref [] in
-  let is_original id = id >= 1 && id <= num_original in
-  let fetch id =
-    match Hashtbl.find_opt built id with
-    | Some c -> c
-    | None ->
-      if is_original id then Sat.Cnf.clause f (id - 1)
-      else D.fail (D.Unknown_clause { context = "drup conversion"; id })
-  in
-  let saw_header = ref false in
   try
-    Trace.Reader.iter source (fun e ->
-        match e with
-        | Trace.Event.Header h ->
-          saw_header := true;
-          if
-            h.nvars <> Sat.Cnf.nvars f || h.num_original <> num_original
-          then
-            D.fail
-              (D.Header_mismatch
-                 { trace_nvars = h.nvars; trace_norig = h.num_original;
-                   formula_nvars = Sat.Cnf.nvars f;
-                   formula_norig = num_original })
-        | Trace.Event.Learned l ->
-          if is_original l.id then D.fail (D.Shadows_original l.id);
-          if Hashtbl.mem built l.id then D.fail (D.Duplicate_definition l.id);
-          let c, _steps =
-            Checker.Resolution.chain engine ~context:"drup conversion"
-              ~fetch ~learned_id:l.id l.sources
-          in
-          Hashtbl.replace built l.id c;
-          order := c :: !order
-        | Trace.Event.Level0 _ | Trace.Event.Final_conflict _ -> ());
-    if not !saw_header then D.fail D.Missing_header;
+    let (_ : Proof.Kernel.pass) =
+      Proof.Kernel.stream_pass k ~stream_order:true
+        ~on_event:(fun e ->
+          match e with
+          | Trace.Event.Learned l ->
+            let h =
+              Proof.Kernel.chain_ids k ~context ~fetch ~learned_id:l.id
+                l.sources
+            in
+            Proof.Kernel.define k l.id h;
+            order := Proof.Clause_db.lits (Proof.Kernel.db k) h :: !order
+          | Trace.Event.Header _ | Trace.Event.Level0 _
+          | Trace.Event.Final_conflict _ -> ())
+        cur
+    in
     Ok (List.rev ([||] :: !order))
   with
   | D.Check_failed d -> Error d

@@ -8,25 +8,13 @@ type t = {
   input_of_var : Sat.Lit.var -> N.node;
 }
 
-(* annotated clause: literals plus McMillan partial interpolant *)
-type ann = { lits : Sat.Clause.t; itp : N.node }
-
 type state = {
-  formula : Sat.Cnf.t;
-  num_original : int;
   a_side : bool array;          (* per 0-based clause index *)
   in_a : bool array;            (* per var: occurs in an A clause *)
   in_b : bool array;            (* per var: occurs in a B clause *)
   circuit : N.t;
   inputs : (Sat.Lit.var, N.node) Hashtbl.t;
-  engine : Checker.Resolution.engine;
-  sources : (int, int array) Hashtbl.t;
-  built : (int, ann) Hashtbl.t;
-  l0 : Checker.Level0.t;
-  mutable final_conflict : int option;
 }
-
-let is_original st id = id >= 1 && id <= st.num_original
 
 let input_node st v =
   match Hashtbl.find_opt st.inputs v with
@@ -41,147 +29,20 @@ let lit_node st l =
   if Sat.Lit.is_neg l then N.not_ st.circuit n else n
 
 (* McMillan base case for an original clause *)
-let base_ann st id =
-  let lits = Sat.Cnf.clause st.formula (id - 1) in
-  let itp =
-    if st.a_side.(id - 1) then
-      (* disjunction of the literals over B-shared variables *)
-      N.big_or st.circuit
-        (Array.to_list lits
-        |> List.filter (fun l -> st.in_b.(Sat.Lit.var l))
-        |> List.map (lit_node st))
-    else N.const st.circuit true
-  in
-  { lits; itp }
+let base_itp st id lits =
+  if st.a_side.(id - 1) then
+    (* disjunction of the literals over B-shared variables *)
+    N.big_or st.circuit
+      (Array.to_list lits
+      |> List.filter (fun l -> st.in_b.(Sat.Lit.var l))
+      |> List.map (lit_node st))
+  else N.const st.circuit true
 
 (* McMillan resolution rule *)
-let combine st pivot i1 i2 =
+let combine st ~pivot i1 i2 =
   (* "local to A" = occurs in A and not in B *)
   if st.in_a.(pivot) && not st.in_b.(pivot) then N.or_ st.circuit i1 i2
   else N.and_ st.circuit i1 i2
-
-let resolve_ann st ~context ~c1_id ~c2_id a1 a2 =
-  let lits, pivot =
-    Checker.Resolution.resolve st.engine ~context ~c1_id ~c2_id a1.lits a2.lits
-  in
-  { lits; itp = combine st pivot a1.itp a2.itp }
-
-(* annotated version of the checker's recursive_build (explicit stack) *)
-let rec_build st root =
-  let stack = ref [ root ] in
-  let in_progress = Hashtbl.create 32 in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | id :: rest ->
-      if Hashtbl.mem st.built id then begin
-        Hashtbl.remove in_progress id;
-        stack := rest
-      end
-      else if is_original st id then begin
-        Hashtbl.replace st.built id (base_ann st id);
-        stack := rest
-      end
-      else begin
-        match Hashtbl.find_opt st.sources id with
-        | None ->
-          D.fail (D.Unknown_clause { context = "interpolation build"; id })
-        | Some srcs ->
-          let missing = ref 0 in
-          Array.iter
-            (fun s ->
-              if !missing = 0 && not (Hashtbl.mem st.built s) then
-                if is_original st s then
-                  Hashtbl.replace st.built s (base_ann st s)
-                else missing := s)
-            srcs;
-          if !missing = 0 then begin
-            if Array.length srcs = 0 then D.fail (D.Empty_source_list id);
-            let get s = Hashtbl.find st.built s in
-            let ann = ref (get srcs.(0)) in
-            let cur_id = ref srcs.(0) in
-            for i = 1 to Array.length srcs - 1 do
-              ann :=
-                resolve_ann st ~context:"interpolation build" ~c1_id:!cur_id
-                  ~c2_id:srcs.(i) !ann (get srcs.(i));
-              cur_id := id
-            done;
-            Hashtbl.replace st.built id !ann;
-            Hashtbl.remove in_progress id;
-            stack := rest
-          end
-          else begin
-            if Hashtbl.mem in_progress !missing then
-              D.fail (D.Cyclic_definition !missing);
-            Hashtbl.replace in_progress id ();
-            Hashtbl.replace in_progress !missing ();
-            stack := !missing :: !stack
-          end
-      end
-  done;
-  Hashtbl.find st.built root
-
-(* annotated version of Final_chain.run, with the same side checks *)
-let final_chain st conf_id =
-  let start = rec_build st conf_id in
-  Array.iter
-    (fun l ->
-      if not (Checker.Level0.lit_false st.l0 l) then
-        D.fail (D.Final_literal_not_false { clause_id = conf_id; lit = l }))
-    start.lits;
-  let cur = ref start in
-  let cur_id = ref conf_id in
-  while Array.length !cur.lits > 0 do
-    (* reverse chronological pivot choice *)
-    let v = ref (-1) and best = ref (-1) in
-    Array.iter
-      (fun l ->
-        let u = Sat.Lit.var l in
-        let o = Checker.Level0.order st.l0 u in
-        if o > !best then begin
-          best := o;
-          v := u
-        end)
-      !cur.lits;
-    let ante_id = Checker.Level0.ante st.l0 !v in
-    let ante = rec_build st ante_id in
-    (match Checker.Level0.check_antecedent st.l0 ~var:!v ante.lits with
-     | None -> ()
-     | Some reason ->
-       D.fail (D.Antecedent_mismatch { var = !v; ante = ante_id; reason }));
-    let next =
-      resolve_ann st ~context:"interpolation chain" ~c1_id:!cur_id
-        ~c2_id:ante_id !cur ante
-    in
-    cur := next;
-    cur_id := -1
-  done;
-  !cur.itp
-
-let load st source =
-  let saw_header = ref false in
-  Trace.Reader.iter source (fun e ->
-      match e with
-      | Trace.Event.Header h ->
-        saw_header := true;
-        if
-          h.nvars <> Sat.Cnf.nvars st.formula
-          || h.num_original <> Sat.Cnf.nclauses st.formula
-        then
-          D.fail
-            (D.Header_mismatch
-               { trace_nvars = h.nvars; trace_norig = h.num_original;
-                 formula_nvars = Sat.Cnf.nvars st.formula;
-                 formula_norig = Sat.Cnf.nclauses st.formula })
-      | Trace.Event.Learned l ->
-        if is_original st l.id then D.fail (D.Shadows_original l.id);
-        if Hashtbl.mem st.sources l.id then
-          D.fail (D.Duplicate_definition l.id);
-        Hashtbl.replace st.sources l.id l.sources
-      | Trace.Event.Level0 v ->
-        Checker.Level0.add st.l0 ~var:v.var ~value:v.value ~ante:v.ante
-      | Trace.Event.Final_conflict id -> st.final_conflict <- Some id);
-  if not !saw_header then D.fail D.Missing_header
 
 let compute formula ~a_indices source =
   let nvars = Sat.Cnf.nvars formula in
@@ -199,28 +60,28 @@ let compute formula ~a_indices source =
       let mark = if a_side.(i) then in_a else in_b in
       Array.iter (fun l -> mark.(Sat.Lit.var l) <- true) c)
     formula;
-  let st = {
-    formula;
-    num_original = nclauses;
-    a_side;
-    in_a;
-    in_b;
-    circuit = N.create ();
-    inputs = Hashtbl.create 64;
-    engine = Checker.Resolution.create_engine ~nvars;
-    sources = Hashtbl.create 1024;
-    built = Hashtbl.create 1024;
-    l0 = Checker.Level0.create ();
-    final_conflict = None;
-  } in
+  let st = { a_side; in_a; in_b; circuit = N.create (); inputs = Hashtbl.create 64 } in
+  let k = Proof.Kernel.create formula in
   try
-    load st source;
+    let cur = Trace.Reader.cursor source in
+    let proof = Proof.Kernel.load k cur in
     let conf_id =
-      match st.final_conflict with
+      match proof.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> D.fail D.Missing_final_conflict
     in
-    let root = final_chain st conf_id in
+    (* McMillan's annotation rides the kernel's depth-first traversal *)
+    let spec = {
+      Proof.Kernel.of_original = (fun id lits -> base_itp st id lits);
+      combine = (fun ~pivot i1 i2 -> combine st ~pivot i1 i2);
+    } in
+    let b = Proof.Kernel.builder k ~sources:proof.Proof.Kernel.sources spec in
+    let fetch id = Proof.Kernel.build b id in
+    let root, (_ : int) =
+      Proof.Kernel.final_chain k ~l0:proof.Proof.Kernel.l0 ~fetch
+        ~combine:(fun ~pivot i1 i2 -> combine st ~pivot i1 i2)
+        ~conflict_id:conf_id
+    in
     let shared_vars =
       List.filter (fun v -> in_a.(v) && in_b.(v))
         (List.init nvars (fun i -> i + 1))

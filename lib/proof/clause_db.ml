@@ -1,0 +1,141 @@
+type handle = int
+
+type arena =
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Per-clause layout at offset [h]:
+     arena.{h}     length (also the slot's capacity)
+     arena.{h+1}   reference count
+     arena.{h+2..} sorted duplicate-free packed literals
+   The meter is charged [len + clause_overhead] words per clause — the
+   accounting the individual checkers used before the shared store, kept
+   so the simulated-memory experiments stay comparable. *)
+let header_words = 2
+let clause_overhead = 3
+
+type t = {
+  mutable arena : arena;
+  mutable top : int;                    (* bump pointer *)
+  freelist : (int, int list) Hashtbl.t; (* capacity -> free offsets *)
+  meter : Harness.Meter.t;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable allocated : int;
+  mutable resident : int;               (* live arena words *)
+  mutable peak_resident : int;
+}
+
+let make_arena n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let create ?meter () =
+  let meter =
+    match meter with Some m -> m | None -> Harness.Meter.create ()
+  in
+  {
+    arena = make_arena 1024;
+    top = 0;
+    freelist = Hashtbl.create 64;
+    meter;
+    live = 0;
+    peak_live = 0;
+    allocated = 0;
+    resident = 0;
+    peak_resident = 0;
+  }
+
+let meter db = db.meter
+
+let ensure_capacity db words =
+  let cap = Bigarray.Array1.dim db.arena in
+  if db.top + words > cap then begin
+    let cap' = ref (cap * 2) in
+    while db.top + words > !cap' do
+      cap' := !cap' * 2
+    done;
+    let arena' = make_arena !cap' in
+    Bigarray.Array1.blit db.arena (Bigarray.Array1.sub arena' 0 cap);
+    db.arena <- arena'
+  end
+
+let slot db n =
+  match Hashtbl.find_opt db.freelist n with
+  | Some (h :: rest) ->
+    (if rest = [] then Hashtbl.remove db.freelist n
+     else Hashtbl.replace db.freelist n rest);
+    h
+  | Some [] | None ->
+    ensure_capacity db (header_words + n);
+    let h = db.top in
+    db.top <- db.top + header_words + n;
+    h
+
+let account_alloc db n =
+  (* the meter may refuse (simulated memory-out) — charge it first so a
+     refused clause leaves the store untouched *)
+  Harness.Meter.alloc db.meter (n + clause_overhead);
+  db.live <- db.live + 1;
+  if db.live > db.peak_live then db.peak_live <- db.live;
+  db.allocated <- db.allocated + 1;
+  db.resident <- db.resident + header_words + n;
+  if db.resident > db.peak_resident then db.peak_resident <- db.resident
+
+let alloc_sorted db buf n =
+  account_alloc db n;
+  let h = slot db n in
+  db.arena.{h} <- n;
+  db.arena.{h + 1} <- 1;
+  for i = 0 to n - 1 do
+    db.arena.{h + header_words + i} <- buf.(i)
+  done;
+  h
+
+let alloc db c =
+  let n = Array.length c in
+  let buf = Array.make n 0 in
+  Array.blit c 0 buf 0 n;
+  Array.sort Int.compare buf;
+  (* drop exact duplicates in place; both phases of a variable are
+     distinct packed ints and are kept *)
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if !k = 0 || buf.(!k - 1) <> buf.(i) then begin
+      buf.(!k) <- buf.(i);
+      incr k
+    end
+  done;
+  alloc_sorted db buf !k
+
+let size db h = db.arena.{h}
+let lit db h i : Sat.Lit.t = db.arena.{h + header_words + i}
+
+let lits db h =
+  let n = size db h in
+  Array.init n (fun i -> lit db h i)
+
+let iter_lits db h f =
+  let n = size db h in
+  for i = 0 to n - 1 do
+    f (lit db h i)
+  done
+
+let refcount db h = db.arena.{h + 1}
+
+let retain db h = db.arena.{h + 1} <- db.arena.{h + 1} + 1
+
+let release db h =
+  let rc = db.arena.{h + 1} - 1 in
+  db.arena.{h + 1} <- rc;
+  if rc <= 0 then begin
+    let n = db.arena.{h} in
+    Harness.Meter.free db.meter (n + clause_overhead);
+    db.live <- db.live - 1;
+    db.resident <- db.resident - (header_words + n);
+    let free = Option.value ~default:[] (Hashtbl.find_opt db.freelist n) in
+    Hashtbl.replace db.freelist n (h :: free)
+  end
+
+let live_clauses db = db.live
+let peak_live_clauses db = db.peak_live
+let clauses_allocated db = db.allocated
+let live_words db = db.resident
+let peak_words db = db.peak_resident

@@ -1,0 +1,67 @@
+(** Arena-backed clause store shared by every checker.
+
+    Clauses live as packed, sorted, duplicate-free literal runs inside one
+    growable [Bigarray] integer region and are addressed by integer
+    handles, so the hot resolution path touches a single flat buffer
+    instead of per-clause heap arrays.  Each clause carries a reference
+    count; releasing the last reference returns its slot to a size-binned
+    freelist for reuse.
+
+    Every allocation is charged to the store's {!Harness.Meter} at the
+    historical checker rate of [literals + 3] words per clause, so the
+    simulated-memory experiments (Table 2's starred rows) keep their
+    meaning, and the store additionally tracks live/peak clause counts and
+    arena-resident words for {!Report}. *)
+
+type t
+
+(** A clause handle: the clause's offset in the arena.  Valid until the
+    last reference is released. *)
+type handle = int
+
+(** [create ?meter ()] is an empty store.  Without [meter] a fresh
+    unlimited meter is used. *)
+val create : ?meter:Harness.Meter.t -> unit -> t
+
+val meter : t -> Harness.Meter.t
+
+(** [alloc db lits] stores [lits] sorted and duplicate-free, with an
+    initial reference count of 1, and charges the meter.
+    @raise Harness.Meter.Out_of_memory_simulated past the meter's limit. *)
+val alloc : t -> Sat.Lit.t array -> handle
+
+(** [alloc_sorted db buf n] stores the first [n] ints of [buf], which must
+    already be sorted, duplicate-free packed literals (the resolution
+    kernel's merge output). *)
+val alloc_sorted : t -> int array -> int -> handle
+
+(** [size db h] is the clause's literal count. *)
+val size : t -> handle -> int
+
+(** [lit db h i] is the [i]-th literal (packed order). *)
+val lit : t -> handle -> int -> Sat.Lit.t
+
+(** [lits db h] copies the clause out as a literal array. *)
+val lits : t -> handle -> Sat.Lit.t array
+
+val iter_lits : t -> handle -> (Sat.Lit.t -> unit) -> unit
+
+(** [retain db h] adds a reference. *)
+val retain : t -> handle -> unit
+
+(** [release db h] drops a reference; at zero the clause's words are
+    credited back to the meter and the slot is recycled. *)
+val release : t -> handle -> unit
+
+val refcount : t -> handle -> int
+
+(** Counters threaded into {!Report}. *)
+
+val live_clauses : t -> int
+val peak_live_clauses : t -> int
+val clauses_allocated : t -> int
+
+(** [live_words db] / [peak_words db]: words currently / maximally
+    resident in the arena (headers included, freelist slack excluded). *)
+val live_words : t -> int
+val peak_words : t -> int

@@ -1,0 +1,227 @@
+(** The shared resolution kernel: one checked sorted-merge resolution
+    routine plus the proof-DAG traversal machinery every checker is built
+    on.
+
+    A kernel owns a {!Clause_db}, the formula's original clauses
+    (materialised into the store on first use, which also marks them as
+    unsat-core members), an id → handle table for clauses the proof has
+    defined, and the counters every checker reports uniformly.
+
+    Two traversal styles drive the checkers, both fed by a
+    {!Trace.Reader.cursor}:
+
+    - {!stream_pass} / {!load}: validated one-pass forward streaming, the
+      §3.3 breadth-first discipline (and the load phase of §3.2);
+    - {!builder} / {!build}: on-demand recursive reconstruction through
+      the resolve-source DAG with cycle detection, the §3.2 depth-first
+      discipline, generalised over a clause annotation so interpolation
+      (McMillan's rule) rides the same traversal as plain checking.
+
+    Every resolution performed anywhere in the system goes through
+    {!resolve} here, which enforces the paper's side condition: exactly
+    one variable in opposite phases, no tautological resolvents. *)
+
+type t
+
+val create : ?meter:Harness.Meter.t -> Sat.Cnf.t -> t
+
+val db : t -> Clause_db.t
+val meter : t -> Harness.Meter.t
+val num_original : t -> int
+val is_original : t -> int -> bool
+
+(** {2 The id → clause table} *)
+
+(** [define t id h] binds [id] to [h], transferring one reference to the
+    table. *)
+val define : t -> int -> Clause_db.handle -> unit
+
+val defined : t -> int -> bool
+
+(** [find t ~context id] looks [id] up; original clauses are materialised
+    into the store on demand (and recorded in the unsat core).
+    @raise Diagnostics.Check_failed with [Unknown_clause] otherwise. *)
+val find : t -> context:string -> int -> Clause_db.handle
+
+(** [release_id t id] drops the table's binding and its reference; a
+    no-op when [id] is not bound (the clause was never stored or has
+    already drained). *)
+val release_id : t -> int -> unit
+
+(** {2 Resolution} *)
+
+(** [resolve t ~context ~c1_id ~c2_id h1 h2] is the checked resolvent (a
+    fresh handle owned by the caller) and the pivot variable.
+    @raise Diagnostics.Check_failed with [No_clash] or [Multiple_clash]
+    when the side condition fails. *)
+val resolve :
+  t ->
+  context:string ->
+  c1_id:int ->
+  c2_id:int ->
+  Clause_db.handle ->
+  Clause_db.handle ->
+  Clause_db.handle * Sat.Lit.var
+
+(** [resolve_lits] is {!resolve} on plain literal arrays (tests and
+    micro-benchmarks); the operands are staged through the store and
+    released. *)
+val resolve_lits :
+  t ->
+  context:string ->
+  c1_id:int ->
+  c2_id:int ->
+  Sat.Lit.t array ->
+  Sat.Lit.t array ->
+  Sat.Lit.t array * Sat.Lit.var
+
+(** [chain t ~context ~fetch ~combine ~learned_id ids] folds checked
+    resolution left-to-right over the clauses named by [ids], threading an
+    annotation through [combine] at each step, and returns the final
+    clause (a handle owned by the caller — for a single-element chain, a
+    retained alias of the source) with its annotation.  Counts one built
+    clause.
+    @raise Diagnostics.Check_failed on any invalid step, and with
+    [Empty_source_list] when [ids] is empty. *)
+val chain :
+  t ->
+  context:string ->
+  fetch:(int -> Clause_db.handle * 'a) ->
+  combine:(pivot:Sat.Lit.var -> 'a -> 'a -> 'a) ->
+  learned_id:int ->
+  int array ->
+  Clause_db.handle * 'a
+
+(** [chain_ids] is {!chain} without annotations. *)
+val chain_ids :
+  t ->
+  context:string ->
+  fetch:(int -> Clause_db.handle) ->
+  learned_id:int ->
+  int array ->
+  Clause_db.handle
+
+(** {2 Streaming traversal (breadth-first style)} *)
+
+type pass = {
+  total_learned : int;
+  final_conflict : int option;
+}
+
+(** What a streaming pass charges to the meter as it goes: the full
+    parsed-trace residency (§3.2 depth-first holds the whole trace), just
+    the resolve-source lists (the hybrid's pass one), or nothing. *)
+type residency = [ `Full | `Defs | `None ]
+
+(** [stream_pass t cursor] rewinds [cursor] and validates the whole trace
+    shape: header present and matching the formula, no learned id
+    shadowing an original or defined twice, no empty source list — and,
+    with [stream_order] (default), no forward references.  [l0]
+    accumulates level-0 records when given; [on_event] sees each event
+    after validation. *)
+val stream_pass :
+  t ->
+  ?stream_order:bool ->
+  ?l0:Level0.t ->
+  ?charge:residency ->
+  ?on_event:(Trace.Event.t -> unit) ->
+  Trace.Reader.cursor ->
+  pass
+
+(** A fully loaded proof skeleton: resolve-source lists, level-0 records,
+    definition order — what the depth-first and hybrid checkers keep in
+    memory. *)
+type proof = {
+  sources : (int, int array) Hashtbl.t;
+  defs : (int * int array) array;  (** stream order *)
+  l0 : Level0.t;
+  final_conflict : int option;
+  total_learned : int;
+  mutable defs_words : int;        (** meter words held by the defs *)
+}
+
+val load :
+  t ->
+  ?stream_order:bool ->
+  ?charge:residency ->
+  Trace.Reader.cursor ->
+  proof
+
+(** [free_defs t proof] credits the meter for the proof's source lists
+    (the hybrid releases them after its reverse marking sweep). *)
+val free_defs : t -> proof -> unit
+
+(** [residency_words e] is the trace-residency charge of one event. *)
+val residency_words : Trace.Event.t -> int
+
+(** {2 Recursive traversal (depth-first style)} *)
+
+(** How to annotate clauses during a depth-first build: [of_original] is
+    the base case, [combine] the per-resolution step.  Plain checking
+    uses {!unit_annotation}; interpolation supplies McMillan's rule. *)
+type 'a annotation = {
+  of_original : int -> Sat.Lit.t array -> 'a;
+  combine : pivot:Sat.Lit.var -> 'a -> 'a -> 'a;
+}
+
+val unit_annotation : unit annotation
+
+type 'a builder
+
+(** [builder t ~sources spec] prepares on-demand reconstruction through
+    the resolve-source lists in [sources]. *)
+val builder : t -> sources:(int, int array) Hashtbl.t -> 'a annotation -> 'a builder
+
+(** [build b id] reconstructs clause [id] (memoised in the kernel's id
+    table) with an explicit work stack, so arbitrarily deep proofs cannot
+    overflow the call stack.
+    @raise Diagnostics.Check_failed with [Unknown_clause] or
+    [Cyclic_definition] on broken DAGs. *)
+val build : 'a builder -> int -> Clause_db.handle * 'a
+
+(** {2 The empty-clause construction (Proposition 3)} *)
+
+(** [final_chain t ~l0 ~fetch ~combine ~conflict_id] resolves the final
+    conflicting clause against recorded antecedents in reverse
+    chronological order down to the empty clause, checking antecedent
+    validity and pivot choice at each step.  Returns the final annotation
+    and the chain length. *)
+val final_chain :
+  t ->
+  l0:Level0.t ->
+  fetch:(int -> Clause_db.handle * 'a) ->
+  combine:(pivot:Sat.Lit.var -> 'a -> 'a -> 'a) ->
+  conflict_id:int ->
+  'a * int
+
+(** [final_chain_ids] is {!final_chain} without annotations; returns the
+    chain length. *)
+val final_chain_ids :
+  t ->
+  l0:Level0.t ->
+  fetch:(int -> Clause_db.handle) ->
+  conflict_id:int ->
+  int
+
+(** {2 Counters and by-products} *)
+
+type counters = {
+  clauses_built : int;       (** chain-resolved learned clauses *)
+  resolution_steps : int;    (** checked pairwise resolutions *)
+  merged_literals : int;     (** shared literals emitted once by merges *)
+  peak_live_clauses : int;
+  arena_peak_bytes : int;    (** peak arena residency, in bytes *)
+}
+
+val counters : t -> counters
+val resolution_steps : t -> int
+
+(** [built_ids t] is the sorted list of learned ids {!chain} has built. *)
+val built_ids : t -> int list
+
+(** [core_ids t] is the sorted list of original clause ids materialised so
+    far — the unsat core of a completed depth-first or hybrid check. *)
+val core_ids : t -> int list
+
+(** [core_var_count t] counts distinct variables over the core clauses. *)
+val core_var_count : t -> int

@@ -21,8 +21,26 @@ let is_binary s =
   String.length s >= String.length binary_magic
   && String.sub s 0 (String.length binary_magic) = binary_magic
 
-let iter_ascii s f =
-  let parse_line line =
+(* A cursor reads the trace bytes once and then yields events
+   incrementally; multi-pass checkers rewind it instead of re-reading
+   the file from disk for every pass. *)
+type cursor = {
+  data : string;
+  binary : bool;
+  start : int;
+  mutable pos : int;
+}
+
+let cursor source =
+  let data = read_source source in
+  let binary = is_binary data in
+  let start = if binary then String.length binary_magic else 0 in
+  { data; binary; start; pos = start }
+
+let rewind c = c.pos <- c.start
+
+let parse_line line =
+  let parse () =
     match String.split_on_char ' ' line |> List.filter (( <> ) "") with
     | [] -> None
     | "t" :: rest -> (
@@ -45,41 +63,45 @@ let iter_ascii s f =
       | None -> fail "bad CONF line" )
     | w :: _ -> fail "unknown trace record %S" w
   in
-  let parse_line line =
-    try parse_line line
-    with Failure _ -> fail "non-numeric field in %S" line
-  in
-  String.split_on_char '\n' s
-  |> List.iter (fun line ->
-         let line = String.trim line in
-         if line <> "" then
-           match parse_line line with
-           | Some e -> f e
-           | None -> ())
+  try parse () with Failure _ -> fail "non-numeric field in %S" line
 
-let iter_binary s f =
-  let pos = ref (String.length binary_magic) in
-  let len = String.length s in
-  let byte () =
-    if !pos >= len then fail "truncated binary trace";
-    let c = Char.code s.[!pos] in
-    incr pos;
-    c
-  in
-  let varint () =
-    let rec loop shift acc =
-      let b = byte () in
-      let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 <> 0 then loop (shift + 7) acc else acc
+let rec next_ascii c =
+  let len = String.length c.data in
+  if c.pos >= len then None
+  else begin
+    let nl =
+      match String.index_from_opt c.data c.pos '\n' with
+      | Some i -> i
+      | None -> len
     in
-    loop 0 0
-  in
-  while !pos < len do
+    let line = String.trim (String.sub c.data c.pos (nl - c.pos)) in
+    c.pos <- nl + 1;
+    if line = "" then next_ascii c else parse_line line
+  end
+
+let next_binary c =
+  let len = String.length c.data in
+  if c.pos >= len then None
+  else begin
+    let byte () =
+      if c.pos >= len then fail "truncated binary trace";
+      let b = Char.code c.data.[c.pos] in
+      c.pos <- c.pos + 1;
+      b
+    in
+    let varint () =
+      let rec loop shift acc =
+        let b = byte () in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 <> 0 then loop (shift + 7) acc else acc
+      in
+      loop 0 0
+    in
     match byte () with
     | 0 ->
       let nvars = varint () in
       let num_original = varint () in
-      f (Event.Header { nvars; num_original })
+      Some (Event.Header { nvars; num_original })
     | 1 ->
       let id = varint () in
       let n = varint () in
@@ -89,18 +111,28 @@ let iter_binary s f =
       for i = 0 to n - 1 do
         sources.(i) <- varint ()
       done;
-      f (Event.Learned { id; sources })
+      Some (Event.Learned { id; sources })
     | 2 ->
       let packed = varint () in
       let ante = varint () in
-      f (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
-    | 3 -> f (Event.Final_conflict (varint ()))
+      Some (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
+    | 3 -> Some (Event.Final_conflict (varint ()))
     | tag -> fail "unknown binary tag %d" tag
-  done
+  end
 
-let iter source f =
-  let s = read_source source in
-  if is_binary s then iter_binary s f else iter_ascii s f
+let next c = if c.binary then next_binary c else next_ascii c
+
+let iter_cursor c f =
+  let rec loop () =
+    match next c with
+    | Some e ->
+      f e;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let iter source f = iter_cursor (cursor source) f
 
 let fold source f init =
   let acc = ref init in

@@ -1,14 +1,32 @@
 (** Streaming trace reader.  The breadth-first checker (§3.3) must be able
-    to scan the trace several times without holding it in memory, so a
-    reader is created from a re-readable {!source} and exposes a
-    fold-style pass.  Format (ASCII vs binary) is auto-detected from the
-    magic bytes. *)
+    to scan the trace several times without holding a parsed copy in
+    memory, so a reader is created from a re-readable {!source} and
+    exposes both a one-shot fold-style pass and a rewindable {!cursor}.
+    Format (ASCII vs binary) is auto-detected from the magic bytes. *)
 
 exception Parse_error of string
 
 type source =
   | From_string of string  (** in-memory trace, e.g. from {!Writer.contents} *)
   | From_file of string    (** trace file on disk *)
+
+(** A resumable read position into a trace.  Creating a cursor reads the
+    source bytes exactly once; the multi-pass checkers then {!rewind} the
+    same cursor between passes instead of re-reading the file. *)
+type cursor
+
+(** [cursor source] opens a cursor positioned at the first event. *)
+val cursor : source -> cursor
+
+(** [next c] yields the next event, or [None] at end of trace.
+    @raise Parse_error on malformed input. *)
+val next : cursor -> Event.t option
+
+(** [rewind c] repositions [c] at the first event. *)
+val rewind : cursor -> unit
+
+(** [iter_cursor c f] streams the remaining events of [c] through [f]. *)
+val iter_cursor : cursor -> (Event.t -> unit) -> unit
 
 (** [iter source f] streams every event of the trace through [f], in file
     order.  @raise Parse_error on malformed input. *)
@@ -18,8 +36,7 @@ val iter : source -> (Event.t -> unit) -> unit
 val fold : source -> ('a -> Event.t -> 'a) -> 'a -> 'a
 
 (** [to_list source] materialises all events (used by tests and the
-    depth-first checker, which reads the whole trace into memory —
-    the paper's §3.2 caveat). *)
+    trace trimmer). *)
 val to_list : source -> Event.t list
 
 (** [size_bytes source] is the byte length of the serialised trace. *)

@@ -143,6 +143,59 @@ let test_temp_file_counting () =
   | Error d, _ | _, Error d ->
     Alcotest.failf "bf failed: %s" (D.to_string d)
 
+(* chunked counting must reproduce the in-memory report *exactly* —
+   every field, including the meter peak — for degenerate chunk sizes
+   (1 = one ID per pass, 2, and an odd 7), across two proof shapes *)
+let test_temp_file_chunk_sizes () =
+  let instances =
+    [
+      ("php", Gen.Php.unsat ~holes:4);
+      ("parity", Gen.Parity.odd_cycle 8);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let result, _, trace = Pipeline.Validate.solve_with_trace f in
+      (match result with
+       | Solver.Cdcl.Unsat -> ()
+       | Solver.Cdcl.Sat _ -> Alcotest.failf "%s: instance must be unsat" name);
+      let src = Trace.Reader.From_string trace in
+      let m_mem = Harness.Meter.create () in
+      let reference =
+        match Checker.Bf.check ~meter:m_mem f src with
+        | Ok r -> r
+        | Error d -> Alcotest.failf "%s in-memory: %s" name (D.to_string d)
+      in
+      List.iter
+        (fun chunk ->
+          let m_file = Harness.Meter.create () in
+          match
+            Checker.Bf.check ~meter:m_file ~counting:(`Temp_file chunk) f src
+          with
+          | Error d ->
+            Alcotest.failf "%s chunk %d: %s" name chunk (D.to_string d)
+          | Ok r ->
+            let ctx fld = Printf.sprintf "%s chunk %d: %s" name chunk fld in
+            Alcotest.check Alcotest.int (ctx "built") reference.clauses_built
+              r.clauses_built;
+            Alcotest.check Alcotest.int (ctx "learned")
+              reference.total_learned r.total_learned;
+            Alcotest.check Alcotest.int (ctx "steps")
+              reference.resolution_steps r.resolution_steps;
+            Alcotest.check (Alcotest.list Alcotest.int) (ctx "built ids")
+              reference.learned_built_ids r.learned_built_ids;
+            Alcotest.check Alcotest.int (ctx "peak words")
+              reference.peak_mem_words r.peak_mem_words;
+            Alcotest.check Alcotest.int (ctx "peak live clauses")
+              reference.peak_live_clauses r.peak_live_clauses;
+            Alcotest.check Alcotest.int (ctx "arena bytes")
+              reference.arena_bytes_resident r.arena_bytes_resident;
+            Alcotest.check Alcotest.int (ctx "meter peak")
+              (Harness.Meter.peak_words m_mem)
+              (Harness.Meter.peak_words m_file))
+        [ 1; 2; 7 ])
+    instances
+
 let test_temp_file_counting_rejects () =
   let f, events = Helpers.unsat_with_events () in
   let broken =
@@ -234,6 +287,8 @@ let suite =
           test_bf_survives_df_memory_limit;
         Alcotest.test_case "temp-file counting" `Quick
           test_temp_file_counting;
+        Alcotest.test_case "temp-file chunk sizes" `Quick
+          test_temp_file_chunk_sizes;
         Alcotest.test_case "temp-file rejects" `Quick
           test_temp_file_counting_rejects;
         Alcotest.test_case "mutations rejected" `Quick test_mutations_rejected;

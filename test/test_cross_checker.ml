@@ -1,0 +1,92 @@
+(* Cross-checker property test: on fuzzed UNSAT instances all three
+   checkers ride the same kernel, so they must all accept every valid
+   trace and their statistics must line up — BF builds exactly the total
+   learned set, the hybrid's built set sandwiches between DF's and BF's,
+   DF's unsat core is contained in the hybrid's, and resolution-step
+   counts grow monotonically with the built sets. *)
+
+let module_name = "cross-checker"
+
+let subset a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun x -> Hashtbl.replace tbl x ()) b;
+  List.for_all (Hashtbl.mem tbl) a
+
+let check_instance ~round f trace =
+  let src = Trace.Reader.From_string trace in
+  let get name check =
+    match check f src with
+    | Ok r -> r
+    | Error d ->
+      Alcotest.failf "round %d: %s rejected a valid trace: %s" round name
+        (Checker.Diagnostics.to_string d)
+  in
+  let df = get "DF" (fun f src -> Checker.Df.check f src) in
+  let bf = get "BF" (fun f src -> Checker.Bf.check f src) in
+  let hy = get "Hybrid" (fun f src -> Checker.Hybrid.check f src) in
+  let ck name = Printf.sprintf "round %d: %s" round name in
+  (* the trace is one fixed artefact: every checker sees the same count *)
+  Alcotest.check Alcotest.int (ck "df/bf learned") df.Checker.Report.total_learned
+    bf.Checker.Report.total_learned;
+  Alcotest.check Alcotest.int (ck "df/hy learned") df.Checker.Report.total_learned
+    hy.Checker.Report.total_learned;
+  (* breadth-first always builds 100% of the learned clauses *)
+  Alcotest.check Alcotest.int (ck "bf builds all") bf.total_learned
+    bf.clauses_built;
+  Alcotest.check Alcotest.int (ck "bf built ids exhaustive") bf.total_learned
+    (List.length bf.learned_built_ids);
+  (* the hybrid's needed set sandwiches between DF's exact set and BF's
+     everything *)
+  if not (df.clauses_built <= hy.clauses_built) then
+    Alcotest.failf "round %d: df built %d > hybrid built %d" round
+      df.clauses_built hy.clauses_built;
+  if not (hy.clauses_built <= bf.clauses_built) then
+    Alcotest.failf "round %d: hybrid built %d > bf built %d" round
+      hy.clauses_built bf.clauses_built;
+  if not (subset df.learned_built_ids hy.learned_built_ids) then
+    Alcotest.failf "round %d: df built a clause the hybrid did not" round;
+  (* resolution work grows with the built set *)
+  if not
+       (df.resolution_steps <= hy.resolution_steps
+       && hy.resolution_steps <= bf.resolution_steps)
+  then
+    Alcotest.failf "round %d: steps not monotonic (df %d, hy %d, bf %d)"
+      round df.resolution_steps hy.resolution_steps bf.resolution_steps;
+  (* cores: DF's exact core inside the hybrid's; BF does not track one *)
+  if df.core_original_ids = [] then
+    Alcotest.failf "round %d: df core is empty" round;
+  if not (subset df.core_original_ids hy.core_original_ids) then
+    Alcotest.failf "round %d: df core not within hybrid core" round;
+  Alcotest.check (Alcotest.list Alcotest.int) (ck "bf has no core") []
+    bf.core_original_ids
+
+let test_fuzzed_agreement () =
+  let rng = Sat.Rng.create 424242 in
+  let target = 50 in
+  let unsat_seen = ref 0 in
+  let round = ref 0 in
+  (* fuzz formulas until 50 UNSAT instances have been cross-checked *)
+  while !unsat_seen < target && !round < 2000 do
+    incr round;
+    let nvars = 3 + Sat.Rng.int rng 10 in
+    let nclauses = 1 + Sat.Rng.int rng (5 * nvars) in
+    let f =
+      if Sat.Rng.bool rng then
+        Helpers.random_messy_cnf rng ~nvars ~nclauses
+      else Gen.Random3sat.generate rng ~nvars ~nclauses:(min nclauses (6 * nvars))
+    in
+    let result, _stats, trace = Pipeline.Validate.solve_with_trace f in
+    match result with
+    | Solver.Cdcl.Sat _ -> ()
+    | Solver.Cdcl.Unsat ->
+      incr unsat_seen;
+      check_instance ~round:!round f trace
+  done;
+  if !unsat_seen < target then
+    Alcotest.failf "only %d unsat instances in %d rounds" !unsat_seen !round
+
+let suite =
+  [
+    ( module_name,
+      [ Alcotest.test_case "fuzzed agreement x50" `Quick test_fuzzed_agreement ] );
+  ]
