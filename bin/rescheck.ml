@@ -3,13 +3,20 @@
    Subcommands mirror the paper's workflow and its descendants:
      solve      solve a DIMACS file, optionally emitting a resolution trace
      check      validate an UNSAT trace (df / bf / hybrid)
+     lint       statically lint a trace without replaying it
      validate   solve and check in one step
      core       extract / iteratively shrink an unsat core (--minimal: MUC)
      trim       shrink a trace to its proof core
      simplify   preprocess a formula
      drup       convert a trace to DRUP and RUP-verify it
      mc         BMC / interpolation-based model checking
-     gen        emit a benchmark-family instance as DIMACS *)
+     gen        emit a benchmark-family instance as DIMACS
+
+   Exit-code convention (checking commands): 0 verified / clean, 1 the
+   checked artifact is wrong (proof rejected, lint errors, solver bug),
+   2 bad input or usage (unreadable or structurally corrupt files),
+   3 simulated memory-out.  solve/validate keep the classic 10 (SAT) and
+   20 (UNSAT) codes. *)
 
 open Cmdliner
 
@@ -74,7 +81,16 @@ let minimize_arg =
         ~doc:
           "Enable conflict-clause minimization (a post-paper technique;            traces remain checkable).")
 
-let config_of seed bcp no_restarts no_deletion minimize =
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run the solver's runtime sanitizer: validate watched-literal, \
+           trail and implication-graph invariants at every decision \
+           boundary (large slowdown; debugging aid).")
+
+let config_of seed bcp no_restarts no_deletion minimize sanitize =
   {
     Solver.Cdcl.default_config with
     seed;
@@ -82,7 +98,17 @@ let config_of seed bcp no_restarts no_deletion minimize =
     enable_restarts = not no_restarts;
     enable_deletion = not no_deletion;
     enable_minimization = minimize;
+    sanitize;
   }
+
+(* A sanitizer violation is by definition a solver bug — same exit class
+   as a rejected proof. *)
+let or_sanitizer_exit f =
+  try f ()
+  with Solver.Cdcl.Sanitizer_violation m ->
+    Printf.printf "c SANITIZER: %s\n" m;
+    print_endline "s SANITIZER VIOLATION";
+    exit 1
 
 let load_formula path =
   try Ok (Sat.Dimacs.parse_file path)
@@ -98,16 +124,20 @@ let print_stats (stats : Solver.Cdcl.stats) =
 
 let solve_cmd =
   let run formula_path trace_path format seed bcp no_restarts no_deletion
-      minimize =
+      minimize sanitize =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
       exit 2
     | Ok f ->
-      let config = config_of seed bcp no_restarts no_deletion minimize in
+      let config =
+        config_of seed bcp no_restarts no_deletion minimize sanitize
+      in
       let writer = Option.map (fun _ -> Trace.Writer.create format) trace_path in
       let (result, stats), seconds =
-        Harness.Timer.time (fun () -> Solver.Cdcl.solve ~config ?trace:writer f)
+        or_sanitizer_exit (fun () ->
+            Harness.Timer.time (fun () ->
+                Solver.Cdcl.solve ~config ?trace:writer f))
       in
       print_stats stats;
       Printf.printf "c solved in %.3f s\n" seconds;
@@ -145,7 +175,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DIMACS formula, optionally with a trace.")
     Term.(
       const run $ formula_arg $ trace_arg $ format_arg $ seed_arg $ bcp_arg
-      $ no_restarts_arg $ no_deletion_arg $ minimize_arg)
+      $ no_restarts_arg $ no_deletion_arg $ minimize_arg $ sanitize_arg)
 
 (* --- check -------------------------------------------------------------- *)
 
@@ -178,7 +208,7 @@ let mem_limit_arg =
         ~doc:"Simulated memory budget in words (the paper's 800 MB cap).")
 
 let check_cmd =
-  let run formula_path trace_path strategy mem_limit =
+  let run formula_path trace_path strategy mem_limit no_lint =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -186,6 +216,17 @@ let check_cmd =
     | Ok f ->
       let meter = Harness.Meter.create ?limit_words:mem_limit () in
       let source = Trace.Reader.From_file trace_path in
+      (* Lint pre-pass: fail fast with a precise structural diagnostic
+         before any checker mode starts replaying resolutions.  A trace
+         that cannot even lint is bad input (exit 2), not a refuted
+         proof (exit 1). *)
+      (if not no_lint then
+         let report = Analysis.Lint.run ~formula:f source in
+         if not (Analysis.Lint.clean report) then begin
+           Format.printf "@[<v>%a@]@." Analysis.Lint.pp report;
+           print_endline "s BAD TRACE (lint)";
+           exit 2
+         end);
       let checked, seconds =
         try
           Harness.Timer.time (fun () ->
@@ -205,6 +246,12 @@ let check_cmd =
          Printf.printf "c checked in %.3f s\n" seconds;
          print_endline "s VERIFIED UNSATISFIABLE";
          exit 0
+       | Error (Checker.Diagnostics.Malformed_trace _ as d) ->
+         (* unparsable input escapes the bad-input way, even under
+            --no-lint, so scripts can tell the two failure classes apart *)
+         Printf.printf "c bad trace: %s\n" (Checker.Diagnostics.to_string d);
+         print_endline "s BAD TRACE (parse)";
+         exit 2
        | Error d ->
          Printf.printf "c check failed: %s\n" (Checker.Diagnostics.to_string d);
          print_endline "s CHECK FAILED";
@@ -216,28 +263,112 @@ let check_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
   in
+  let no_lint_arg =
+    Arg.(
+      value & flag
+      & info [ "no-lint" ]
+          ~doc:
+            "Skip the structural lint pre-pass and hand the trace straight \
+             to the semantic checker.")
+  in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Validate an unsatisfiability trace against its formula.")
-    Term.(const run $ formula_arg $ trace_pos $ strategy_arg $ mem_limit_arg)
+       ~doc:
+         "Validate an unsatisfiability trace against its formula.  Exit \
+          codes: 0 verified, 1 proof rejected, 2 bad input (lint or parse \
+          failure), 3 memory-out.")
+    Term.(
+      const run $ formula_arg $ trace_pos $ strategy_arg $ mem_limit_arg
+      $ no_lint_arg)
+
+(* --- lint --------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run trace_path formula_path json max_diags =
+    let formula =
+      match formula_path with
+      | None -> None
+      | Some p -> (
+        match load_formula p with
+        | Ok f -> Some f
+        | Error m ->
+          prerr_endline ("error: " ^ m);
+          exit 2)
+    in
+    let report =
+      try
+        Analysis.Lint.run ?formula ~max_diagnostics:max_diags
+          (Trace.Reader.From_file trace_path)
+      with Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        exit 2
+    in
+    if json then print_endline (Analysis.Lint.to_json report)
+    else begin
+      Format.printf "@[<v>%a@]@." Analysis.Lint.pp report;
+      print_endline
+        (if Analysis.Lint.clean report then "s LINT OK" else "s LINT FAILED")
+    end;
+    exit (if Analysis.Lint.clean report then 0 else 1)
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Resolution trace to lint.")
+  in
+  let formula_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "formula"; "f" ] ~docv:"FORMULA"
+          ~doc:
+            "Cross-check the trace header against this DIMACS formula and \
+             lint the formula's clauses (L4xx codes).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as machine-readable JSON.")
+  in
+  let max_diags_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "max-diagnostics" ] ~docv:"N"
+          ~doc:
+            "Keep at most $(docv) diagnostics (counts keep accumulating \
+             past the cap).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically validate a trace in one streaming pass — no clause \
+          construction, no resolution.  Exit codes: 0 clean (warnings \
+          allowed), 1 lint errors, 2 unreadable input.")
+    Term.(const run $ trace_pos $ formula_opt $ json_arg $ max_diags_arg)
 
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run formula_path strategy seed bcp no_restarts no_deletion minimize =
+  let run formula_path strategy seed bcp no_restarts no_deletion minimize
+      sanitize =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
       exit 2
     | Ok f ->
-      let config = config_of seed bcp no_restarts no_deletion minimize in
+      let config =
+        config_of seed bcp no_restarts no_deletion minimize sanitize
+      in
       let strategy =
         match strategy with
         | `Df -> Pipeline.Validate.Depth_first
         | `Bf -> Pipeline.Validate.Breadth_first
         | `Hybrid -> Pipeline.Validate.Hybrid
       in
-      let o = Pipeline.Validate.run ~config ~strategy f in
+      let o =
+        or_sanitizer_exit (fun () -> Pipeline.Validate.run ~config ~strategy f)
+      in
       print_stats o.stats;
       Printf.printf "c solve %.3f s, check %.3f s, trace %d bytes\n"
         o.solve_seconds o.check_seconds o.trace_bytes;
@@ -261,7 +392,7 @@ let validate_cmd =
        ~doc:"Solve and independently validate the answer in one step.")
     Term.(
       const run $ formula_arg $ strategy_arg $ seed_arg $ bcp_arg
-      $ no_restarts_arg $ no_deletion_arg $ minimize_arg)
+      $ no_restarts_arg $ no_deletion_arg $ minimize_arg $ sanitize_arg)
 
 (* --- core ---------------------------------------------------------------- *)
 
@@ -659,6 +790,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            solve_cmd; check_cmd; validate_cmd; core_cmd; trim_cmd;
+            solve_cmd; check_cmd; lint_cmd; validate_cmd; core_cmd; trim_cmd;
             simplify_cmd; drup_cmd; mc_cmd; gen_cmd;
           ]))

@@ -1,0 +1,371 @@
+type severity =
+  | Error
+  | Warning
+
+type code =
+  | Parse
+  | Missing_header
+  | Duplicate_header
+  | Header_dims
+  | Event_before_header
+  | Shadows_original
+  | Duplicate_id
+  | Nonmonotone_id
+  | Empty_sources
+  | Self_source
+  | Bad_reference
+  | Repeated_source
+  | Var_out_of_range
+  | Duplicate_level0
+  | Bad_antecedent
+  | Missing_conflict
+  | Conflict_unknown
+  | After_conflict
+  | Formula_mismatch
+  | Formula_var_range
+  | Formula_duplicate_lit
+  | Formula_tautology
+
+let code_id = function
+  | Parse -> "L001"
+  | Missing_header -> "L002"
+  | Duplicate_header -> "L003"
+  | Header_dims -> "L004"
+  | Event_before_header -> "L005"
+  | Shadows_original -> "L101"
+  | Duplicate_id -> "L102"
+  | Nonmonotone_id -> "L103"
+  | Empty_sources -> "L104"
+  | Self_source -> "L105"
+  | Bad_reference -> "L106"
+  | Repeated_source -> "L107"
+  | Var_out_of_range -> "L201"
+  | Duplicate_level0 -> "L202"
+  | Bad_antecedent -> "L203"
+  | Missing_conflict -> "L301"
+  | Conflict_unknown -> "L302"
+  | After_conflict -> "L303"
+  | Formula_mismatch -> "L401"
+  | Formula_var_range -> "L402"
+  | Formula_duplicate_lit -> "L403"
+  | Formula_tautology -> "L404"
+
+let severity_of = function
+  | Nonmonotone_id | Repeated_source | After_conflict | Formula_duplicate_lit
+  | Formula_tautology ->
+    Warning
+  | Parse | Missing_header | Duplicate_header | Header_dims
+  | Event_before_header | Shadows_original | Duplicate_id | Empty_sources
+  | Self_source | Bad_reference | Var_out_of_range | Duplicate_level0
+  | Bad_antecedent | Missing_conflict | Conflict_unknown | Formula_mismatch
+  | Formula_var_range ->
+    Error
+
+type diagnostic = {
+  code : code;
+  pos : Trace.Reader.pos;
+  message : string;
+}
+
+type report = {
+  binary : bool;
+  events : int;
+  learned : int;
+  level0 : int;
+  errors : int;
+  warnings : int;
+  diagnostics : diagnostic list;
+  dropped : int;
+}
+
+let clean r = r.errors = 0
+
+(* --- linter state ------------------------------------------------------- *)
+
+type state = {
+  cap : int;
+  mutable diags : diagnostic list;      (* reverse stream order *)
+  mutable kept : int;
+  mutable n_dropped : int;
+  mutable n_errors : int;
+  mutable n_warnings : int;
+  mutable n_events : int;
+  mutable n_learned : int;
+  mutable n_level0 : int;
+  (* trace structure *)
+  mutable header : (int * int) option;  (* nvars, num_original *)
+  mutable pre_header_reported : bool;
+  mutable last_learned_id : int;
+  defined : (int, unit) Hashtbl.t;      (* learned ids, stream order *)
+  level0_vars : (int, unit) Hashtbl.t;
+  mutable conflict_seen : bool;
+  mutable after_conflict_reported : bool;
+}
+
+let emit st pos code fmt =
+  Printf.ksprintf
+    (fun message ->
+      (match severity_of code with
+       | Error -> st.n_errors <- st.n_errors + 1
+       | Warning -> st.n_warnings <- st.n_warnings + 1);
+      if st.kept < st.cap then begin
+        st.diags <- { code; pos; message } :: st.diags;
+        st.kept <- st.kept + 1
+      end
+      else st.n_dropped <- st.n_dropped + 1)
+    fmt
+
+(* A reference is resolvable when it names an original clause or a learned
+   clause already defined upstream.  Stream-order referencing makes the
+   resolve-source graph acyclic by construction, which is exactly the
+   discipline the solver's emission order guarantees and the breadth-first
+   checker requires. *)
+let resolvable st id =
+  id >= 1
+  && ((match st.header with
+       | Some (_, norig) -> id <= norig
+       | None -> false)
+     || Hashtbl.mem st.defined id)
+
+let check_header st pos (h : int * int) =
+  let nvars, norig = h in
+  (match st.header with
+   | Some _ -> emit st pos Duplicate_header "second header record"
+   | None -> st.header <- Some h);
+  if nvars <= 0 || norig <= 0 then
+    emit st pos Header_dims "header declares %d variables, %d original clauses"
+      nvars norig
+
+let check_learned st pos id sources =
+  st.n_learned <- st.n_learned + 1;
+  let norig = match st.header with Some (_, n) -> n | None -> 0 in
+  let duplicate = Hashtbl.mem st.defined id in
+  if id <= norig then
+    emit st pos Shadows_original
+      "learned-clause id %d lies in the original range 1..%d" id norig
+  else if duplicate then
+    emit st pos Duplicate_id "learned-clause id %d defined twice" id
+  else if id <= st.last_learned_id then
+    emit st pos Nonmonotone_id
+      "learned-clause id %d not above the previous one (%d)" id
+      st.last_learned_id;
+  if Array.length sources = 0 then
+    emit st pos Empty_sources "learned clause %d has no resolve sources" id;
+  let repeated = ref false in
+  Array.iteri
+    (fun i s ->
+      if s = id then
+        emit st pos Self_source "clause %d lists itself as a source" id
+      else if not (resolvable st s) then
+        emit st pos Bad_reference
+          "clause %d references source %d, which is neither an original \
+           clause nor a learned clause defined upstream"
+          id s;
+      if (not !repeated) && i > 0 && sources.(i - 1) = s then begin
+        repeated := true;
+        emit st pos Repeated_source
+          "clause %d resolves with source %d twice in a row" id s
+      end)
+    sources;
+  (* define even a flawed id: downstream references to it are not the
+     record to blame *)
+  if not duplicate then Hashtbl.replace st.defined id ();
+  if id > st.last_learned_id then st.last_learned_id <- id
+
+let check_level0 st pos var ante =
+  st.n_level0 <- st.n_level0 + 1;
+  (match st.header with
+   | Some (nvars, _) ->
+     if var < 1 || var > nvars then
+       emit st pos Var_out_of_range
+         "level-0 record for variable %d, outside 1..%d" var nvars
+   | None -> ());
+  if Hashtbl.mem st.level0_vars var then
+    emit st pos Duplicate_level0 "variable %d has two level-0 records" var
+  else Hashtbl.replace st.level0_vars var ();
+  if not (resolvable st ante) then
+    emit st pos Bad_antecedent
+      "level-0 record for variable %d names undefined antecedent %d" var ante
+
+let check_conflict st pos id =
+  if not (resolvable st id) then
+    emit st pos Conflict_unknown
+      "final conflict references undefined clause %d" id;
+  st.conflict_seen <- true
+
+let handle_event st pos (e : Trace.Event.t) =
+  st.n_events <- st.n_events + 1;
+  if st.conflict_seen && not st.after_conflict_reported then begin
+    st.after_conflict_reported <- true;
+    emit st pos After_conflict "records continue after the final conflict"
+  end;
+  (match e, st.header with
+   | Trace.Event.Header _, _ | _, Some _ -> ()
+   | _, None ->
+     if not st.pre_header_reported then begin
+       st.pre_header_reported <- true;
+       emit st pos Event_before_header "record precedes the trace header"
+     end);
+  match e with
+  | Trace.Event.Header h -> check_header st pos (h.nvars, h.num_original)
+  | Trace.Event.Learned l -> check_learned st pos l.id l.sources
+  | Trace.Event.Level0 v -> check_level0 st pos v.var v.ante
+  | Trace.Event.Final_conflict id -> check_conflict st pos id
+
+(* Formula-side lint (L4xx): the trace proves the *formula* unsat, so
+   degenerate original clauses — out-of-range, duplicate or tautological
+   literals — are corruption the replay would only surface indirectly. *)
+let check_formula st pos f =
+  let nvars = Sat.Cnf.nvars f in
+  Sat.Cnf.iter_clauses
+    (fun i c ->
+      let id = i + 1 in
+      let seen_lit = Hashtbl.create 8 in
+      let dup = ref false and taut = ref false in
+      Array.iter
+        (fun l ->
+          let v = Sat.Lit.var l in
+          if v < 1 || v > nvars then
+            emit st pos Formula_var_range
+              "formula clause %d mentions variable %d, outside 1..%d" id v
+              nvars;
+          if (not !dup) && Hashtbl.mem seen_lit l then begin
+            dup := true;
+            emit st pos Formula_duplicate_lit
+              "formula clause %d repeats literal %s" id (Sat.Lit.to_string l)
+          end;
+          if (not !taut) && Hashtbl.mem seen_lit (Sat.Lit.negate l) then begin
+            taut := true;
+            emit st pos Formula_tautology
+              "formula clause %d is tautological on variable %d" id v
+          end;
+          Hashtbl.replace seen_lit l ())
+        c)
+    f
+
+let check_formula_header st pos f =
+  match st.header with
+  | None -> ()
+  | Some (nvars, norig) ->
+    if nvars <> Sat.Cnf.nvars f || norig <> Sat.Cnf.nclauses f then
+      emit st pos Formula_mismatch
+        "trace header (%d vars, %d clauses) disagrees with the formula \
+         (%d vars, %d clauses)"
+        nvars norig (Sat.Cnf.nvars f) (Sat.Cnf.nclauses f)
+
+let run ?formula ?(max_diagnostics = 100) source =
+  let cur = Trace.Reader.cursor source in
+  let binary = Trace.Reader.is_binary_cursor cur in
+  let st = {
+    cap = max max_diagnostics 0;
+    diags = [];
+    kept = 0;
+    n_dropped = 0;
+    n_errors = 0;
+    n_warnings = 0;
+    n_events = 0;
+    n_learned = 0;
+    n_level0 = 0;
+    header = None;
+    pre_header_reported = false;
+    last_learned_id = 0;
+    defined = Hashtbl.create 1024;
+    level0_vars = Hashtbl.create 256;
+    conflict_seen = false;
+    after_conflict_reported = false;
+  } in
+  let origin = if binary then Trace.Reader.Byte 0 else Trace.Reader.Line 0 in
+  (match formula with
+   | Some f -> check_formula st origin f
+   | None -> ());
+  let running = ref true in
+  while !running do
+    match Trace.Reader.next cur with
+    | Some e -> handle_event st (Trace.Reader.last_pos cur) e
+    | None -> running := false
+    | exception Trace.Reader.Parse_error { pos; msg } ->
+      emit st pos Parse "%s" msg;
+      (* ASCII resynchronises on the next line; binary records have no
+         framing to recover with, so the pass ends here *)
+      if binary then running := false
+  done;
+  let end_pos = Trace.Reader.last_pos cur in
+  (match st.header with
+   | None -> emit st end_pos Missing_header "trace has no header record"
+   | Some _ -> ());
+  (match formula with
+   | Some f -> check_formula_header st end_pos f
+   | None -> ());
+  if not st.conflict_seen then
+    emit st end_pos Missing_conflict
+      "trace ends without a final-conflict record";
+  {
+    binary;
+    events = st.n_events;
+    learned = st.n_learned;
+    level0 = st.n_level0;
+    errors = st.n_errors;
+    warnings = st.n_warnings;
+    diagnostics = List.rev st.diags;
+    dropped = st.n_dropped;
+  }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s %s at %a: %s"
+    (severity_string (severity_of d.code))
+    (code_id d.code) Trace.Reader.pp_pos d.pos d.message
+
+let pp fmt r =
+  List.iter (fun d -> Format.fprintf fmt "%a@," pp_diagnostic d) r.diagnostics;
+  if r.dropped > 0 then
+    Format.fprintf fmt "... %d further diagnostics dropped@," r.dropped;
+  Format.fprintf fmt
+    "trace lint: %s format, %d events (%d learned, %d level-0), %d errors, \
+     %d warnings"
+    (if r.binary then "binary" else "ascii")
+    r.events r.learned r.level0 r.errors r.warnings
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"format\":\"%s\",\"events\":%d,\"learned\":%d,\"level0\":%d,\
+        \"errors\":%d,\"warnings\":%d,\"dropped\":%d,\"diagnostics\":["
+       (if r.binary then "binary" else "ascii")
+       r.events r.learned r.level0 r.errors r.warnings r.dropped);
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      let where =
+        match d.pos with
+        | Trace.Reader.Line n -> Printf.sprintf "\"line\":%d" n
+        | Trace.Reader.Byte n -> Printf.sprintf "\"byte\":%d" n
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"code\":\"%s\",\"severity\":\"%s\",%s,\"message\":\"%s\"}"
+           (code_id d.code)
+           (severity_string (severity_of d.code))
+           where (json_escape d.message)))
+    r.diagnostics;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

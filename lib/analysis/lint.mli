@@ -1,0 +1,102 @@
+(** Streaming trace linter: structural validation of resolution traces in
+    one pass over the event stream, with no clause construction and no
+    resolution.
+
+    The semantic checkers ([Checker.Df] / [Bf] / [Hybrid]) replay the
+    proof and therefore surface a malformed trace as a confusing failure
+    deep inside the resolution kernel.  The linter catches the cheap
+    structural corruption classes up front — truncated or garbled
+    encodings, duplicate or non-monotone clause ids, forward and dangling
+    references, out-of-range variables, duplicate level-0 records,
+    missing final conflict — and reports each as a typed diagnostic with
+    a stable error code and a precise position (line for ASCII traces,
+    byte offset for binary ones) instead of an exception.
+
+    Cycle-freedom of the resolve-source graph is a corollary: the linter
+    enforces stream-order referencing (every source precedes its use), so
+    a lint-clean trace is acyclic by construction.
+
+    Memory is O(#learned clauses) — one hash table of ids — and no
+    [Proof.Clause_db] is ever created. *)
+
+type severity =
+  | Error    (** the trace cannot possibly check; replay would fail *)
+  | Warning  (** suspicious but replayable *)
+
+(** Stable diagnostic codes.  The numeric ids ([L001]…) are part of the
+    tool's contract: tests, scripts and the DESIGN.md table key on them.
+    Groups: L0xx stream/framing, L1xx clause records, L2xx level-0
+    records, L3xx final conflict, L4xx trace-vs-formula. *)
+type code =
+  | Parse                  (** L001 record does not parse / truncated / garbled *)
+  | Missing_header         (** L002 no [t nvars norig] record *)
+  | Duplicate_header       (** L003 second header record *)
+  | Header_dims            (** L004 nonpositive dimensions in the header *)
+  | Event_before_header    (** L005 a record precedes the header *)
+  | Shadows_original       (** L101 learned id inside the original-id range *)
+  | Duplicate_id           (** L102 learned id defined twice *)
+  | Nonmonotone_id         (** L103 learned ids not strictly increasing *)
+  | Empty_sources          (** L104 learned clause with no resolve sources *)
+  | Self_source            (** L105 clause listed among its own sources *)
+  | Bad_reference          (** L106 source id undefined at point of use
+                               (forward or dangling reference) *)
+  | Repeated_source        (** L107 same source twice in a row in a chain *)
+  | Var_out_of_range       (** L201 level-0 variable outside [1..nvars] *)
+  | Duplicate_level0       (** L202 two level-0 records for one variable *)
+  | Bad_antecedent         (** L203 level-0 antecedent id undefined *)
+  | Missing_conflict       (** L301 trace ends without a final conflict *)
+  | Conflict_unknown       (** L302 final conflict references an undefined id *)
+  | After_conflict         (** L303 records after the final conflict *)
+  | Formula_mismatch       (** L401 header dims disagree with the formula *)
+  | Formula_var_range      (** L402 formula literal out of declared range *)
+  | Formula_duplicate_lit  (** L403 formula clause repeats a literal *)
+  | Formula_tautology      (** L404 formula clause is tautological *)
+
+(** [code_id c] is the stable "Lnnn" identifier. *)
+val code_id : code -> string
+
+val severity_of : code -> severity
+
+type diagnostic = {
+  code : code;
+  pos : Trace.Reader.pos;
+  message : string;
+}
+
+type report = {
+  binary : bool;             (** format the magic bytes selected *)
+  events : int;              (** events successfully parsed *)
+  learned : int;             (** learned-clause records seen *)
+  level0 : int;              (** level-0 records seen *)
+  errors : int;
+  warnings : int;
+  diagnostics : diagnostic list;  (** stream order, capped — counts are not *)
+  dropped : int;             (** diagnostics beyond the cap, counted only *)
+}
+
+(** [run ?formula ?max_diagnostics source] lints the trace in one
+    streaming pass.  With [formula], the header is cross-checked against
+    the formula's dimensions and the original clauses are linted for
+    out-of-range, duplicate and tautological literals (L4xx codes).
+    [max_diagnostics] (default 100) caps the retained diagnostics;
+    [errors]/[warnings] keep counting past the cap.  Never raises on
+    malformed traces: parse failures become L001 diagnostics, and an
+    ASCII cursor resumes on the next line so one pass can report several
+    of them. *)
+val run :
+  ?formula:Sat.Cnf.t -> ?max_diagnostics:int -> Trace.Reader.source -> report
+
+(** [clean r] holds when no error-severity diagnostic was found. *)
+val clean : report -> bool
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+(** [pp fmt r] renders the human-readable report: one line per retained
+    diagnostic followed by a summary line. *)
+val pp : Format.formatter -> report -> unit
+
+(** [to_json r] is a machine-readable rendering (self-contained, no
+    external JSON dependency): [{"format":…, "events":…, "errors":…,
+    "warnings":…, "diagnostics":[{"code","severity","line"|"byte",
+    "message"},…]}]. *)
+val to_json : report -> string

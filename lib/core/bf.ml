@@ -177,6 +177,6 @@ let check ?meter ?(counting = `In_memory) formula source =
   | Diagnostics.Check_failed f ->
     cleanup ();
     Error f
-  | Trace.Reader.Parse_error m ->
+  | Trace.Reader.Parse_error { pos; msg } ->
     cleanup ();
-    Error (Diagnostics.Malformed_trace m)
+    Error (Diagnostics.of_parse_error ~pos msg)

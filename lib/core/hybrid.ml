@@ -112,4 +112,5 @@ let check ?meter formula source =
     }
   with
   | Diagnostics.Check_failed f -> Error f
-  | Trace.Reader.Parse_error m -> Error (Diagnostics.Malformed_trace m)
+  | Trace.Reader.Parse_error { pos; msg } ->
+    Error (Diagnostics.of_parse_error ~pos msg)

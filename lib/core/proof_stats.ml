@@ -92,7 +92,8 @@ let analyze formula source =
     }
   with
   | Diagnostics.Check_failed d -> Error d
-  | Trace.Reader.Parse_error m -> Error (Diagnostics.Malformed_trace m)
+  | Trace.Reader.Parse_error { pos; msg } ->
+    Error (Diagnostics.of_parse_error ~pos msg)
 
 let pp fmt s =
   Format.fprintf fmt

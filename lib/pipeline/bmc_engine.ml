@@ -35,7 +35,7 @@ let bmc ?config ~max_depth ts =
         | Validate.Unsat_verified _ -> loop (depth + 1)
         | Validate.Sat_model_wrong i ->
           Check_failed
-            (Checker.Diagnostics.Malformed_trace
+            (Checker.Diagnostics.malformed
                (Printf.sprintf
                   "solver returned a model that falsifies clause %d" i))
         | Validate.Unsat_check_failed d -> Check_failed d)

@@ -27,7 +27,8 @@ let of_trace f source =
     Ok (List.rev ([||] :: !order))
   with
   | D.Check_failed d -> Error d
-  | Trace.Reader.Parse_error m -> Error (D.Malformed_trace m)
+  | Trace.Reader.Parse_error { pos; msg } ->
+    Error (D.of_parse_error ~pos msg)
 
 let to_string derivation =
   let buf = Buffer.create 4096 in

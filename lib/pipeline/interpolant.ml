@@ -98,7 +98,8 @@ let compute formula ~a_indices source =
     }
   with
   | D.Check_failed d -> Error d
-  | Trace.Reader.Parse_error m -> Error (D.Malformed_trace m)
+  | Trace.Reader.Parse_error { pos; msg } ->
+    Error (D.of_parse_error ~pos msg)
 
 let of_formulas ?config a b =
   (* conjoin over a common variable space; A clauses first *)

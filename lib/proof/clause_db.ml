@@ -1,5 +1,17 @@
 type handle = int
 
+exception Use_after_free of handle
+exception Refcount_underflow of handle
+
+(* Debug guards: when enabled, API entry points verify the handle still
+   holds a reference, and releasing past zero raises instead of silently
+   corrupting the freelist.  One flag read per clause-level operation (the
+   per-literal [lit] accessor stays unguarded — it sits in the resolution
+   kernel's innermost loop). *)
+let debug = ref false
+let set_debug b = debug := b
+let debug_enabled () = !debug
+
 type arena =
   (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -105,7 +117,13 @@ let alloc db c =
   done;
   alloc_sorted db buf !k
 
-let size db h = db.arena.{h}
+let check_live db h =
+  if !debug && db.arena.{h + 1} <= 0 then raise (Use_after_free h)
+
+let size db h =
+  check_live db h;
+  db.arena.{h}
+
 let lit db h i : Sat.Lit.t = db.arena.{h + header_words + i}
 
 let lits db h =
@@ -120,9 +138,12 @@ let iter_lits db h f =
 
 let refcount db h = db.arena.{h + 1}
 
-let retain db h = db.arena.{h + 1} <- db.arena.{h + 1} + 1
+let retain db h =
+  check_live db h;
+  db.arena.{h + 1} <- db.arena.{h + 1} + 1
 
 let release db h =
+  if !debug && db.arena.{h + 1} <= 0 then raise (Refcount_underflow h);
   let rc = db.arena.{h + 1} - 1 in
   db.arena.{h + 1} <- rc;
   if rc <= 0 then begin

@@ -19,6 +19,21 @@ type t
     last reference is released. *)
 type handle = int
 
+(** Raised (debug mode only) when a clause-level accessor or {!retain}
+    touches a handle whose last reference was already released. *)
+exception Use_after_free of handle
+
+(** Raised (debug mode only) when {!release} is called on a dead handle —
+    the slot may already belong to the freelist or to a new clause. *)
+exception Refcount_underflow of handle
+
+(** [set_debug true] arms the lifetime guards above on every store.  Off
+    by default: the checks cost one flag read per clause operation on the
+    resolution hot path.  The test suite runs with them armed. *)
+val set_debug : bool -> unit
+
+val debug_enabled : unit -> bool
+
 (** [create ?meter ()] is an empty store.  Without [meter] a fresh
     unlimited meter is used. *)
 val create : ?meter:Harness.Meter.t -> unit -> t

@@ -1,5 +1,5 @@
 type failure =
-  | Malformed_trace of string
+  | Malformed_trace of { pos : Trace.Reader.pos option; msg : string }
   | Missing_header
   | Header_mismatch of { trace_nvars : int; trace_norig : int;
                          formula_nvars : int; formula_norig : int }
@@ -25,8 +25,16 @@ exception Check_failed of failure
 
 let fail f = raise (Check_failed f)
 
+let malformed ?pos msg = Malformed_trace { pos; msg }
+
+let of_parse_error ~pos msg = Malformed_trace { pos = Some pos; msg }
+
 let pp fmt = function
-  | Malformed_trace m -> Format.fprintf fmt "trace does not parse: %s" m
+  | Malformed_trace { pos = None; msg } ->
+    Format.fprintf fmt "trace does not parse: %s" msg
+  | Malformed_trace { pos = Some p; msg } ->
+    Format.fprintf fmt "trace does not parse at %a: %s" Trace.Reader.pp_pos p
+      msg
   | Missing_header -> Format.fprintf fmt "trace has no header record"
   | Header_mismatch h ->
     Format.fprintf fmt

@@ -5,8 +5,10 @@
     clauses, and {!pp} renders a bug report a solver author can act on. *)
 
 type failure =
-  | Malformed_trace of string
-      (** the trace stream failed to parse at all *)
+  | Malformed_trace of { pos : Trace.Reader.pos option; msg : string }
+      (** the trace stream failed to parse; [pos] locates the offending
+          record (line for ASCII traces, byte offset for binary ones)
+          when the reader could tell *)
   | Missing_header
       (** trace has no [t nvars norig] record *)
   | Header_mismatch of { trace_nvars : int; trace_norig : int;
@@ -59,5 +61,12 @@ type failure =
 exception Check_failed of failure
 
 val fail : failure -> 'a
+
+(** [malformed ?pos msg] / [of_parse_error ~pos msg] build a
+    {!Malformed_trace}; the latter is the standard adapter for
+    {!Trace.Reader.Parse_error} payloads. *)
+val malformed : ?pos:Trace.Reader.pos -> string -> failure
+
+val of_parse_error : pos:Trace.Reader.pos -> string -> failure
 val pp : Format.formatter -> failure -> unit
 val to_string : failure -> string

@@ -19,6 +19,7 @@ type config = {
   random_decision_freq : float;
   seed : int;
   bcp : bcp_scheme;
+  sanitize : bool;
 }
 
 let default_config = {
@@ -36,6 +37,7 @@ let default_config = {
   random_decision_freq = 0.02;
   seed = 91648253;
   bcp = Two_watched;
+  sanitize = false;
 }
 
 type stats = {
@@ -489,6 +491,151 @@ let emit_final_conflict s confl_cid =
        s.trail);
   emit s (Trace.Event.Final_conflict confl_cid)
 
+(* --- runtime sanitizer (ASan-style invariant checks) -------------------- *)
+
+exception Sanitizer_violation of string
+
+let violation fmt =
+  Printf.ksprintf (fun m -> raise (Sanitizer_violation m)) fmt
+
+(* Verify the solver's internal invariants wholesale.  Enabled by
+   [config.sanitize] and run at decision boundaries (BCP fixpoints), where
+   every invariant below is supposed to hold; each check is O(state size),
+   so the sanitizer multiplies runtime but changes no behaviour.  The
+   checks, in order:
+     1. trail / decision-level consistency (trail_lim monotone, every
+        trail literal true with matching [pos] and [level], assignment
+        count equals trail length, queue drained);
+     2. implication-graph sanity and acyclicity: each assigned variable's
+        reason clause is alive, contains the variable's true literal, and
+        has every other literal false and assigned strictly earlier on
+        the trail — edges only point backwards, so no cycle can exist;
+     3. BCP-fixpoint semantics for attached clauses: none falsified, no
+        unpropagated unit;
+     4. two-watched integrity: watch lists reference alive clauses
+        through their slot-0/1 literals, and every watchable clause is
+        watched exactly twice;
+     5. counter integrity ([Counting] scheme): stored false/true counts
+        match the assignment. *)
+let sanitize_state s =
+  let n = Sat.Vec.length s.trail in
+  let nlevels = Sat.Vec.length s.trail_lim in
+  if s.qhead <> n then
+    violation "propagation queue not drained: qhead %d, trail %d" s.qhead n;
+  for d = 1 to nlevels - 1 do
+    if Sat.Vec.get s.trail_lim (d - 1) > Sat.Vec.get s.trail_lim d then
+      violation "trail_lim not monotone at level %d" d
+  done;
+  if nlevels > 0 && Sat.Vec.get s.trail_lim (nlevels - 1) > n then
+    violation "trail_lim exceeds trail length";
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    while !d < nlevels && Sat.Vec.get s.trail_lim !d <= i do incr d done;
+    let l = Sat.Vec.get s.trail i in
+    let v = Sat.Lit.var l in
+    if v < 1 || v > s.nvars then violation "trail var %d out of range" v;
+    if lit_value s l <> v_true then
+      violation "trail literal %s not true" (Sat.Lit.to_string l);
+    if s.pos.(v) <> i then
+      violation "var %d: pos %d but trail index %d" v s.pos.(v) i;
+    if s.level.(v) <> !d then
+      violation "var %d: level %d but trail says %d" v s.level.(v) !d
+  done;
+  let assigned = ref 0 in
+  for v = 1 to s.nvars do
+    if s.value.(v) <> v_unassigned then incr assigned
+  done;
+  if !assigned <> n then
+    violation "%d variables assigned but trail holds %d" !assigned n;
+  for v = 1 to s.nvars do
+    if s.value.(v) <> v_unassigned && s.reason.(v) <> 0 then begin
+      let r = s.reason.(v) in
+      if r < 1 || r > Sat.Vec.length s.clauses then
+        violation "var %d: reason %d is not a clause id" v r;
+      let c = clause_of s r in
+      if c.deleted then violation "var %d: reason clause %d deleted" v r;
+      let found = ref false in
+      Array.iter
+        (fun q ->
+          if Sat.Lit.var q = v then begin
+            found := true;
+            if lit_value s q <> v_true then
+              violation "reason %d holds var %d in the false phase" r v
+          end
+          else begin
+            if lit_value s q <> v_false then
+              violation "reason %d of var %d: literal %s not false" r v
+                (Sat.Lit.to_string q);
+            if s.pos.(Sat.Lit.var q) >= s.pos.(v) then
+              violation
+                "implication edge not chronological: var %d implied at \
+                 trail %d by var %d at trail %d"
+                v s.pos.(v) (Sat.Lit.var q)
+                s.pos.(Sat.Lit.var q)
+          end)
+        c.lits;
+      if not !found then violation "reason %d never mentions var %d" r v
+    end
+  done;
+  Sat.Vec.iter
+    (fun c ->
+      if c.attached && not c.deleted then begin
+        let len = Array.length c.lits in
+        let nf = ref 0 and nt = ref 0 in
+        Array.iter
+          (fun l ->
+            match lit_value s l with
+            | v when v = v_false -> incr nf
+            | v when v = v_true -> incr nt
+            | _ -> ())
+          c.lits;
+        if !nt = 0 then begin
+          if !nf = len then
+            violation "clause %d falsified at a decision boundary" c.cid;
+          if !nf = len - 1 then
+            violation "clause %d unit but not propagated" c.cid
+        end;
+        if s.cfg.bcp = Counting then begin
+          if Sat.Vec.get s.n_false (c.cid - 1) <> !nf then
+            violation "clause %d: false-count %d, assignment says %d" c.cid
+              (Sat.Vec.get s.n_false (c.cid - 1))
+              !nf;
+          if Sat.Vec.get s.n_true (c.cid - 1) <> !nt then
+            violation "clause %d: true-count %d, assignment says %d" c.cid
+              (Sat.Vec.get s.n_true (c.cid - 1))
+              !nt
+        end
+      end)
+    s.clauses;
+  if s.cfg.bcp = Two_watched then begin
+    let watch_count = Hashtbl.create 256 in
+    Array.iteri
+      (fun l ws ->
+        Sat.Vec.iter
+          (fun cid ->
+            if cid < 1 || cid > Sat.Vec.length s.clauses then
+              violation "watch list of %d holds bogus clause id %d" l cid;
+            let c = clause_of s cid in
+            if c.deleted then
+              violation "watch list of %d holds deleted clause %d" l cid;
+            if Array.length c.lits < 2 || (c.lits.(0) <> l && c.lits.(1) <> l)
+            then
+              violation "clause %d watched on literal %d, not in its slots"
+                cid l;
+            Hashtbl.replace watch_count cid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt watch_count cid)))
+          ws)
+      s.watches;
+    Sat.Vec.iter
+      (fun c ->
+        if c.attached && not c.deleted && Array.length c.lits >= 2 then begin
+          let w = Option.value ~default:0 (Hashtbl.find_opt watch_count c.cid) in
+          if w <> 2 then
+            violation "clause %d carried by %d watch lists, expected 2" c.cid w
+        end)
+      s.clauses
+  end
+
 (* --- decisions ---------------------------------------------------------- *)
 
 let pick_branch_var s =
@@ -708,7 +855,10 @@ let search s config assumptions =
       end
     end
     else begin
-      (* no conflict: maybe restart, maybe reduce, then branch *)
+      (* no conflict: a BCP fixpoint, i.e. a decision boundary — the spot
+         where every sanitizer invariant must hold *)
+      if config.sanitize then sanitize_state s;
+      (* maybe restart, maybe reduce, then branch *)
       if
         config.enable_restarts
         && !conflicts_since_restart >= !restart_budget
@@ -783,7 +933,10 @@ let setup config trace f =
       emit_final_conflict s pre;
       (s, false)
     end
-    else (s, true)
+    else begin
+      if config.sanitize then sanitize_state s;
+      (s, true)
+    end
   end
 
 let solve ?(config = default_config) ?trace f =

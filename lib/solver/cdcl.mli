@@ -55,9 +55,22 @@ type config = {
   random_decision_freq : float; (** fraction of random decisions *)
   seed : int;
   bcp : bcp_scheme;
+  sanitize : bool;
+      (** run the runtime sanitizer at every decision boundary: validates
+          two-watched-literal integrity, trail/level consistency,
+          implication-graph acyclicity and BCP-fixpoint semantics, raising
+          {!Sanitizer_violation} on the first broken invariant.  Debugging
+          aid in the ASan spirit — heavy slowdown, no behaviour change.
+          Off by default. *)
 }
 
 val default_config : config
+
+(** Raised by the sanitizer ({!config.sanitize}) when a solver-internal
+    invariant is broken; the message names the invariant and the offending
+    variable/clause.  Reaching this is always a solver bug, never an input
+    problem. *)
+exception Sanitizer_violation of string
 
 type stats = {
   decisions : int;

@@ -1,6 +1,17 @@
-exception Parse_error of string
+type pos =
+  | Line of int
+  | Byte of int
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let pp_pos fmt = function
+  | Line n -> Format.fprintf fmt "line %d" n
+  | Byte n -> Format.fprintf fmt "byte %d" n
+
+let pos_to_string p = Format.asprintf "%a" pp_pos p
+
+exception Parse_error of { pos : pos; msg : string }
+
+let fail pos fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { pos; msg })) fmt
 
 type source =
   | From_string of string
@@ -23,48 +34,69 @@ let is_binary s =
 
 (* A cursor reads the trace bytes once and then yields events
    incrementally; multi-pass checkers rewind it instead of re-reading
-   the file from disk for every pass. *)
+   the file from disk for every pass.  It tracks the position (line for
+   ASCII, byte offset for binary) of the event last yielded so that
+   callers — the linter above all — can report precise locations. *)
 type cursor = {
   data : string;
   binary : bool;
   start : int;
   mutable pos : int;
+  mutable line : int;         (* ASCII: 1-based number of the next line *)
+  mutable last_pos : pos;     (* where the last yielded event started *)
 }
 
 let cursor source =
   let data = read_source source in
   let binary = is_binary data in
   let start = if binary then String.length binary_magic else 0 in
-  { data; binary; start; pos = start }
+  {
+    data;
+    binary;
+    start;
+    pos = start;
+    line = 1;
+    last_pos = (if binary then Byte start else Line 1);
+  }
 
-let rewind c = c.pos <- c.start
+let is_binary_cursor c = c.binary
 
-let parse_line line =
+let rewind c =
+  c.pos <- c.start;
+  c.line <- 1;
+  c.last_pos <- (if c.binary then Byte c.start else Line 1)
+
+let last_pos c = c.last_pos
+
+let parse_line pos line =
   let parse () =
     match String.split_on_char ' ' line |> List.filter (( <> ) "") with
     | [] -> None
     | "t" :: rest -> (
       match List.map int_of_string rest with
       | [ nvars; num_original ] -> Some (Event.Header { nvars; num_original })
-      | _ -> fail "bad header line %S" line)
+      | _ -> fail pos "bad header line %S" line)
     | "CL" :: rest -> (
       match List.map int_of_string rest with
       | id :: srcs when srcs <> [] ->
         Some (Event.Learned { id; sources = Array.of_list srcs })
-      | _ -> fail "bad CL line %S" line)
+      | _ -> fail pos "bad CL line %S" line)
     | "VAR" :: rest -> (
       match List.map int_of_string rest with
       | [ var; value; ante ] when value = 0 || value = 1 ->
         Some (Event.Level0 { var; value = value = 1; ante })
-      | _ -> fail "bad VAR line %S" line)
+      | _ -> fail pos "bad VAR line %S" line)
     | [ "CONF"; id ] -> (
       match int_of_string_opt id with
       | Some id -> Some (Event.Final_conflict id)
-      | None -> fail "bad CONF line" )
-    | w :: _ -> fail "unknown trace record %S" w
+      | None -> fail pos "bad CONF line" )
+    | w :: _ -> fail pos "unknown trace record %S" w
   in
-  try parse () with Failure _ -> fail "non-numeric field in %S" line
+  try parse () with Failure _ -> fail pos "non-numeric field in %S" line
 
+(* After an ASCII parse error the cursor already stands past the offending
+   line, so calling [next] again resumes at the following record — the
+   linter relies on this to report several errors in one pass. *)
 let rec next_ascii c =
   let len = String.length c.data in
   if c.pos >= len then None
@@ -74,28 +106,41 @@ let rec next_ascii c =
       | Some i -> i
       | None -> len
     in
+    let line_no = c.line in
     let line = String.trim (String.sub c.data c.pos (nl - c.pos)) in
     c.pos <- nl + 1;
-    if line = "" then next_ascii c else parse_line line
+    c.line <- line_no + 1;
+    if line = "" then next_ascii c
+    else begin
+      c.last_pos <- Line line_no;
+      parse_line (Line line_no) line
+    end
   end
+
+(* a 63-bit int needs at most 9 varint bytes; more means garbage *)
+let max_varint_bytes = 9
 
 let next_binary c =
   let len = String.length c.data in
   if c.pos >= len then None
   else begin
+    let record_start = Byte c.pos in
+    c.last_pos <- record_start;
     let byte () =
-      if c.pos >= len then fail "truncated binary trace";
+      if c.pos >= len then fail record_start "truncated binary trace";
       let b = Char.code c.data.[c.pos] in
       c.pos <- c.pos + 1;
       b
     in
     let varint () =
-      let rec loop shift acc =
+      let rec loop n shift acc =
+        if n > max_varint_bytes then
+          fail record_start "garbled varint (over %d bytes)" max_varint_bytes;
         let b = byte () in
         let acc = acc lor ((b land 0x7f) lsl shift) in
-        if b land 0x80 <> 0 then loop (shift + 7) acc else acc
+        if b land 0x80 <> 0 then loop (n + 1) (shift + 7) acc else acc
       in
-      loop 0 0
+      loop 1 0 0
     in
     match byte () with
     | 0 ->
@@ -105,6 +150,10 @@ let next_binary c =
     | 1 ->
       let id = varint () in
       let n = varint () in
+      if n < 0 || c.pos + n > len then
+        (* each source is at least one byte: fail before allocating an
+           attacker-sized array from a garbled count *)
+        fail record_start "truncated binary trace (%d sources claimed)" n;
       (* explicit loop: Array.init's application order is unspecified and
          varint reads are stateful *)
       let sources = Array.make n 0 in
@@ -117,7 +166,7 @@ let next_binary c =
       let ante = varint () in
       Some (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
     | 3 -> Some (Event.Final_conflict (varint ()))
-    | tag -> fail "unknown binary tag %d" tag
+    | tag -> fail record_start "unknown binary tag %d" tag
   end
 
 let next c = if c.binary then next_binary c else next_ascii c

@@ -4,7 +4,19 @@
     exposes both a one-shot fold-style pass and a rewindable {!cursor}.
     Format (ASCII vs binary) is auto-detected from the magic bytes. *)
 
-exception Parse_error of string
+(** Location inside a trace: 1-based line for the ASCII format, 0-based
+    byte offset (magic included) for the binary one. *)
+type pos =
+  | Line of int
+  | Byte of int
+
+val pp_pos : Format.formatter -> pos -> unit
+val pos_to_string : pos -> string
+
+(** Raised on malformed input, carrying where the offending record starts
+    and a human-readable reason.  The analysis layer turns these into
+    [L001] lint diagnostics instead of letting them escape. *)
+exception Parse_error of { pos : pos; msg : string }
 
 type source =
   | From_string of string  (** in-memory trace, e.g. from {!Writer.contents} *)
@@ -18,9 +30,19 @@ type cursor
 (** [cursor source] opens a cursor positioned at the first event. *)
 val cursor : source -> cursor
 
+(** [is_binary_cursor c] tells which format the magic bytes selected. *)
+val is_binary_cursor : cursor -> bool
+
 (** [next c] yields the next event, or [None] at end of trace.
+    After an ASCII parse error the cursor stands at the next line, so the
+    caller may resume; after a binary one the remaining bytes cannot be
+    re-synchronised and resuming yields garbage.
     @raise Parse_error on malformed input. *)
 val next : cursor -> Event.t option
+
+(** [last_pos c] is where the most recently yielded event starts (also
+    set when {!next} raises, to the failing record's start). *)
+val last_pos : cursor -> pos
 
 (** [rewind c] repositions [c] at the first event. *)
 val rewind : cursor -> unit

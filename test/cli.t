@@ -28,13 +28,62 @@ Check the trace with each strategy:
   $ $R check php8.cnf php8.trc -s hybrid | grep "^s "
   s VERIFIED UNSATISFIABLE
 
-A corrupted trace is rejected (exit code 1):
+Lint the trace: structural validation in one streaming pass (exit 0 =
+clean; warnings do not fail the lint):
+
+  $ $R lint php8.trc -f php8.cnf > lint.out; echo "exit $?"
+  exit 0
+  $ grep "^s " lint.out
+  s LINT OK
+
+A corrupted (truncated) trace: the linter pinpoints the damage with a
+stable error code and a position, and exits 1:
 
   $ head -c 2000 php8.trc > broken.trc
-  $ $R check php8.cnf broken.trc > check.out; echo "exit $?"
+  $ $R lint broken.trc > lint-broken.out; echo "exit $?"
   exit 1
+  $ grep -c "error L001" lint-broken.out
+  1
+  $ grep -c "error L301" lint-broken.out
+  1
+  $ grep "^s " lint-broken.out
+  s LINT FAILED
+
+The same report as JSON for tooling:
+
+  $ $R lint broken.trc --json | grep -o '"code":"L001"'
+  "code":"L001"
+
+`check` runs the linter as a pre-pass, so structural corruption is a
+bad-input failure (exit code 2), distinct from a semantic check failure:
+
+  $ $R check php8.cnf broken.trc > check.out; echo "exit $?"
+  exit 2
   $ grep "^s " check.out
+  s BAD TRACE (lint)
+
+A structurally well-formed trace that proves nothing is the checker's
+job, not the linter's: lint passes, the resolution check fails (exit 1):
+
+  $ printf 'p cnf 1 2\n1 0\n-1 0\n' > min.cnf
+  $ printf 't 1 2\nCL 3 1 1\nVAR 1 1 1\nCONF 3\n' > bad.trc
+  $ $R lint bad.trc | grep "^s "
+  s LINT OK
+  $ $R check min.cnf bad.trc > semantic.out; echo "exit $?"
+  exit 1
+  $ grep "^s " semantic.out
   s CHECK FAILED
+
+A missing input file is a usage problem (exit code 2):
+
+  $ $R lint no-such.trc 2>/dev/null; echo "exit $?"
+  exit 2
+
+The runtime sanitizer validates solver invariants at every decision
+boundary without changing the answer:
+
+  $ $R solve php8.cnf --sanitize > /dev/null; echo "exit $?"
+  exit 20
 
 A tiny simulated memory budget reproduces the paper's memory-out rows:
 

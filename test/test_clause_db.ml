@@ -1,0 +1,72 @@
+(* Clause_db lifetime guards and the freelist path: releasing the last
+   reference must recycle the slot, and in debug mode any touch of a dead
+   handle must raise instead of silently reading recycled memory. *)
+
+module Db = Proof.Clause_db
+
+let with_debug f =
+  let was = Db.debug_enabled () in
+  Db.set_debug true;
+  Fun.protect ~finally:(fun () -> Db.set_debug was) f
+
+let c ints = Sat.Clause.of_ints ints
+
+let test_freelist_reuse () =
+  let db = Db.create () in
+  let h1 = Db.alloc db (c [ 1; -2; 3 ]) in
+  Alcotest.check Alcotest.int "live" 1 (Db.live_clauses db);
+  Db.release db h1;
+  Alcotest.check Alcotest.int "live after release" 0 (Db.live_clauses db);
+  (* same size bin: the freed slot must be recycled, not fresh arena *)
+  let h2 = Db.alloc db (c [ 4; 5; -6 ]) in
+  Alcotest.check Alcotest.int "slot reused" h1 h2;
+  Alcotest.check Alcotest.int "size" 3 (Db.size db h2);
+  let got = Array.to_list (Array.map Sat.Lit.to_int (Db.lits db h2)) in
+  Alcotest.(check (list int)) "reused slot holds new clause"
+    (List.sort compare [ 4; 5; -6 ])
+    (List.sort compare got)
+
+let test_use_after_free () =
+  with_debug (fun () ->
+      let db = Db.create () in
+      let h = Db.alloc db (c [ 1; 2 ]) in
+      Db.release db h;
+      Alcotest.check_raises "size on dead handle" (Db.Use_after_free h)
+        (fun () -> ignore (Db.size db h));
+      Alcotest.check_raises "retain on dead handle" (Db.Use_after_free h)
+        (fun () -> Db.retain db h))
+
+let test_refcount_underflow () =
+  with_debug (fun () ->
+      let db = Db.create () in
+      let h = Db.alloc db (c [ 1; 2; 3 ]) in
+      Db.release db h;
+      Alcotest.check_raises "double release" (Db.Refcount_underflow h)
+        (fun () -> Db.release db h))
+
+let test_retain_release_balance () =
+  with_debug (fun () ->
+      let db = Db.create () in
+      let h = Db.alloc db (c [ 1; -2 ]) in
+      Db.retain db h;
+      Db.release db h;
+      (* one reference left: still live and readable *)
+      Alcotest.check Alcotest.int "still live" 2 (Db.size db h);
+      Db.release db h;
+      Alcotest.check_raises "now dead" (Db.Use_after_free h) (fun () ->
+          ignore (Db.size db h)))
+
+let suite =
+  [
+    ( "clause_db debug guards",
+      [
+        Alcotest.test_case "freelist reuses released slot" `Quick
+          test_freelist_reuse;
+        Alcotest.test_case "use-after-free raises in debug mode" `Quick
+          test_use_after_free;
+        Alcotest.test_case "refcount underflow raises in debug mode" `Quick
+          test_refcount_underflow;
+        Alcotest.test_case "retain/release balance" `Quick
+          test_retain_release_balance;
+      ] );
+  ]
