@@ -3,7 +3,9 @@
    checker themselves), plus Bechamel micro-benchmarks for the hot paths
    and the design-choice ablations called out in DESIGN.md.
 
-   Usage:  dune exec bench/main.exe [table1|table2|table3|micro|all]
+   Usage:  dune exec bench/main.exe
+             [table1|table2|table3|proofshape|scaling|ablation|baseline|
+              par|par_quick|micro|all]
 
    Absolute numbers are machine-specific; EXPERIMENTS.md records how the
    *shapes* compare with the paper (who wins, by what factor, where the
@@ -460,6 +462,117 @@ let baseline () =
     ~align:[ Harness.Table.Left; Harness.Table.Left ]
     rows
 
+(* --- Parallel checker: jobs sweep --------------------------------------- *)
+
+(* Wall-clock median of three-to-five runs.  The sweep measures elapsed
+   time (not CPU seconds) because domain-level parallelism only shows up
+   on the wall clock. *)
+let wall_median f =
+  let x, t1 = Harness.Timer.wall_time f in
+  let reps = if t1 > 5.0 then 0 else if t1 > 1.0 then 2 else 4 in
+  if reps = 0 then (x, t1)
+  else begin
+    let ts =
+      t1 :: List.init reps (fun _ -> snd (Harness.Timer.wall_time f))
+    in
+    let ts = List.sort Float.compare ts in
+    (x, List.nth ts (List.length ts / 2))
+  end
+
+(* Sequential BF against the wavefront-parallel checker at 1, 2 and 4
+   worker domains.  Every parallel run is cross-checked against the BF
+   report (built clauses, steps, built ids) before its time is trusted;
+   the live-clause columns track the windowed scheduler's memory bound
+   (par peak live must stay within ~10% of BF's). *)
+let par_sweep instances =
+  Printf.printf
+    "Parallel check. Wavefront-parallel BF, wall-clock jobs sweep\n\
+     (baseline: sequential BF; this host reports %d core(s) — elapsed \
+     speedup above 1.0 needs a multicore host, see EXPERIMENTS.md)\n\n"
+    (Domain.recommended_domain_count ());
+  let rows =
+    List.map
+      (fun (name, generate) ->
+        let f = generate () in
+        let result, _stats, trace = Pipeline.Validate.solve_with_trace f in
+        (match result with
+         | Solver.Cdcl.Unsat -> ()
+         | Solver.Cdcl.Sat _ ->
+           failwith (name ^ ": benchmark instance unexpectedly satisfiable"));
+        let src = Trace.Reader.From_string trace in
+        let bf, bf_s =
+          wall_median (fun () ->
+              match Checker.Bf.check f src with
+              | Ok r -> r
+              | Error d ->
+                failwith (name ^ ": bf: " ^ Checker.Diagnostics.to_string d))
+        in
+        let par jobs =
+          wall_median (fun () ->
+              match Checker.Par.check ~jobs f src with
+              | Ok r -> r
+              | Error d ->
+                failwith
+                  (Printf.sprintf "%s: par j%d: %s" name jobs
+                     (Checker.Diagnostics.to_string d)))
+        in
+        let p1, s1 = par 1 in
+        let p2, s2 = par 2 in
+        let p4, s4 = par 4 in
+        List.iter
+          (fun (p : Checker.Report.t) ->
+            if
+              p.clauses_built <> bf.Checker.Report.clauses_built
+              || p.resolution_steps <> bf.Checker.Report.resolution_steps
+              || p.learned_built_ids <> bf.Checker.Report.learned_built_ids
+            then failwith (name ^ ": par report diverged from bf"))
+          [ p1; p2; p4 ];
+        let live_delta =
+          if bf.Checker.Report.peak_live_clauses = 0 then 0.0
+          else
+            float_of_int
+              (p4.Checker.Report.peak_live_clauses
+              - bf.Checker.Report.peak_live_clauses)
+            /. float_of_int bf.Checker.Report.peak_live_clauses
+        in
+        [
+          name;
+          string_of_int bf.Checker.Report.resolution_steps;
+          string_of_int p4.Checker.Report.wavefronts;
+          string_of_int p4.Checker.Report.max_wavefront_width;
+          fmt_f ~decimals:3 bf_s;
+          fmt_f ~decimals:3 s1;
+          fmt_f ~decimals:3 s2;
+          fmt_f ~decimals:3 s4;
+          fmt_f ~decimals:2 (bf_s /. Float.max 1e-6 s4);
+          string_of_int bf.Checker.Report.peak_live_clauses;
+          string_of_int p4.Checker.Report.peak_live_clauses;
+          fmt_pct live_delta;
+        ])
+      instances
+  in
+  print_table "par"
+    ~headers:
+      [
+        "instance"; "resolutions"; "wavefronts"; "max width"; "bf (s)";
+        "par j1 (s)"; "par j2 (s)"; "par j4 (s)"; "speedup@4"; "bf live";
+        "par live"; "live delta";
+      ]
+    ~align:[ Harness.Table.Left ]
+    rows
+
+(* php_8 is the ≥100k-resolution family the acceptance sweep targets
+   (~169k resolutions); php_7 gives a second, lighter point. *)
+let par_full () =
+  par_sweep
+    [
+      ("php_7", fun () -> Gen.Php.unsat ~holes:7);
+      ("php_8", fun () -> Gen.Php.unsat ~holes:8);
+    ]
+
+(* CI-sized sweep: one small family, same columns and JSON artifact. *)
+let par_quick () = par_sweep [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -574,6 +687,8 @@ let () =
   | "scaling" -> scaling ()
   | "baseline" -> baseline ()
   | "proofshape" -> proofshape ()
+  | "par" -> par_full ()
+  | "par_quick" -> par_quick ()
   | "all" ->
     table1 ();
     print_newline ();
@@ -589,10 +704,13 @@ let () =
     print_newline ();
     baseline ();
     print_newline ();
+    par_full ();
+    print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown mode %S (expected \
-       table1|table2|table3|proofshape|scaling|ablation|baseline|micro|all)\n"
+       table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
+       par_quick|micro|all)\n"
       other;
     exit 2

@@ -184,21 +184,39 @@ let strategy_arg =
     | "df" | "depth-first" -> Ok `Df
     | "bf" | "breadth-first" -> Ok `Bf
     | "hybrid" -> Ok `Hybrid
-    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+    | "par" | "parallel" -> Ok `Par
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
   in
   let print fmt = function
     | `Df -> Format.pp_print_string fmt "df"
     | `Bf -> Format.pp_print_string fmt "bf"
     | `Hybrid -> Format.pp_print_string fmt "hybrid"
+    | `Par -> Format.pp_print_string fmt "par"
   in
   Arg.(
     value
     & opt (conv (parse, print)) `Df
-    & info [ "strategy"; "s" ] ~docv:"S"
+    & info [ "strategy"; "s"; "mode" ] ~docv:"S"
         ~doc:
-          "Checking strategy: $(b,df) (fast, memory-hungry), $(b,bf) \
-           (streaming, bounded memory), or $(b,hybrid) (best of both, the \
-           paper's future work).")
+          "Checking mode: $(b,df) (fast, memory-hungry), $(b,bf) \
+           (streaming, bounded memory), $(b,hybrid) (best of both, the \
+           paper's future work), or $(b,par) (bf replayed as wavefronts \
+           across $(b,--jobs) domains).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--mode par) (ignored by the sequential \
+           modes).  Must be at least 1.")
+
+(* --jobs below 1 is a usage error (exit 2), like any other bad input *)
+let validate_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end
 
 let mem_limit_arg =
   Arg.(
@@ -208,7 +226,8 @@ let mem_limit_arg =
         ~doc:"Simulated memory budget in words (the paper's 800 MB cap).")
 
 let check_cmd =
-  let run formula_path trace_path strategy mem_limit no_lint =
+  let run formula_path trace_path strategy jobs mem_limit no_lint =
+    validate_jobs jobs;
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -233,7 +252,8 @@ let check_cmd =
               match strategy with
               | `Df -> Checker.Df.check ~meter f source
               | `Bf -> Checker.Bf.check ~meter f source
-              | `Hybrid -> Checker.Hybrid.check ~meter f source)
+              | `Hybrid -> Checker.Hybrid.check ~meter f source
+              | `Par -> Checker.Par.check ~meter ~jobs f source)
         with Harness.Meter.Out_of_memory_simulated e ->
           Printf.printf
             "s MEMORY OUT (budget %d words, needed %d)\n" e.limit_words
@@ -276,10 +296,10 @@ let check_cmd =
        ~doc:
          "Validate an unsatisfiability trace against its formula.  Exit \
           codes: 0 verified, 1 proof rejected, 2 bad input (lint or parse \
-          failure), 3 memory-out.")
+          failure, or bad $(b,--jobs)), 3 memory-out.")
     Term.(
-      const run $ formula_arg $ trace_pos $ strategy_arg $ mem_limit_arg
-      $ no_lint_arg)
+      const run $ formula_arg $ trace_pos $ strategy_arg $ jobs_arg
+      $ mem_limit_arg $ no_lint_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -350,8 +370,9 @@ let lint_cmd =
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run formula_path strategy seed bcp no_restarts no_deletion minimize
+  let run formula_path strategy jobs seed bcp no_restarts no_deletion minimize
       sanitize =
+    validate_jobs jobs;
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -365,6 +386,7 @@ let validate_cmd =
         | `Df -> Pipeline.Validate.Depth_first
         | `Bf -> Pipeline.Validate.Breadth_first
         | `Hybrid -> Pipeline.Validate.Hybrid
+        | `Par -> Pipeline.Validate.Parallel jobs
       in
       let o =
         or_sanitizer_exit (fun () -> Pipeline.Validate.run ~config ~strategy f)
@@ -391,7 +413,7 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Solve and independently validate the answer in one step.")
     Term.(
-      const run $ formula_arg $ strategy_arg $ seed_arg $ bcp_arg
+      const run $ formula_arg $ strategy_arg $ jobs_arg $ seed_arg $ bcp_arg
       $ no_restarts_arg $ no_deletion_arg $ minimize_arg $ sanitize_arg)
 
 (* --- core ---------------------------------------------------------------- *)

@@ -135,28 +135,33 @@ let check ?meter ?(counting = `In_memory) formula source =
   try
     (* pass one: validate record shape / stream order and count uses *)
     let l0 = Proof.Level0.create () in
-    let pass =
-      Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
-        ~on_event:(fun e ->
-          if count_in_memory then
-            match e with
-            | Trace.Event.Header _ -> ()
-            | Trace.Event.Learned l -> Array.iter (add_use st) l.sources
-            | Trace.Event.Level0 v -> add_use st v.ante
-            | Trace.Event.Final_conflict id -> add_use st id)
-        cur
+    let pass, pass_one_seconds =
+      Harness.Timer.wall_time (fun () ->
+          Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
+            ~on_event:(fun e ->
+              if count_in_memory then
+                match e with
+                | Trace.Event.Header _ -> ()
+                | Trace.Event.Learned l -> Array.iter (add_use st) l.sources
+                | Trace.Event.Level0 v -> add_use st v.ante
+                | Trace.Event.Final_conflict id -> add_use st id)
+            cur)
     in
     let conf_id =
       match pass.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
     in
-    build_pass st cur;
-    let fetch id =
-      Proof.Kernel.find kernel ~context:"empty-clause construction" id
-    in
-    let (_ : int) =
-      Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
+    let (), pass_two_seconds =
+      Harness.Timer.wall_time (fun () ->
+          build_pass st cur;
+          let fetch id =
+            Proof.Kernel.find kernel ~context:"empty-clause construction" id
+          in
+          let (_ : int) =
+            Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
+          in
+          ())
     in
     let c = Proof.Kernel.counters kernel in
     Ok {
@@ -169,6 +174,11 @@ let check ?meter ?(counting = `In_memory) formula source =
       peak_mem_words = Harness.Meter.peak_words meter;
       peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
       arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
+      jobs = 1;
+      wavefronts = 0;
+      max_wavefront_width = 0;
+      pass_one_seconds;
+      pass_two_seconds;
     }
     |> fun r ->
     cleanup ();

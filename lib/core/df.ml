@@ -11,20 +11,26 @@ let check ?meter formula source =
   let k = Proof.Kernel.create ~meter formula in
   try
     let cur = Trace.Reader.cursor source in
-    let proof = Proof.Kernel.load k ~charge:`Full cur in
+    let proof, pass_one_seconds =
+      Harness.Timer.wall_time (fun () -> Proof.Kernel.load k ~charge:`Full cur)
+    in
     let conf_id =
       match proof.Proof.Kernel.final_conflict with
       | Some id -> id
       | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
     in
-    let b =
-      Proof.Kernel.builder k ~sources:proof.Proof.Kernel.sources
-        Proof.Kernel.unit_annotation
-    in
-    let fetch id = fst (Proof.Kernel.build b id) in
-    let (_ : int) =
-      Proof.Kernel.final_chain_ids k ~l0:proof.Proof.Kernel.l0 ~fetch
-        ~conflict_id:conf_id
+    let (), pass_two_seconds =
+      Harness.Timer.wall_time (fun () ->
+          let b =
+            Proof.Kernel.builder k ~sources:proof.Proof.Kernel.sources
+              Proof.Kernel.unit_annotation
+          in
+          let fetch id = fst (Proof.Kernel.build b id) in
+          let (_ : int) =
+            Proof.Kernel.final_chain_ids k ~l0:proof.Proof.Kernel.l0 ~fetch
+              ~conflict_id:conf_id
+          in
+          ())
     in
     let learned_built_ids = Proof.Kernel.built_ids k in
     let c = Proof.Kernel.counters k in
@@ -38,6 +44,11 @@ let check ?meter formula source =
       peak_mem_words = Harness.Meter.peak_words meter;
       peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
       arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
+      jobs = 1;
+      wavefronts = 0;
+      max_wavefront_width = 0;
+      pass_one_seconds;
+      pass_two_seconds;
     }
   with
   | Diagnostics.Check_failed f -> Error f

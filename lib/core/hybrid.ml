@@ -70,14 +70,15 @@ let check ?meter formula source =
     let l0 = Proof.Level0.create () in
     let defs = Sat.Vec.create ~dummy:(0, [||]) in
     let antes = Sat.Vec.create ~dummy:0 in
-    let pass =
-      Proof.Kernel.stream_pass kernel ~stream_order:true ~l0 ~charge:`Defs
-        ~on_event:(fun e ->
-          match e with
-          | Trace.Event.Learned l -> Sat.Vec.push defs (l.id, l.sources)
-          | Trace.Event.Level0 v -> Sat.Vec.push antes v.ante
-          | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ())
-        cur
+    let pass, pass_one_seconds =
+      Harness.Timer.wall_time (fun () ->
+          Proof.Kernel.stream_pass kernel ~stream_order:true ~l0 ~charge:`Defs
+            ~on_event:(fun e ->
+              match e with
+              | Trace.Event.Learned l -> Sat.Vec.push defs (l.id, l.sources)
+              | Trace.Event.Level0 v -> Sat.Vec.push antes v.ante
+              | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ())
+            cur)
     in
     let conf_id =
       match pass.Proof.Kernel.final_conflict with
@@ -91,12 +92,16 @@ let check ?meter formula source =
     in
     Sat.Vec.clear defs;
     Harness.Meter.free meter defs_words;
-    build_pass st cur;
-    let fetch id =
-      Proof.Kernel.find kernel ~context:"empty-clause construction" id
-    in
-    let (_ : int) =
-      Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
+    let (), pass_two_seconds =
+      Harness.Timer.wall_time (fun () ->
+          build_pass st cur;
+          let fetch id =
+            Proof.Kernel.find kernel ~context:"empty-clause construction" id
+          in
+          let (_ : int) =
+            Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
+          in
+          ())
     in
     let c = Proof.Kernel.counters kernel in
     Ok {
@@ -109,6 +114,11 @@ let check ?meter formula source =
       peak_mem_words = Harness.Meter.peak_words meter;
       peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
       arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
+      jobs = 1;
+      wavefronts = 0;
+      max_wavefront_width = 0;
+      pass_one_seconds;
+      pass_two_seconds;
     }
   with
   | Diagnostics.Check_failed f -> Error f

@@ -1,0 +1,432 @@
+(* Parallel breadth-first checking: the §3.3 two-pass discipline with
+   pass two executed as topological wavefronts across OCaml domains.
+
+   Pass one is the sequential BF counting pass, extended to label every
+   learned clause with its level — [1 + max (level of sources)], originals
+   at level 0 — so clauses in the same wavefront cannot depend on each
+   other.  Pass two replays one wavefront at a time: a fixed pool of
+   worker domains pulls chunks of the wavefront's resolution chains off a
+   shared queue and replays them through the re-entrant
+   {!Proof.Kernel.resolve_arrays} into domain-local scratch, while the
+   shared {!Proof.Clause_db} stays read-only.  At the wavefront barrier
+   the main thread — alone — commits every result in stream order:
+   allocates the resolvents, folds the counter deltas in, defines or
+   drops each clause by its use count, and releases drained sources.
+   All mutation being single-threaded and in stream order makes verdicts,
+   cores and diagnostics bit-identical to sequential BF at any job count.
+
+   Global wavefronts would wreck BF's memory guarantee: level-1 clauses
+   from the very start and the very end of the trace would all be built
+   (and stay live) before any level-2 clause releases its sources,
+   inflating the live window several-fold.  Wavefronts are therefore
+   scheduled {e within stream windows} of [window] learned clauses:
+   inside a window the level rule applies with sources from earlier
+   windows (already committed) counting as level 0.  At every window
+   boundary the live set is exactly sequential BF's at the same stream
+   point, so peak live clauses exceed BF's by at most one window's delayed
+   releases, while each window still exposes its internal width to the
+   worker pool.
+
+   Failures keep BF's first-failure semantics without giving up
+   parallelism: workers skip any task at or past the earliest failing
+   stream index seen so far, later wavefronts run restricted to earlier
+   stream indices, and the reported failure is the minimum-stream-index
+   one — exactly the failure sequential BF stops at. *)
+
+type task = {
+  id : int;
+  sources : int array;
+  seq : int;    (* index among learned records, stream order *)
+  words : int;  (* meter words this source list holds until its barrier *)
+}
+
+type outcome =
+  | Single  (* one-source chain: the learned clause aliases its source *)
+  | Clause of { lits : int array; steps : int; merges : int }
+  | Fail of Diagnostics.failure
+  | Skipped
+
+(* Domain-local scratch: the running resolvent ping-pongs between [cur]
+   and [out]; [op] stages each store operand.  Nothing here is shared. *)
+type scratch = {
+  mutable op : int array;
+  mutable cur : int array;
+  mutable out : int array;
+}
+
+let make_scratch () =
+  { op = Array.make 64 0; cur = Array.make 64 0; out = Array.make 64 0 }
+
+let grown a n =
+  if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
+
+(* BF uses this context string for every chain failure; reusing it verbatim
+   keeps parallel diagnostics bit-identical to sequential ones. *)
+let context = "breadth-first reconstruction"
+
+let load_cur k sc id =
+  match Proof.Kernel.peek k id with
+  | Some h ->
+    let db = Proof.Kernel.db k in
+    let n = Proof.Clause_db.size db h in
+    sc.cur <- grown sc.cur n;
+    Proof.Clause_db.copy_lits db h sc.cur
+  | None ->
+    (* unreachable: pass one enforced stream order and originals are
+       materialised before their wavefront is dispatched *)
+    Diagnostics.fail (Diagnostics.Unknown_clause { context; id })
+
+let load_op k sc id =
+  match Proof.Kernel.peek k id with
+  | Some h ->
+    let db = Proof.Kernel.db k in
+    let n = Proof.Clause_db.size db h in
+    sc.op <- grown sc.op n;
+    Proof.Clause_db.copy_lits db h sc.op
+  | None -> Diagnostics.fail (Diagnostics.Unknown_clause { context; id })
+
+(* Replay one learned clause's chain entirely in scratch — the worker-side
+   mirror of {!Proof.Kernel.chain}, including its [c1_id] convention:
+   intermediate resolvents belong to the learned id. *)
+let run_task k sc t =
+  let n = Array.length t.sources in
+  if n = 1 then Single
+  else
+    try
+      let len = ref (load_cur k sc t.sources.(0)) in
+      let merges = ref 0 in
+      let c1_id = ref t.sources.(0) in
+      for i = 1 to n - 1 do
+        let nb = load_op k sc t.sources.(i) in
+        sc.out <- grown sc.out (!len + nb);
+        let len', _pivot, m =
+          Proof.Kernel.resolve_arrays ~context ~c1_id:!c1_id
+            ~c2_id:t.sources.(i) sc.cur !len sc.op nb sc.out
+        in
+        let tmp = sc.cur in
+        sc.cur <- sc.out;
+        sc.out <- tmp;
+        len := len';
+        merges := !merges + m;
+        c1_id := t.id
+      done;
+      Clause { lits = Array.sub sc.cur 0 !len; steps = n - 1; merges = !merges }
+    with Diagnostics.Check_failed f -> Fail f
+
+(* --- the worker pool ---------------------------------------------------- *)
+
+(* Workers claim chunks of the current wavefront off [next]; the main
+   thread publishes a wavefront under the mutex and sleeps on [finished]
+   until [unfinished] drains.  Mutex hand-offs order the workers' result
+   writes before the main thread's barrier reads, so the plain [results]
+   array needs no atomics: each slot has exactly one writer per wavefront
+   and is read only after the barrier. *)
+type pool = {
+  m : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable tasks : task array;
+  mutable results : outcome array;
+  mutable next : int;
+  mutable unfinished : int;
+  mutable limit_seq : int;  (* run only tasks with [seq] below this *)
+  mutable chunk : int;      (* claim granularity for this wavefront *)
+  mutable stop : bool;
+  mutable crashed : exn option;  (* first non-diagnostic worker exception *)
+}
+
+let make_pool () =
+  {
+    m = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    tasks = [||];
+    results = [||];
+    next = 0;
+    unfinished = 0;
+    limit_seq = max_int;
+    chunk = 1;
+    stop = false;
+    crashed = None;
+  }
+
+let worker kernel pool () =
+  let sc = make_scratch () in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.m;
+    while pool.next >= Array.length pool.tasks && not pool.stop do
+      Condition.wait pool.work pool.m
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.m;
+      running := false
+    end
+    else begin
+      let lo = pool.next in
+      let hi = min (Array.length pool.tasks) (lo + pool.chunk) in
+      pool.next <- hi;
+      let limit = pool.limit_seq in
+      Mutex.unlock pool.m;
+      for i = lo to hi - 1 do
+        let t = pool.tasks.(i) in
+        let r =
+          if t.seq >= limit then Skipped
+          else
+            try run_task kernel sc t
+            with e ->
+              Mutex.lock pool.m;
+              if pool.crashed = None then pool.crashed <- Some e;
+              Mutex.unlock pool.m;
+              Skipped
+        in
+        pool.results.(i) <- r
+      done;
+      Mutex.lock pool.m;
+      pool.unfinished <- pool.unfinished - (hi - lo);
+      if pool.unfinished = 0 then Condition.signal pool.finished;
+      Mutex.unlock pool.m
+    end
+  done
+
+let dispatch pool tasks results ~limit_seq ~jobs =
+  Mutex.lock pool.m;
+  pool.tasks <- tasks;
+  pool.results <- results;
+  pool.next <- 0;
+  pool.unfinished <- Array.length tasks;
+  pool.limit_seq <- limit_seq;
+  (* ~4 claims per worker per wavefront: cheap balancing on narrow fronts,
+     bounded queue traffic on wide ones *)
+  pool.chunk <- max 1 (min 32 (Array.length tasks / (jobs * 4)));
+  Condition.broadcast pool.work;
+  while pool.unfinished > 0 do
+    Condition.wait pool.finished pool.m
+  done;
+  pool.tasks <- [||];
+  Mutex.unlock pool.m
+
+let shutdown pool domains =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
+  List.iter Domain.join domains
+
+(* --- the checker -------------------------------------------------------- *)
+
+let default_window = 128
+
+let check ?meter ?(jobs = 1) ?(window = default_window) formula source =
+  if jobs < 1 then invalid_arg "Par.check: jobs must be >= 1";
+  let window = max 1 window in
+  let meter =
+    match meter with Some m -> m | None -> Harness.Meter.create ()
+  in
+  let kernel = Proof.Kernel.create ~meter formula in
+  let cur = Trace.Reader.cursor source in
+  let use = Hashtbl.create 4096 in
+  let get_count id = Option.value ~default:0 (Hashtbl.find_opt use id) in
+  let add_use id = Hashtbl.replace use id (1 + get_count id) in
+  let release_one_use id =
+    match get_count id with
+    | 0 -> ()
+    | n when n <= 1 ->
+      Hashtbl.remove use id;
+      Proof.Kernel.release_id kernel id
+    | n -> Hashtbl.replace use id (n - 1)
+  in
+  try
+    (* pass one: BF's counting/validation pass, also collecting the
+       resolve-source lists as tasks.  The lists are charged to the meter
+       (the parallel checker, unlike BF, must hold them until their
+       wavefront commits). *)
+    let tasks_rev = ref [] in
+    let seq = ref 0 in
+    let l0 = Proof.Level0.create () in
+    let pass, pass_one_seconds =
+      Harness.Timer.wall_time (fun () ->
+          Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
+            ~charge:`Defs
+            ~on_event:(fun e ->
+              match e with
+              | Trace.Event.Header _ -> ()
+              | Trace.Event.Learned l ->
+                Array.iter add_use l.sources;
+                tasks_rev :=
+                  {
+                    id = l.id;
+                    sources = l.sources;
+                    seq = !seq;
+                    words = 2 + Array.length l.sources;
+                  }
+                  :: !tasks_rev;
+                incr seq
+              | Trace.Event.Level0 v -> add_use v.ante
+              | Trace.Event.Final_conflict id -> add_use id)
+            cur)
+    in
+    let conf_id =
+      match pass.Proof.Kernel.final_conflict with
+      | Some id -> id
+      | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
+    in
+    (* cut the stream into windows and bucket each window's tasks into
+       wavefronts by their window-local level (sources from earlier
+       windows are committed before the window starts, hence level 0) *)
+    let tasks = Array.of_list (List.rev !tasks_rev) in
+    let n_tasks = Array.length tasks in
+    let fronts_rev = ref [] in
+    let llevel = Hashtbl.create 256 in
+    let start = ref 0 in
+    while !start < n_tasks do
+      let stop = min n_tasks (!start + window) in
+      Hashtbl.reset llevel;
+      let depth = ref 0 in
+      for i = !start to stop - 1 do
+        let t = tasks.(i) in
+        let l =
+          1
+          + Array.fold_left
+              (fun acc s ->
+                match Hashtbl.find_opt llevel s with
+                | Some ls -> max acc ls
+                | None -> acc)
+              0 t.sources
+        in
+        Hashtbl.replace llevel t.id l;
+        if l > !depth then depth := l
+      done;
+      let buckets = Array.make !depth [] in
+      for i = stop - 1 downto !start do
+        let t = tasks.(i) in
+        let l = Hashtbl.find llevel t.id in
+        buckets.(l - 1) <- t :: buckets.(l - 1)
+      done;
+      Array.iter (fun b -> fronts_rev := Array.of_list b :: !fronts_rev) buckets;
+      start := stop
+    done;
+    let fronts = Array.of_list (List.rev !fronts_rev) in
+    let max_width =
+      Array.fold_left (fun acc f -> max acc (Array.length f)) 0 fronts
+    in
+    let min_fail = ref None in
+    let min_fail_seq = ref max_int in
+    let record_failure t f =
+      if t.seq < !min_fail_seq then begin
+        min_fail := Some f;
+        min_fail_seq := t.seq
+      end
+    in
+    (* the single-threaded barrier commit: stream order within the
+       wavefront, mirroring BF's define-then-release per learned clause *)
+    let db = Proof.Kernel.db kernel in
+    let commit tasks results =
+      Array.iteri
+        (fun i t ->
+          match results.(i) with
+          | Skipped -> ()
+          | Fail f -> record_failure t f
+          | Single ->
+            if t.seq < !min_fail_seq then begin
+              let h = Proof.Kernel.find kernel ~context t.sources.(0) in
+              Proof.Kernel.record_external_chain kernel ~learned_id:t.id
+                ~steps:0 ~merges:0;
+              if get_count t.id > 0 then begin
+                Proof.Clause_db.retain db h;
+                Proof.Kernel.define kernel t.id h
+              end;
+              Array.iter release_one_use t.sources
+            end
+          | Clause { lits; steps; merges } ->
+            if t.seq < !min_fail_seq then begin
+              let h = Proof.Clause_db.alloc_sorted db lits (Array.length lits) in
+              Proof.Kernel.record_external_chain kernel ~learned_id:t.id
+                ~steps ~merges;
+              if get_count t.id > 0 then Proof.Kernel.define kernel t.id h
+              else Proof.Clause_db.release db h;
+              Array.iter release_one_use t.sources
+            end)
+        tasks;
+      Harness.Meter.free meter
+        (Array.fold_left (fun acc t -> acc + t.words) 0 tasks)
+    in
+    (* materialise the originals a wavefront resolves against before its
+       workers start, so the store is strictly read-only while they run *)
+    let materialise_originals tasks =
+      Array.iter
+        (fun t ->
+          Array.iter
+            (fun s ->
+              if
+                Proof.Kernel.is_original kernel s
+                && Proof.Kernel.peek kernel s = None
+              then ignore (Proof.Kernel.find kernel ~context s))
+            t.sources)
+        tasks
+    in
+    let pool = make_pool () in
+    let domains =
+      if jobs > 1 && Array.length fronts > 0 then
+        List.init jobs (fun _ -> Domain.spawn (worker kernel pool))
+      else []
+    in
+    let inline_scratch = make_scratch () in
+    let (), pass_two_seconds =
+      Harness.Timer.wall_time (fun () ->
+          Fun.protect
+            ~finally:(fun () -> shutdown pool domains)
+            (fun () ->
+              Array.iter
+                (fun front ->
+                  materialise_originals front;
+                  let results = Array.make (Array.length front) Skipped in
+                  if domains = [] then
+                    Array.iteri
+                      (fun i t ->
+                        results.(i) <-
+                          (if t.seq >= !min_fail_seq then Skipped
+                           else run_task kernel inline_scratch t))
+                      front
+                  else begin
+                    dispatch pool front results ~limit_seq:!min_fail_seq ~jobs;
+                    match pool.crashed with
+                    | Some e -> raise e
+                    | None -> ()
+                  end;
+                  commit front results)
+                fronts;
+              match !min_fail with
+              | Some f -> Diagnostics.fail f
+              | None ->
+                let fetch id =
+                  Proof.Kernel.find kernel
+                    ~context:"empty-clause construction" id
+                in
+                let (_ : int) =
+                  Proof.Kernel.final_chain_ids kernel ~l0 ~fetch
+                    ~conflict_id:conf_id
+                in
+                ()))
+    in
+    let c = Proof.Kernel.counters kernel in
+    Ok {
+      Report.clauses_built = c.Proof.Kernel.clauses_built;
+      total_learned = pass.Proof.Kernel.total_learned;
+      resolution_steps = c.Proof.Kernel.resolution_steps;
+      core_original_ids = [];
+      learned_built_ids = Proof.Kernel.built_ids kernel;
+      core_vars = 0;
+      peak_mem_words = Harness.Meter.peak_words meter;
+      peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
+      arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
+      jobs;
+      wavefronts = Array.length fronts;
+      max_wavefront_width = max_width;
+      pass_one_seconds;
+      pass_two_seconds;
+    }
+  with
+  | Diagnostics.Check_failed f -> Error f
+  | Trace.Reader.Parse_error { pos; msg } ->
+    Error (Diagnostics.of_parse_error ~pos msg)

@@ -8,6 +8,11 @@ type t = {
   peak_mem_words : int;
   peak_live_clauses : int;
   arena_bytes_resident : int;
+  jobs : int;
+  wavefronts : int;
+  max_wavefront_width : int;
+  pass_one_seconds : float;
+  pass_two_seconds : float;
 }
 
 let built_ratio r =
@@ -18,9 +23,15 @@ let pp fmt r =
   Format.fprintf fmt
     "@[<v>clauses built: %d / %d (%.1f%%)@,resolution steps: %d@,core: %d \
      clauses over %d variables@,peak memory: %d words@,peak live clauses: \
-     %d (%d arena bytes)@]"
+     %d (%d arena bytes)"
     r.clauses_built r.total_learned
     (100.0 *. built_ratio r)
     r.resolution_steps
     (List.length r.core_original_ids)
-    r.core_vars r.peak_mem_words r.peak_live_clauses r.arena_bytes_resident
+    r.core_vars r.peak_mem_words r.peak_live_clauses r.arena_bytes_resident;
+  (* the parallel checker's schedule shape; elapsed seconds stay out of
+     the report text so checker output is reproducible *)
+  if r.wavefronts > 0 then
+    Format.fprintf fmt "@,wavefronts: %d (max width %d, %d jobs)"
+      r.wavefronts r.max_wavefront_width r.jobs;
+  Format.fprintf fmt "@]"

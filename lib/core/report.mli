@@ -27,10 +27,26 @@ type t = {
       (** most clauses simultaneously live in the shared clause store *)
   arena_bytes_resident : int;
       (** peak clause-store arena residency, in bytes *)
+  jobs : int;
+      (** worker domains that replayed resolutions — 1 for the
+          sequential checkers *)
+  wavefronts : int;
+      (** topological levels the parallel schedule replayed; 0 for the
+          sequential checkers *)
+  max_wavefront_width : int;
+      (** learned clauses in the widest wavefront — an upper bound on
+          exploitable parallelism; 0 for the sequential checkers *)
+  pass_one_seconds : float;
+      (** wall-clock seconds spent in pass one (counting / loading) *)
+  pass_two_seconds : float;
+      (** wall-clock seconds spent in pass two (reconstruction and the
+          empty-clause chain) *)
 }
 
 (** [built_ratio r] is Table 2's "Built%" — constructed learned clauses
     over total learned clauses ([1.0] when nothing was learned). *)
 val built_ratio : t -> float
 
+(** [pp] prints every reproducible statistic; elapsed seconds are
+    deliberately omitted so checker output can be diffed across runs. *)
 val pp : Format.formatter -> t -> unit

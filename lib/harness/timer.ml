@@ -5,3 +5,11 @@ let time f =
   (x, t1 -. t0)
 
 let time_only f = snd (time f)
+
+let wall () = Unix.gettimeofday ()
+
+let wall_time f =
+  let t0 = wall () in
+  let x = f () in
+  let t1 = wall () in
+  (x, t1 -. t0)

@@ -1,7 +1,11 @@
 (** CPU-time measurement for the experiment tables.  [Sys.time] (process
     CPU seconds) is used rather than wall clock: the benches are
     single-threaded and CPU time is robust against machine noise, matching
-    how solver papers of the period reported runtimes. *)
+    how solver papers of the period reported runtimes.
+
+    The parallel checker additionally needs wall clock — CPU seconds sum
+    over domains and cannot show a speedup — so {!wall} and {!wall_time}
+    expose [Unix.gettimeofday]. *)
 
 (** [time f] runs [f ()] and returns its result with elapsed CPU seconds. *)
 val time : (unit -> 'a) -> 'a * float
@@ -9,3 +13,10 @@ val time : (unit -> 'a) -> 'a * float
 (** [time_only f] is the elapsed CPU seconds of [f ()], discarding the
     result. *)
 val time_only : (unit -> 'a) -> float
+
+(** [wall ()] is the current wall-clock time in seconds. *)
+val wall : unit -> float
+
+(** [wall_time f] runs [f ()] and returns its result with elapsed
+    wall-clock seconds. *)
+val wall_time : (unit -> 'a) -> 'a * float

@@ -1,4 +1,8 @@
-type strategy = Depth_first | Breadth_first | Hybrid
+type strategy =
+  | Depth_first
+  | Breadth_first
+  | Hybrid
+  | Parallel of int  (* worker domains *)
 
 type verdict =
   | Sat_verified of Sat.Assignment.t
@@ -37,6 +41,7 @@ let run ?config ?format ?(strategy = Depth_first) ?meter f =
             | Depth_first -> Checker.Df.check ?meter f source
             | Breadth_first -> Checker.Bf.check ?meter f source
             | Hybrid -> Checker.Hybrid.check ?meter f source
+            | Parallel jobs -> Checker.Par.check ?meter ~jobs f source
           in
           match checked with
           | Ok report -> Unsat_verified report

@@ -10,6 +10,9 @@ type strategy =
   | Depth_first
   | Breadth_first
   | Hybrid  (** the §5 future-work checker, see {!Checker.Hybrid} *)
+  | Parallel of int
+      (** wavefront-parallel BF with this many worker domains, see
+          {!Checker.Par} *)
 
 type verdict =
   | Sat_verified of Sat.Assignment.t

@@ -136,6 +136,15 @@ let iter_lits db h f =
     f (lit db h i)
   done
 
+let copy_lits db h dst =
+  let n = size db h in
+  if Array.length dst < n then
+    invalid_arg "Clause_db.copy_lits: destination too small";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i db.arena.{h + header_words + i}
+  done;
+  n
+
 let refcount db h = db.arena.{h + 1}
 
 let retain db h =

@@ -61,6 +61,15 @@ val lits : t -> handle -> Sat.Lit.t array
 
 val iter_lits : t -> handle -> (Sat.Lit.t -> unit) -> unit
 
+(** [copy_lits db h dst] copies the clause's literals into
+    [dst.(0 .. n-1)] and returns [n], without allocating — the parallel
+    checker's workers use it to pull operands into domain-local scratch.
+    Safe to call from several domains at once as long as no domain is
+    allocating into or releasing from the store (the wavefront barrier
+    discipline).
+    @raise Invalid_argument when [dst] is too small. *)
+val copy_lits : t -> handle -> int array -> int
+
 (** [retain db h] adds a reference. *)
 val retain : t -> handle -> unit
 

@@ -6,6 +6,8 @@ type t = {
   handles : (int, Clause_db.handle) Hashtbl.t;  (* one ref owned per entry *)
   core : (int, unit) Hashtbl.t;                 (* original ids materialised *)
   mutable built_ids : int list;                 (* learned ids chained *)
+  mutable built_sorted : int list option;       (* memoised sorted built_ids *)
+  mutable core_sorted : int list option;        (* memoised sorted core ids *)
   mutable built : int;
   mutable steps : int;
   mutable merges : int;
@@ -22,6 +24,8 @@ let create ?meter formula =
     handles = Hashtbl.create 1024;
     core = Hashtbl.create 256;
     built_ids = [];
+    built_sorted = None;
+    core_sorted = None;
     built = 0;
     steps = 0;
     merges = 0;
@@ -44,6 +48,7 @@ let find t ~context id =
   | None ->
     if is_original t id then begin
       Hashtbl.replace t.core id ();
+      t.core_sorted <- None;
       let h = Clause_db.alloc t.db (Sat.Cnf.clause t.formula (id - 1)) in
       Hashtbl.replace t.handles id h;
       h
@@ -158,11 +163,110 @@ let resolve_lits t ~context ~c1_id ~c2_id c1 c2 =
   Clause_db.release t.db h2;
   (out, pivot)
 
+(* --- re-entrant scratch resolution -------------------------------------- *)
+
+(* The same checked resolution as {!resolve}, but on caller-owned literal
+   arrays: no kernel counters, no shared-arena allocation, no mutable
+   kernel state at all.  The parallel checker's worker domains run whole
+   chains through this while the shared store is read-only, and commit
+   the results (and the counter deltas) at the wavefront barrier. *)
+
+let clashing_vars_arrays a na b nb =
+  let clashes = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let var_mask c n r =
+    let v = Sat.Lit.var c.(!r) in
+    let m = ref 0 in
+    while !r < n && Sat.Lit.var c.(!r) = v do
+      m := !m lor phase_bit c.(!r);
+      incr r
+    done;
+    (v, !m)
+  in
+  while !i < na && !j < nb do
+    let v1 = Sat.Lit.var a.(!i) and v2 = Sat.Lit.var b.(!j) in
+    if v1 < v2 then ignore (var_mask a na i)
+    else if v2 < v1 then ignore (var_mask b nb j)
+    else begin
+      let _, m1 = var_mask a na i in
+      let _, m2 = var_mask b nb j in
+      if m1 land swap_mask m2 <> 0 then clashes := v1 :: !clashes
+    end
+  done;
+  List.rev !clashes
+
+(* [resolve_arrays ~context ~c1_id ~c2_id a na b nb out] resolves the
+   sorted duplicate-free runs [a.(0..na-1)] and [b.(0..nb-1)] into [out]
+   (capacity at least [na + nb]) and returns
+   [(resolvent length, pivot, merged literal count)].  Raises the same
+   diagnostics as {!resolve}. *)
+let resolve_arrays ~context ~c1_id ~c2_id a na b nb out =
+  let pivot =
+    match clashing_vars_arrays a na b nb with
+    | [ v ] -> v
+    | [] ->
+      Diagnostics.fail
+        (Diagnostics.No_clash
+           { context; c1_id; c2_id; c1 = Array.sub a 0 na; c2 = Array.sub b 0 nb })
+    | vars ->
+      Diagnostics.fail (Diagnostics.Multiple_clash { context; c1_id; c2_id; vars })
+  in
+  let k = ref 0 and i = ref 0 and j = ref 0 in
+  let merges = ref 0 in
+  let emit l =
+    if Sat.Lit.var l <> pivot then begin
+      out.(!k) <- l;
+      incr k
+    end
+  in
+  while !i < na && !j < nb do
+    let l1 = a.(!i) and l2 = b.(!j) in
+    if l1 = l2 then begin
+      emit l1;
+      if Sat.Lit.var l1 <> pivot then incr merges;
+      incr i;
+      incr j
+    end
+    else if l1 < l2 then begin
+      emit l1;
+      incr i
+    end
+    else begin
+      emit l2;
+      incr j
+    end
+  done;
+  while !i < na do
+    emit a.(!i);
+    incr i
+  done;
+  while !j < nb do
+    emit b.(!j);
+    incr j
+  done;
+  (!k, pivot, !merges)
+
+(* [peek t id] is the read-only id lookup: never materialises an original,
+   never mutates — the only table access worker domains are allowed. *)
+let peek t id = Hashtbl.find_opt t.handles id
+
+(* [record_external_chain t ~learned_id ~steps ~merges] folds the counter
+   deltas of a chain performed outside the kernel (through
+   {!resolve_arrays}) into the kernel's totals, so reports agree exactly
+   with a sequential run.  Single-threaded: call only at a barrier. *)
+let record_external_chain t ~learned_id ~steps ~merges =
+  t.built <- t.built + 1;
+  t.built_ids <- learned_id :: t.built_ids;
+  t.built_sorted <- None;
+  t.steps <- t.steps + steps;
+  t.merges <- t.merges + merges
+
 let chain t ~context ~fetch ~combine ~learned_id ids =
   if Array.length ids = 0 then
     Diagnostics.fail (Diagnostics.Empty_source_list learned_id);
   t.built <- t.built + 1;
   t.built_ids <- learned_id :: t.built_ids;
+  t.built_sorted <- None;
   let h0, a0 = fetch ids.(0) in
   if Array.length ids = 1 then begin
     (* a degenerate learned clause is the source clause itself *)
@@ -488,10 +592,29 @@ let counters t =
 
 let resolution_steps t = t.steps
 
-let built_ids t = List.sort Int.compare t.built_ids
+(* Both sorted views are memoised: they are re-read per report (and the
+   hybrid re-reads the core for its report too), and an O(n log n) sort
+   per call shows up on large traces.  The caches are invalidated on the
+   two mutation points — {!chain}/{!record_external_chain} for built ids,
+   original materialisation in {!find} for the core. *)
+let built_ids t =
+  match t.built_sorted with
+  | Some ids -> ids
+  | None ->
+    let ids = List.sort Int.compare t.built_ids in
+    t.built_sorted <- Some ids;
+    ids
 
 let core_ids t =
-  List.sort Int.compare (Hashtbl.fold (fun id () acc -> id :: acc) t.core [])
+  match t.core_sorted with
+  | Some ids -> ids
+  | None ->
+    let ids =
+      List.sort Int.compare
+        (Hashtbl.fold (fun id () acc -> id :: acc) t.core [])
+    in
+    t.core_sorted <- Some ids;
+    ids
 
 let core_var_count t =
   let seen = Hashtbl.create 64 in

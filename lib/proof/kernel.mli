@@ -75,6 +75,44 @@ val resolve_lits :
   Sat.Lit.t array ->
   Sat.Lit.t array * Sat.Lit.var
 
+(** {2 Re-entrant scratch resolution}
+
+    The parallel checker's worker domains replay resolution chains while
+    the shared store is read-only; these entry points touch no kernel
+    state, so any number of domains may run them concurrently. *)
+
+(** [resolve_arrays ~context ~c1_id ~c2_id a na b nb out] is the same
+    checked resolution as {!resolve}, on the sorted duplicate-free packed
+    literal runs [a.(0..na-1)] and [b.(0..nb-1)], writing the resolvent
+    into the caller-owned [out] (capacity at least [na + nb]).  Returns
+    [(resolvent length, pivot, merged literal count)]; updates no
+    counters and allocates nothing in any shared arena.
+    @raise Diagnostics.Check_failed with [No_clash] or [Multiple_clash]
+    when the side condition fails. *)
+val resolve_arrays :
+  context:string ->
+  c1_id:int ->
+  c2_id:int ->
+  int array ->
+  int ->
+  int array ->
+  int ->
+  int array ->
+  int * Sat.Lit.var * int
+
+(** [peek t id] is the read-only id lookup: [None] when [id] is unbound,
+    never materialises an original clause, never mutates.  The only id
+    table access allowed from a worker domain. *)
+val peek : t -> int -> Clause_db.handle option
+
+(** [record_external_chain t ~learned_id ~steps ~merges] folds the
+    counter deltas of one learned-clause chain performed through
+    {!resolve_arrays} into the kernel totals (one built clause, [steps]
+    resolutions, [merges] merged literals), keeping reports identical to
+    a sequential run.  Single-threaded: call only at a barrier. *)
+val record_external_chain :
+  t -> learned_id:int -> steps:int -> merges:int -> unit
+
 (** [chain t ~context ~fetch ~combine ~learned_id ids] folds checked
     resolution left-to-right over the clauses named by [ids], threading an
     annotation through [combine] at each step, and returns the final
@@ -216,11 +254,14 @@ type counters = {
 val counters : t -> counters
 val resolution_steps : t -> int
 
-(** [built_ids t] is the sorted list of learned ids {!chain} has built. *)
+(** [built_ids t] is the sorted list of learned ids {!chain} (or
+    {!record_external_chain}) has built.  The sort is memoised and
+    invalidated on mutation, so per-report re-reads are O(1). *)
 val built_ids : t -> int list
 
 (** [core_ids t] is the sorted list of original clause ids materialised so
-    far — the unsat core of a completed depth-first or hybrid check. *)
+    far — the unsat core of a completed depth-first or hybrid check.
+    Memoised like {!built_ids}. *)
 val core_ids : t -> int list
 
 (** [core_var_count t] counts distinct variables over the core clauses. *)

@@ -17,51 +17,128 @@ type source =
   | From_string of string
   | From_file of string
 
-let read_source = function
-  | From_string s -> s
-  | From_file path ->
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    s
-
 let binary_magic = "ZKB1"
 
-let is_binary s =
-  String.length s >= String.length binary_magic
-  && String.sub s 0 (String.length binary_magic) = binary_magic
+(* A cursor yields events incrementally; multi-pass checkers rewind it
+   between passes.  In-memory sources are read in place.  File sources are
+   streamed through a fixed [Bytes] block buffer — the checkers' counting
+   passes touch every record, so per-record channel reads would be
+   syscall-bound, while slurping the whole file would defeat the
+   breadth-first checker's bounded-memory guarantee.  All positions are
+   absolute byte offsets into the serialised trace (magic included), so
+   [Parse_error] locations are identical for both backings.  It tracks the
+   position (line for ASCII, byte offset for binary) of the event last
+   yielded so that callers — the linter above all — can report precise
+   locations. *)
 
-(* A cursor reads the trace bytes once and then yields events
-   incrementally; multi-pass checkers rewind it instead of re-reading
-   the file from disk for every pass.  It tracks the position (line for
-   ASCII, byte offset for binary) of the event last yielded so that
-   callers — the linter above all — can report precise locations. *)
-type cursor = {
-  data : string;
-  binary : bool;
-  start : int;
-  mutable pos : int;
-  mutable line : int;         (* ASCII: 1-based number of the next line *)
-  mutable last_pos : pos;     (* where the last yielded event started *)
+let block_size = 65536
+
+type chan = {
+  ic : in_channel;
+  buf : Bytes.t;
+  mutable base : int; (* absolute offset of buf.[0] *)
+  mutable len : int;  (* valid bytes in buf *)
 }
 
+type backing =
+  | Mem of string
+  | Chan of chan
+
+type cursor = {
+  backing : backing;
+  total : int;                (* serialised trace length in bytes *)
+  binary : bool;
+  start : int;
+  mutable pos : int;          (* absolute offset of the next unread byte *)
+  mutable line : int;         (* ASCII: 1-based number of the next line *)
+  mutable last_pos : pos;     (* where the last yielded event started *)
+  line_buf : Buffer.t;        (* ASCII: scratch for lines spanning blocks *)
+}
+
+(* Invariant for [Chan]: the channel's read position is [base + len], and
+   [base <= pos <= base + len]; the only seek happens in [rewind]. *)
+let refill ch =
+  ch.base <- ch.base + ch.len;
+  ch.len <- input ch.ic ch.buf 0 (Bytes.length ch.buf)
+
+(* next byte, or [-1] at end of trace *)
+let rec get_byte c =
+  if c.pos >= c.total then -1
+  else
+    match c.backing with
+    | Mem s ->
+      let b = Char.code (String.unsafe_get s c.pos) in
+      c.pos <- c.pos + 1;
+      b
+    | Chan ch ->
+      if c.pos >= ch.base + ch.len then begin
+        refill ch;
+        if ch.len = 0 then -1 else get_byte c
+      end
+      else begin
+        let b = Char.code (Bytes.unsafe_get ch.buf (c.pos - ch.base)) in
+        c.pos <- c.pos + 1;
+        b
+      end
+
+let at_eof c = c.pos >= c.total
+
 let cursor source =
-  let data = read_source source in
-  let binary = is_binary data in
-  let start = if binary then String.length binary_magic else 0 in
-  {
-    data;
-    binary;
-    start;
-    pos = start;
-    line = 1;
-    last_pos = (if binary then Byte start else Line 1);
-  }
+  let backing, total =
+    match source with
+    | From_string s -> (Mem s, String.length s)
+    | From_file path ->
+      let ic = open_in_bin path in
+      let total = in_channel_length ic in
+      let buf = Bytes.create block_size in
+      let len = input ic buf 0 block_size in
+      (Chan { ic; buf; base = 0; len }, total)
+  in
+  let magic = String.length binary_magic in
+  let binary =
+    total >= magic
+    &&
+    match backing with
+    | Mem s -> String.sub s 0 magic = binary_magic
+    | Chan ch -> ch.len >= magic && Bytes.sub_string ch.buf 0 magic = binary_magic
+  in
+  let start = if binary then magic else 0 in
+  let c =
+    {
+      backing;
+      total;
+      binary;
+      start;
+      pos = start;
+      line = 1;
+      last_pos = (if binary then Byte start else Line 1);
+      line_buf = Buffer.create 128;
+    }
+  in
+  (match backing with
+   | Chan { ic; _ } ->
+     (* cursors have no explicit lifetime in the checker API; make sure an
+        abandoned one does not leak its file descriptor *)
+     Gc.finalise (fun (_ : cursor) -> close_in_noerr ic) c
+   | Mem _ -> ());
+  c
+
+let close c =
+  match c.backing with
+  | Mem _ -> ()
+  | Chan { ic; _ } -> close_in_noerr ic
 
 let is_binary_cursor c = c.binary
 
 let rewind c =
+  (match c.backing with
+   | Mem _ -> ()
+   | Chan ch ->
+     if c.start < ch.base then begin
+       seek_in ch.ic c.start;
+       ch.base <- c.start;
+       ch.len <- 0
+     end);
   c.pos <- c.start;
   c.line <- 1;
   c.last_pos <- (if c.binary then Byte c.start else Line 1)
@@ -98,18 +175,18 @@ let parse_line pos line =
    line, so calling [next] again resumes at the following record — the
    linter relies on this to report several errors in one pass. *)
 let rec next_ascii c =
-  let len = String.length c.data in
-  if c.pos >= len then None
+  if at_eof c then None
   else begin
-    let nl =
-      match String.index_from_opt c.data c.pos '\n' with
-      | Some i -> i
-      | None -> len
-    in
     let line_no = c.line in
-    let line = String.trim (String.sub c.data c.pos (nl - c.pos)) in
-    c.pos <- nl + 1;
+    Buffer.clear c.line_buf;
+    let stop = ref false in
+    while not !stop do
+      match get_byte c with
+      | -1 | 0x0a (* '\n' *) -> stop := true
+      | b -> Buffer.add_char c.line_buf (Char.unsafe_chr b)
+    done;
     c.line <- line_no + 1;
+    let line = String.trim (Buffer.contents c.line_buf) in
     if line = "" then next_ascii c
     else begin
       c.last_pos <- Line line_no;
@@ -121,16 +198,14 @@ let rec next_ascii c =
 let max_varint_bytes = 9
 
 let next_binary c =
-  let len = String.length c.data in
-  if c.pos >= len then None
+  if at_eof c then None
   else begin
     let record_start = Byte c.pos in
     c.last_pos <- record_start;
     let byte () =
-      if c.pos >= len then fail record_start "truncated binary trace";
-      let b = Char.code c.data.[c.pos] in
-      c.pos <- c.pos + 1;
-      b
+      match get_byte c with
+      | -1 -> fail record_start "truncated binary trace"
+      | b -> b
     in
     let varint () =
       let rec loop n shift acc =
@@ -150,7 +225,7 @@ let next_binary c =
     | 1 ->
       let id = varint () in
       let n = varint () in
-      if n < 0 || c.pos + n > len then
+      if n < 0 || c.pos + n > c.total then
         (* each source is at least one byte: fail before allocating an
            attacker-sized array from a garbled count *)
         fail record_start "truncated binary trace (%d sources claimed)" n;
@@ -190,4 +265,10 @@ let fold source f init =
 
 let to_list source = List.rev (fold source (fun acc e -> e :: acc) [])
 
-let size_bytes source = String.length (read_source source)
+let size_bytes = function
+  | From_string s -> String.length s
+  | From_file path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in_noerr ic;
+    n

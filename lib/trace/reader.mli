@@ -22,13 +22,21 @@ type source =
   | From_string of string  (** in-memory trace, e.g. from {!Writer.contents} *)
   | From_file of string    (** trace file on disk *)
 
-(** A resumable read position into a trace.  Creating a cursor reads the
-    source bytes exactly once; the multi-pass checkers then {!rewind} the
-    same cursor between passes instead of re-reading the file. *)
+(** A resumable read position into a trace.  In-memory sources are read in
+    place; file sources are streamed through a fixed [Bytes] block buffer,
+    so a cursor never holds more than one block of the raw trace at a time
+    — multi-pass counting stays cheap (no per-record channel reads)
+    without slurping the file.  The checkers {!rewind} the same cursor
+    between passes; positions are identical for both backings. *)
 type cursor
 
 (** [cursor source] opens a cursor positioned at the first event. *)
 val cursor : source -> cursor
+
+(** [close c] releases the file descriptor of a file-backed cursor (also
+    done by a GC finaliser; a closed cursor must not be read again);
+    no-op for in-memory sources. *)
+val close : cursor -> unit
 
 (** [is_binary_cursor c] tells which format the magic bytes selected. *)
 val is_binary_cursor : cursor -> bool

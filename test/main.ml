@@ -7,7 +7,8 @@ let () =
    @ Test_cnf_dimacs.suite @ Test_card.suite @ Test_assignment_model.suite @ Test_trace.suite
    @ Test_heap.suite @ Test_cdcl.suite @ Test_dll_dp.suite
    @ Test_assumptions.suite @ Test_selector_core.suite @ Test_resolution.suite @ Test_level0.suite @ Test_df.suite
-   @ Test_bf.suite @ Test_hybrid.suite @ Test_cross_checker.suite
+   @ Test_bf.suite @ Test_hybrid.suite @ Test_par.suite
+   @ Test_cross_checker.suite
    @ Test_trim.suite @ Test_rup.suite @ Test_lint.suite @ Test_clause_db.suite
    @ Test_proof_stats.suite
    @ Test_interpolant.suite

@@ -1,9 +1,10 @@
-(* Cross-checker property test: on fuzzed UNSAT instances all three
+(* Cross-checker property test: on fuzzed UNSAT instances all the
    checkers ride the same kernel, so they must all accept every valid
    trace and their statistics must line up — BF builds exactly the total
    learned set, the hybrid's built set sandwiches between DF's and BF's,
-   DF's unsat core is contained in the hybrid's, and resolution-step
-   counts grow monotonically with the built sets. *)
+   DF's unsat core is contained in the hybrid's, resolution-step counts
+   grow monotonically with the built sets, and the parallel wavefront
+   checker is bit-identical to BF at every job count. *)
 
 let module_name = "cross-checker"
 
@@ -58,7 +59,30 @@ let check_instance ~round f trace =
   if not (subset df.core_original_ids hy.core_original_ids) then
     Alcotest.failf "round %d: df core not within hybrid core" round;
   Alcotest.check (Alcotest.list Alcotest.int) (ck "bf has no core") []
-    bf.core_original_ids
+    bf.core_original_ids;
+  (* the parallel checker replays BF's schedule as wavefronts: identical
+     verdict, counters, built set and (empty) core at every job count *)
+  List.iter
+    (fun jobs ->
+      let pr = get (Printf.sprintf "Par j%d" jobs)
+          (fun f src -> Checker.Par.check ~jobs f src)
+      in
+      let pk name = ck (Printf.sprintf "par j%d %s" jobs name) in
+      Alcotest.check Alcotest.int (pk "learned") bf.total_learned
+        pr.Checker.Report.total_learned;
+      Alcotest.check Alcotest.int (pk "built") bf.clauses_built
+        pr.Checker.Report.clauses_built;
+      Alcotest.check Alcotest.int (pk "steps") bf.resolution_steps
+        pr.Checker.Report.resolution_steps;
+      Alcotest.check (Alcotest.list Alcotest.int) (pk "built ids")
+        bf.learned_built_ids pr.Checker.Report.learned_built_ids;
+      Alcotest.check (Alcotest.list Alcotest.int) (pk "core") []
+        pr.Checker.Report.core_original_ids;
+      Alcotest.check Alcotest.int (pk "jobs echoed") jobs
+        pr.Checker.Report.jobs;
+      if pr.Checker.Report.total_learned > 0 && pr.Checker.Report.wavefronts < 1
+      then Alcotest.failf "%s: no wavefronts reported" (pk "wavefronts"))
+    [ 1; 2; 4 ]
 
 let test_fuzzed_agreement () =
   let rng = Sat.Rng.create 424242 in
