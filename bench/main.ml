@@ -5,7 +5,7 @@
 
    Usage:  dune exec bench/main.exe
              [table1|table2|table3|proofshape|scaling|ablation|baseline|
-              par|par_quick|micro|all]
+              par|par_quick|stream|stream_quick|micro|all]
 
    Absolute numbers are machine-specific; EXPERIMENTS.md records how the
    *shapes* compare with the paper (who wins, by what factor, where the
@@ -573,6 +573,80 @@ let par_full () =
 (* CI-sized sweep: one small family, same columns and JSON artifact. *)
 let par_quick () = par_sweep [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
 
+(* --- stream: materialized vs online validation -------------------------- *)
+
+(* Contrast the buffered pipeline (solve into an in-memory trace, then
+   check it) with the online one (lint + BF pass one tee'd off the live
+   solver stream, reconstruction off a spooled temp file).  The encoder
+   high-water mark is the online mode's memory story: bounded by the
+   flush threshold while the buffered path holds the whole encoded
+   trace.  OCaml's top-heap high-water mark is monotonic per process, so
+   the online run goes first and the buffered run can only push the mark
+   higher — the delta column is the materialization cost the online mode
+   avoids. *)
+let stream_bench instances =
+  print_endline
+    "Stream. Materialized (bf) vs online validation: wall time and \
+     buffering\n";
+  let mb words = float_of_int (words * 8) /. 1e6 in
+  let rows =
+    List.concat_map
+      (fun (name, gen) ->
+        let f : Sat.Cnf.t = gen () in
+        List.map
+          (fun (fmt_name, format) ->
+            Gc.compact ();
+            let online, online_s =
+              Harness.Timer.time (fun () ->
+                  Pipeline.Validate.run ~format
+                    ~strategy:Pipeline.Validate.Online f)
+            in
+            let heap_after_online = (Gc.quick_stat ()).Gc.top_heap_words in
+            let buffered, buffered_s =
+              Harness.Timer.time (fun () ->
+                  Pipeline.Validate.run ~format
+                    ~strategy:Pipeline.Validate.Breadth_first f)
+            in
+            let heap_after_buffered = (Gc.quick_stat ()).Gc.top_heap_words in
+            (match (online.Pipeline.Validate.verdict,
+                    buffered.Pipeline.Validate.verdict) with
+             | Pipeline.Validate.Unsat_verified _,
+               Pipeline.Validate.Unsat_verified _ -> ()
+             | _ -> failwith (name ^ ": expected verified UNSAT both ways"));
+            let info = Option.get online.Pipeline.Validate.online in
+            [
+              name;
+              fmt_name;
+              string_of_int online.Pipeline.Validate.trace_bytes;
+              string_of_int info.Pipeline.Validate.peak_buffered_bytes;
+              fmt_f ~decimals:3 buffered_s;
+              fmt_f ~decimals:3 online_s;
+              fmt_f ~decimals:1 (mb heap_after_online);
+              fmt_f ~decimals:1 (mb heap_after_buffered);
+            ])
+          [ ("ascii", Trace.Writer.Ascii); ("binary", Trace.Writer.Binary) ])
+      instances
+  in
+  print_table "stream"
+    ~headers:
+      [
+        "instance"; "format"; "trace (B)"; "peak buffered (B)";
+        "buffered (s)"; "online (s)"; "heap@online (MB)"; "heap@buffered (MB)";
+      ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows
+
+let stream_full () =
+  stream_bench
+    [
+      ("php_7", fun () -> Gen.Php.unsat ~holes:7);
+      ("php_8", fun () -> Gen.Php.unsat ~holes:8);
+    ]
+
+(* CI-sized run: one small family, same columns and JSON artifact. *)
+let stream_quick () =
+  stream_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -589,7 +663,7 @@ let micro () =
   in
   let trace5_bin =
     let w = Trace.Writer.create Trace.Writer.Binary in
-    ignore (Solver.Cdcl.solve ~trace:w php5);
+    ignore (Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink w) php5);
     Trace.Writer.contents w
   in
   let kernel = Proof.Kernel.create (Sat.Cnf.create 64) in
@@ -609,7 +683,7 @@ let micro () =
       Bechamel.Test.make ~name:"solve/php5/trace-on"
         (Bechamel.Staged.stage (fun () ->
              let w = Trace.Writer.create Trace.Writer.Ascii in
-             Solver.Cdcl.solve ~trace:w php5));
+             Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink w) php5));
       (* the two checkers (Table 2's contrast) *)
       Bechamel.Test.make ~name:"check/php5/depth-first"
         (Bechamel.Staged.stage (fun () ->
@@ -689,6 +763,8 @@ let () =
   | "proofshape" -> proofshape ()
   | "par" -> par_full ()
   | "par_quick" -> par_quick ()
+  | "stream" -> stream_full ()
+  | "stream_quick" -> stream_quick ()
   | "all" ->
     table1 ();
     print_newline ();
@@ -706,11 +782,13 @@ let () =
     print_newline ();
     par_full ();
     print_newline ();
+    stream_full ();
+    print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown mode %S (expected \
        table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
-       par_quick|micro|all)\n"
+       par_quick|stream|stream_quick|micro|all)\n"
       other;
     exit 2

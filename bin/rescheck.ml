@@ -28,7 +28,7 @@ let formula_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FORMULA" ~doc:"Input CNF formula in DIMACS format.")
 
-let format_arg =
+let format_conv =
   let parse = function
     | "ascii" -> Ok Trace.Writer.Ascii
     | "binary" -> Ok Trace.Writer.Binary
@@ -38,11 +38,33 @@ let format_arg =
     | Trace.Writer.Ascii -> Format.pp_print_string fmt "ascii"
     | Trace.Writer.Binary -> Format.pp_print_string fmt "binary"
   in
+  Arg.conv (parse, print)
+
+let format_arg =
   Arg.(
     value
-    & opt (conv (parse, print)) Trace.Writer.Ascii
+    & opt format_conv Trace.Writer.Ascii
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Trace format: $(b,ascii) (readable) or $(b,binary) (compact).")
+
+(* Commands that *read* a trace auto-detect its encoding from the first
+   bytes; --format overrides the sniffing (needed e.g. for a magic-less
+   binary fragment, which is otherwise ambiguous). *)
+let in_format_arg =
+  Arg.(
+    value
+    & opt (some format_conv) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Force the trace encoding ($(b,ascii) or $(b,binary)) instead of \
+           auto-detecting it from the first bytes.")
+
+let ambiguous_format_exit msg =
+  Printf.eprintf
+    "error: cannot tell the trace encoding (%s); force one with --format \
+     ascii|binary\n"
+    msg;
+  exit 2
 
 let seed_arg =
   Arg.(
@@ -137,7 +159,9 @@ let solve_cmd =
       let (result, stats), seconds =
         or_sanitizer_exit (fun () ->
             Harness.Timer.time (fun () ->
-                Solver.Cdcl.solve ~config ?trace:writer f))
+                Solver.Cdcl.solve ~config
+                  ?trace:(Option.map Trace.Writer.as_sink writer)
+                  f))
       in
       print_stats stats;
       Printf.printf "c solved in %.3f s\n" seconds;
@@ -185,6 +209,7 @@ let strategy_arg =
     | "bf" | "breadth-first" -> Ok `Bf
     | "hybrid" -> Ok `Hybrid
     | "par" | "parallel" -> Ok `Par
+    | "online" -> Ok `Online
     | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
   in
   let print fmt = function
@@ -192,6 +217,7 @@ let strategy_arg =
     | `Bf -> Format.pp_print_string fmt "bf"
     | `Hybrid -> Format.pp_print_string fmt "hybrid"
     | `Par -> Format.pp_print_string fmt "par"
+    | `Online -> Format.pp_print_string fmt "online"
   in
   Arg.(
     value
@@ -200,8 +226,10 @@ let strategy_arg =
         ~doc:
           "Checking mode: $(b,df) (fast, memory-hungry), $(b,bf) \
            (streaming, bounded memory), $(b,hybrid) (best of both, the \
-           paper's future work), or $(b,par) (bf replayed as wavefronts \
-           across $(b,--jobs) domains).")
+           paper's future work), $(b,par) (bf replayed as wavefronts \
+           across $(b,--jobs) domains), or — for $(b,validate) only — \
+           $(b,online) (lint and check the live solver stream while it is \
+           being produced).")
 
 let jobs_arg =
   Arg.(
@@ -226,62 +254,169 @@ let mem_limit_arg =
         ~doc:"Simulated memory budget in words (the paper's 800 MB cap).")
 
 let check_cmd =
-  let run formula_path trace_path strategy jobs mem_limit no_lint =
+  let run formula_path trace_path strategy jobs mem_limit no_lint
+      format_override =
     validate_jobs jobs;
+    (match strategy with
+     | `Online ->
+       prerr_endline
+         "error: --mode online belongs to `validate' (check replays an \
+          existing trace; pass - or a FIFO to stream one in)";
+       exit 2
+     | _ -> ());
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
       exit 2
     | Ok f ->
       let meter = Harness.Meter.create ?limit_words:mem_limit () in
-      let source = Trace.Reader.From_file trace_path in
-      (* Lint pre-pass: fail fast with a precise structural diagnostic
-         before any checker mode starts replaying resolutions.  A trace
-         that cannot even lint is bad input (exit 2), not a refuted
-         proof (exit 1). *)
-      (if not no_lint then
-         let report = Analysis.Lint.run ~formula:f source in
-         if not (Analysis.Lint.clean report) then begin
-           Format.printf "@[<v>%a@]@." Analysis.Lint.pp report;
-           print_endline "s BAD TRACE (lint)";
-           exit 2
-         end);
+      (* "-" reads the trace from stdin; a named trace that has no
+         seekable length (a FIFO) is likewise streamed.  Streamed bytes
+         are spooled to a temp file as pass one consumes them, so the
+         multi-pass checkers can re-read the trace afterwards. *)
+      let input_channel =
+        if trace_path = "-" then Some stdin
+        else
+          match open_in_bin trace_path with
+          | exception Sys_error m ->
+            prerr_endline ("error: " ^ m);
+            exit 2
+          | ic -> (
+            match in_channel_length ic with
+            | _ ->
+              close_in_noerr ic;
+              None
+            | exception Sys_error _ -> Some ic)
+      in
+      let spool = ref None in
+      let remove_spool () =
+        match !spool with
+        | Some (path, oc) ->
+          close_out_noerr oc;
+          (try Sys.remove path with Sys_error _ -> ())
+        | None -> ()
+      in
+      let cur, source =
+        match input_channel with
+        | None ->
+          let src = Trace.Reader.From_file trace_path in
+          (match format_override, Trace.Reader.detect src with
+           | None, `Ambiguous msg ->
+             remove_spool ();
+             ambiguous_format_exit msg
+           | _ -> ());
+          (Trace.Reader.cursor ?format:format_override src, src)
+        | Some ic ->
+          let path = Filename.temp_file "rescheck_spool" ".trc" in
+          let oc = open_out_bin path in
+          spool := Some (path, oc);
+          let cur =
+            Trace.Reader.channel_cursor ?format:format_override
+              ~tap:(output_string oc) ic
+          in
+          (match format_override, Trace.Reader.detect_cursor cur with
+           | None, `Ambiguous msg ->
+             remove_spool ();
+             ambiguous_format_exit msg
+           | _ -> ());
+          (cur, Trace.Reader.From_file path)
+      in
+      (* One tee'd pass: the linter taps the events pass one decodes, so
+         the trace is parsed once, not twice.  A trace that cannot even
+         lint is bad input (exit 2), not a refuted proof (exit 1). *)
+      let lint_stream =
+        if no_lint then None
+        else
+          Some
+            (Analysis.Lint.stream_start ~formula:f
+               ~binary:(Trace.Reader.is_binary_cursor cur) ())
+      in
+      let tapped =
+        let base = Trace.Source.of_cursor ~close_cursor:true cur in
+        match lint_stream with
+        | None -> base
+        | Some t -> Trace.Source.tap (Analysis.Lint.stream_event t) base
+      in
+      let first_pass =
+        (* closing the first pass (the checkers do, even on failure) also
+           flushes the spool, so later passes re-read complete bytes *)
+        Trace.Source.make
+          ~close:(fun () ->
+            Trace.Source.close tapped;
+            match !spool with Some (_, oc) -> flush oc | None -> ())
+          ~pos:(fun () -> Trace.Source.last_pos tapped)
+          (fun () -> Trace.Source.next tapped)
+      in
       let checked, seconds =
         try
           Harness.Timer.time (fun () ->
+              let format = format_override in
               match strategy with
-              | `Df -> Checker.Df.check ~meter f source
-              | `Bf -> Checker.Bf.check ~meter f source
-              | `Hybrid -> Checker.Hybrid.check ~meter f source
-              | `Par -> Checker.Par.check ~meter ~jobs f source)
+              | `Df -> Checker.Df.check ~meter ?format ~first_pass f source
+              | `Bf -> Checker.Bf.check ~meter ?format ~first_pass f source
+              | `Hybrid ->
+                Checker.Hybrid.check ~meter ?format ~first_pass f source
+              | `Par ->
+                Checker.Par.check ~meter ?format ~jobs ~first_pass f source
+              | `Online -> assert false)
         with Harness.Meter.Out_of_memory_simulated e ->
+          remove_spool ();
           Printf.printf
             "s MEMORY OUT (budget %d words, needed %d)\n" e.limit_words
             e.wanted;
           exit 3
       in
+      let lint_fail report =
+        Format.printf "@[<v>%a@]@." Analysis.Lint.pp report;
+        print_endline "s BAD TRACE (lint)";
+        remove_spool ();
+        exit 2
+      in
       (match checked with
        | Ok report ->
+         (match lint_stream with
+          | Some t ->
+            let lint = Analysis.Lint.stream_finish t in
+            if not (Analysis.Lint.clean lint) then lint_fail lint
+          | None -> ());
+         remove_spool ();
          Format.printf "%a@." Checker.Report.pp report;
          Printf.printf "c checked in %.3f s\n" seconds;
          print_endline "s VERIFIED UNSATISFIABLE";
          exit 0
-       | Error (Checker.Diagnostics.Malformed_trace _ as d) ->
-         (* unparsable input escapes the bad-input way, even under
-            --no-lint, so scripts can tell the two failure classes apart *)
-         Printf.printf "c bad trace: %s\n" (Checker.Diagnostics.to_string d);
-         print_endline "s BAD TRACE (parse)";
-         exit 2
        | Error d ->
-         Printf.printf "c check failed: %s\n" (Checker.Diagnostics.to_string d);
-         print_endline "s CHECK FAILED";
-         exit 1)
+         (* the tee'd lint stopped where the checker stopped; re-lint the
+            (spooled) trace in full so the report matches a standalone
+            `rescheck lint` run byte for byte *)
+         (if not no_lint then
+            let report =
+              Analysis.Lint.run ?format:format_override ~formula:f source
+            in
+            if not (Analysis.Lint.clean report) then lint_fail report);
+         remove_spool ();
+         (match d with
+          | Checker.Diagnostics.Malformed_trace _ ->
+            (* unparsable input escapes the bad-input way, even under
+               --no-lint, so scripts can tell the failure classes apart *)
+            Printf.printf "c bad trace: %s\n"
+              (Checker.Diagnostics.to_string d);
+            print_endline "s BAD TRACE (parse)";
+            exit 2
+          | _ ->
+            Printf.printf "c check failed: %s\n"
+              (Checker.Diagnostics.to_string d);
+            print_endline "s CHECK FAILED";
+            exit 1))
   in
   let trace_pos =
     Arg.(
       required
-      & pos 1 (some file) None
-      & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
+      & pos 1 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Resolution trace produced by solve; $(b,-) reads it from \
+             stdin, and a FIFO is streamed (and spooled for the \
+             multi-pass modes).")
   in
   let no_lint_arg =
     Arg.(
@@ -294,17 +429,19 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Validate an unsatisfiability trace against its formula.  Exit \
-          codes: 0 verified, 1 proof rejected, 2 bad input (lint or parse \
-          failure, or bad $(b,--jobs)), 3 memory-out.")
+         "Validate an unsatisfiability trace against its formula.  The \
+          trace encoding is auto-detected unless $(b,--format) forces it; \
+          linting and pass one share a single parse.  Exit codes: 0 \
+          verified, 1 proof rejected, 2 bad input (lint or parse failure, \
+          ambiguous encoding, or bad $(b,--jobs)), 3 memory-out.")
     Term.(
       const run $ formula_arg $ trace_pos $ strategy_arg $ jobs_arg
-      $ mem_limit_arg $ no_lint_arg)
+      $ mem_limit_arg $ no_lint_arg $ in_format_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run trace_path formula_path json max_diags =
+  let run trace_path formula_path json max_diags format_override =
     let formula =
       match formula_path with
       | None -> None
@@ -315,10 +452,20 @@ let lint_cmd =
           prerr_endline ("error: " ^ m);
           exit 2)
     in
+    let src = Trace.Reader.From_file trace_path in
+    (match format_override with
+     | Some _ -> ()
+     | None -> (
+       match Trace.Reader.detect src with
+       | `Ambiguous msg -> ambiguous_format_exit msg
+       | `Ascii | `Binary -> ()
+       | exception Sys_error m ->
+         prerr_endline ("error: " ^ m);
+         exit 2));
     let report =
       try
-        Analysis.Lint.run ?formula ~max_diagnostics:max_diags
-          (Trace.Reader.From_file trace_path)
+        Analysis.Lint.run ?format:format_override ?formula
+          ~max_diagnostics:max_diags src
       with Sys_error m ->
         prerr_endline ("error: " ^ m);
         exit 2
@@ -364,14 +511,17 @@ let lint_cmd =
        ~doc:
          "Statically validate a trace in one streaming pass — no clause \
           construction, no resolution.  Exit codes: 0 clean (warnings \
-          allowed), 1 lint errors, 2 unreadable input.")
-    Term.(const run $ trace_pos $ formula_opt $ json_arg $ max_diags_arg)
+          allowed), 1 lint errors, 2 unreadable input or ambiguous \
+          encoding.")
+    Term.(
+      const run $ trace_pos $ formula_opt $ json_arg $ max_diags_arg
+      $ in_format_arg)
 
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run formula_path strategy jobs seed bcp no_restarts no_deletion minimize
-      sanitize =
+  let run formula_path strategy jobs format seed bcp no_restarts no_deletion
+      minimize sanitize =
     validate_jobs jobs;
     match load_formula formula_path with
     | Error m ->
@@ -387,13 +537,28 @@ let validate_cmd =
         | `Bf -> Pipeline.Validate.Breadth_first
         | `Hybrid -> Pipeline.Validate.Hybrid
         | `Par -> Pipeline.Validate.Parallel jobs
+        | `Online -> Pipeline.Validate.Online
       in
       let o =
-        or_sanitizer_exit (fun () -> Pipeline.Validate.run ~config ~strategy f)
+        or_sanitizer_exit (fun () ->
+            Pipeline.Validate.run ~config ~format ~strategy f)
       in
       print_stats o.stats;
       Printf.printf "c solve %.3f s, check %.3f s, trace %d bytes\n"
         o.solve_seconds o.check_seconds o.trace_bytes;
+      (match o.online with
+       | Some info ->
+         Printf.printf "c online: peak buffered %d bytes%s\n"
+           info.peak_buffered_bytes
+           (match o.verdict with
+            | Pipeline.Validate.Unsat_verified _
+            | Pipeline.Validate.Unsat_check_failed _ ->
+              Printf.sprintf ", live lint %s (%d errors, %d warnings)"
+                (if Analysis.Lint.clean info.lint then "clean" else "dirty")
+                info.lint.Analysis.Lint.errors
+                info.lint.Analysis.Lint.warnings
+            | _ -> "")
+       | None -> ());
       (match o.verdict with
        | Pipeline.Validate.Sat_verified _ ->
          print_endline "s SATISFIABLE (model verified)";
@@ -411,10 +576,15 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Solve and independently validate the answer in one step.")
+       ~doc:
+         "Solve and independently validate the answer in one step.  With \
+          $(b,--mode online) the solver's live event stream is teed into \
+          the linter and the checker's counting pass while solving runs, \
+          so the full encoded trace is never held in memory.")
     Term.(
-      const run $ formula_arg $ strategy_arg $ jobs_arg $ seed_arg $ bcp_arg
-      $ no_restarts_arg $ no_deletion_arg $ minimize_arg $ sanitize_arg)
+      const run $ formula_arg $ strategy_arg $ jobs_arg $ format_arg
+      $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg
+      $ minimize_arg $ sanitize_arg)
 
 (* --- core ---------------------------------------------------------------- *)
 

@@ -253,9 +253,20 @@ let check_formula_header st pos f =
          (%d vars, %d clauses)"
         nvars norig (Sat.Cnf.nvars f) (Sat.Cnf.nclauses f)
 
-let run ?formula ?(max_diagnostics = 100) source =
-  let cur = Trace.Reader.cursor source in
-  let binary = Trace.Reader.is_binary_cursor cur in
+(* The linter as an incremental stream: events (or parse errors) are fed
+   one at a time, so the same diagnostics accumulate whether the trace is
+   decoded from a file or observed live as the solver emits it.  The
+   formula cross-checks run up front ([stream_start]) and at the end
+   ([stream_finish]), exactly as the one-shot [run] always did. *)
+
+type stream = {
+  st : state;
+  s_binary : bool;
+  s_formula : Sat.Cnf.t option;
+  mutable end_pos : Trace.Reader.pos;  (* where the last fed record started *)
+}
+
+let stream_start ?formula ?(max_diagnostics = 100) ~binary () =
   let st = {
     cap = max max_diagnostics 0;
     diags = [];
@@ -278,29 +289,37 @@ let run ?formula ?(max_diagnostics = 100) source =
   (match formula with
    | Some f -> check_formula st origin f
    | None -> ());
-  let running = ref true in
-  while !running do
-    match Trace.Reader.next cur with
-    | Some e -> handle_event st (Trace.Reader.last_pos cur) e
-    | None -> running := false
-    | exception Trace.Reader.Parse_error { pos; msg } ->
-      emit st pos Parse "%s" msg;
-      (* ASCII resynchronises on the next line; binary records have no
-         framing to recover with, so the pass ends here *)
-      if binary then running := false
-  done;
-  let end_pos = Trace.Reader.last_pos cur in
+  {
+    st;
+    s_binary = binary;
+    s_formula = formula;
+    (* matches a fresh cursor's [last_pos]: byte 4 is right behind the
+       binary magic *)
+    end_pos = (if binary then Trace.Reader.Byte 4 else Trace.Reader.Line 1);
+  }
+
+let stream_event t pos e =
+  t.end_pos <- pos;
+  handle_event t.st pos e
+
+let stream_parse_error t pos msg =
+  t.end_pos <- pos;
+  emit t.st pos Parse "%s" msg
+
+let stream_finish ?end_pos t =
+  let st = t.st in
+  let end_pos = match end_pos with Some p -> p | None -> t.end_pos in
   (match st.header with
    | None -> emit st end_pos Missing_header "trace has no header record"
    | Some _ -> ());
-  (match formula with
+  (match t.s_formula with
    | Some f -> check_formula_header st end_pos f
    | None -> ());
   if not st.conflict_seen then
     emit st end_pos Missing_conflict
       "trace ends without a final-conflict record";
   {
-    binary;
+    binary = t.s_binary;
     events = st.n_events;
     learned = st.n_learned;
     level0 = st.n_level0;
@@ -309,6 +328,33 @@ let run ?formula ?(max_diagnostics = 100) source =
     diagnostics = List.rev st.diags;
     dropped = st.n_dropped;
   }
+
+let sink ?downstream t ~pos =
+  Trace.Sink.make
+    ~close:(fun () ->
+      match downstream with Some s -> Trace.Sink.close s | None -> ())
+    (fun e ->
+      stream_event t (pos ()) e;
+      match downstream with Some s -> Trace.Sink.push s e | None -> ())
+
+let run ?format ?formula ?max_diagnostics source =
+  let cur = Trace.Reader.cursor ?format source in
+  let binary = Trace.Reader.is_binary_cursor cur in
+  let t = stream_start ?formula ?max_diagnostics ~binary () in
+  let running = ref true in
+  while !running do
+    match Trace.Reader.next cur with
+    | Some e -> stream_event t (Trace.Reader.last_pos cur) e
+    | None -> running := false
+    | exception Trace.Reader.Parse_error { pos; msg } ->
+      stream_parse_error t pos msg;
+      (* ASCII resynchronises on the next line; binary records have no
+         framing to recover with, so the pass ends here *)
+      if binary then running := false
+  done;
+  let report = stream_finish ~end_pos:(Trace.Reader.last_pos cur) t in
+  Trace.Reader.close cur;
+  report
 
 (* --- rendering ---------------------------------------------------------- *)
 

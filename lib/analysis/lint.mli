@@ -79,12 +79,50 @@ type report = {
     the formula's dimensions and the original clauses are linted for
     out-of-range, duplicate and tautological literals (L4xx codes).
     [max_diagnostics] (default 100) caps the retained diagnostics;
-    [errors]/[warnings] keep counting past the cap.  Never raises on
-    malformed traces: parse failures become L001 diagnostics, and an
-    ASCII cursor resumes on the next line so one pass can report several
-    of them. *)
+    [errors]/[warnings] keep counting past the cap.  [format] forces the
+    encoding instead of auto-detecting it from the magic bytes.  Never
+    raises on malformed traces: parse failures become L001 diagnostics,
+    and an ASCII cursor resumes on the next line so one pass can report
+    several of them. *)
 val run :
-  ?formula:Sat.Cnf.t -> ?max_diagnostics:int -> Trace.Reader.source -> report
+  ?format:Trace.Writer.format ->
+  ?formula:Sat.Cnf.t ->
+  ?max_diagnostics:int ->
+  Trace.Reader.source ->
+  report
+
+(** {2 Streaming interface}
+
+    The same linter as an incremental stream, so diagnostics accumulate
+    identically whether the trace is decoded from a file or observed live
+    as the solver emits it.  [binary] selects position bookkeeping (byte
+    offsets vs line numbers) and the format named in the report. *)
+
+type stream
+
+(** [stream_start ~binary ()] runs the up-front formula checks (L4xx)
+    and returns an empty stream state. *)
+val stream_start :
+  ?formula:Sat.Cnf.t -> ?max_diagnostics:int -> binary:bool -> unit -> stream
+
+(** [stream_event t pos e] lints one event; [pos] is where its record
+    starts in the serialised trace. *)
+val stream_event : stream -> Trace.Reader.pos -> Trace.Event.t -> unit
+
+(** [stream_parse_error t pos msg] records a decode failure as L001. *)
+val stream_parse_error : stream -> Trace.Reader.pos -> string -> unit
+
+(** [stream_finish t] runs the end-of-trace checks (missing header /
+    conflict, header-vs-formula) and seals the report.  [end_pos]
+    overrides the tracked position the end-of-trace diagnostics anchor
+    to. *)
+val stream_finish : ?end_pos:Trace.Reader.pos -> stream -> report
+
+(** [sink t ~pos ?downstream] is the linter as a transformer sink: each
+    pushed event is linted at position [pos ()] and forwarded to
+    [downstream] (closed with the sink) when given.  Retrieve the report
+    with {!stream_finish} after closing. *)
+val sink : ?downstream:Trace.Sink.t -> stream -> pos:(unit -> Trace.Reader.pos) -> Trace.Sink.t
 
 (** [clean r] holds when no error-severity diagnostic was found. *)
 val clean : report -> bool

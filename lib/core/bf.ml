@@ -107,80 +107,154 @@ let build_pass st cur =
       | Trace.Event.Level0 _ -> ()
       | Trace.Event.Final_conflict _ -> ())
 
-let check ?meter ?(counting = `In_memory) formula source =
+(* Incremental pass-one ingest: the same counting/validation state, but
+   fed one event at a time so it can sit behind a {!Trace.Sink.t} and
+   consume the solver's live event stream (online validation) as well as
+   a decoded file.  A violation is recorded, not raised — the solver
+   cannot be interrupted mid-push — and every later event is ignored, so
+   the first failure reported is exactly the one file-based BF stops
+   at. *)
+type ingest = {
+  ist : state;
+  stream : Proof.Kernel.stream;
+  l0 : Proof.Level0.t;
+  meter : Harness.Meter.t;
+  count_in_memory : bool;
+  mutable failed : Diagnostics.failure option;
+}
+
+let make_ingest ?meter ~count_in_memory formula =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
   let kernel = Proof.Kernel.create ~meter formula in
-  let cur = Trace.Reader.cursor source in
-  let counts, temp_path =
-    match counting with
-    | `In_memory -> (Mem_counts (Hashtbl.create 4096), None)
-    | `Temp_file chunk ->
-      let path = write_counts_file cur ~chunk in
-      let ic = open_in_bin path in
-      (File_counts { ic; live = Hashtbl.create 256 }, Some (path, ic))
+  let l0 = Proof.Level0.create () in
+  let stream = Proof.Kernel.stream_start kernel ~stream_order:true ~l0 () in
+  {
+    ist = { kernel; counts = Mem_counts (Hashtbl.create 4096) };
+    stream;
+    l0;
+    meter;
+    count_in_memory;
+    failed = None;
+  }
+
+let ingest ?meter formula = make_ingest ?meter ~count_in_memory:true formula
+
+let ingest_failed g = g.failed
+
+let ingest_event g e =
+  if g.failed = None then
+    try
+      Proof.Kernel.stream_feed g.stream e;
+      if g.count_in_memory then
+        match e with
+        | Trace.Event.Header _ -> ()
+        | Trace.Event.Learned l -> Array.iter (add_use g.ist) l.sources
+        | Trace.Event.Level0 v -> add_use g.ist v.ante
+        | Trace.Event.Final_conflict id -> add_use g.ist id
+    with Diagnostics.Check_failed f -> g.failed <- Some f
+
+let ingest_sink g = Trace.Sink.make (ingest_event g)
+
+let finish ?format ?(pass_one_seconds = 0.) g source =
+  try
+    match g.failed with
+    | Some f -> Error f
+    | None ->
+      let pass = Proof.Kernel.stream_finish g.stream in
+      let conf_id =
+        match pass.Proof.Kernel.final_conflict with
+        | Some id -> id
+        | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
+      in
+      let kernel = g.ist.kernel in
+      let (), pass_two_seconds =
+        Harness.Timer.wall_time (fun () ->
+            let cur = Trace.Reader.cursor ?format source in
+            build_pass g.ist cur;
+            Trace.Reader.close cur;
+            let fetch id =
+              Proof.Kernel.find kernel ~context:"empty-clause construction" id
+            in
+            let (_ : int) =
+              Proof.Kernel.final_chain_ids kernel ~l0:g.l0 ~fetch
+                ~conflict_id:conf_id
+            in
+            ())
+      in
+      let c = Proof.Kernel.counters kernel in
+      Ok {
+        Report.clauses_built = c.Proof.Kernel.clauses_built;
+        total_learned = pass.Proof.Kernel.total_learned;
+        resolution_steps = c.Proof.Kernel.resolution_steps;
+        core_original_ids = [];
+        learned_built_ids = Proof.Kernel.built_ids kernel;
+        core_vars = 0;
+        peak_mem_words = Harness.Meter.peak_words g.meter;
+        peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
+        arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
+        jobs = 1;
+        wavefronts = 0;
+        max_wavefront_width = 0;
+        pass_one_seconds;
+        pass_two_seconds;
+      }
+  with
+  | Diagnostics.Check_failed f -> Error f
+  | Trace.Reader.Parse_error { pos; msg } ->
+    Error (Diagnostics.of_parse_error ~pos msg)
+
+let check ?meter ?format ?(counting = `In_memory) ?first_pass formula source =
+  let count_in_memory =
+    match counting with `In_memory -> true | `Temp_file _ -> false
   in
-  let st = { kernel; counts } in
+  let g = make_ingest ?meter ~count_in_memory formula in
+  let temp = ref None in
   let cleanup () =
-    match temp_path with
+    match !temp with
     | Some (path, ic) ->
       close_in_noerr ic;
       (try Sys.remove path with Sys_error _ -> ())
     | None -> ()
   in
-  let count_in_memory =
-    match counting with `In_memory -> true | `Temp_file _ -> false
-  in
   try
-    (* pass one: validate record shape / stream order and count uses *)
-    let l0 = Proof.Level0.create () in
-    let pass, pass_one_seconds =
+    (* pass one: validate record shape / stream order and count uses;
+       ingest records the first violation, so draining stops there *)
+    let src =
+      match first_pass with
+      | Some s -> s
+      | None ->
+        Trace.Source.of_cursor ~close_cursor:true
+          (Trace.Reader.cursor ?format source)
+    in
+    let (), pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
-          Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
-            ~on_event:(fun e ->
-              if count_in_memory then
-                match e with
-                | Trace.Event.Header _ -> ()
-                | Trace.Event.Learned l -> Array.iter (add_use st) l.sources
-                | Trace.Event.Level0 v -> add_use st v.ante
-                | Trace.Event.Final_conflict id -> add_use st id)
-            cur)
+          Fun.protect
+            ~finally:(fun () -> Trace.Source.close src)
+            (fun () ->
+              let rec drain () =
+                if g.failed = None then
+                  match Trace.Source.next src with
+                  | Some e ->
+                    ingest_event g e;
+                    drain ()
+                  | None -> ()
+              in
+              drain ()))
     in
-    let conf_id =
-      match pass.Proof.Kernel.final_conflict with
-      | Some id -> id
-      | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
-    in
-    let (), pass_two_seconds =
-      Harness.Timer.wall_time (fun () ->
-          build_pass st cur;
-          let fetch id =
-            Proof.Kernel.find kernel ~context:"empty-clause construction" id
-          in
-          let (_ : int) =
-            Proof.Kernel.final_chain_ids kernel ~l0 ~fetch ~conflict_id:conf_id
-          in
-          ())
-    in
-    let c = Proof.Kernel.counters kernel in
-    Ok {
-      Report.clauses_built = c.Proof.Kernel.clauses_built;
-      total_learned = pass.Proof.Kernel.total_learned;
-      resolution_steps = c.Proof.Kernel.resolution_steps;
-      core_original_ids = [];
-      learned_built_ids = Proof.Kernel.built_ids kernel;
-      core_vars = 0;
-      peak_mem_words = Harness.Meter.peak_words meter;
-      peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
-      arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
-      jobs = 1;
-      wavefronts = 0;
-      max_wavefront_width = 0;
-      pass_one_seconds;
-      pass_two_seconds;
-    }
-    |> fun r ->
+    (match counting with
+     | `In_memory -> ()
+     | `Temp_file chunk ->
+       (* the paper's chunked counting passes re-read the trace from its
+          re-readable source; only now is a spooled stream complete *)
+       let cur = Trace.Reader.cursor ?format source in
+       let path = write_counts_file cur ~chunk in
+       Trace.Reader.close cur;
+       let ic = open_in_bin path in
+       temp := Some (path, ic);
+       g.ist.counts <- File_counts { ic; live = Hashtbl.create 256 });
+    let r = finish ?format ~pass_one_seconds g source in
     cleanup ();
     r
   with

@@ -4,15 +4,26 @@
    DAG from the final conflict, so only proof-relevant clauses are ever
    built and the touched originals form an unsat core. *)
 
-let check ?meter formula source =
+let check ?meter ?format ?first_pass formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
   let k = Proof.Kernel.create ~meter formula in
   try
-    let cur = Trace.Reader.cursor source in
+    (* depth-first reads the trace exactly once, so the whole check can
+       run off a single-shot stream (pipe/FIFO) with no re-read *)
+    let src =
+      match first_pass with
+      | Some s -> s
+      | None ->
+        Trace.Source.of_cursor ~close_cursor:true
+          (Trace.Reader.cursor ?format source)
+    in
     let proof, pass_one_seconds =
-      Harness.Timer.wall_time (fun () -> Proof.Kernel.load k ~charge:`Full cur)
+      Harness.Timer.wall_time (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Trace.Source.close src)
+            (fun () -> Proof.Kernel.load k ~charge:`Full src))
     in
     let conf_id =
       match proof.Proof.Kernel.final_conflict with

@@ -16,9 +16,13 @@
     the unsatisfiability of [f].  [meter] accounts simulated memory (trace
     residency + built clauses); allocation beyond its limit raises
     {!Harness.Meter.Out_of_memory_simulated}, mirroring the paper's
-    memory-out entries. *)
+    memory-out entries.  Depth-first reads the trace once: with
+    [first_pass] (a single-shot stream, closed when drained) the
+    re-readable source is never touched. *)
 val check :
   ?meter:Harness.Meter.t ->
+  ?format:Trace.Writer.format ->
+  ?first_pass:Trace.Source.t ->
   Sat.Cnf.t ->
   Trace.Reader.source ->
   (Report.t, Diagnostics.failure) result

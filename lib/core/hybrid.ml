@@ -52,12 +52,11 @@ let build_pass st cur =
       | Trace.Event.Learned _ | Trace.Event.Header _ | Trace.Event.Level0 _
       | Trace.Event.Final_conflict _ -> ())
 
-let check ?meter formula source =
+let check ?meter ?format ?first_pass formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
   let kernel = Proof.Kernel.create ~meter formula in
-  let cur = Trace.Reader.cursor source in
   let st = {
     kernel;
     needed = Hashtbl.create 1024;
@@ -67,18 +66,29 @@ let check ?meter formula source =
     (* pass one: collect source lists (charged: this is the part of the
        trace the hybrid must hold, like DF) and validate record shape and
        stream order, like BF *)
+    let src =
+      match first_pass with
+      | Some s -> s
+      | None ->
+        Trace.Source.of_cursor ~close_cursor:true
+          (Trace.Reader.cursor ?format source)
+    in
     let l0 = Proof.Level0.create () in
     let defs = Sat.Vec.create ~dummy:(0, [||]) in
     let antes = Sat.Vec.create ~dummy:0 in
     let pass, pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
-          Proof.Kernel.stream_pass kernel ~stream_order:true ~l0 ~charge:`Defs
-            ~on_event:(fun e ->
-              match e with
-              | Trace.Event.Learned l -> Sat.Vec.push defs (l.id, l.sources)
-              | Trace.Event.Level0 v -> Sat.Vec.push antes v.ante
-              | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ())
-            cur)
+          Fun.protect
+            ~finally:(fun () -> Trace.Source.close src)
+            (fun () ->
+              Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
+                ~charge:`Defs
+                ~on_event:(fun e ->
+                  match e with
+                  | Trace.Event.Learned l -> Sat.Vec.push defs (l.id, l.sources)
+                  | Trace.Event.Level0 v -> Sat.Vec.push antes v.ante
+                  | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ())
+                src))
     in
     let conf_id =
       match pass.Proof.Kernel.final_conflict with
@@ -94,7 +104,9 @@ let check ?meter formula source =
     Harness.Meter.free meter defs_words;
     let (), pass_two_seconds =
       Harness.Timer.wall_time (fun () ->
+          let cur = Trace.Reader.cursor ?format source in
           build_pass st cur;
+          Trace.Reader.close cur;
           let fetch id =
             Proof.Kernel.find kernel ~context:"empty-clause construction" id
           in

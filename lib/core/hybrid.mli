@@ -24,8 +24,13 @@
     needed/use-count tables are conceptually on disk and are not charged
     to the meter. *)
 
+(** [check ?first_pass f source] — pass one pulls from [first_pass] when
+    given (closed once drained), pass two always re-reads [source]; a
+    piped pass one therefore needs [source] to be a spooled copy. *)
 val check :
   ?meter:Harness.Meter.t ->
+  ?format:Trace.Writer.format ->
+  ?first_pass:Trace.Source.t ->
   Sat.Cnf.t ->
   Trace.Reader.source ->
   (Report.t, Diagnostics.failure) result

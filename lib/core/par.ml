@@ -217,14 +217,24 @@ let shutdown pool domains =
 
 let default_window = 128
 
-let check ?meter ?(jobs = 1) ?(window = default_window) formula source =
+let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
+    formula
+    source =
   if jobs < 1 then invalid_arg "Par.check: jobs must be >= 1";
   let window = max 1 window in
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
   let kernel = Proof.Kernel.create ~meter formula in
-  let cur = Trace.Reader.cursor source in
+  (* pass one is the only trace read (tasks are kept in memory), so the
+     whole check can run off a single-shot stream *)
+  let src =
+    match first_pass with
+    | Some s -> s
+    | None ->
+      Trace.Source.of_cursor ~close_cursor:true
+        (Trace.Reader.cursor ?format source)
+  in
   let use = Hashtbl.create 4096 in
   let get_count id = Option.value ~default:0 (Hashtbl.find_opt use id) in
   let add_use id = Hashtbl.replace use id (1 + get_count id) in
@@ -246,25 +256,28 @@ let check ?meter ?(jobs = 1) ?(window = default_window) formula source =
     let l0 = Proof.Level0.create () in
     let pass, pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
-          Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
-            ~charge:`Defs
-            ~on_event:(fun e ->
-              match e with
-              | Trace.Event.Header _ -> ()
-              | Trace.Event.Learned l ->
-                Array.iter add_use l.sources;
-                tasks_rev :=
-                  {
-                    id = l.id;
-                    sources = l.sources;
-                    seq = !seq;
-                    words = 2 + Array.length l.sources;
-                  }
-                  :: !tasks_rev;
-                incr seq
-              | Trace.Event.Level0 v -> add_use v.ante
-              | Trace.Event.Final_conflict id -> add_use id)
-            cur)
+          Fun.protect
+            ~finally:(fun () -> Trace.Source.close src)
+            (fun () ->
+              Proof.Kernel.stream_pass kernel ~stream_order:true ~l0
+                ~charge:`Defs
+                ~on_event:(fun e ->
+                  match e with
+                  | Trace.Event.Header _ -> ()
+                  | Trace.Event.Learned l ->
+                    Array.iter add_use l.sources;
+                    tasks_rev :=
+                      {
+                        id = l.id;
+                        sources = l.sources;
+                        seq = !seq;
+                        words = 2 + Array.length l.sources;
+                      }
+                      :: !tasks_rev;
+                    incr seq
+                  | Trace.Event.Level0 v -> add_use v.ante
+                  | Trace.Event.Final_conflict id -> add_use id)
+                src))
     in
     let conf_id =
       match pass.Proof.Kernel.final_conflict with

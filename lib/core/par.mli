@@ -33,12 +33,16 @@
     [jobs] worker domains ([jobs = 1], the default, replays inline on the
     calling domain — same code path, no domains spawned).  [window]
     (default 128, clamped to at least 1) trades live-window size for
-    exposed parallelism; results are identical for every value.
+    exposed parallelism; results are identical for every value.  Pass one
+    is the only trace read (tasks stay in memory), so with [first_pass]
+    (closed once drained) the re-readable source is never touched.
     @raise Invalid_argument when [jobs < 1]. *)
 val check :
   ?meter:Harness.Meter.t ->
+  ?format:Trace.Writer.format ->
   ?jobs:int ->
   ?window:int ->
+  ?first_pass:Trace.Source.t ->
   Sat.Cnf.t ->
   Trace.Reader.source ->
   (Report.t, Diagnostics.failure) result

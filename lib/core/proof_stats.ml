@@ -13,7 +13,7 @@ type t = {
    depth 0), and a reverse sweep gives the needed set. *)
 let analyze formula source =
   let k = Proof.Kernel.create formula in
-  let cur = Trace.Reader.cursor source in
+  let src = Trace.Source.of_cursor ~close_cursor:true (Trace.Reader.cursor source) in
   let is_original id = Proof.Kernel.is_original k id in
   let context = "proof statistics" in
   let fetch id = Proof.Kernel.find k ~context id in
@@ -49,7 +49,7 @@ let analyze formula source =
             Hashtbl.replace depth l.id d;
             defs := (l.id, l.sources) :: !defs
           | Trace.Event.Level0 v -> antes := v.ante :: !antes)
-        cur
+        src
     in
     let total = pass.Proof.Kernel.total_learned in
     let conf_id =

@@ -4,7 +4,7 @@ module D = Checker.Diagnostics
    discipline) through the shared kernel and record its literals. *)
 let of_trace f source =
   let k = Proof.Kernel.create f in
-  let cur = Trace.Reader.cursor source in
+  let src = Trace.Source.of_cursor ~close_cursor:true (Trace.Reader.cursor source) in
   let context = "drup conversion" in
   let fetch id = Proof.Kernel.find k ~context id in
   let order = ref [] in
@@ -22,7 +22,7 @@ let of_trace f source =
             order := Proof.Clause_db.lits (Proof.Kernel.db k) h :: !order
           | Trace.Event.Header _ | Trace.Event.Level0 _
           | Trace.Event.Final_conflict _ -> ())
-        cur
+        src
     in
     Ok (List.rev ([||] :: !order))
   with

@@ -63,8 +63,10 @@ let compute formula ~a_indices source =
   let st = { a_side; in_a; in_b; circuit = N.create (); inputs = Hashtbl.create 64 } in
   let k = Proof.Kernel.create formula in
   try
-    let cur = Trace.Reader.cursor source in
-    let proof = Proof.Kernel.load k cur in
+    let src =
+      Trace.Source.of_cursor ~close_cursor:true (Trace.Reader.cursor source)
+    in
+    let proof = Proof.Kernel.load k src in
     let conf_id =
       match proof.Proof.Kernel.final_conflict with
       | Some id -> id

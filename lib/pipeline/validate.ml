@@ -3,6 +3,7 @@ type strategy =
   | Breadth_first
   | Hybrid
   | Parallel of int  (* worker domains *)
+  | Online
 
 type verdict =
   | Sat_verified of Sat.Assignment.t
@@ -10,20 +11,28 @@ type verdict =
   | Sat_model_wrong of int
   | Unsat_check_failed of Checker.Diagnostics.failure
 
+type online_info = {
+  peak_buffered_bytes : int;
+  lint : Analysis.Lint.report;
+}
+
 type outcome = {
   verdict : verdict;
   stats : Solver.Cdcl.stats;
   trace_bytes : int;
   solve_seconds : float;
   check_seconds : float;
+  online : online_info option;
 }
 
 let solve_with_trace ?config ?(format = Trace.Writer.Ascii) f =
   let w = Trace.Writer.create format in
-  let result, stats = Solver.Cdcl.solve ?config ~trace:w f in
+  let result, stats =
+    Solver.Cdcl.solve ?config ~trace:(Trace.Writer.as_sink w) f
+  in
   (result, stats, Trace.Writer.contents w)
 
-let run ?config ?format ?(strategy = Depth_first) ?meter f =
+let run_buffered ?config ?format ~strategy ?meter f =
   let (result, stats, trace), solve_seconds =
     Harness.Timer.time (fun () -> solve_with_trace ?config ?format f)
   in
@@ -42,10 +51,77 @@ let run ?config ?format ?(strategy = Depth_first) ?meter f =
             | Breadth_first -> Checker.Bf.check ?meter f source
             | Hybrid -> Checker.Hybrid.check ?meter f source
             | Parallel jobs -> Checker.Par.check ?meter ~jobs f source
+            | Online -> assert false
           in
           match checked with
           | Ok report -> Unsat_verified report
           | Error failure -> Unsat_check_failed failure))
   in
   { verdict; stats; trace_bytes = String.length trace; solve_seconds;
-    check_seconds }
+    check_seconds; online = None }
+
+(* Online validation: the solver's live event stream is teed into the
+   linter, the streaming encoder (which spools encoded chunks to a temp
+   file for the checker's second pass) and BF's pass-one ingest, so
+   counting and linting overlap solving and the full encoded trace is
+   never resident — the encoder's [peak_buffered] is bounded by its flush
+   threshold, not the proof size.  The ingest drives the exact same
+   kernel validation and the reconstruction pass re-reads the identical
+   bytes, so verdicts, reports, cores and failure diagnostics match the
+   file-based breadth-first path bit for bit (timings aside). *)
+let run_online ?config ~format ?meter f =
+  let spool = Filename.temp_file "rescheck_online" ".trc" in
+  let oc = open_out_bin spool in
+  let cleanup () =
+    close_out_noerr oc;
+    try Sys.remove spool with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let wstats, encoder = Trace.Writer.to_channel format oc in
+      let ingest = Checker.Bf.ingest ?meter f in
+      let binary = format = Trace.Writer.Binary in
+      let lint_stream = Analysis.Lint.stream_start ~formula:f ~binary () in
+      let counter, tail =
+        Trace.Sink.counting
+          (Trace.Sink.tee [ encoder; Checker.Bf.ingest_sink ingest ])
+      in
+      (* the linter comes first in the tee: its position for an event is
+         the encoder's state *before* that event is written, which is
+         exactly where a re-parse of the spooled trace reports it *)
+      let pos () =
+        if binary then Trace.Reader.Byte wstats.Trace.Writer.bytes
+        else Trace.Reader.Line (counter.Trace.Sink.events + 1)
+      in
+      let sink = Trace.Sink.tee [ Analysis.Lint.sink lint_stream ~pos; tail ] in
+      let (result, stats), solve_seconds =
+        Harness.Timer.time (fun () -> Solver.Cdcl.solve ?config ~trace:sink f)
+      in
+      Trace.Sink.close sink;
+      flush oc;
+      let lint = Analysis.Lint.stream_finish lint_stream in
+      let online =
+        Some { peak_buffered_bytes = wstats.Trace.Writer.peak_buffered; lint }
+      in
+      let verdict, check_seconds =
+        Harness.Timer.time (fun () ->
+            match result with
+            | Solver.Cdcl.Sat a -> (
+              match Sat.Model.first_falsified a f with
+              | None -> Sat_verified a
+              | Some i -> Sat_model_wrong i)
+            | Solver.Cdcl.Unsat -> (
+              match
+                Checker.Bf.finish ingest (Trace.Reader.From_file spool)
+              with
+              | Ok report -> Unsat_verified report
+              | Error failure -> Unsat_check_failed failure))
+      in
+      { verdict; stats; trace_bytes = wstats.Trace.Writer.bytes;
+        solve_seconds; check_seconds; online })
+
+let run ?config ?format ?(strategy = Depth_first) ?meter f =
+  match strategy with
+  | Online ->
+    let format = Option.value ~default:Trace.Writer.Ascii format in
+    run_online ?config ~format ?meter f
+  | _ -> run_buffered ?config ?format ~strategy ?meter f

@@ -13,6 +13,12 @@ type strategy =
   | Parallel of int
       (** wavefront-parallel BF with this many worker domains, see
           {!Checker.Par} *)
+  | Online
+      (** tee the solver's live event stream into the linter and BF's
+          pass-one ingest concurrently with solving; the reconstruction
+          pass re-reads a spooled temp file.  Verdicts, cores, reports and
+          diagnostics are bit-identical to [Breadth_first] (timings
+          aside), but the full encoded trace is never held in memory. *)
 
 type verdict =
   | Sat_verified of Sat.Assignment.t
@@ -26,12 +32,23 @@ type verdict =
       (** solver said UNSAT but the proof does not check: the solver (or
           its trace generation) is buggy *)
 
+(** What the {!Online} strategy additionally observes while streaming. *)
+type online_info = {
+  peak_buffered_bytes : int;
+      (** high-water mark of encoded trace bytes resident in the encoder:
+          bounded by its flush threshold, not the proof size *)
+  lint : Analysis.Lint.report;
+      (** the streaming lint of the live events; for a SAT answer the
+          partial trace legitimately lints dirty (no final conflict) *)
+}
+
 type outcome = {
   verdict : verdict;
   stats : Solver.Cdcl.stats;
   trace_bytes : int;
   solve_seconds : float;
   check_seconds : float;
+  online : online_info option;  (** present iff the strategy was {!Online} *)
 }
 
 (** [run ?config ?format ?strategy ?meter f] solves and validates [f]. *)

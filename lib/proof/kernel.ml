@@ -314,57 +314,90 @@ let residency_words = function
   | Trace.Event.Level0 _ -> 3
   | Trace.Event.Final_conflict _ -> 1
 
-let stream_pass t ?(stream_order = true) ?l0 ?(charge = `None) ?on_event cur =
-  Trace.Reader.rewind cur;
-  let saw_header = ref false in
-  let seen = Hashtbl.create 1024 in
-  let total = ref 0 in
-  let conf = ref None in
-  Trace.Reader.iter_cursor cur (fun e ->
-      (match charge with
-       | `Full -> Harness.Meter.alloc t.meter (residency_words e)
-       | `Defs -> (
-         match e with
-         | Trace.Event.Learned l ->
-           Harness.Meter.alloc t.meter (2 + Array.length l.sources)
-         | _ -> ())
-       | `None -> ());
-      (match e with
-       | Trace.Event.Header h ->
-         saw_header := true;
-         if
-           h.nvars <> Sat.Cnf.nvars t.formula
-           || h.num_original <> t.num_original
-         then
-           Diagnostics.fail
-             (Diagnostics.Header_mismatch
-                { trace_nvars = h.nvars; trace_norig = h.num_original;
-                  formula_nvars = Sat.Cnf.nvars t.formula;
-                  formula_norig = t.num_original })
-       | Trace.Event.Learned l ->
-         if is_original t l.id then
-           Diagnostics.fail (Diagnostics.Shadows_original l.id);
-         if Hashtbl.mem seen l.id then
-           Diagnostics.fail (Diagnostics.Duplicate_definition l.id);
-         if Array.length l.sources = 0 then
-           Diagnostics.fail (Diagnostics.Empty_source_list l.id);
-         if stream_order then
-           Array.iter
-             (fun s ->
-               if not (is_original t s) && not (Hashtbl.mem seen s) then
-                 Diagnostics.fail
-                   (Diagnostics.Forward_reference { id = l.id; source = s }))
-             l.sources;
-         Hashtbl.replace seen l.id ();
-         incr total
-       | Trace.Event.Level0 v -> (
-         match l0 with
-         | Some l0 -> Level0.add l0 ~var:v.var ~value:v.value ~ante:v.ante
-         | None -> ())
-       | Trace.Event.Final_conflict id -> conf := Some id);
-      match on_event with Some f -> f e | None -> ());
-  if not !saw_header then Diagnostics.fail Diagnostics.Missing_header;
-  { total_learned = !total; final_conflict = !conf }
+(* The validating pass is an incremental state machine so that it can be
+   driven either by pulling from a {!Trace.Source.t} ({!stream_pass}, the
+   file-based checkers) or by having events pushed into it live from the
+   solver (the online validator's BF ingest).  Both drivers share the
+   exact same per-event validation and meter charges, which is what makes
+   online and file-based reports bit-identical. *)
+
+type stream = {
+  sk : t;
+  s_stream_order : bool;
+  s_l0 : Level0.t option;
+  s_charge : residency;
+  seen : (int, unit) Hashtbl.t;
+  mutable saw_header : bool;
+  mutable s_total : int;
+  mutable s_conf : int option;
+}
+
+let stream_start t ?(stream_order = true) ?l0 ?(charge = `None) () =
+  {
+    sk = t;
+    s_stream_order = stream_order;
+    s_l0 = l0;
+    s_charge = charge;
+    seen = Hashtbl.create 1024;
+    saw_header = false;
+    s_total = 0;
+    s_conf = None;
+  }
+
+let stream_feed st e =
+  let t = st.sk in
+  (match st.s_charge with
+   | `Full -> Harness.Meter.alloc t.meter (residency_words e)
+   | `Defs -> (
+     match e with
+     | Trace.Event.Learned l ->
+       Harness.Meter.alloc t.meter (2 + Array.length l.sources)
+     | _ -> ())
+   | `None -> ());
+  match e with
+  | Trace.Event.Header h ->
+    st.saw_header <- true;
+    if h.nvars <> Sat.Cnf.nvars t.formula || h.num_original <> t.num_original
+    then
+      Diagnostics.fail
+        (Diagnostics.Header_mismatch
+           { trace_nvars = h.nvars; trace_norig = h.num_original;
+             formula_nvars = Sat.Cnf.nvars t.formula;
+             formula_norig = t.num_original })
+  | Trace.Event.Learned l ->
+    if is_original t l.id then
+      Diagnostics.fail (Diagnostics.Shadows_original l.id);
+    if Hashtbl.mem st.seen l.id then
+      Diagnostics.fail (Diagnostics.Duplicate_definition l.id);
+    if Array.length l.sources = 0 then
+      Diagnostics.fail (Diagnostics.Empty_source_list l.id);
+    if st.s_stream_order then
+      Array.iter
+        (fun s ->
+          if not (is_original t s) && not (Hashtbl.mem st.seen s) then
+            Diagnostics.fail
+              (Diagnostics.Forward_reference { id = l.id; source = s }))
+        l.sources;
+    Hashtbl.replace st.seen l.id ();
+    st.s_total <- st.s_total + 1
+  | Trace.Event.Level0 v -> (
+    match st.s_l0 with
+    | Some l0 -> Level0.add l0 ~var:v.var ~value:v.value ~ante:v.ante
+    | None -> ())
+  | Trace.Event.Final_conflict id -> st.s_conf <- Some id
+
+let stream_finish st =
+  if not st.saw_header then Diagnostics.fail Diagnostics.Missing_header;
+  { total_learned = st.s_total; final_conflict = st.s_conf }
+
+let stream_pass t ?stream_order ?l0 ?charge ?on_event src =
+  let st = stream_start t ?stream_order ?l0 ?charge () in
+  Trace.Source.iter
+    (fun e ->
+      stream_feed st e;
+      match on_event with Some f -> f e | None -> ())
+    src;
+  stream_finish st
 
 type proof = {
   sources : (int, int array) Hashtbl.t;
@@ -375,7 +408,7 @@ type proof = {
   mutable defs_words : int;
 }
 
-let load t ?(stream_order = false) ?(charge = `None) cur =
+let load t ?(stream_order = false) ?(charge = `None) src =
   let sources = Hashtbl.create 1024 in
   let defs = ref [] in
   let defs_words = ref 0 in
@@ -388,7 +421,7 @@ let load t ?(stream_order = false) ?(charge = `None) cur =
           defs := (l.id, l.sources) :: !defs;
           defs_words := !defs_words + 2 + Array.length l.sources
         | _ -> ())
-      cur
+      src
   in
   {
     sources;

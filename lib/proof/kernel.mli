@@ -151,19 +151,35 @@ type pass = {
     the resolve-source lists (the hybrid's pass one), or nothing. *)
 type residency = [ `Full | `Defs | `None ]
 
-(** [stream_pass t cursor] rewinds [cursor] and validates the whole trace
-    shape: header present and matching the formula, no learned id
-    shadowing an original or defined twice, no empty source list — and,
-    with [stream_order] (default), no forward references.  [l0]
-    accumulates level-0 records when given; [on_event] sees each event
-    after validation. *)
+(** The validating pass as an incremental state machine, so it can be
+    driven by pulling from a source ({!stream_pass}) or by pushing events
+    into it live from the solver (the online validator).  Both drivers
+    run the identical per-event validation and meter charges. *)
+type stream
+
+val stream_start :
+  t -> ?stream_order:bool -> ?l0:Level0.t -> ?charge:residency -> unit -> stream
+
+(** [stream_feed st e] validates one event: header matching the formula,
+    no learned id shadowing an original or defined twice, no empty source
+    list — and, with [stream_order] (default), no forward references.
+    @raise Diagnostics.Check_failed on the first violation. *)
+val stream_feed : stream -> Trace.Event.t -> unit
+
+(** [stream_finish st] checks a header was seen and returns the totals. *)
+val stream_finish : stream -> pass
+
+(** [stream_pass t src] drains [src] through {!stream_feed} and finishes.
+    The source is consumed from its current position — callers wanting
+    the whole trace pass a fresh source (or rewind their cursor first).
+    [on_event] sees each event after validation. *)
 val stream_pass :
   t ->
   ?stream_order:bool ->
   ?l0:Level0.t ->
   ?charge:residency ->
   ?on_event:(Trace.Event.t -> unit) ->
-  Trace.Reader.cursor ->
+  Trace.Source.t ->
   pass
 
 (** A fully loaded proof skeleton: resolve-source lists, level-0 records,
@@ -182,7 +198,7 @@ val load :
   t ->
   ?stream_order:bool ->
   ?charge:residency ->
-  Trace.Reader.cursor ->
+  Trace.Source.t ->
   proof
 
 (** [free_defs t proof] credits the meter for the proof's source lists

@@ -67,7 +67,7 @@ type clause_rec = {
 
 type t = {
   cfg : config;
-  tracer : Trace.Writer.t option;
+  tracer : Trace.Sink.t option;
   nvars : int;
   clauses : clause_rec Sat.Vec.t;           (* index cid-1 *)
   watches : int Sat.Vec.t array;            (* per literal: watching cids *)
@@ -113,7 +113,7 @@ let clause_of s cid = Sat.Vec.get s.clauses (cid - 1)
 let emit s e =
   match s.tracer with
   | None -> ()
-  | Some w -> Trace.Writer.emit w e
+  | Some sink -> Trace.Sink.push sink e
 
 (* --- assignment ------------------------------------------------------- *)
 

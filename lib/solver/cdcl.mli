@@ -9,7 +9,8 @@
     at decision level 0 has an antecedent, which is what makes the final
     empty-clause construction of Proposition 3 possible.
 
-    When a {!Trace.Writer.t} is supplied, the solver emits:
+    When a trace {!Trace.Sink.t} is supplied, the solver pushes, in
+    stream order:
     - a header event up front;
     - one [Learned] event per learned clause, listing its resolve sources
       in resolution order (conflicting clause first, then antecedents);
@@ -86,8 +87,10 @@ type stats = {
 (** [solve ?config ?trace f] decides [f].  A [Sat] answer always carries a
     model that satisfies [f] (checked by the test suite through
     {!Sat.Model.satisfies}); an [Unsat] answer is what the checker
-    validates from the trace. *)
-val solve : ?config:config -> ?trace:Trace.Writer.t -> Sat.Cnf.t -> result * stats
+    validates from the trace.  [trace] receives the proof events as they
+    are produced (it is {e not} closed — the caller owns the sink, and
+    may have teed it into several consumers). *)
+val solve : ?config:config -> ?trace:Trace.Sink.t -> Sat.Cnf.t -> result * stats
 
 (** Result of solving under assumptions. *)
 type assumed_result =

@@ -29,7 +29,14 @@ let binary_magic = "ZKB1"
    [Parse_error] locations are identical for both backings.  It tracks the
    position (line for ASCII, byte offset for binary) of the event last
    yielded so that callers — the linter above all — can report precise
-   locations. *)
+   locations.
+
+   Channel-backed cursors ({!channel_cursor}) use the same block buffer
+   over a pipe/FIFO/stdin: total length unknown ([total = max_int], end
+   of trace is the first empty read), no rewind, and an optional [tap]
+   receives every raw block as it arrives — the CLI spools blocks to a
+   temp file so later checker passes can re-read what the pipe already
+   delivered. *)
 
 let block_size = 65536
 
@@ -38,6 +45,9 @@ type chan = {
   buf : Bytes.t;
   mutable base : int; (* absolute offset of buf.[0] *)
   mutable len : int;  (* valid bytes in buf *)
+  mutable eof : bool; (* an [input] returned 0 (streaming backings only) *)
+  tap : (string -> unit) option;
+  seekable : bool;
 }
 
 type backing =
@@ -46,7 +56,7 @@ type backing =
 
 type cursor = {
   backing : backing;
-  total : int;                (* serialised trace length in bytes *)
+  total : int;                (* serialised length; [max_int] = unknown *)
   binary : bool;
   start : int;
   mutable pos : int;          (* absolute offset of the next unread byte *)
@@ -59,7 +69,15 @@ type cursor = {
    [base <= pos <= base + len]; the only seek happens in [rewind]. *)
 let refill ch =
   ch.base <- ch.base + ch.len;
-  ch.len <- input ch.ic ch.buf 0 (Bytes.length ch.buf)
+  if ch.eof then ch.len <- 0
+  else begin
+    ch.len <- input ch.ic ch.buf 0 (Bytes.length ch.buf);
+    if ch.len = 0 then ch.eof <- true
+    else
+      match ch.tap with
+      | Some f -> f (Bytes.sub_string ch.buf 0 ch.len)
+      | None -> ()
+  end
 
 (* next byte, or [-1] at end of trace *)
 let rec get_byte c =
@@ -81,9 +99,82 @@ let rec get_byte c =
         b
       end
 
-let at_eof c = c.pos >= c.total
+let at_eof c =
+  if c.total <> max_int then c.pos >= c.total
+  else
+    match c.backing with
+    | Mem _ -> c.pos >= c.total
+    | Chan ch ->
+      c.pos >= ch.base + ch.len
+      && (ch.eof
+          ||
+          begin
+            refill ch;
+            ch.len = 0
+          end)
 
-let cursor source =
+(* Encoding detection: the binary magic decides [`Binary]; a first byte
+   that can start an ASCII record (or blank line) decides [`Ascii];
+   anything else — including an empty trace or a strict prefix of the
+   magic — is ambiguous and the CLI refuses it (exit 2) unless the user
+   forces a format. *)
+let classify_prefix p =
+  let m = String.length binary_magic in
+  let n = String.length p in
+  if n = 0 then `Ambiguous "empty trace"
+  else if n >= m && String.sub p 0 m = binary_magic then `Binary
+  else if n < m && String.sub binary_magic 0 n = p then
+    `Ambiguous
+      (Printf.sprintf "%d-byte trace is a strict prefix of the binary magic" n)
+  else
+    match p.[0] with
+    | 't' | 'C' | 'V' | ' ' | '\t' | '\r' | '\n' -> `Ascii
+    | c -> `Ambiguous (Printf.sprintf "unrecognized first byte 0x%02x" (Char.code c))
+
+let detect src =
+  let prefix =
+    match src with
+    | From_string s -> String.sub s 0 (min 4 (String.length s))
+    | From_file path ->
+      let ic = open_in_bin path in
+      let n = min 4 (in_channel_length ic) in
+      let p = really_input_string ic n in
+      close_in_noerr ic;
+      p
+  in
+  classify_prefix prefix
+
+let has_magic backing total =
+  let magic = String.length binary_magic in
+  total >= magic
+  &&
+  match backing with
+  | Mem s -> String.sub s 0 magic = binary_magic
+  | Chan ch -> ch.len >= magic && Bytes.sub_string ch.buf 0 magic = binary_magic
+
+let make_cursor ?format backing total =
+  let magic = has_magic backing total in
+  let binary =
+    match format with
+    | Some Writer.Binary -> true
+    | Some Writer.Ascii -> false
+    | None -> magic
+  in
+  (* a forced-binary read of a magic-less trace starts at offset 0; a
+     forced-ASCII read never skips the magic even if present *)
+  let start = if binary && magic then String.length binary_magic else 0 in
+  {
+    backing;
+    total;
+    binary;
+    start;
+    pos = start;
+    line = 1;
+    last_pos = (if binary then Byte start else Line 1);
+    line_buf = Buffer.create 128;
+  }
+
+let cursor ?format source =
   let backing, total =
     match source with
     | From_string s -> (Mem s, String.length s)
@@ -92,29 +183,10 @@ let cursor source =
       let total = in_channel_length ic in
       let buf = Bytes.create block_size in
       let len = input ic buf 0 block_size in
-      (Chan { ic; buf; base = 0; len }, total)
+      ( Chan { ic; buf; base = 0; len; eof = false; tap = None; seekable = true },
+        total )
   in
-  let magic = String.length binary_magic in
-  let binary =
-    total >= magic
-    &&
-    match backing with
-    | Mem s -> String.sub s 0 magic = binary_magic
-    | Chan ch -> ch.len >= magic && Bytes.sub_string ch.buf 0 magic = binary_magic
-  in
-  let start = if binary then magic else 0 in
-  let c =
-    {
-      backing;
-      total;
-      binary;
-      start;
-      pos = start;
-      line = 1;
-      last_pos = (if binary then Byte start else Line 1);
-      line_buf = Buffer.create 128;
-    }
-  in
+  let c = make_cursor ?format backing total in
   (match backing with
    | Chan { ic; _ } ->
      (* cursors have no explicit lifetime in the checker API; make sure an
@@ -123,10 +195,30 @@ let cursor source =
    | Mem _ -> ());
   c
 
+let channel_cursor ?format ?tap ic =
+  let ch =
+    { ic; buf = Bytes.create block_size; base = 0; len = 0; eof = false; tap;
+      seekable = false }
+  in
+  refill ch;
+  (* the channel is caller-owned (it may be stdin): no finaliser *)
+  make_cursor ?format (Chan ch) max_int
+
+let detect_cursor c =
+  let prefix =
+    match c.backing with
+    | Mem s -> String.sub s 0 (min 4 (String.length s))
+    | Chan ch ->
+      if ch.base <> 0 then
+        invalid_arg "Trace.Reader.detect_cursor: cursor already read past its first block";
+      Bytes.sub_string ch.buf 0 (min 4 ch.len)
+  in
+  classify_prefix prefix
+
 let close c =
   match c.backing with
   | Mem _ -> ()
-  | Chan { ic; _ } -> close_in_noerr ic
+  | Chan { ic; seekable; _ } -> if seekable then close_in_noerr ic
 
 let is_binary_cursor c = c.binary
 
@@ -134,6 +226,8 @@ let rewind c =
   (match c.backing with
    | Mem _ -> ()
    | Chan ch ->
+     if not ch.seekable then
+       invalid_arg "Trace.Reader.rewind: non-seekable (channel) cursor";
      if c.start < ch.base then begin
        seek_in ch.ic c.start;
        ch.base <- c.start;
@@ -197,6 +291,10 @@ let rec next_ascii c =
 (* a 63-bit int needs at most 9 varint bytes; more means garbage *)
 let max_varint_bytes = 9
 
+(* unknown-length (channel) backings cannot bound a source count by the
+   remaining bytes; cap it outright before allocating *)
+let max_stream_sources = 1 lsl 26
+
 let next_binary c =
   if at_eof c then None
   else begin
@@ -225,7 +323,11 @@ let next_binary c =
     | 1 ->
       let id = varint () in
       let n = varint () in
-      if n < 0 || c.pos + n > c.total then
+      if
+        n < 0
+        || (c.total <> max_int && c.pos + n > c.total)
+        || (c.total = max_int && n > max_stream_sources)
+      then
         (* each source is at least one byte: fail before allocating an
            attacker-sized array from a garbled count *)
         fail record_start "truncated binary trace (%d sources claimed)" n;

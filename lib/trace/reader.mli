@@ -2,7 +2,9 @@
     to scan the trace several times without holding a parsed copy in
     memory, so a reader is created from a re-readable {!source} and
     exposes both a one-shot fold-style pass and a rewindable {!cursor}.
-    Format (ASCII vs binary) is auto-detected from the magic bytes. *)
+    Format (ASCII vs binary) is auto-detected from the magic bytes, with
+    an explicit override available; {!channel_cursor} additionally decodes
+    non-seekable inputs (pipes, FIFOs, stdin) in one forward pass. *)
 
 (** Location inside a trace: 1-based line for the ASCII format, 0-based
     byte offset (magic included) for the binary one. *)
@@ -22,6 +24,13 @@ type source =
   | From_string of string  (** in-memory trace, e.g. from {!Writer.contents} *)
   | From_file of string    (** trace file on disk *)
 
+(** [detect src] sniffs the encoding from the first bytes: the "ZKB1"
+    magic means binary, a byte that can start an ASCII record means
+    ASCII, and anything else (empty trace, strict prefix of the magic,
+    unrecognized first byte) is ambiguous — the CLI turns [`Ambiguous]
+    into a usage error unless the user forces a format. *)
+val detect : source -> [ `Ascii | `Binary | `Ambiguous of string ]
+
 (** A resumable read position into a trace.  In-memory sources are read in
     place; file sources are streamed through a fixed [Bytes] block buffer,
     so a cursor never holds more than one block of the raw trace at a time
@@ -30,15 +39,35 @@ type source =
     between passes; positions are identical for both backings. *)
 type cursor
 
-(** [cursor source] opens a cursor positioned at the first event. *)
-val cursor : source -> cursor
+(** [cursor source] opens a cursor positioned at the first event.
+    [format] forces the encoding instead of auto-detecting from the
+    magic: forced-binary skips the magic when present, forced-ASCII
+    parses from the very first byte. *)
+val cursor : ?format:Writer.format -> source -> cursor
+
+(** [channel_cursor ic] opens a single-shot cursor over a non-seekable
+    channel (pipe, FIFO, stdin): total length is unknown (end of trace is
+    the first empty read) and {!rewind} raises [Invalid_argument].  [tap]
+    observes every raw block as it is read — the CLI spools the blocks to
+    a temp file so multi-pass checkers can re-read the trace after the
+    pipe is drained.  The channel stays caller-owned: {!close} and GC
+    leave it open. *)
+val channel_cursor :
+  ?format:Writer.format -> ?tap:(string -> unit) -> in_channel -> cursor
+
+(** [detect_cursor c] classifies the encoding from the cursor's first
+    bytes, like {!detect} but without reopening the underlying input —
+    the only option for channel cursors.  Must be called before the
+    cursor reads past its first block. *)
+val detect_cursor : cursor -> [ `Ascii | `Binary | `Ambiguous of string ]
 
 (** [close c] releases the file descriptor of a file-backed cursor (also
     done by a GC finaliser; a closed cursor must not be read again);
-    no-op for in-memory sources. *)
+    no-op for in-memory sources and caller-owned channel cursors. *)
 val close : cursor -> unit
 
-(** [is_binary_cursor c] tells which format the magic bytes selected. *)
+(** [is_binary_cursor c] tells which format the magic bytes (or the
+    override) selected. *)
 val is_binary_cursor : cursor -> bool
 
 (** [next c] yields the next event, or [None] at end of trace.
@@ -52,7 +81,8 @@ val next : cursor -> Event.t option
     set when {!next} raises, to the failing record's start). *)
 val last_pos : cursor -> pos
 
-(** [rewind c] repositions [c] at the first event. *)
+(** [rewind c] repositions [c] at the first event.
+    @raise Invalid_argument on a channel cursor. *)
 val rewind : cursor -> unit
 
 (** [iter_cursor c f] streams the remaining events of [c] through [f]. *)

@@ -1,0 +1,55 @@
+type t = {
+  push : Event.t -> unit;
+  close : unit -> unit;
+  mutable closed : bool;
+}
+
+let make ?(close = fun () -> ()) push = { push; close; closed = false }
+
+let push t e = t.push e
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.close ()
+  end
+
+let null = { push = ignore; close = ignore; closed = false }
+
+let tee sinks =
+  match sinks with
+  | [] -> null
+  | [ s ] -> s
+  | _ ->
+    make
+      ~close:(fun () -> List.iter close sinks)
+      (fun e -> List.iter (fun s -> s.push e) sinks)
+
+type counter = {
+  mutable events : int;
+  mutable bytes : int;
+}
+
+let counting ?measure next =
+  let c = { events = 0; bytes = 0 } in
+  let push =
+    match measure with
+    | None ->
+      fun e ->
+        c.events <- c.events + 1;
+        next.push e
+    | Some size ->
+      fun e ->
+        c.events <- c.events + 1;
+        c.bytes <- c.bytes + size e;
+        next.push e
+  in
+  (c, make ~close:(fun () -> close next) push)
+
+type buffered = { mutable rev_events : Event.t list }
+
+let buffer () =
+  let b = { rev_events = [] } in
+  (b, make (fun e -> b.rev_events <- e :: b.rev_events))
+
+let buffered_events b = List.rev b.rev_events

@@ -1,0 +1,51 @@
+(** Push-based event consumers.
+
+    A sink is the downstream half of the streaming trace pipeline: the
+    solver (or a decoder replaying a file) pushes {!Event.t} values into
+    it one at a time, and [close] finalizes whatever the sink was
+    accumulating — flushing an encoder's buffer, sealing a lint report,
+    completing a checker's counting pass.  Sinks compose: {!tee} fans one
+    stream out to several consumers, {!counting} threads accounting
+    through, and {!buffer} recovers the old materialize-everything
+    behaviour as just another sink. *)
+
+type t
+
+(** [make ?close push] wraps a push function into a sink.  [close] runs at
+    most once, on the first {!close}. *)
+val make : ?close:(unit -> unit) -> (Event.t -> unit) -> t
+
+val push : t -> Event.t -> unit
+
+(** [close t] finalizes the sink.  Idempotent: second and later calls are
+    no-ops. *)
+val close : t -> unit
+
+(** Discards everything. *)
+val null : t
+
+(** [tee sinks] pushes every event to each of [sinks] in list order
+    (order is observable — the online validator relies on its lint sink
+    seeing an event before the encoder advances its byte counter) and
+    closes them all, in list order, on close. *)
+val tee : t list -> t
+
+(** Live accounting cell updated before the event is forwarded. *)
+type counter = {
+  mutable events : int;
+  mutable bytes : int;  (** stays [0] unless [measure] was given *)
+}
+
+(** [counting ?measure next] threads event (and, with [measure], byte)
+    accounting around [next]: the returned sink forwards everything to
+    [next] and closes it on close.  [measure] is typically
+    {!Writer.encoded_size}. *)
+val counting : ?measure:(Event.t -> int) -> t -> counter * t
+
+(** The materializing sink: keeps every pushed event. *)
+type buffered
+
+val buffer : unit -> buffered * t
+
+(** [buffered_events b] are the pushed events in push order. *)
+val buffered_events : buffered -> Event.t list

@@ -1,0 +1,67 @@
+type t = {
+  next : unit -> Event.t option;
+  pos : unit -> Reader.pos;
+  close : unit -> unit;
+  mutable closed : bool;
+}
+
+let make ?(close = fun () -> ()) ?(pos = fun () -> Reader.Line 1) next =
+  { next; pos; close; closed = false }
+
+let next t = t.next ()
+
+let last_pos t = t.pos ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.close ()
+  end
+
+let of_cursor ?(close_cursor = false) cur =
+  make
+    ~close:(fun () -> if close_cursor then Reader.close cur)
+    ~pos:(fun () -> Reader.last_pos cur)
+    (fun () -> Reader.next cur)
+
+let of_list events =
+  let rest = ref events in
+  let n = ref 0 in
+  make
+    ~pos:(fun () -> Reader.Line (max 1 !n))
+    (fun () ->
+      match !rest with
+      | [] -> None
+      | e :: tl ->
+        rest := tl;
+        incr n;
+        Some e)
+
+let tap f t =
+  {
+    t with
+    next =
+      (fun () ->
+        match t.next () with
+        | None -> None
+        | Some e ->
+          f (t.pos ()) e;
+          Some e);
+  }
+
+let iter f t =
+  let rec loop () =
+    match t.next () with
+    | Some e ->
+      f e;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun e -> acc := f !acc e) t;
+  !acc
+
+let drain t sink = iter (Sink.push sink) t

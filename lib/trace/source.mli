@@ -1,0 +1,49 @@
+(** Pull-based event producers.
+
+    A source is the upstream half of the streaming pipeline: callers pull
+    events one at a time with {!next} until [None].  Decoding cursors
+    ({!Reader.cursor}) wrap into sources with {!of_cursor}; {!tap} lets a
+    bystander (the linter) observe each event in passing, which is how
+    [rescheck check] lints and checks in a single parse.
+
+    Unlike a {!Reader.cursor}, a source is single-shot: there is no
+    rewind.  Multi-pass checkers take a source for their first pass and a
+    re-readable {!Reader.source} for the rest. *)
+
+type t
+
+(** [make ?close ?pos next] builds a source from a pull function.  [pos]
+    reports where the most recently yielded event started (used for
+    diagnostics); it defaults to a constant. *)
+val make :
+  ?close:(unit -> unit) -> ?pos:(unit -> Reader.pos) -> (unit -> Event.t option) -> t
+
+(** [next t] pulls the next event, or [None] at end of stream.
+    @raise Reader.Parse_error if the underlying decoder does. *)
+val next : t -> Event.t option
+
+(** [last_pos t] is where the most recently yielded event starts. *)
+val last_pos : t -> Reader.pos
+
+(** [close t] releases underlying resources; idempotent. *)
+val close : t -> unit
+
+(** [of_cursor cur] pulls from a decoding cursor, reporting its positions.
+    The cursor is not rewound first; with [~close_cursor:true] closing the
+    source closes the cursor. *)
+val of_cursor : ?close_cursor:bool -> Reader.cursor -> t
+
+(** [of_list events] replays an in-memory event list (positions are
+    1-based event ordinals rendered as lines). *)
+val of_list : Event.t list -> t
+
+(** [tap f t] forwards [t] unchanged, calling [f pos event] on each event
+    as it passes through. *)
+val tap : (Reader.pos -> Event.t -> unit) -> t -> t
+
+val iter : (Event.t -> unit) -> t -> unit
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+(** [drain t sink] pushes every remaining event of [t] into [sink].
+    Closes neither side. *)
+val drain : t -> Sink.t -> unit

@@ -1,15 +1,6 @@
 type format = Ascii | Binary
 
-type t = { fmt : format; buf : Buffer.t }
-
 let binary_magic = "ZKB1"
-
-let create fmt =
-  let buf = Buffer.create 65536 in
-  if fmt = Binary then Buffer.add_string buf binary_magic;
-  { fmt; buf }
-
-let format w = w.fmt
 
 let add_varint buf n =
   assert (n >= 0);
@@ -87,10 +78,102 @@ let emit_binary buf (e : Event.t) =
     Buffer.add_char buf '\003';
     add_varint buf id
 
-let emit w e =
-  match w.fmt with
-  | Ascii -> emit_ascii w.buf e
-  | Binary -> emit_binary w.buf e
+let emit_event fmt buf e =
+  match fmt with
+  | Ascii -> emit_ascii buf e
+  | Binary -> emit_binary buf e
+
+(* Exact encoded sizes, without encoding.  Used by the {!Sink.counting}
+   combinator and by the online validator to compute the byte offset a
+   re-parse of the spooled trace would report for each event — so they
+   must match the emitters above digit for digit (the round-trip fuzz
+   test pins this). *)
+
+let uint_digits n =
+  assert (n >= 0);
+  let rec loop n acc = if n < 10 then acc else loop (n / 10) (acc + 1) in
+  loop n 1
+
+let varint_len n =
+  assert (n >= 0);
+  let rec loop n acc = if n < 0x80 then acc else loop (n lsr 7) (acc + 1) in
+  loop n 1
+
+let encoded_size fmt (e : Event.t) =
+  match fmt with
+  | Ascii -> (
+    match e with
+    | Header h -> 2 + uint_digits h.nvars + 1 + uint_digits h.num_original + 1
+    | Learned l ->
+      3 + uint_digits l.id
+      + Array.fold_left (fun acc s -> acc + 1 + uint_digits s) 0 l.sources
+      + 1
+    | Level0 v -> 4 + uint_digits v.var + 3 + uint_digits v.ante + 1
+    | Final_conflict id -> 5 + uint_digits id + 1)
+  | Binary -> (
+    match e with
+    | Header h -> 1 + varint_len h.nvars + varint_len h.num_original
+    | Learned l ->
+      1 + varint_len l.id
+      + varint_len (Array.length l.sources)
+      + Array.fold_left (fun acc s -> acc + varint_len s) 0 l.sources
+    | Level0 v ->
+      1 + varint_len ((v.var * 2) + if v.value then 1 else 0) + varint_len v.ante
+    | Final_conflict id -> 1 + varint_len id)
+
+(* Streaming encoder: events in, encoded chunks out through [write].  The
+   scratch buffer is flushed whenever it crosses [flush_threshold], so
+   the resident encoded bytes stay bounded by the threshold plus one
+   record — this is what lets the online validator prove it never holds
+   the whole trace ([stats.peak_buffered] vs [stats.bytes]). *)
+
+type stats = {
+  mutable bytes : int;          (* total encoded bytes, magic included *)
+  mutable peak_buffered : int;  (* high-water mark of unflushed bytes *)
+}
+
+let default_flush_threshold = 65536
+
+let sink ?(flush_threshold = default_flush_threshold) fmt ~write =
+  let scratch = Buffer.create (min flush_threshold 65536) in
+  if fmt = Binary then Buffer.add_string scratch binary_magic;
+  let st = { bytes = Buffer.length scratch; peak_buffered = Buffer.length scratch } in
+  let flush () =
+    if Buffer.length scratch > 0 then begin
+      write (Buffer.contents scratch);
+      Buffer.clear scratch
+    end
+  in
+  let push e =
+    let before = Buffer.length scratch in
+    emit_event fmt scratch e;
+    let len = Buffer.length scratch in
+    st.bytes <- st.bytes + (len - before);
+    if len > st.peak_buffered then st.peak_buffered <- len;
+    if len >= flush_threshold then flush ()
+  in
+  (st, Sink.make ~close:flush push)
+
+let to_channel ?flush_threshold fmt oc =
+  let st, s =
+    sink ?flush_threshold fmt ~write:(fun chunk -> output_string oc chunk)
+  in
+  (st, Sink.make ~close:(fun () -> Sink.close s; flush oc) (Sink.push s))
+
+(* Legacy materializing writer: a buffer-backed sink with the trace kept
+   in memory, retained for callers (tests, the file-based pipeline) that
+   want the whole encoded artefact as a string. *)
+
+type t = { fmt : format; buf : Buffer.t }
+
+let create fmt =
+  let buf = Buffer.create 65536 in
+  if fmt = Binary then Buffer.add_string buf binary_magic;
+  { fmt; buf }
+
+let format w = w.fmt
+
+let emit w e = emit_event w.fmt w.buf e
 
 let bytes_written w = Buffer.length w.buf
 
@@ -100,3 +183,5 @@ let to_file w path =
   let oc = open_out_bin path in
   Buffer.output_buffer oc w.buf;
   close_out oc
+
+let as_sink w = Sink.make (emit w)

@@ -14,9 +14,40 @@
     Binary format: magic "ZKB1", then per event a tag byte
     (0 header, 1 learned, 2 level0, 3 final-conflict) followed by LEB128
     unsigned varints; the learned-source list is length-prefixed; the
-    level-0 value is folded into the variable varint's low bit. *)
+    level-0 value is folded into the variable varint's low bit.
+
+    Encoders are {!Sink.t}s: {!sink} streams encoded chunks out through a
+    callback with bounded buffering, {!to_channel} does so into a channel,
+    and the legacy {!t} writer materializes the whole trace in memory. *)
 
 type format = Ascii | Binary
+
+(** [encoded_size fmt e] is the exact number of bytes {!emit} (or a
+    streaming sink) produces for [e] — the magic is not included.  Feeds
+    {!Sink.counting}'s [measure] and the online validator's position
+    accounting. *)
+val encoded_size : format -> Event.t -> int
+
+(** Accounting for a streaming encoder sink.  [bytes] is the total
+    encoded size so far, magic included — after [close] it equals the
+    byte size of the written trace.  [peak_buffered] is the high-water
+    mark of encoded bytes resident in the sink between flushes: bounded
+    by the flush threshold plus one record, never by the proof size. *)
+type stats = {
+  mutable bytes : int;
+  mutable peak_buffered : int;
+}
+
+(** [sink fmt ~write] is an encoding sink that emits serialised chunks
+    through [write] whenever [flush_threshold] (default 64 KiB) bytes
+    accumulate, and on close.  Binary traces start with the magic,
+    counted in [stats.bytes] from creation. *)
+val sink :
+  ?flush_threshold:int -> format -> write:(string -> unit) -> stats * Sink.t
+
+(** [to_channel fmt oc] encodes into [oc]; close flushes the channel but
+    does not close it. *)
+val to_channel : ?flush_threshold:int -> format -> out_channel -> stats * Sink.t
 
 (** A writer appends events to an internal buffer.  [bytes_written] lets
     the harness report trace sizes (Table 2, column "Trace Size"). *)
@@ -32,3 +63,7 @@ val contents : t -> string
 
 (** [to_file w path] writes the serialised trace to disk. *)
 val to_file : t -> string -> unit
+
+(** [as_sink w] views the materializing writer as a sink (close is a
+    no-op; the buffer stays readable through {!contents}). *)
+val as_sink : t -> Sink.t

@@ -78,6 +78,53 @@ A missing input file is a usage problem (exit code 2):
 
   $ $R lint no-such.trc 2>/dev/null; echo "exit $?"
   exit 2
+  $ $R check php8.cnf no-such.trc 2>/dev/null; echo "exit $?"
+  exit 2
+
+The trace encoding is auto-detected; an empty or unclassifiable trace is
+a usage error unless --format forces the encoding:
+
+  $ : > empty.trc
+  $ $R check php8.cnf empty.trc 2>&1 | grep -c "cannot tell the trace encoding"
+  1
+  $ $R check php8.cnf empty.trc 2>/dev/null; echo "exit $?"
+  exit 2
+  $ $R lint empty.trc 2>/dev/null; echo "exit $?"
+  exit 2
+
+A magic-less binary fragment only checks when the format is forced:
+
+  $ $R solve php8.cnf --trace php8.bin --format binary > /dev/null
+  [20]
+  $ tail -c +5 php8.bin > nomagic.bin
+  $ $R check php8.cnf nomagic.bin 2>/dev/null; echo "exit $?"
+  exit 2
+  $ $R check php8.cnf nomagic.bin --format binary -s bf | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+`check` reads the trace from stdin with `-`, spooling it for the
+multi-pass strategies:
+
+  $ $R check php8.cnf - -s bf < php8.trc | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R check php8.cnf - -s hybrid < php8.bin | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+Online validation tees the live solver stream into the linter and the
+checker's counting pass; the verdict matches the file-based path and the
+encoder never buffers more than its flush threshold:
+
+  $ $R validate php8.cnf --mode online > online.out; echo "exit $?"
+  exit 20
+  $ grep "^s " online.out
+  s UNSATISFIABLE (proof verified)
+  $ grep -c "^c online: peak buffered .* live lint clean" online.out
+  1
+
+`--mode online` belongs to validate, not check:
+
+  $ $R check php8.cnf php8.trc --mode online 2>/dev/null; echo "exit $?"
+  exit 2
 
 The runtime sanitizer validates solver invariants at every decision
 boundary without changing the answer:

@@ -160,7 +160,7 @@ let families_accepted () =
 let binary_trace_accepted () =
   let f = Gen.Php.unsat ~holes:4 in
   let w = Trace.Writer.create Trace.Writer.Binary in
-  (match Solver.Cdcl.solve ~trace:w f with
+  (match Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink w) f with
    | Solver.Cdcl.Unsat, _ -> ()
    | Solver.Cdcl.Sat _, _ -> Alcotest.fail "php unsat");
   match

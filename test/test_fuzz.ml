@@ -29,7 +29,7 @@ let test_fuzz_trace_bytes () =
   let f = Gen.Php.unsat ~holes:4 in
   let _, _, ascii = Pipeline.Validate.solve_with_trace f in
   let wb = Trace.Writer.create Trace.Writer.Binary in
-  ignore (Solver.Cdcl.solve ~trace:wb f);
+  ignore (Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink wb) f);
   let binary = Trace.Writer.contents wb in
   let rng = Sat.Rng.create 60601 in
   let exercise payload =

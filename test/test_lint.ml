@@ -355,7 +355,7 @@ let test_families_lint_clean () =
 let test_binary_roundtrip_lint_clean () =
   let f = Gen.Php.unsat ~holes:5 in
   let w = Trace.Writer.create Trace.Writer.Binary in
-  (match Solver.Cdcl.solve ~trace:w f with
+  (match Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink w) f with
    | Solver.Cdcl.Unsat, _ -> ()
    | Solver.Cdcl.Sat _, _ -> Alcotest.fail "php must be unsat");
   let r = L.run ~formula:f (Trace.Reader.From_string (Trace.Writer.contents w)) in

@@ -37,12 +37,12 @@ let test_binary_smaller () =
   (* the paper predicts 2-3x compaction from a binary encoding *)
   let f = Gen.Php.unsat ~holes:5 in
   let wa = Trace.Writer.create Trace.Writer.Ascii in
-  let result, _ = Solver.Cdcl.solve ~trace:wa f in
+  let result, _ = Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink wa) f in
   (match result with
    | Solver.Cdcl.Unsat -> ()
    | Solver.Cdcl.Sat _ -> Alcotest.fail "php must be unsat");
   let wb = Trace.Writer.create Trace.Writer.Binary in
-  let _ = Solver.Cdcl.solve ~trace:wb f in
+  let _ = Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink wb) f in
   let ra = Trace.Writer.bytes_written wa in
   let rb = Trace.Writer.bytes_written wb in
   Alcotest.check Alcotest.bool
@@ -53,9 +53,9 @@ let test_binary_smaller () =
 let test_binary_equivalent_to_ascii () =
   let f = Gen.Php.unsat ~holes:4 in
   let wa = Trace.Writer.create Trace.Writer.Ascii in
-  ignore (Solver.Cdcl.solve ~trace:wa f);
+  ignore (Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink wa) f);
   let wb = Trace.Writer.create Trace.Writer.Binary in
-  ignore (Solver.Cdcl.solve ~trace:wb f);
+  ignore (Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink wb) f);
   let ea = Trace.Reader.to_list (Trace.Reader.From_string (Trace.Writer.contents wa)) in
   let eb = Trace.Reader.to_list (Trace.Reader.From_string (Trace.Writer.contents wb)) in
   Alcotest.check (Alcotest.list events_testable)
