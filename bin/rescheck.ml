@@ -66,6 +66,48 @@ let ambiguous_format_exit msg =
     msg;
   exit 2
 
+(* Telemetry flags shared by every instrumented command.  Evaluating the
+   term configures the run profile up front; the files are written by the
+   [at_exit] finalizer, so the handlers' deep [exit] calls are safe.
+   Telemetry output goes only to these files and stderr — stdout stays
+   byte-identical with the flags on or off. *)
+let telemetry_term =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a run-profile JSON (build env, metrics registry, \
+             progress samples, span aggregates) to $(docv) on exit.")
+  in
+  let trace_events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-events" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event timeline to $(docv) on exit; load \
+             it in chrome://tracing or Perfetto.")
+  in
+  let progress_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 1.0) (some float) None
+      & info [ "progress" ] ~docv:"SECS"
+          ~doc:
+            "Sample progress (live clauses, arena bytes, buffer occupancy, \
+             conflicts/s) every $(docv) seconds — $(b,--progress=SECS), \
+             default 1 — printing a heartbeat line to stderr; the series \
+             also lands in the $(b,--metrics) profile.")
+  in
+  let wire metrics trace_events progress =
+    Obs.Profile.configure ?metrics_file:metrics
+      ?trace_events_file:trace_events ?progress
+      ~heartbeat:(progress <> None) ()
+  in
+  Term.(const wire $ metrics_arg $ trace_events_arg $ progress_arg)
+
 let seed_arg =
   Arg.(
     value
@@ -145,7 +187,7 @@ let print_stats (stats : Solver.Cdcl.stats) =
 (* --- solve -------------------------------------------------------------- *)
 
 let solve_cmd =
-  let run formula_path trace_path format seed bcp no_restarts no_deletion
+  let run () formula_path trace_path format seed bcp no_restarts no_deletion
       minimize sanitize =
     match load_formula formula_path with
     | Error m ->
@@ -198,8 +240,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a DIMACS formula, optionally with a trace.")
     Term.(
-      const run $ formula_arg $ trace_arg $ format_arg $ seed_arg $ bcp_arg
-      $ no_restarts_arg $ no_deletion_arg $ minimize_arg $ sanitize_arg)
+      const run $ telemetry_term $ formula_arg $ trace_arg $ format_arg
+      $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg $ minimize_arg
+      $ sanitize_arg)
 
 (* --- check -------------------------------------------------------------- *)
 
@@ -254,8 +297,8 @@ let mem_limit_arg =
         ~doc:"Simulated memory budget in words (the paper's 800 MB cap).")
 
 let check_cmd =
-  let run formula_path trace_path strategy jobs mem_limit no_lint
-      format_override =
+  let run () formula_path trace_path strategy jobs mem_limit no_lint
+      format_override json =
     validate_jobs jobs;
     (match strategy with
      | `Online ->
@@ -374,14 +417,21 @@ let check_cmd =
       in
       (match checked with
        | Ok report ->
+         Checker.Report.observe report;
          (match lint_stream with
           | Some t ->
             let lint = Analysis.Lint.stream_finish t in
             if not (Analysis.Lint.clean lint) then lint_fail lint
           | None -> ());
          remove_spool ();
-         Format.printf "%a@." Checker.Report.pp report;
-         Printf.printf "c checked in %.3f s\n" seconds;
+         if json then
+           (* deterministic by construction: the JSON report carries no
+              elapsed seconds, so this output is diffable across runs *)
+           print_endline (Checker.Report.to_json report)
+         else begin
+           Format.printf "%a@." Checker.Report.pp report;
+           Printf.printf "c checked in %.3f s\n" seconds
+         end;
          print_endline "s VERIFIED UNSATISFIABLE";
          exit 0
        | Error d ->
@@ -426,6 +476,14 @@ let check_cmd =
             "Skip the structural lint pre-pass and hand the trace straight \
              to the semantic checker.")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "On success, print the report as deterministic JSON (no \
+             elapsed-seconds line) instead of the human-readable text.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -435,13 +493,13 @@ let check_cmd =
           verified, 1 proof rejected, 2 bad input (lint or parse failure, \
           ambiguous encoding, or bad $(b,--jobs)), 3 memory-out.")
     Term.(
-      const run $ formula_arg $ trace_pos $ strategy_arg $ jobs_arg
-      $ mem_limit_arg $ no_lint_arg $ in_format_arg)
+      const run $ telemetry_term $ formula_arg $ trace_pos $ strategy_arg
+      $ jobs_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg $ json_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run trace_path formula_path json max_diags format_override =
+  let run () trace_path formula_path json max_diags format_override =
     let formula =
       match formula_path with
       | None -> None
@@ -514,14 +572,14 @@ let lint_cmd =
           allowed), 1 lint errors, 2 unreadable input or ambiguous \
           encoding.")
     Term.(
-      const run $ trace_pos $ formula_opt $ json_arg $ max_diags_arg
-      $ in_format_arg)
+      const run $ telemetry_term $ trace_pos $ formula_opt $ json_arg
+      $ max_diags_arg $ in_format_arg)
 
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run formula_path strategy jobs format seed bcp no_restarts no_deletion
-      minimize sanitize =
+  let run () formula_path strategy jobs format seed bcp no_restarts
+      no_deletion minimize sanitize =
     validate_jobs jobs;
     match load_formula formula_path with
     | Error m ->
@@ -582,14 +640,14 @@ let validate_cmd =
           the linter and the checker's counting pass while solving runs, \
           so the full encoded trace is never held in memory.")
     Term.(
-      const run $ formula_arg $ strategy_arg $ jobs_arg $ format_arg
-      $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg
+      const run $ telemetry_term $ formula_arg $ strategy_arg $ jobs_arg
+      $ format_arg $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg
       $ minimize_arg $ sanitize_arg)
 
 (* --- core ---------------------------------------------------------------- *)
 
 let core_cmd =
-  let run formula_path rounds output minimal =
+  let run () formula_path rounds output minimal =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -669,7 +727,9 @@ let core_cmd =
   Cmd.v
     (Cmd.info "core"
        ~doc:"Extract and iteratively shrink an unsatisfiable core (§4).")
-    Term.(const run $ formula_arg $ rounds_arg $ output_arg $ minimal_arg)
+    Term.(
+      const run $ telemetry_term $ formula_arg $ rounds_arg $ output_arg
+      $ minimal_arg)
 
 (* --- simplify ------------------------------------------------------------ *)
 

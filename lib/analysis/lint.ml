@@ -102,12 +102,21 @@ type state = {
   mutable after_conflict_reported : bool;
 }
 
+(* Telemetry handles; updates are guarded at the few lint hot points. *)
+let m_events = Obs.Metrics.counter Obs.Metrics.global "lint.events"
+let m_errors = Obs.Metrics.counter Obs.Metrics.global "lint.errors"
+let m_warnings = Obs.Metrics.counter Obs.Metrics.global "lint.warnings"
+
 let emit st pos code fmt =
   Printf.ksprintf
     (fun message ->
       (match severity_of code with
-       | Error -> st.n_errors <- st.n_errors + 1
-       | Warning -> st.n_warnings <- st.n_warnings + 1);
+       | Error ->
+         st.n_errors <- st.n_errors + 1;
+         if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_errors 1
+       | Warning ->
+         st.n_warnings <- st.n_warnings + 1;
+         if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_warnings 1);
       if st.kept < st.cap then begin
         st.diags <- { code; pos; message } :: st.diags;
         st.kept <- st.kept + 1
@@ -195,6 +204,7 @@ let check_conflict st pos id =
 
 let handle_event st pos (e : Trace.Event.t) =
   st.n_events <- st.n_events + 1;
+  if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_events 1;
   if st.conflict_seen && not st.after_conflict_reported then begin
     st.after_conflict_reported <- true;
     emit st pos After_conflict "records continue after the final conflict"
@@ -338,6 +348,7 @@ let sink ?downstream t ~pos =
       match downstream with Some s -> Trace.Sink.push s e | None -> ())
 
 let run ?format ?formula ?max_diagnostics source =
+  Obs.Span.scope ~cat:"lint" "lint.run" @@ fun () ->
   let cur = Trace.Reader.cursor ?format source in
   let binary = Trace.Reader.is_binary_cursor cur in
   let t = stream_start ?formula ?max_diagnostics ~binary () in

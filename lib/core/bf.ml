@@ -171,6 +171,7 @@ let finish ?format ?(pass_one_seconds = 0.) g source =
       let kernel = g.ist.kernel in
       let (), pass_two_seconds =
         Harness.Timer.wall_time (fun () ->
+            Obs.Span.scope ~cat:"bf" "check.pass_two" @@ fun () ->
             let cur = Trace.Reader.cursor ?format source in
             build_pass g.ist cur;
             Trace.Reader.close cur;
@@ -230,6 +231,7 @@ let check ?meter ?format ?(counting = `In_memory) ?first_pass formula source =
     in
     let (), pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"bf" "check.pass_one" @@ fun () ->
           Fun.protect
             ~finally:(fun () -> Trace.Source.close src)
             (fun () ->

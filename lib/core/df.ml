@@ -21,6 +21,7 @@ let check ?meter ?format ?first_pass formula source =
     in
     let proof, pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"df" "check.pass_one" @@ fun () ->
           Fun.protect
             ~finally:(fun () -> Trace.Source.close src)
             (fun () -> Proof.Kernel.load k ~charge:`Full src))
@@ -32,6 +33,7 @@ let check ?meter ?format ?first_pass formula source =
     in
     let (), pass_two_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"df" "check.pass_two" @@ fun () ->
           let b =
             Proof.Kernel.builder k ~sources:proof.Proof.Kernel.sources
               Proof.Kernel.unit_annotation

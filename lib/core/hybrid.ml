@@ -78,6 +78,7 @@ let check ?meter ?format ?first_pass formula source =
     let antes = Sat.Vec.create ~dummy:0 in
     let pass, pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"hybrid" "check.pass_one" @@ fun () ->
           Fun.protect
             ~finally:(fun () -> Trace.Source.close src)
             (fun () ->
@@ -104,6 +105,7 @@ let check ?meter ?format ?first_pass formula source =
     Harness.Meter.free meter defs_words;
     let (), pass_two_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"hybrid" "check.pass_two" @@ fun () ->
           let cur = Trace.Reader.cursor ?format source in
           build_pass st cur;
           Trace.Reader.close cur;

@@ -64,6 +64,12 @@ let grown a n =
    keeps parallel diagnostics bit-identical to sequential ones. *)
 let context = "breadth-first reconstruction"
 
+(* Main-thread telemetry handles.  Worker domains never touch these: they
+   record into a private {!Obs.Metrics.shard} that the main thread folds
+   into the global registry at each wavefront barrier. *)
+let m_width = Obs.Metrics.histogram Obs.Metrics.global "par.wavefront_width"
+let m_fronts = Obs.Metrics.counter Obs.Metrics.global "par.fronts_replayed"
+
 let load_cur k sc id =
   match Proof.Kernel.peek k id with
   | Some h ->
@@ -150,8 +156,12 @@ let make_pool () =
     crashed = None;
   }
 
-let worker kernel pool () =
+let worker kernel pool shard () =
   let sc = make_scratch () in
+  (* lock-free per-domain telemetry: the shard has one writer (this
+     worker) and is read and zeroed by the main thread only at barriers *)
+  let sh_tasks = Obs.Metrics.shard_counter shard "par.tasks_replayed" in
+  let sh_steps = Obs.Metrics.shard_counter shard "par.steps_replayed" in
   let running = ref true in
   while !running do
     Mutex.lock pool.m;
@@ -180,6 +190,13 @@ let worker kernel pool () =
               Mutex.unlock pool.m;
               Skipped
         in
+        (if Obs.Ctl.on () then
+           match r with
+           | Clause { steps; _ } ->
+             Obs.Metrics.Counter.incr sh_tasks 1;
+             Obs.Metrics.Counter.incr sh_steps steps
+           | Single -> Obs.Metrics.Counter.incr sh_tasks 1
+           | Fail _ | Skipped -> ());
         pool.results.(i) <- r
       done;
       Mutex.lock pool.m;
@@ -256,6 +273,7 @@ let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
     let l0 = Proof.Level0.create () in
     let pass, pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"par" "check.pass_one" @@ fun () ->
           Fun.protect
             ~finally:(fun () -> Trace.Source.close src)
             (fun () ->
@@ -379,21 +397,28 @@ let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
         tasks
     in
     let pool = make_pool () in
+    let shards = Array.init jobs (fun _ -> Obs.Metrics.shard ()) in
     let domains =
       if jobs > 1 && Array.length fronts > 0 then
-        List.init jobs (fun _ -> Domain.spawn (worker kernel pool))
+        List.init jobs (fun i -> Domain.spawn (worker kernel pool shards.(i)))
       else []
     in
     let inline_scratch = make_scratch () in
     let (), pass_two_seconds =
       Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"par" "check.pass_two" @@ fun () ->
           Fun.protect
             ~finally:(fun () -> shutdown pool domains)
             (fun () ->
               Array.iter
                 (fun front ->
+                  let width = Array.length front in
+                  let sp =
+                    Obs.Span.enter ~cat:"par"
+                      ~args:[ ("width", width) ] "check.wavefront"
+                  in
                   materialise_originals front;
-                  let results = Array.make (Array.length front) Skipped in
+                  let results = Array.make width Skipped in
                   if domains = [] then
                     Array.iteri
                       (fun i t ->
@@ -403,11 +428,23 @@ let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
                       front
                   else begin
                     dispatch pool front results ~limit_seq:!min_fail_seq ~jobs;
+                    (* [dispatch] returning is the barrier: every worker is
+                       idle again, so folding the shards races with no one *)
+                    if Obs.Ctl.on () then
+                      Array.iter
+                        (Obs.Metrics.merge_shard Obs.Metrics.global)
+                        shards;
                     match pool.crashed with
                     | Some e -> raise e
                     | None -> ()
                   end;
-                  commit front results)
+                  commit front results;
+                  if Obs.Ctl.on () then begin
+                    Obs.Metrics.Counter.incr m_fronts 1;
+                    Obs.Metrics.Histogram.observe m_width width;
+                    Obs.Sampler.tick ()
+                  end;
+                  Obs.Span.leave sp)
                 fronts;
               match !min_fail with
               | Some f -> Diagnostics.fail f

@@ -35,3 +35,73 @@ let pp fmt r =
     Format.fprintf fmt "@,wavefronts: %d (max width %d, %d jobs)"
       r.wavefronts r.max_wavefront_width r.jobs;
   Format.fprintf fmt "@]"
+
+(* Same reproducibility contract as [pp]: elapsed seconds stay out, so
+   the JSON is byte-identical across runs (and with telemetry on/off —
+   the identity cram test diffs exactly this output). *)
+let to_json r =
+  let buf = Buffer.create 512 in
+  let ids l =
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i id ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int id))
+      l;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "\"clauses_built\":%d,\n\"total_learned\":%d,\n"
+       r.clauses_built r.total_learned);
+  Buffer.add_string buf
+    (Printf.sprintf "\"built_ratio\":%.4f,\n\"resolution_steps\":%d,\n"
+       (built_ratio r) r.resolution_steps);
+  Buffer.add_string buf "\"core_original_ids\":";
+  ids r.core_original_ids;
+  Buffer.add_string buf ",\n\"learned_built_ids\":";
+  ids r.learned_built_ids;
+  Buffer.add_string buf
+    (Printf.sprintf ",\n\"core_vars\":%d,\n\"peak_mem_words\":%d,\n"
+       r.core_vars r.peak_mem_words);
+  Buffer.add_string buf
+    (Printf.sprintf "\"peak_live_clauses\":%d,\n\"arena_bytes_resident\":%d,\n"
+       r.peak_live_clauses r.arena_bytes_resident);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"jobs\":%d,\n\"wavefronts\":%d,\n\"max_wavefront_width\":%d\n}"
+       r.jobs r.wavefronts r.max_wavefront_width);
+  Buffer.contents buf
+
+(* Telemetry handles for the folded-in report statistics; set once per
+   check from the success path of every checker. *)
+let g_built = Obs.Metrics.gauge Obs.Metrics.global "checker.clauses_built"
+let g_learned = Obs.Metrics.gauge Obs.Metrics.global "checker.total_learned"
+let g_steps = Obs.Metrics.gauge Obs.Metrics.global "checker.resolution_steps"
+let g_core = Obs.Metrics.gauge Obs.Metrics.global "checker.core_clauses"
+let g_peak_mem = Obs.Metrics.gauge Obs.Metrics.global "checker.peak_mem_words"
+let g_peak_live =
+  Obs.Metrics.gauge Obs.Metrics.global "kernel.peak_live_clauses"
+let g_arena_peak =
+  Obs.Metrics.gauge Obs.Metrics.global "kernel.arena_peak_bytes"
+let g_jobs = Obs.Metrics.gauge Obs.Metrics.global "par.jobs"
+let g_wavefronts = Obs.Metrics.gauge Obs.Metrics.global "par.wavefronts"
+let g_max_width =
+  Obs.Metrics.gauge Obs.Metrics.global "par.max_wavefront_width"
+
+let observe r =
+  if Obs.Ctl.on () then begin
+    let set g v = Obs.Metrics.Gauge.set g (float_of_int v) in
+    set g_built r.clauses_built;
+    set g_learned r.total_learned;
+    set g_steps r.resolution_steps;
+    set g_core (List.length r.core_original_ids);
+    set g_peak_mem r.peak_mem_words;
+    set g_peak_live r.peak_live_clauses;
+    set g_arena_peak r.arena_bytes_resident;
+    if r.wavefronts > 0 then begin
+      set g_jobs r.jobs;
+      set g_wavefronts r.wavefronts;
+      set g_max_width r.max_wavefront_width
+    end
+  end

@@ -50,3 +50,14 @@ val built_ratio : t -> float
 (** [pp] prints every reproducible statistic; elapsed seconds are
     deliberately omitted so checker output can be diffed across runs. *)
 val pp : Format.formatter -> t -> unit
+
+(** [to_json r] renders the same reproducible statistics (no elapsed
+    seconds) as one deterministic JSON object with a stable field order —
+    the payload behind [rescheck check --json]. *)
+val to_json : t -> string
+
+(** [observe r] publishes the report's scalar statistics as telemetry
+    gauges ([checker.*] plus the [par.*] schedule shape) so the run
+    profile carries them under the same schema for every checker.  No-op
+    when telemetry is off. *)
+val observe : t -> unit

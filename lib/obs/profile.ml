@@ -1,0 +1,121 @@
+let build_id_memo = ref None
+
+let git_describe () =
+  (* best-effort: a missing git binary or a non-repo checkout must not
+     break telemetry, so swallow every failure mode *)
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let build_id () =
+  match !build_id_memo with
+  | Some id -> id
+  | None ->
+    let id =
+      match Sys.getenv_opt "RESCHECK_BUILD_ID" with
+      | Some id when id <> "" -> id
+      | _ -> ( match git_describe () with Some id -> id | None -> "unknown")
+    in
+    build_id_memo := Some id;
+    id
+
+let gc_json () =
+  let st = Gc.quick_stat () in
+  Printf.sprintf
+    "{\"minor_words\":%s,\"major_words\":%s,\"major_collections\":%d}"
+    (Metrics.json_float st.Gc.minor_words)
+    (Metrics.json_float st.Gc.major_words)
+    st.Gc.major_collections
+
+let env_json ~wall_seconds =
+  Printf.sprintf "{\"build_id\":\"%s\",\"ocaml\":\"%s\",\"wall_seconds\":%.6f,\"gc\":%s}"
+    (Metrics.json_escape (build_id ()))
+    (Metrics.json_escape Sys.ocaml_version)
+    wall_seconds (gc_json ())
+
+let spans_json () =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (name, cat, n, total_us) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"count\":%d,\"total_us\":%.3f}"
+           (Metrics.json_escape name) (Metrics.json_escape cat) n total_us))
+    (Span.aggregate ());
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let run_profile_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n\"schema\":\"rescheck-run-profile/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "\"env\":%s,\n" (env_json ~wall_seconds:(Ctl.now_s ())));
+  Buffer.add_string buf (Printf.sprintf "\"metrics\":%s,\n" (Metrics.to_json Metrics.global));
+  Buffer.add_string buf (Printf.sprintf "\"progress\":%s,\n" (Sampler.to_json ()));
+  Buffer.add_string buf (Printf.sprintf "\"spans\":%s\n}\n" (spans_json ()));
+  Buffer.contents buf
+
+type config = {
+  mutable metrics_file : string option;
+  mutable trace_events_file : string option;
+  mutable progress : float option;
+  mutable finalized : bool;
+  mutable exit_hooked : bool;
+}
+
+let cfg =
+  {
+    metrics_file = None;
+    trace_events_file = None;
+    progress = None;
+    finalized = false;
+    exit_hooked = false;
+  }
+
+let write_file path contents =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents)
+  with Sys_error msg -> Printf.eprintf "rescheck: obs: cannot write %s\n" msg
+
+let finalize () =
+  if Ctl.on () && not cfg.finalized then begin
+    cfg.finalized <- true;
+    if cfg.progress <> None then Sampler.sample_now ();
+    Sampler.disarm ();
+    (match cfg.metrics_file with
+     | Some path -> write_file path (run_profile_json ())
+     | None -> ());
+    (match cfg.trace_events_file with
+     | Some path -> write_file path (Span.to_trace_json ())
+     | None -> ());
+    Ctl.disable ()
+  end
+
+let configure ?metrics_file ?trace_events_file ?progress ?(heartbeat = false) ()
+    =
+  if metrics_file <> None || trace_events_file <> None || progress <> None then begin
+    cfg.metrics_file <- metrics_file;
+    cfg.trace_events_file <- trace_events_file;
+    cfg.progress <- progress;
+    cfg.finalized <- false;
+    Metrics.reset Metrics.global;
+    Span.reset ();
+    Sampler.reset ();
+    (match progress with
+     | Some interval -> Sampler.configure ~interval ~heartbeat ()
+     | None -> Sampler.disarm ());
+    Ctl.enable ();
+    (* the CLI handlers call [exit] from arbitrary depths; the hook makes
+       sure the profile still lands on disk *)
+    if not cfg.exit_hooked then begin
+      cfg.exit_hooked <- true;
+      at_exit finalize
+    end
+  end

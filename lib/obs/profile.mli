@@ -1,0 +1,48 @@
+(** Run profiles: wiring the registry, span timeline and sampler to the
+    CLI flags, and writing the output files exactly once per run.
+
+    [configure] is the single entry point the CLI uses: it enables
+    telemetry, resets all recording state, arms the sampler, and
+    registers an [at_exit] finalizer — the command handlers call [exit]
+    from deep inside, and the finalizer guarantees the files are still
+    written on every path.  [finalize] is idempotent, so eager callers
+    and the exit hook compose.
+
+    The run-profile JSON (schema ["rescheck-run-profile/1"]) bundles the
+    build environment, wall clock, GC totals, every metric, the progress
+    time-series and the per-span aggregates into one self-describing
+    file; the trace-events file is the raw Chrome timeline from
+    {!Span.to_trace_json}. *)
+
+(** [configure ?metrics_file ?trace_events_file ?progress ?heartbeat ()]
+    enables telemetry for the rest of the process.  [progress] is the
+    sampling interval in seconds; [heartbeat] (default off) echoes each
+    sample to stderr.  With all arguments absent this is a no-op and
+    telemetry stays disabled. *)
+val configure :
+  ?metrics_file:string ->
+  ?trace_events_file:string ->
+  ?progress:float ->
+  ?heartbeat:bool ->
+  unit ->
+  unit
+
+(** [finalize ()] takes a last progress sample, writes the configured
+    files and disables telemetry.  Safe to call when telemetry was never
+    configured, and safe to call twice — the second call is a no-op. *)
+val finalize : unit -> unit
+
+(** [build_id ()] identifies the binary: [$RESCHECK_BUILD_ID] when set
+    (kept deterministic in test sandboxes), else [git describe --always
+    --dirty], else ["unknown"].  Memoised. *)
+val build_id : unit -> string
+
+(** [env_json ~wall_seconds] is the uniform environment block every
+    [BENCH_*.json] embeds:
+    [{"build_id":...,"ocaml":...,"wall_seconds":...,
+      "gc":{"minor_words":...,"major_words":...,"major_collections":...}}]. *)
+val env_json : wall_seconds:float -> string
+
+(** [run_profile_json ()] renders the full run profile for the
+    [--metrics] file. *)
+val run_profile_json : unit -> string

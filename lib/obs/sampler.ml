@@ -1,0 +1,104 @@
+let interval = ref 0.0
+let heartbeat = ref false
+let ticks = ref 0
+let next_due = ref infinity
+let series : (float * (string * float) list) list ref = ref []
+let last_conflicts = ref 0.0
+let last_sample_t = ref 0.0
+
+let configure ~interval:iv ~heartbeat:hb () =
+  interval := iv;
+  heartbeat := hb;
+  next_due := if iv > 0.0 then 0.0 else infinity;
+  last_conflicts := 0.0;
+  last_sample_t := 0.0
+
+let disarm () =
+  interval := 0.0;
+  heartbeat := false;
+  next_due := infinity
+
+let reset () =
+  series := [];
+  ticks := 0;
+  last_conflicts := 0.0;
+  last_sample_t := 0.0
+
+(* the handful of metrics a human watches scroll by; everything else is
+   in the sample rows and the run profile *)
+let heartbeat_keys =
+  [
+    "solver.conflicts";
+    "solver.conflicts_per_s";
+    "kernel.live_clauses";
+    "kernel.arena_bytes";
+    "trace.buffered_bytes";
+  ]
+
+let print_heartbeat t values =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf (Printf.sprintf "obs: t=%.2fs" t);
+  List.iter
+    (fun key ->
+      match List.assoc_opt key values with
+      | Some v ->
+        Buffer.add_string buf
+          (Printf.sprintf " %s=%s"
+             (match String.rindex_opt key '.' with
+              | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+              | None -> key)
+             (Metrics.json_float v))
+      | None -> ())
+    heartbeat_keys;
+  prerr_endline (Buffer.contents buf)
+
+let sample_now () =
+  let t = Ctl.now_s () in
+  let values = Metrics.snapshot Metrics.global in
+  (* derived conflict rate between consecutive samples *)
+  let values =
+    match List.assoc_opt "solver.conflicts" values with
+    | Some c ->
+      let dt = t -. !last_sample_t in
+      let rate = if dt > 0.0 then (c -. !last_conflicts) /. dt else 0.0 in
+      last_conflicts := c;
+      ("solver.conflicts_per_s", Float.max 0.0 rate) :: values
+    | None -> values
+  in
+  last_sample_t := t;
+  series := (t, values) :: !series;
+  if !heartbeat then print_heartbeat t values
+
+let tick () =
+  incr ticks;
+  (* read the clock only every 64 ticks: ticking must stay cheap even at
+     per-conflict granularity *)
+  if !ticks land 63 = 0 && !interval > 0.0 then begin
+    let t = Ctl.now_s () in
+    if t >= !next_due then begin
+      next_due := t +. !interval;
+      sample_now ()
+    end
+  end
+
+let samples () = List.rev !series
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (t, values) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"t\":%.3f,\"values\":{" t);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (Metrics.json_escape k);
+          Buffer.add_string buf "\":";
+          Buffer.add_string buf (Metrics.json_float v))
+        values;
+      Buffer.add_string buf "}}")
+    (samples ());
+  Buffer.add_char buf ']';
+  Buffer.contents buf

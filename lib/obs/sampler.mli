@@ -1,0 +1,40 @@
+(** Periodic progress sampling: a time-series of the global registry's
+    live values, driven by cheap ticks from instrumented hot paths.
+
+    Long-running phases call {!tick} at natural unit-of-work boundaries
+    (a solver conflict, a checked chain, a streamed trace event).  A tick
+    is a counter bump; only every 64th tick reads the clock, and a sample
+    is taken when the configured interval has elapsed.  Each sample
+    snapshots every counter and gauge in {!Metrics.global} — live
+    clauses, arena bytes, encoder buffer occupancy — plus a derived
+    [solver.conflicts_per_s] rate, and optionally prints a one-line
+    heartbeat to stderr.
+
+    Ticks may arrive from any domain but sampling state is unsynchronised
+    by design: a lost or duplicated sample under contention only
+    perturbs the time-series, never the checked artifacts.  With no
+    interval configured, {!tick} is a no-op beyond its counter bump. *)
+
+(** [configure ~interval ~heartbeat ()] arms the sampler: a sample is
+    taken roughly every [interval] seconds (non-positive disables);
+    [heartbeat] additionally prints each sample to stderr. *)
+val configure : interval:float -> heartbeat:bool -> unit -> unit
+
+(** [disarm ()] stops sampling and clears the configuration (recorded
+    samples are kept until {!reset}). *)
+val disarm : unit -> unit
+
+(** [tick ()] notes one unit of work.  Call only under [Ctl.on ()]. *)
+val tick : unit -> unit
+
+(** [sample_now ()] forces a sample, bypassing the interval check. *)
+val sample_now : unit -> unit
+
+(** [samples ()] is the recorded time-series, oldest first. *)
+val samples : unit -> (float * (string * float) list) list
+
+val reset : unit -> unit
+
+(** [to_json ()] renders the series as
+    [[{"t":seconds,"values":{...}},...]]. *)
+val to_json : unit -> string

@@ -5,6 +5,7 @@ type core = {
 }
 
 let extract ?config f =
+  Obs.Span.scope ~cat:"pipeline" "core.extract" @@ fun () ->
   let result, _stats, trace = Validate.solve_with_trace ?config f in
   match result with
   | Solver.Cdcl.Sat _ -> Error `Sat

@@ -25,19 +25,35 @@ type outcome = {
   online : online_info option;
 }
 
+(* Telemetry mirrors of the outcome's byte statistics. *)
+let m_trace_bytes =
+  Obs.Metrics.gauge Obs.Metrics.global "pipeline.trace_bytes"
+let m_peak_buffered =
+  Obs.Metrics.gauge Obs.Metrics.global "pipeline.peak_buffered_bytes"
+
 let solve_with_trace ?config ?(format = Trace.Writer.Ascii) f =
   let w = Trace.Writer.create format in
   let result, stats =
+    Obs.Span.scope ~cat:"pipeline" "pipeline.solve_encode" @@ fun () ->
     Solver.Cdcl.solve ?config ~trace:(Trace.Writer.as_sink w) f
   in
   (result, stats, Trace.Writer.contents w)
+
+let observe_verdict v =
+  if Obs.Ctl.on () then
+    match v with
+    | Unsat_verified report -> Checker.Report.observe report
+    | Sat_verified _ | Sat_model_wrong _ | Unsat_check_failed _ -> ()
 
 let run_buffered ?config ?format ~strategy ?meter f =
   let (result, stats, trace), solve_seconds =
     Harness.Timer.time (fun () -> solve_with_trace ?config ?format f)
   in
+  if Obs.Ctl.on () then
+    Obs.Metrics.Gauge.set m_trace_bytes (float_of_int (String.length trace));
   let verdict, check_seconds =
     Harness.Timer.time (fun () ->
+        Obs.Span.scope ~cat:"pipeline" "pipeline.check" @@ fun () ->
         match result with
         | Solver.Cdcl.Sat a -> (
           match Sat.Model.first_falsified a f with
@@ -57,6 +73,7 @@ let run_buffered ?config ?format ~strategy ?meter f =
           | Ok report -> Unsat_verified report
           | Error failure -> Unsat_check_failed failure))
   in
+  observe_verdict verdict;
   { verdict; stats; trace_bytes = String.length trace; solve_seconds;
     check_seconds; online = None }
 
@@ -94,7 +111,11 @@ let run_online ?config ~format ?meter f =
       in
       let sink = Trace.Sink.tee [ Analysis.Lint.sink lint_stream ~pos; tail ] in
       let (result, stats), solve_seconds =
-        Harness.Timer.time (fun () -> Solver.Cdcl.solve ?config ~trace:sink f)
+        Harness.Timer.time (fun () ->
+            (* on the online timeline this span brackets solving plus the
+               teed lint/encode/ingest work interleaved with it *)
+            Obs.Span.scope ~cat:"pipeline" "pipeline.online_stream"
+            @@ fun () -> Solver.Cdcl.solve ?config ~trace:sink f)
       in
       Trace.Sink.close sink;
       flush oc;
@@ -102,8 +123,15 @@ let run_online ?config ~format ?meter f =
       let online =
         Some { peak_buffered_bytes = wstats.Trace.Writer.peak_buffered; lint }
       in
+      if Obs.Ctl.on () then begin
+        Obs.Metrics.Gauge.set m_trace_bytes
+          (float_of_int wstats.Trace.Writer.bytes);
+        Obs.Metrics.Gauge.set m_peak_buffered
+          (float_of_int wstats.Trace.Writer.peak_buffered)
+      end;
       let verdict, check_seconds =
         Harness.Timer.time (fun () ->
+            Obs.Span.scope ~cat:"pipeline" "pipeline.check" @@ fun () ->
             match result with
             | Solver.Cdcl.Sat a -> (
               match Sat.Model.first_falsified a f with
@@ -116,6 +144,7 @@ let run_online ?config ~format ?meter f =
               | Ok report -> Unsat_verified report
               | Error failure -> Unsat_check_failed failure))
       in
+      observe_verdict verdict;
       { verdict; stats; trace_bytes = wstats.Trace.Writer.bytes;
         solve_seconds; check_seconds; online })
 

@@ -14,6 +14,17 @@ type t = {
   mutable scratch : int array;                  (* merge output buffer *)
 }
 
+(* Telemetry handles, resolved once.  The kernel updates them at chain
+   granularity (one learned clause), never per resolution step. *)
+let m_chains = Obs.Metrics.counter Obs.Metrics.global "kernel.chains"
+let m_steps = Obs.Metrics.counter Obs.Metrics.global "kernel.resolution_steps"
+let m_live = Obs.Metrics.gauge Obs.Metrics.global "kernel.live_clauses"
+let m_arena = Obs.Metrics.gauge Obs.Metrics.global "kernel.arena_bytes"
+let m_chain_len =
+  Obs.Metrics.histogram Obs.Metrics.global "kernel.chain_length"
+let m_stream_events =
+  Obs.Metrics.counter Obs.Metrics.global "kernel.stream_events"
+
 let create ?meter formula =
   let db = Clause_db.create ?meter () in
   {
@@ -254,12 +265,26 @@ let peek t id = Hashtbl.find_opt t.handles id
    deltas of a chain performed outside the kernel (through
    {!resolve_arrays}) into the kernel's totals, so reports agree exactly
    with a sequential run.  Single-threaded: call only at a barrier. *)
+(* One telemetry update per completed chain: counters for the chain and
+   its resolution steps, live gauges for the arena, and a sampler tick. *)
+let observe_chain t ~nsources ~steps =
+  if Obs.Ctl.on () then begin
+    Obs.Metrics.Counter.incr m_chains 1;
+    Obs.Metrics.Counter.incr m_steps steps;
+    Obs.Metrics.Histogram.observe m_chain_len nsources;
+    Obs.Metrics.Gauge.set m_live (float_of_int (Clause_db.live_clauses t.db));
+    Obs.Metrics.Gauge.set m_arena
+      (float_of_int (8 * Clause_db.live_words t.db));
+    Obs.Sampler.tick ()
+  end
+
 let record_external_chain t ~learned_id ~steps ~merges =
   t.built <- t.built + 1;
   t.built_ids <- learned_id :: t.built_ids;
   t.built_sorted <- None;
   t.steps <- t.steps + steps;
-  t.merges <- t.merges + merges
+  t.merges <- t.merges + merges;
+  observe_chain t ~nsources:(steps + 1) ~steps
 
 let chain t ~context ~fetch ~combine ~learned_id ids =
   if Array.length ids = 0 then
@@ -267,10 +292,12 @@ let chain t ~context ~fetch ~combine ~learned_id ids =
   t.built <- t.built + 1;
   t.built_ids <- learned_id :: t.built_ids;
   t.built_sorted <- None;
+  let steps_before = t.steps in
   let h0, a0 = fetch ids.(0) in
   if Array.length ids = 1 then begin
     (* a degenerate learned clause is the source clause itself *)
     Clause_db.retain t.db h0;
+    observe_chain t ~nsources:1 ~steps:0;
     (h0, a0)
   end
   else begin
@@ -288,6 +315,7 @@ let chain t ~context ~fetch ~combine ~learned_id ids =
       ann := combine ~pivot !ann a;
       cur_id := learned_id (* intermediate resolvents belong to the learned id *)
     done;
+    observe_chain t ~nsources:(Array.length ids) ~steps:(t.steps - steps_before);
     (!cur, !ann)
   end
 
@@ -346,6 +374,10 @@ let stream_start t ?(stream_order = true) ?l0 ?(charge = `None) () =
 
 let stream_feed st e =
   let t = st.sk in
+  if Obs.Ctl.on () then begin
+    Obs.Metrics.Counter.incr m_stream_events 1;
+    Obs.Sampler.tick ()
+  end;
   (match st.s_charge with
    | `Full -> Harness.Meter.alloc t.meter (residency_words e)
    | `Defs -> (

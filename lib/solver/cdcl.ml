@@ -51,6 +51,16 @@ type stats = {
   max_decision_level : int;
 }
 
+(* Telemetry handles, resolved once at load.  Every update below is
+   guarded by [Obs.Ctl.on ()] at per-conflict granularity — never inside
+   propagation — so the disabled path costs one branch per conflict. *)
+let m_conflicts = Obs.Metrics.counter Obs.Metrics.global "solver.conflicts"
+let m_decisions = Obs.Metrics.gauge Obs.Metrics.global "solver.decisions"
+let m_propagations = Obs.Metrics.gauge Obs.Metrics.global "solver.propagations"
+let m_learned_alive = Obs.Metrics.gauge Obs.Metrics.global "solver.learned_alive"
+let m_learned_lits =
+  Obs.Metrics.histogram Obs.Metrics.global "solver.learned_clause_lits"
+
 (* variable truth values packed as ints for speed *)
 let v_false = 0
 let v_true = 1
@@ -835,6 +845,13 @@ let search s config assumptions =
     if confl <> 0 then begin
       s.s_conflicts <- s.s_conflicts + 1;
       incr conflicts_since_restart;
+      if Obs.Ctl.on () then begin
+        Obs.Metrics.Counter.incr m_conflicts 1;
+        Obs.Metrics.Gauge.set m_decisions (float_of_int s.s_decisions);
+        Obs.Metrics.Gauge.set m_propagations (float_of_int s.s_propagations);
+        Obs.Metrics.Gauge.set m_learned_alive (float_of_int s.n_learned_alive);
+        Obs.Sampler.tick ()
+      end;
       if decision_level s = 0 then begin
         emit_final_conflict s confl;
         answer := Some O_unsat_formula
@@ -845,6 +862,8 @@ let search s config assumptions =
         s.s_learned <- s.s_learned + 1;
         s.s_learned_lits <- s.s_learned_lits + Array.length lits;
         s.n_learned_alive <- s.n_learned_alive + 1;
+        if Obs.Ctl.on () then
+          Obs.Metrics.Histogram.observe m_learned_lits (Array.length lits);
         emit s
           (Trace.Event.Learned
              { id = cr.cid; sources = Array.of_list sources });
@@ -930,6 +949,7 @@ let setup config trace f =
     let pre = propagate s in
     if pre <> 0 then begin
       s.s_conflicts <- s.s_conflicts + 1;
+      if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_conflicts 1;
       emit_final_conflict s pre;
       (s, false)
     end
@@ -940,6 +960,7 @@ let setup config trace f =
   end
 
 let solve ?(config = default_config) ?trace f =
+  Obs.Span.scope ~cat:"solver" "solve" @@ fun () ->
   let s, alive = setup config trace f in
   if not alive then (Unsat, stats_of s)
   else

@@ -132,6 +132,13 @@ type stats = {
   mutable peak_buffered : int;  (* high-water mark of unflushed bytes *)
 }
 
+(* Telemetry mirrors of the sink stats, so the progress sampler can see
+   buffer occupancy while a stream is live.  Updates are guarded at the
+   push site; the handles are resolved once here. *)
+let m_events = Obs.Metrics.counter Obs.Metrics.global "trace.events"
+let m_bytes = Obs.Metrics.gauge Obs.Metrics.global "trace.bytes"
+let m_buffered = Obs.Metrics.gauge Obs.Metrics.global "trace.buffered_bytes"
+
 let default_flush_threshold = 65536
 
 let sink ?(flush_threshold = default_flush_threshold) fmt ~write =
@@ -150,6 +157,12 @@ let sink ?(flush_threshold = default_flush_threshold) fmt ~write =
     let len = Buffer.length scratch in
     st.bytes <- st.bytes + (len - before);
     if len > st.peak_buffered then st.peak_buffered <- len;
+    if Obs.Ctl.on () then begin
+      Obs.Metrics.Counter.incr m_events 1;
+      Obs.Metrics.Gauge.set m_bytes (float_of_int st.bytes);
+      Obs.Metrics.Gauge.set m_buffered (float_of_int len);
+      Obs.Sampler.tick ()
+    end;
     if len >= flush_threshold then flush ()
   in
   (st, Sink.make ~close:flush push)

@@ -1,0 +1,71 @@
+The telemetry layer, end to end.  Its central contract: recording may
+add files and stderr noise, but never changes what the tool prints or
+decides.
+
+  $ R=../bin/rescheck.exe
+
+Checked artifacts are byte-identical with the full telemetry surface
+on and off, across three families and both trace encodings:
+
+  $ for fam in equiv_tiny php_6 ring_small; do
+  >   for fmt in ascii binary; do
+  >     $R gen $fam -o f.cnf > /dev/null
+  >     $R solve f.cnf --trace f.trc --format $fmt > /dev/null
+  >     $R check f.cnf f.trc --json > plain.json
+  >     $R check f.cnf f.trc --json \
+  >       --metrics m.json --trace-events t.json --progress=0.001 \
+  >       > telem.json 2> /dev/null
+  >     cmp plain.json telem.json || echo "MISMATCH $fam $fmt"
+  >   done
+  > done
+
+A breadth-first check exports exactly its two passes as Chrome
+"complete" events (timestamps, durations and thread ids normalised):
+
+  $ $R gen php_6 -o p.cnf > /dev/null
+  $ $R solve p.cnf --trace p.trc > /dev/null
+  [20]
+  $ $R check p.cnf p.trc -s bf --trace-events bf.json > /dev/null
+  $ sed -E -e 's/[0-9]+\.[0-9]{3}/T/g' -e 's/"tid":[0-9]+/"tid":N/g' bf.json
+  [
+  {"name":"check.pass_one","cat":"bf","ph":"X","ts":T,"dur":T,"pid":1,"tid":N},
+  {"name":"check.pass_two","cat":"bf","ph":"X","ts":T,"dur":T,"pid":1,"tid":N}
+  ]
+
+An online validate writes the structured run profile; solver, checker
+and pipeline metrics all land in one schema, the progress series is
+present, and the heartbeat went to stderr:
+
+  $ $R validate p.cnf --mode online \
+  >   --metrics m.json --trace-events t.json --progress=0.001 \
+  >   > /dev/null 2> hb.err; echo "exit $?"
+  exit 20
+  $ grep -c '"rescheck-run-profile/1"' m.json
+  1
+  $ grep -o '"solver.conflicts"\|"kernel.chains"\|"trace.events"\|"pipeline.trace_bytes"\|"checker.clauses_built"' m.json | sort -u
+  "checker.clauses_built"
+  "kernel.chains"
+  "pipeline.trace_bytes"
+  "solver.conflicts"
+  "trace.events"
+  $ grep -c '"progress":' m.json
+  1
+  $ grep -q '^obs: t=' hb.err; echo "heartbeat $?"
+  heartbeat 0
+
+The trace-event file is a well-formed array of complete events with
+monotone start times (the same checks CI runs):
+
+  $ jq -e 'type == "array" and length > 0 and all(.[]; .ph == "X")' t.json > /dev/null; echo "exit $?"
+  exit 0
+  $ jq -e '[.[].ts] == ([.[].ts] | sort)' t.json > /dev/null; echo "exit $?"
+  exit 0
+
+Without the flags, no telemetry files appear and stderr stays quiet:
+
+  $ rm -f m2.json t2.json
+  $ $R check p.cnf p.trc > /dev/null 2> quiet.err
+  $ ls m2.json t2.json 2> /dev/null; echo "exit $?"
+  exit 2
+  $ wc -c < quiet.err
+  0

@@ -1,0 +1,239 @@
+(* Tests for the telemetry layer: histogram bucketing pins, shard
+   merging (including from real worker domains), span export validity,
+   and the layer's central invariant — checker reports are identical
+   with telemetry on and off.
+
+   The registry update functions deliberately do not check [Ctl.on], so
+   most tests drive a private registry directly with telemetry disabled;
+   the tests that do enable recording guard the disable in a
+   [Fun.protect] so a failure cannot leak enabled state into the rest of
+   the suite. *)
+
+module M = Obs.Metrics
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let with_recording f =
+  Obs.Ctl.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Ctl.disable ();
+      M.reset M.global;
+      Obs.Span.reset ();
+      Obs.Sampler.reset ())
+    f
+
+(* --- histogram bucketing ------------------------------------------------ *)
+
+let test_bucket_index () =
+  let pins =
+    [ (-7, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4);
+      (1023, 10); (1024, 11); (1025, 11); (max_int, 62) ]
+  in
+  List.iter
+    (fun (v, b) ->
+      Alcotest.check Alcotest.int (Printf.sprintf "bucket of %d" v) b
+        (M.Histogram.bucket_index v))
+    pins
+
+let test_histogram_observe () =
+  let t = M.create () in
+  let h = M.histogram t "h" in
+  List.iter (M.Histogram.observe h) [ 0; 1; 3; 3; 1000; 1024 ];
+  Alcotest.check Alcotest.int "count" 6 (M.Histogram.count h);
+  Alcotest.check (Alcotest.float 1e-9) "sum" 2031.0 (M.Histogram.sum h);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "buckets" [ (0, 1); (1, 1); (2, 2); (10, 1); (11, 1) ]
+    (M.Histogram.buckets h)
+
+(* --- counters, gauges, reset -------------------------------------------- *)
+
+let test_counter_gauge_reset () =
+  let t = M.create () in
+  let c = M.counter t "c" and g = M.gauge t "g" in
+  M.Counter.incr c 3;
+  M.Counter.incr c 4;
+  M.Gauge.set g 10.0;
+  M.Gauge.set g 2.0;
+  Alcotest.check Alcotest.int "counter" 7 (M.Counter.get c);
+  Alcotest.check (Alcotest.float 0.0) "gauge level" 2.0 (M.Gauge.get g);
+  Alcotest.check (Alcotest.float 0.0) "gauge high-water" 10.0
+    (M.Gauge.max_value g);
+  M.reset t;
+  (* handles survive a reset: same cells, zeroed *)
+  Alcotest.check Alcotest.int "counter after reset" 0 (M.Counter.get c);
+  Alcotest.check (Alcotest.float 0.0) "gauge after reset" 0.0
+    (M.Gauge.max_value g);
+  M.Counter.incr c 1;
+  Alcotest.check Alcotest.(list (pair string (float 0.0))) "snapshot"
+    [ ("c", 1.0); ("g", 0.0) ]
+    (M.snapshot t)
+
+let test_kind_conflict () =
+  let t = M.create () in
+  ignore (M.counter t "x");
+  Alcotest.check_raises "kind conflict"
+    (Invalid_argument "Obs.Metrics: \"x\" is already registered as another kind")
+    (fun () -> ignore (M.gauge t "x"))
+
+(* --- shard merging ------------------------------------------------------ *)
+
+let test_shard_merge () =
+  let t = M.create () in
+  let c = M.counter t "n" and g = M.gauge t "peak" in
+  let h = M.histogram t "width" in
+  M.Counter.incr c 5;
+  M.Gauge.set g 10.0;
+  M.Histogram.observe h 4;
+  let s = M.shard () in
+  let sc = M.shard_counter s "n" and sg = M.shard_gauge s "peak" in
+  let sh = M.shard_histogram s "width" in
+  M.Counter.incr sc 7;
+  M.Gauge.set sg 3.0;
+  M.Histogram.observe sh 4;
+  M.Histogram.observe sh 9;
+  M.merge_shard t s;
+  Alcotest.check Alcotest.int "counters add" 12 (M.Counter.get c);
+  Alcotest.check (Alcotest.float 0.0) "gauges keep high-water" 10.0
+    (M.Gauge.max_value g);
+  Alcotest.check Alcotest.int "histogram counts add" 3 (M.Histogram.count h);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "histogram buckets add" [ (3, 2); (4, 1) ]
+    (M.Histogram.buckets h);
+  (* merging zeroes the shard, so a second merge cannot double-count *)
+  M.merge_shard t s;
+  Alcotest.check Alcotest.int "merge is move, not copy" 12 (M.Counter.get c);
+  (* a shard gauge above the parent's high-water does raise it *)
+  M.Gauge.set sg 99.0;
+  M.merge_shard t s;
+  Alcotest.check (Alcotest.float 0.0) "higher shard gauge wins" 99.0
+    (M.Gauge.max_value g)
+
+let test_shard_merge_cross_domain () =
+  let t = M.create () in
+  let c = M.counter t "done" in
+  let shards = Array.init 4 (fun _ -> M.shard ()) in
+  let worker s () =
+    let sc = M.shard_counter s "done" in
+    for _ = 1 to 1000 do
+      M.Counter.incr sc 1
+    done
+  in
+  let domains =
+    Array.map (fun s -> Domain.spawn (worker s)) shards
+  in
+  Array.iter Domain.join domains;
+  (* all workers are at the barrier (joined): fold their shards in *)
+  Array.iter (M.merge_shard t) shards;
+  Alcotest.check Alcotest.int "all increments land" 4000 (M.Counter.get c)
+
+(* --- span export -------------------------------------------------------- *)
+
+let test_span_export () =
+  with_recording @@ fun () ->
+  Obs.Span.scope ~cat:"test" "outer" (fun () ->
+      Obs.Span.scope ~cat:"test" ~args:[ ("width", 3) ] "inner" (fun () ->
+          ignore (Sys.opaque_identity 0)));
+  Obs.Span.instant ~cat:"test" "mark";
+  Alcotest.check Alcotest.int "three events" 3 (Obs.Span.count ());
+  let json = String.trim (Obs.Span.to_trace_json ()) in
+  Alcotest.check Alcotest.bool "is a JSON array" true
+    (String.length json >= 2
+    && json.[0] = '['
+    && json.[String.length json - 1] = ']');
+  (* every event is a Chrome "complete" event with the stable prefix *)
+  let lines =
+    String.split_on_char '\n' json
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '[' && l.[0] <> ']')
+  in
+  Alcotest.check Alcotest.int "one event per line" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.check Alcotest.bool "ph X" true (contains l "\"ph\":\"X\"");
+      Alcotest.check Alcotest.bool "has ts" true (contains l "\"ts\":"))
+    lines;
+  (* sorted by start timestamp *)
+  let ts_of l =
+    let i = ref 0 in
+    while not (contains (String.sub l !i 5) "\"ts\":") do
+      incr i
+    done;
+    Scanf.sscanf (String.sub l (!i + 5) (String.length l - !i - 5)) "%f" Fun.id
+  in
+  let ts = List.map ts_of lines in
+  Alcotest.check Alcotest.bool "monotone ts" true (List.sort compare ts = ts);
+  (* args survive export *)
+  let inner = List.find (fun l -> contains l "\"inner\"") lines in
+  Alcotest.check Alcotest.bool "inner carries args" true
+    (contains inner "\"args\":{\"width\":3}");
+  (* the aggregate view the run profile embeds *)
+  match Obs.Span.aggregate () with
+  | [ ("inner", "test", 1, _); ("mark", "test", 1, _); ("outer", "test", 1, _) ]
+    -> ()
+  | other ->
+    Alcotest.failf "unexpected aggregate (%d rows)" (List.length other)
+
+let test_span_off_is_silent () =
+  Obs.Span.reset ();
+  Obs.Span.scope "ghost" (fun () -> ());
+  Obs.Span.instant "ghost";
+  Alcotest.check Alcotest.int "nothing recorded when off" 0
+    (Obs.Span.count ());
+  Alcotest.check Alcotest.string "empty timeline" "[\n]"
+    (String.trim (Obs.Span.to_trace_json ()))
+
+(* --- telemetry cannot perturb checked artifacts ------------------------- *)
+
+let report_of f strategy =
+  match Pipeline.Validate.run ~strategy f with
+  | { verdict = Pipeline.Validate.Unsat_verified r; _ } -> r
+  | _ -> Alcotest.fail "expected unsat-verified"
+
+let test_reports_identical_on_off () =
+  let f = Gen.Php.unsat ~holes:4 in
+  List.iter
+    (fun (strategy, tag) ->
+      let off = report_of f strategy in
+      let on =
+        with_recording @@ fun () ->
+        Obs.Sampler.configure ~interval:0.0001 ~heartbeat:false ();
+        Fun.protect
+          ~finally:(fun () -> Obs.Sampler.disarm ())
+          (fun () -> report_of f strategy)
+      in
+      Alcotest.check Alcotest.string
+        (tag ^ ": report identical with telemetry on")
+        (Checker.Report.to_json off)
+        (Checker.Report.to_json on))
+    [
+      (Pipeline.Validate.Depth_first, "df");
+      (Pipeline.Validate.Breadth_first, "bf");
+      (Pipeline.Validate.Hybrid, "hybrid");
+      (Pipeline.Validate.Parallel 2, "par");
+      (Pipeline.Validate.Online, "online");
+    ]
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "histogram bucket pins" `Quick test_bucket_index;
+        Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+        Alcotest.test_case "counter/gauge/reset" `Quick
+          test_counter_gauge_reset;
+        Alcotest.test_case "metric kind conflict" `Quick test_kind_conflict;
+        Alcotest.test_case "shard merge" `Quick test_shard_merge;
+        Alcotest.test_case "shard merge cross-domain" `Quick
+          test_shard_merge_cross_domain;
+        Alcotest.test_case "span export" `Quick test_span_export;
+        Alcotest.test_case "spans silent when off" `Quick
+          test_span_off_is_silent;
+        Alcotest.test_case "reports identical on/off" `Quick
+          test_reports_identical_on_off;
+      ] );
+  ]
