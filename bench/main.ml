@@ -5,7 +5,7 @@
 
    Usage:  dune exec bench/main.exe
              [table1|table2|table3|proofshape|scaling|ablation|baseline|
-              par|par_quick|stream|stream_quick|overhead|micro|all]
+              par|par_quick|stream|stream_quick|parse|overhead|micro|all]
 
    Absolute numbers are machine-specific; EXPERIMENTS.md records how the
    *shapes* compare with the paper (who wins, by what factor, where the
@@ -655,6 +655,80 @@ let stream_full () =
 let stream_quick () =
   stream_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
 
+(* --- parse-path micro-bench: ascii/binary x mmap/channel ---------------- *)
+
+(* Throughput and allocation of the trace decode alone (no checking):
+   every record of a php trace is parsed and dropped.  The wall-clock
+   columns are machine-specific; the allocation columns are the
+   deterministic contract of the zero-copy path — the mmap backing
+   decodes in place, so its minor words per record are bounded by the
+   event values themselves (the [Learned] sources array), with no line
+   buffers or block copies, and its major-heap churn during the parse
+   stays near zero. *)
+let parse_bench () =
+  print_endline
+    "Parse path: records/sec, MB/sec and GC allocation per backing\n\
+     (php_8 trace; mmap decodes in place, channel streams 64 KiB blocks)\n";
+  let f = Gen.Php.unsat ~holes:8 in
+  let trace_file fmt =
+    let w = Trace.Writer.create fmt in
+    ignore (Solver.Cdcl.solve ~trace:(Trace.Writer.as_sink w) f);
+    let path = Filename.temp_file "bench_parse" ".trc" in
+    Trace.Writer.to_file w path;
+    (path, Trace.Writer.bytes_written w)
+  in
+  let drain path io () =
+    let cur = Trace.Reader.cursor ~io (Trace.Reader.From_file path) in
+    let n = ref 0 in
+    Trace.Reader.iter_cursor cur (fun _ -> incr n);
+    Trace.Reader.close cur;
+    !n
+  in
+  let gc_delta run =
+    let s0 = Gc.quick_stat () in
+    let x = run () in
+    let s1 = Gc.quick_stat () in
+    ( x,
+      s1.Gc.minor_words -. s0.Gc.minor_words,
+      (s1.Gc.major_words -. s0.Gc.major_words)
+      -. (s1.Gc.promoted_words -. s0.Gc.promoted_words) )
+  in
+  let rows =
+    List.concat_map
+      (fun (fmt_name, fmt) ->
+        let path, bytes = trace_file fmt in
+        let rows =
+          List.map
+            (fun (io_name, io) ->
+              let run = drain path io in
+              let records, minor, major = gc_delta run in
+              let _, seconds = timed_median (fun () -> ignore (run ())) in
+              [
+                fmt_name;
+                io_name;
+                string_of_int records;
+                fmt_f ~decimals:2 (float_of_int bytes /. 1.048576e6);
+                fmt_f ~decimals:0 (float_of_int records /. seconds);
+                fmt_f ~decimals:1
+                  (float_of_int bytes /. 1.048576e6 /. seconds);
+                fmt_f ~decimals:1 (minor /. float_of_int (max 1 records));
+                fmt_f ~decimals:0 major;
+              ])
+            [ ("mmap", `Mmap); ("channel", `Channel) ]
+        in
+        Sys.remove path;
+        rows)
+      [ ("ascii", Trace.Writer.Ascii); ("binary", Trace.Writer.Binary) ]
+  in
+  print_table "parse"
+    ~headers:
+      [
+        "encoding"; "io"; "records"; "MB"; "rec/s"; "MB/s";
+        "minor w/rec"; "major words";
+      ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -888,6 +962,7 @@ let () =
   | "par_quick" -> par_quick ()
   | "stream" -> stream_full ()
   | "stream_quick" -> stream_quick ()
+  | "parse" -> parse_bench ()
   | "overhead" -> overhead ()
   | "all" ->
     table1 ();
@@ -913,6 +988,6 @@ let () =
     Printf.eprintf
       "unknown mode %S (expected \
        table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
-       par_quick|stream|stream_quick|overhead|micro|all)\n"
+       par_quick|stream|stream_quick|parse|overhead|micro|all)\n"
       other;
     exit 2

@@ -59,6 +59,36 @@ let in_format_arg =
           "Force the trace encoding ($(b,ascii) or $(b,binary)) instead of \
            auto-detecting it from the first bytes.")
 
+(* Zero-copy data plane: regular trace files are mmap'd and decoded in
+   place by default; --io channel forces the block-buffered path (the one
+   streamed inputs always use), --io mmap states the default explicitly.
+   Either way the decoded events, reports and diagnostics are
+   byte-identical — mmap failure silently falls back to the channel. *)
+let io_conv =
+  let parse = function
+    | "auto" -> Ok `Auto
+    | "mmap" -> Ok `Mmap
+    | "channel" -> Ok `Channel
+    | s -> Error (`Msg (Printf.sprintf "unknown io backend %S" s))
+  in
+  let print fmt io =
+    Format.pp_print_string fmt
+      (match io with `Auto -> "auto" | `Mmap -> "mmap" | `Channel -> "channel")
+  in
+  Arg.conv (parse, print)
+
+let io_arg =
+  Arg.(
+    value
+    & opt io_conv `Auto
+    & info [ "io" ] ~docv:"IO"
+        ~doc:
+          "How to read a regular trace file: $(b,auto) (default) and \
+           $(b,mmap) map it into memory and decode in place, falling back \
+           to the buffered channel when mapping fails; $(b,channel) always \
+           streams through the block buffer.  Output bytes are identical \
+           either way; stdin and FIFOs always stream.")
+
 let ambiguous_format_exit msg =
   Printf.eprintf
     "error: cannot tell the trace encoding (%s); force one with --format \
@@ -298,7 +328,7 @@ let mem_limit_arg =
 
 let check_cmd =
   let run () formula_path trace_path strategy jobs mem_limit no_lint
-      format_override json =
+      format_override io json =
     validate_jobs jobs;
     (match strategy with
      | `Online ->
@@ -348,7 +378,7 @@ let check_cmd =
              remove_spool ();
              ambiguous_format_exit msg
            | _ -> ());
-          (Trace.Reader.cursor ?format:format_override src, src)
+          (Trace.Reader.cursor ?format:format_override ~io src, src)
         | Some ic ->
           let path = Filename.temp_file "rescheck_spool" ".trc" in
           let oc = open_out_bin path in
@@ -395,12 +425,13 @@ let check_cmd =
           Harness.Timer.time (fun () ->
               let format = format_override in
               match strategy with
-              | `Df -> Checker.Df.check ~meter ?format ~first_pass f source
-              | `Bf -> Checker.Bf.check ~meter ?format ~first_pass f source
+              | `Df -> Checker.Df.check ~meter ?format ~io ~first_pass f source
+              | `Bf -> Checker.Bf.check ~meter ?format ~io ~first_pass f source
               | `Hybrid ->
-                Checker.Hybrid.check ~meter ?format ~first_pass f source
+                Checker.Hybrid.check ~meter ?format ~io ~first_pass f source
               | `Par ->
-                Checker.Par.check ~meter ?format ~jobs ~first_pass f source
+                Checker.Par.check ~meter ?format ~io ~jobs ~first_pass f
+                  source
               | `Online -> assert false)
         with Harness.Meter.Out_of_memory_simulated e ->
           remove_spool ();
@@ -440,7 +471,7 @@ let check_cmd =
             `rescheck lint` run byte for byte *)
          (if not no_lint then
             let report =
-              Analysis.Lint.run ?format:format_override ~formula:f source
+              Analysis.Lint.run ?format:format_override ~io ~formula:f source
             in
             if not (Analysis.Lint.clean report) then lint_fail report);
          remove_spool ();
@@ -494,12 +525,13 @@ let check_cmd =
           ambiguous encoding, or bad $(b,--jobs)), 3 memory-out.")
     Term.(
       const run $ telemetry_term $ formula_arg $ trace_pos $ strategy_arg
-      $ jobs_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg $ json_arg)
+      $ jobs_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg $ io_arg
+      $ json_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run () trace_path formula_path json max_diags format_override =
+  let run () trace_path formula_path json max_diags format_override io =
     let formula =
       match formula_path with
       | None -> None
@@ -522,7 +554,7 @@ let lint_cmd =
          exit 2));
     let report =
       try
-        Analysis.Lint.run ?format:format_override ?formula
+        Analysis.Lint.run ?format:format_override ~io ?formula
           ~max_diagnostics:max_diags src
       with Sys_error m ->
         prerr_endline ("error: " ^ m);
@@ -573,7 +605,7 @@ let lint_cmd =
           encoding.")
     Term.(
       const run $ telemetry_term $ trace_pos $ formula_opt $ json_arg
-      $ max_diags_arg $ in_format_arg)
+      $ max_diags_arg $ in_format_arg $ io_arg)
 
 (* --- validate ------------------------------------------------------------ *)
 

@@ -157,7 +157,7 @@ let ingest_event g e =
 
 let ingest_sink g = Trace.Sink.make (ingest_event g)
 
-let finish ?format ?(pass_one_seconds = 0.) g source =
+let finish ?format ?io ?(pass_one_seconds = 0.) g source =
   try
     match g.failed with
     | Some f -> Error f
@@ -172,7 +172,7 @@ let finish ?format ?(pass_one_seconds = 0.) g source =
       let (), pass_two_seconds =
         Harness.Timer.wall_time (fun () ->
             Obs.Span.scope ~cat:"bf" "check.pass_two" @@ fun () ->
-            let cur = Trace.Reader.cursor ?format source in
+            let cur = Trace.Reader.cursor ?format ?io source in
             build_pass g.ist cur;
             Trace.Reader.close cur;
             let fetch id =
@@ -206,7 +206,8 @@ let finish ?format ?(pass_one_seconds = 0.) g source =
   | Trace.Reader.Parse_error { pos; msg } ->
     Error (Diagnostics.of_parse_error ~pos msg)
 
-let check ?meter ?format ?(counting = `In_memory) ?first_pass formula source =
+let check ?meter ?format ?io ?(counting = `In_memory) ?first_pass formula
+    source =
   let count_in_memory =
     match counting with `In_memory -> true | `Temp_file _ -> false
   in
@@ -227,7 +228,7 @@ let check ?meter ?format ?(counting = `In_memory) ?first_pass formula source =
       | Some s -> s
       | None ->
         Trace.Source.of_cursor ~close_cursor:true
-          (Trace.Reader.cursor ?format source)
+          (Trace.Reader.cursor ?format ?io source)
     in
     let (), pass_one_seconds =
       Harness.Timer.wall_time (fun () ->
@@ -250,13 +251,13 @@ let check ?meter ?format ?(counting = `In_memory) ?first_pass formula source =
      | `Temp_file chunk ->
        (* the paper's chunked counting passes re-read the trace from its
           re-readable source; only now is a spooled stream complete *)
-       let cur = Trace.Reader.cursor ?format source in
+       let cur = Trace.Reader.cursor ?format ?io source in
        let path = write_counts_file cur ~chunk in
        Trace.Reader.close cur;
        let ic = open_in_bin path in
        temp := Some (path, ic);
        g.ist.counts <- File_counts { ic; live = Hashtbl.create 256 });
-    let r = finish ?format ~pass_one_seconds g source in
+    let r = finish ?format ?io ~pass_one_seconds g source in
     cleanup ();
     r
   with

@@ -33,10 +33,13 @@ type counting = [ `In_memory | `Temp_file of int (* chunk size *) ]
     re-reads [source], so when pass one came from a pipe, [source] must
     be a spooled copy of the same bytes.  [format] forces the encoding
     on every cursor the check opens (needed for magic-less binary
-    traces, which auto-detection cannot classify). *)
+    traces, which auto-detection cannot classify); [io] selects the
+    file backing for every cursor the check opens (default [`Auto]:
+    mmap regular files, falling back to the buffered channel). *)
 val check :
   ?meter:Harness.Meter.t ->
   ?format:Trace.Writer.format ->
+  ?io:Trace.Reader.io ->
   ?counting:counting ->
   ?first_pass:Trace.Source.t ->
   Sat.Cnf.t ->
@@ -68,6 +71,7 @@ val ingest_failed : ingest -> Diagnostics.failure option
     interleaved with solving and reports 0). *)
 val finish :
   ?format:Trace.Writer.format ->
+  ?io:Trace.Reader.io ->
   ?pass_one_seconds:float ->
   ingest ->
   Trace.Reader.source ->

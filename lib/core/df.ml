@@ -4,7 +4,7 @@
    DAG from the final conflict, so only proof-relevant clauses are ever
    built and the touched originals form an unsat core. *)
 
-let check ?meter ?format ?first_pass formula source =
+let check ?meter ?format ?io ?first_pass formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
@@ -17,7 +17,7 @@ let check ?meter ?format ?first_pass formula source =
       | Some s -> s
       | None ->
         Trace.Source.of_cursor ~close_cursor:true
-          (Trace.Reader.cursor ?format source)
+          (Trace.Reader.cursor ?format ?io source)
     in
     let proof, pass_one_seconds =
       Harness.Timer.wall_time (fun () ->

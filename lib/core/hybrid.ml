@@ -52,7 +52,7 @@ let build_pass st cur =
       | Trace.Event.Learned _ | Trace.Event.Header _ | Trace.Event.Level0 _
       | Trace.Event.Final_conflict _ -> ())
 
-let check ?meter ?format ?first_pass formula source =
+let check ?meter ?format ?io ?first_pass formula source =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
@@ -71,7 +71,7 @@ let check ?meter ?format ?first_pass formula source =
       | Some s -> s
       | None ->
         Trace.Source.of_cursor ~close_cursor:true
-          (Trace.Reader.cursor ?format source)
+          (Trace.Reader.cursor ?format ?io source)
     in
     let l0 = Proof.Level0.create () in
     let defs = Sat.Vec.create ~dummy:(0, [||]) in
@@ -106,7 +106,7 @@ let check ?meter ?format ?first_pass formula source =
     let (), pass_two_seconds =
       Harness.Timer.wall_time (fun () ->
           Obs.Span.scope ~cat:"hybrid" "check.pass_two" @@ fun () ->
-          let cur = Trace.Reader.cursor ?format source in
+          let cur = Trace.Reader.cursor ?format ?io source in
           build_pass st cur;
           Trace.Reader.close cur;
           let fetch id =

@@ -7,8 +7,10 @@
    other.  Pass two replays one wavefront at a time: a fixed pool of
    worker domains pulls chunks of the wavefront's resolution chains off a
    shared queue and replays them through the re-entrant
-   {!Proof.Kernel.resolve_arrays} into domain-local scratch, while the
-   shared {!Proof.Clause_db} stays read-only.  At the wavefront barrier
+   {!Proof.Kernel.resolve_ro}, reading store operands in place from a
+   {!Proof.Clause_db.ro} view frozen at dispatch — only the running
+   resolvent lives in domain-local scratch — while the shared
+   {!Proof.Clause_db} stays read-only.  At the wavefront barrier
    the main thread — alone — commits every result in stream order:
    allocates the resolvents, folds the counter deltas in, defines or
    drops each clause by its use count, and releases drained sources.
@@ -47,15 +49,14 @@ type outcome =
   | Skipped
 
 (* Domain-local scratch: the running resolvent ping-pongs between [cur]
-   and [out]; [op] stages each store operand.  Nothing here is shared. *)
+   and [out].  Store operands are no longer staged here — they are read
+   in place from the wavefront's frozen view.  Nothing here is shared. *)
 type scratch = {
-  mutable op : int array;
   mutable cur : int array;
   mutable out : int array;
 }
 
-let make_scratch () =
-  { op = Array.make 64 0; cur = Array.make 64 0; out = Array.make 64 0 }
+let make_scratch () = { cur = Array.make 64 0; out = Array.make 64 0 }
 
 let grown a n =
   if Array.length a >= n then a else Array.make (max n (2 * Array.length a)) 0
@@ -70,44 +71,39 @@ let context = "breadth-first reconstruction"
 let m_width = Obs.Metrics.histogram Obs.Metrics.global "par.wavefront_width"
 let m_fronts = Obs.Metrics.counter Obs.Metrics.global "par.fronts_replayed"
 
-let load_cur k sc id =
+let peek_handle k id =
   match Proof.Kernel.peek k id with
-  | Some h ->
-    let db = Proof.Kernel.db k in
-    let n = Proof.Clause_db.size db h in
-    sc.cur <- grown sc.cur n;
-    Proof.Clause_db.copy_lits db h sc.cur
+  | Some h -> h
   | None ->
-    (* unreachable: pass one enforced stream order and originals are
-       materialised before their wavefront is dispatched *)
+    (* unreachable for sources.(0): pass one enforced stream order and
+       originals are materialised before their wavefront is dispatched *)
     Diagnostics.fail (Diagnostics.Unknown_clause { context; id })
 
-let load_op k sc id =
-  match Proof.Kernel.peek k id with
-  | Some h ->
-    let db = Proof.Kernel.db k in
-    let n = Proof.Clause_db.size db h in
-    sc.op <- grown sc.op n;
-    Proof.Clause_db.copy_lits db h sc.op
-  | None -> Diagnostics.fail (Diagnostics.Unknown_clause { context; id })
-
-(* Replay one learned clause's chain entirely in scratch — the worker-side
-   mirror of {!Proof.Kernel.chain}, including its [c1_id] convention:
-   intermediate resolvents belong to the learned id. *)
-let run_task k sc t =
+(* Replay one learned clause's chain in scratch — the worker-side mirror
+   of {!Proof.Kernel.chain}, including its [c1_id] convention:
+   intermediate resolvents belong to the learned id.  The first source is
+   copied once to seed the running resolvent; every other operand is read
+   in place from the frozen view. *)
+let run_task k view sc t =
   let n = Array.length t.sources in
   if n = 1 then Single
   else
     try
-      let len = ref (load_cur k sc t.sources.(0)) in
+      let len =
+        ref
+          (let h = peek_handle k t.sources.(0) in
+           sc.cur <- grown sc.cur (Proof.Clause_db.ro_size view h);
+           Proof.Clause_db.ro_copy_lits view h sc.cur)
+      in
       let merges = ref 0 in
       let c1_id = ref t.sources.(0) in
       for i = 1 to n - 1 do
-        let nb = load_op k sc t.sources.(i) in
+        let h = peek_handle k t.sources.(i) in
+        let nb = Proof.Clause_db.ro_size view h in
         sc.out <- grown sc.out (!len + nb);
         let len', _pivot, m =
-          Proof.Kernel.resolve_arrays ~context ~c1_id:!c1_id
-            ~c2_id:t.sources.(i) sc.cur !len sc.op nb sc.out
+          Proof.Kernel.resolve_ro ~context ~c1_id:!c1_id
+            ~c2_id:t.sources.(i) sc.cur !len view h sc.out
         in
         let tmp = sc.cur in
         sc.cur <- sc.out;
@@ -133,6 +129,7 @@ type pool = {
   finished : Condition.t;
   mutable tasks : task array;
   mutable results : outcome array;
+  mutable view : Proof.Clause_db.ro;  (* frozen at every dispatch *)
   mutable next : int;
   mutable unfinished : int;
   mutable limit_seq : int;  (* run only tasks with [seq] below this *)
@@ -141,13 +138,14 @@ type pool = {
   mutable crashed : exn option;  (* first non-diagnostic worker exception *)
 }
 
-let make_pool () =
+let make_pool db =
   {
     m = Mutex.create ();
     work = Condition.create ();
     finished = Condition.create ();
     tasks = [||];
     results = [||];
+    view = Proof.Clause_db.freeze db;
     next = 0;
     unfinished = 0;
     limit_seq = max_int;
@@ -177,13 +175,16 @@ let worker kernel pool shard () =
       let hi = min (Array.length pool.tasks) (lo + pool.chunk) in
       pool.next <- hi;
       let limit = pool.limit_seq in
+      (* the mutex hand-off that published this wavefront also published
+         its frozen view, so the read is ordered after the freeze *)
+      let view = pool.view in
       Mutex.unlock pool.m;
       for i = lo to hi - 1 do
         let t = pool.tasks.(i) in
         let r =
           if t.seq >= limit then Skipped
           else
-            try run_task kernel sc t
+            try run_task kernel view sc t
             with e ->
               Mutex.lock pool.m;
               if pool.crashed = None then pool.crashed <- Some e;
@@ -206,10 +207,11 @@ let worker kernel pool shard () =
     end
   done
 
-let dispatch pool tasks results ~limit_seq ~jobs =
+let dispatch pool tasks results ~view ~limit_seq ~jobs =
   Mutex.lock pool.m;
   pool.tasks <- tasks;
   pool.results <- results;
+  pool.view <- view;
   pool.next <- 0;
   pool.unfinished <- Array.length tasks;
   pool.limit_seq <- limit_seq;
@@ -234,9 +236,8 @@ let shutdown pool domains =
 
 let default_window = 128
 
-let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
-    formula
-    source =
+let check ?meter ?format ?io ?(jobs = 1) ?(window = default_window)
+    ?first_pass formula source =
   if jobs < 1 then invalid_arg "Par.check: jobs must be >= 1";
   let window = max 1 window in
   let meter =
@@ -250,7 +251,7 @@ let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
     | Some s -> s
     | None ->
       Trace.Source.of_cursor ~close_cursor:true
-        (Trace.Reader.cursor ?format source)
+        (Trace.Reader.cursor ?format ?io source)
   in
   let use = Hashtbl.create 4096 in
   let get_count id = Option.value ~default:0 (Hashtbl.find_opt use id) in
@@ -396,7 +397,7 @@ let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
             t.sources)
         tasks
     in
-    let pool = make_pool () in
+    let pool = make_pool db in
     let shards = Array.init jobs (fun _ -> Obs.Metrics.shard ()) in
     let domains =
       if jobs > 1 && Array.length fronts > 0 then
@@ -418,16 +419,21 @@ let check ?meter ?format ?(jobs = 1) ?(window = default_window) ?first_pass
                       ~args:[ ("width", width) ] "check.wavefront"
                   in
                   materialise_originals front;
+                  (* freeze after materialisation: the view must cover
+                     every original this wavefront resolves against, and
+                     any relocation the materialisation caused *)
+                  let view = Proof.Clause_db.freeze db in
                   let results = Array.make width Skipped in
                   if domains = [] then
                     Array.iteri
                       (fun i t ->
                         results.(i) <-
                           (if t.seq >= !min_fail_seq then Skipped
-                           else run_task kernel inline_scratch t))
+                           else run_task kernel view inline_scratch t))
                       front
                   else begin
-                    dispatch pool front results ~limit_seq:!min_fail_seq ~jobs;
+                    dispatch pool front results ~view ~limit_seq:!min_fail_seq
+                      ~jobs;
                     (* [dispatch] returning is the barrier: every worker is
                        idle again, so folding the shards races with no one *)
                     if Obs.Ctl.on () then

@@ -36,10 +36,14 @@
     exposed parallelism; results are identical for every value.  Pass one
     is the only trace read (tasks stay in memory), so with [first_pass]
     (closed once drained) the re-readable source is never touched.
+    [io] selects the
+    file backing for every cursor the check opens (default [`Auto]:
+    mmap regular files, falling back to the buffered channel).
     @raise Invalid_argument when [jobs < 1]. *)
 val check :
   ?meter:Harness.Meter.t ->
   ?format:Trace.Writer.format ->
+  ?io:Trace.Reader.io ->
   ?jobs:int ->
   ?window:int ->
   ?first_pass:Trace.Source.t ->

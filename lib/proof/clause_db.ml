@@ -39,12 +39,40 @@ type t = {
 
 let make_arena n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
 
-let create ?meter () =
+(* Virtual address space is cheap on 64-bit hosts: one large reservation
+   up front makes growth-by-relocation a cold path instead of a steady
+   doubling, which is what lets {!freeze} hand out stable views between
+   wavefront barriers.  The pages are untouched until the bump pointer
+   reaches them, so the reservation costs address space, not RSS; under a
+   tight [ulimit -v] the allocation itself can fail, in which case the
+   reservation halves until it fits (the doubling grower then covers the
+   rest, exactly as before). *)
+let default_reserve_words = 1 lsl 23 (* 8 Mi words = 64 MiB *)
+
+let min_reserve_words = 1024
+
+let m_reserved =
+  Obs.Metrics.gauge Obs.Metrics.global "arena.reserved_bytes"
+
+let note_reserved words =
+  if Obs.Ctl.on () then
+    Obs.Metrics.Gauge.set m_reserved (float_of_int (8 * words))
+
+let rec reserve_arena words =
+  if words <= min_reserve_words then make_arena min_reserve_words
+  else
+    match make_arena words with
+    | arena -> arena
+    | exception Out_of_memory -> reserve_arena (words / 2)
+
+let create ?meter ?(reserve = default_reserve_words) () =
   let meter =
     match meter with Some m -> m | None -> Harness.Meter.create ()
   in
+  let arena = reserve_arena (max min_reserve_words reserve) in
+  note_reserved (Bigarray.Array1.dim arena);
   {
-    arena = make_arena 1024;
+    arena;
     top = 0;
     freelist = Hashtbl.create 64;
     meter;
@@ -57,6 +85,8 @@ let create ?meter () =
 
 let meter db = db.meter
 
+let reserved_words db = Bigarray.Array1.dim db.arena
+
 let ensure_capacity db words =
   let cap = Bigarray.Array1.dim db.arena in
   if db.top + words > cap then begin
@@ -66,7 +96,10 @@ let ensure_capacity db words =
     done;
     let arena' = make_arena !cap' in
     Bigarray.Array1.blit db.arena (Bigarray.Array1.sub arena' 0 cap);
-    db.arena <- arena'
+    db.arena <- arena';
+    (* the gauge tracks the current reservation, not a running sum — a
+       relocation replaces the old region rather than adding to it *)
+    note_reserved !cap'
   end
 
 let slot db n =
@@ -169,3 +202,36 @@ let peak_live_clauses db = db.peak_live
 let clauses_allocated db = db.allocated
 let live_words db = db.resident
 let peak_words db = db.peak_resident
+
+(* A frozen view pins the arena region and the bump pointer at freeze
+   time.  Reads go straight to the shared region — no copies, no locks,
+   no GC traffic — which is safe under the wavefront discipline: workers
+   only read handles published before the freeze, and the coordinator
+   only allocates/releases between freezes.  A (rare) relocation of a
+   reservation-overflowing arena invalidates outstanding views, so the
+   coordinator re-freezes at every dispatch. *)
+type ro = {
+  ro_arena : arena;
+  ro_top : int;
+}
+
+let freeze db = { ro_arena = db.arena; ro_top = db.top }
+
+let check_frozen ro h =
+  if !debug && (h < 0 || h + header_words > ro.ro_top) then
+    raise (Use_after_free h)
+
+let ro_size ro h =
+  check_frozen ro h;
+  ro.ro_arena.{h}
+
+let ro_lit ro h i : Sat.Lit.t = ro.ro_arena.{h + header_words + i}
+
+let ro_copy_lits ro h dst =
+  let n = ro_size ro h in
+  if Array.length dst < n then
+    invalid_arg "Clause_db.ro_copy_lits: destination too small";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i ro.ro_arena.{h + header_words + i}
+  done;
+  n

@@ -257,6 +257,104 @@ let resolve_arrays ~context ~c1_id ~c2_id a na b nb out =
   done;
   (!k, pivot, !merges)
 
+(* --- frozen-view resolution --------------------------------------------- *)
+
+(* The same checked resolution again, with the second operand read in
+   place from a {!Clause_db.ro} view instead of a scratch copy.  This is
+   the zero-copy half of the wavefront workers' hot loop: the running
+   resolvent lives in domain-local scratch, every store operand stays in
+   the shared arena. *)
+
+let clashing_vars_ro a na ro h2 nb =
+  let clashes = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let var_mask_a () =
+    let v = Sat.Lit.var a.(!i) in
+    let m = ref 0 in
+    while !i < na && Sat.Lit.var a.(!i) = v do
+      m := !m lor phase_bit a.(!i);
+      incr i
+    done;
+    (v, !m)
+  in
+  let var_mask_b () =
+    let v = Sat.Lit.var (Clause_db.ro_lit ro h2 !j) in
+    let m = ref 0 in
+    while
+      !j < nb && Sat.Lit.var (Clause_db.ro_lit ro h2 !j) = v
+    do
+      m := !m lor phase_bit (Clause_db.ro_lit ro h2 !j);
+      incr j
+    done;
+    (v, !m)
+  in
+  while !i < na && !j < nb do
+    let v1 = Sat.Lit.var a.(!i)
+    and v2 = Sat.Lit.var (Clause_db.ro_lit ro h2 !j) in
+    if v1 < v2 then ignore (var_mask_a ())
+    else if v2 < v1 then ignore (var_mask_b ())
+    else begin
+      let _, m1 = var_mask_a () in
+      let _, m2 = var_mask_b () in
+      if m1 land swap_mask m2 <> 0 then clashes := v1 :: !clashes
+    end
+  done;
+  List.rev !clashes
+
+let resolve_ro ~context ~c1_id ~c2_id a na ro h2 out =
+  let nb = Clause_db.ro_size ro h2 in
+  let pivot =
+    match clashing_vars_ro a na ro h2 nb with
+    | [ v ] -> v
+    | [] ->
+      Diagnostics.fail
+        (Diagnostics.No_clash
+           {
+             context;
+             c1_id;
+             c2_id;
+             c1 = Array.sub a 0 na;
+             c2 = Array.init nb (Clause_db.ro_lit ro h2);
+           })
+    | vars ->
+      Diagnostics.fail
+        (Diagnostics.Multiple_clash { context; c1_id; c2_id; vars })
+  in
+  let k = ref 0 and i = ref 0 and j = ref 0 in
+  let merges = ref 0 in
+  let emit l =
+    if Sat.Lit.var l <> pivot then begin
+      out.(!k) <- l;
+      incr k
+    end
+  in
+  while !i < na && !j < nb do
+    let l1 = a.(!i) and l2 = Clause_db.ro_lit ro h2 !j in
+    if l1 = l2 then begin
+      emit l1;
+      if Sat.Lit.var l1 <> pivot then incr merges;
+      incr i;
+      incr j
+    end
+    else if l1 < l2 then begin
+      emit l1;
+      incr i
+    end
+    else begin
+      emit l2;
+      incr j
+    end
+  done;
+  while !i < na do
+    emit a.(!i);
+    incr i
+  done;
+  while !j < nb do
+    emit (Clause_db.ro_lit ro h2 !j);
+    incr j
+  done;
+  (!k, pivot, !merges)
+
 (* [peek t id] is the read-only id lookup: never materialises an original,
    never mutates — the only table access worker domains are allowed. *)
 let peek t id = Hashtbl.find_opt t.handles id

@@ -100,6 +100,23 @@ val resolve_arrays :
   int array ->
   int * Sat.Lit.var * int
 
+(** [resolve_ro ~context ~c1_id ~c2_id a na ro h2 out] is
+    {!resolve_arrays} with the second operand read in place from the
+    frozen store view [ro] (handle [h2]) instead of a caller copy —
+    worker domains resolve against shared clauses with zero per-operand
+    copying.  Same result, counters and diagnostics as copying the
+    clause out first. *)
+val resolve_ro :
+  context:string ->
+  c1_id:int ->
+  c2_id:int ->
+  int array ->
+  int ->
+  Clause_db.ro ->
+  Clause_db.handle ->
+  int array ->
+  int * Sat.Lit.var * int
+
 (** [peek t id] is the read-only id lookup: [None] when [id] is unbound,
     never materialises an original clause, never mutates.  The only id
     table access allowed from a worker domain. *)

@@ -17,7 +17,18 @@ type source =
   | From_string of string
   | From_file of string
 
+type io =
+  [ `Auto | `Mmap | `Channel ]
+
 let binary_magic = "ZKB1"
+
+(* Data-plane telemetry: how many trace bytes entered through the mmap
+   path, and how often a requested/auto mmap fell back to the block
+   buffer (tiny or vanished file, exhausted address space, weird fs). *)
+let m_mmap_bytes = Obs.Metrics.counter Obs.Metrics.global "trace.mmap_bytes"
+
+let m_mmap_fallbacks =
+  Obs.Metrics.counter Obs.Metrics.global "trace.mmap_fallbacks"
 
 (* A cursor yields events incrementally; multi-pass checkers rewind it
    between passes.  In-memory sources are read in place.  File sources are
@@ -50,8 +61,17 @@ type chan = {
   seekable : bool;
 }
 
+(* Regular files are mapped read-only so records are decoded straight out
+   of the page cache: no block copies, no per-line [Buffer], no syscalls
+   past the initial [mmap].  The mapping is shared ([false] = not
+   copy-on-write) and freed by the bigarray finaliser when the cursor is
+   collected. *)
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type backing =
   | Mem of string
+  | Map of bigstring
   | Chan of chan
 
 type cursor = {
@@ -88,6 +108,10 @@ let rec get_byte c =
       let b = Char.code (String.unsafe_get s c.pos) in
       c.pos <- c.pos + 1;
       b
+    | Map m ->
+      let b = Char.code (Bigarray.Array1.unsafe_get m c.pos) in
+      c.pos <- c.pos + 1;
+      b
     | Chan ch ->
       if c.pos >= ch.base + ch.len then begin
         refill ch;
@@ -103,7 +127,7 @@ let at_eof c =
   if c.total <> max_int then c.pos >= c.total
   else
     match c.backing with
-    | Mem _ -> c.pos >= c.total
+    | Mem _ | Map _ -> c.pos >= c.total
     | Chan ch ->
       c.pos >= ch.base + ch.len
       && (ch.eof
@@ -150,6 +174,7 @@ let has_magic backing total =
   &&
   match backing with
   | Mem s -> String.sub s 0 magic = binary_magic
+  | Map m -> String.init magic (Bigarray.Array1.get m) = binary_magic
   | Chan ch -> ch.len >= magic && Bytes.sub_string ch.buf 0 magic = binary_magic
 
 let make_cursor ?format backing total =
@@ -174,11 +199,49 @@ let make_cursor ?format backing total =
     line_buf = Buffer.create 128;
   }
 
-let cursor ?format source =
-  let backing, total =
+(* The fd is closed right after [mmap]: the kernel keeps the mapping
+   alive until the bigarray is collected.  Any failure — exhausted
+   address space, a filesystem without mmap — makes the caller fall
+   back to the block-buffered channel path, so [`Mmap] is a preference,
+   never a correctness switch.  Files whose stat size is 0 are refused:
+   procfs-style files lie about their size, and mapping one would yield
+   an empty trace where the channel path reads real bytes.  The channel
+   fallback reads whatever is actually there, which for a genuinely
+   empty file is the same empty trace. *)
+exception Unmappable
+
+let map_file path : bigstring =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let total = (Unix.fstat fd).Unix.st_size in
+      if total = 0 then raise Unmappable;
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| total |]))
+
+let cursor ?format ?(io : io = `Auto) source =
+  let mapped =
     match source with
-    | From_string s -> (Mem s, String.length s)
-    | From_file path ->
+    | From_string _ -> None
+    | From_file _ when io = `Channel -> None
+    | From_file path -> (
+      match map_file path with
+      | m ->
+        if Obs.Ctl.on () then begin
+          Obs.Metrics.Counter.incr m_mmap_bytes (Bigarray.Array1.dim m);
+          Obs.Span.instant ~cat:"trace" "trace.mmap"
+        end;
+        Some m
+      | exception _ ->
+        if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_mmap_fallbacks 1;
+        None)
+  in
+  let backing, total =
+    match (mapped, source) with
+    | Some m, _ -> (Map m, Bigarray.Array1.dim m)
+    | None, From_string s -> (Mem s, String.length s)
+    | None, From_file path ->
       let ic = open_in_bin path in
       let total = in_channel_length ic in
       let buf = Bytes.create block_size in
@@ -192,7 +255,7 @@ let cursor ?format source =
      (* cursors have no explicit lifetime in the checker API; make sure an
         abandoned one does not leak its file descriptor *)
      Gc.finalise (fun (_ : cursor) -> close_in_noerr ic) c
-   | Mem _ -> ());
+   | Mem _ | Map _ -> ());
   c
 
 let channel_cursor ?format ?tap ic =
@@ -208,6 +271,8 @@ let detect_cursor c =
   let prefix =
     match c.backing with
     | Mem s -> String.sub s 0 (min 4 (String.length s))
+    | Map m ->
+      String.init (min 4 (Bigarray.Array1.dim m)) (Bigarray.Array1.get m)
     | Chan ch ->
       if ch.base <> 0 then
         invalid_arg "Trace.Reader.detect_cursor: cursor already read past its first block";
@@ -217,14 +282,20 @@ let detect_cursor c =
 
 let close c =
   match c.backing with
-  | Mem _ -> ()
+  | Mem _ | Map _ -> ()
   | Chan { ic; seekable; _ } -> if seekable then close_in_noerr ic
 
 let is_binary_cursor c = c.binary
 
+let io_of_cursor c =
+  match c.backing with
+  | Mem _ -> `Memory
+  | Map _ -> `Mmap
+  | Chan _ -> `Channel
+
 let rewind c =
   (match c.backing with
-   | Mem _ -> ()
+   | Mem _ | Map _ -> ()
    | Chan ch ->
      if not ch.seekable then
        invalid_arg "Trace.Reader.rewind: non-seekable (channel) cursor";
@@ -346,7 +417,240 @@ let next_binary c =
     | tag -> fail record_start "unknown binary tag %d" tag
   end
 
-let next c = if c.binary then next_binary c else next_ascii c
+(* In-place record decoding for contiguous backings (in-memory strings
+   and mmap'd files).  The hot path indexes the region directly — no
+   block refills, no per-line [Buffer], no token lists — and only falls
+   back to [parse_line] on inputs the strict lexer does not recognise
+   (exotic numerals, wrong arity, unknown keywords), so error messages
+   and accepted inputs are byte-identical to the channel path.  Parse
+   failures leave [c.pos] exactly where the channel decoder would. *)
+module type CONTIG = sig
+  type t
+
+  val get : t -> int -> char
+  val sub : t -> int -> int -> string
+end
+
+module Contig (C : CONTIG) = struct
+  exception Slow_path
+
+  (* [String.trim]'s whitespace set *)
+  let is_space = function
+    | ' ' | '\012' | '\n' | '\r' | '\t' -> true
+    | _ -> false
+
+  let skip_spaces data i e =
+    let i = ref i in
+    while !i < e && C.get data !i = ' ' do
+      incr i
+    done;
+    !i
+
+  let token_end data i e =
+    let i = ref i in
+    while !i < e && C.get data !i <> ' ' do
+      incr i
+    done;
+    !i
+
+  (* strict plain-decimal ints only; anything [int_of_string] is more
+     liberal about (0x/0o/0b/underscores/leading +, overflow) goes back
+     through [parse_line] for the exact legacy behaviour *)
+  let int_of_span data s e =
+    if s >= e then raise_notrace Slow_path;
+    let neg = C.get data s = '-' in
+    let s = if neg then s + 1 else s in
+    if s >= e || e - s > 18 then raise_notrace Slow_path;
+    let acc = ref 0 in
+    for i = s to e - 1 do
+      let ch = C.get data i in
+      if ch < '0' || ch > '9' then raise_notrace Slow_path;
+      acc := (!acc * 10) + (Char.code ch - Char.code '0')
+    done;
+    if neg then - !acc else !acc
+
+  let token_equal data s e kw =
+    e - s = String.length kw
+    &&
+    let ok = ref true in
+    for i = 0 to String.length kw - 1 do
+      if C.get data (s + i) <> String.unsafe_get kw i then ok := false
+    done;
+    !ok
+
+  (* one int token, which must be the last on the line *)
+  let last_int data i e =
+    let te = token_end data i e in
+    let v = int_of_span data i te in
+    if skip_spaces data te e <> e then raise_notrace Slow_path;
+    v
+
+  let parse_span data s e =
+    let t0e = token_end data s e in
+    let i = skip_spaces data t0e e in
+    if token_equal data s t0e "CL" then begin
+      let ide = token_end data i e in
+      let id = int_of_span data i ide in
+      let rest = skip_spaces data ide e in
+      let n = ref 0 in
+      let j = ref rest in
+      while !j < e do
+        let te = token_end data !j e in
+        incr n;
+        j := skip_spaces data te e
+      done;
+      if !n = 0 then raise_notrace Slow_path;
+      let sources = Array.make !n 0 in
+      let j = ref rest in
+      for k = 0 to !n - 1 do
+        let te = token_end data !j e in
+        sources.(k) <- int_of_span data !j te;
+        j := skip_spaces data te e
+      done;
+      Event.Learned { id; sources }
+    end
+    else if token_equal data s t0e "VAR" then begin
+      let t1e = token_end data i e in
+      let var = int_of_span data i t1e in
+      let j = skip_spaces data t1e e in
+      let t2e = token_end data j e in
+      let value = int_of_span data j t2e in
+      if value <> 0 && value <> 1 then raise_notrace Slow_path;
+      let k = skip_spaces data t2e e in
+      let ante = last_int data k e in
+      Event.Level0 { var; value = value = 1; ante }
+    end
+    else if token_equal data s t0e "t" then begin
+      let t1e = token_end data i e in
+      let nvars = int_of_span data i t1e in
+      let j = skip_spaces data t1e e in
+      let num_original = last_int data j e in
+      Event.Header { nvars; num_original }
+    end
+    else if token_equal data s t0e "CONF" then
+      Event.Final_conflict (last_int data i e)
+    else raise_notrace Slow_path
+
+  let rec next_ascii c (data : C.t) =
+    if c.pos >= c.total then None
+    else begin
+      let line_no = c.line in
+      let total = c.total in
+      let ls = c.pos in
+      let i = ref ls in
+      while !i < total && C.get data !i <> '\n' do
+        incr i
+      done;
+      c.pos <- (if !i < total then !i + 1 else total);
+      c.line <- line_no + 1;
+      (* trim the line span like [String.trim] trims the buffered copy *)
+      let s = ref ls
+      and e = ref !i in
+      while !s < !e && is_space (C.get data !s) do
+        incr s
+      done;
+      while !e > !s && is_space (C.get data (!e - 1)) do
+        decr e
+      done;
+      if !s >= !e then next_ascii c data
+      else begin
+        c.last_pos <- Line line_no;
+        match parse_span data !s !e with
+        | event -> Some event
+        | exception Slow_path ->
+          parse_line (Line line_no) (C.sub data !s (!e - !s))
+      end
+    end
+
+  let next_binary c (data : C.t) =
+    if c.pos >= c.total then None
+    else begin
+      let record_start = Byte c.pos in
+      c.last_pos <- record_start;
+      let pos = ref c.pos in
+      let total = c.total in
+      (* publish the consumed prefix before raising so the cursor stands
+         exactly where the channel decoder's would *)
+      let err fmt =
+        Printf.ksprintf
+          (fun msg ->
+            c.pos <- !pos;
+            raise (Parse_error { pos = record_start; msg }))
+          fmt
+      in
+      let byte () =
+        if !pos >= total then err "truncated binary trace"
+        else begin
+          let b = Char.code (C.get data !pos) in
+          incr pos;
+          b
+        end
+      in
+      let varint () =
+        let rec loop n shift acc =
+          if n > max_varint_bytes then
+            err "garbled varint (over %d bytes)" max_varint_bytes;
+          let b = byte () in
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if b land 0x80 <> 0 then loop (n + 1) (shift + 7) acc else acc
+        in
+        loop 1 0 0
+      in
+      let finish e =
+        c.pos <- !pos;
+        Some e
+      in
+      match byte () with
+      | 0 ->
+        let nvars = varint () in
+        let num_original = varint () in
+        finish (Event.Header { nvars; num_original })
+      | 1 ->
+        let id = varint () in
+        let n = varint () in
+        if n < 0 || !pos + n > total then
+          err "truncated binary trace (%d sources claimed)" n;
+        let sources = Array.make n 0 in
+        for i = 0 to n - 1 do
+          sources.(i) <- varint ()
+        done;
+        finish (Event.Learned { id; sources })
+      | 2 ->
+        let packed = varint () in
+        let ante = varint () in
+        finish
+          (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
+      | 3 -> finish (Event.Final_conflict (varint ()))
+      | tag -> err "unknown binary tag %d" tag
+    end
+end
+
+module Contig_string = Contig (struct
+  type t = string
+
+  let get = String.unsafe_get
+  let sub = String.sub
+end)
+
+module Contig_big = Contig (struct
+  type t = bigstring
+
+  (* eta-expanded at the concrete element type so the compiler emits a
+     direct byte load instead of the generic bigarray dispatch stub *)
+  let get (m : bigstring) i : char = Bigarray.Array1.unsafe_get m i
+
+  let sub m pos len =
+    String.init len (fun i -> Bigarray.Array1.unsafe_get m (pos + i))
+end)
+
+let next c =
+  match c.backing with
+  | Mem s ->
+    if c.binary then Contig_string.next_binary c s
+    else Contig_string.next_ascii c s
+  | Map m ->
+    if c.binary then Contig_big.next_binary c m else Contig_big.next_ascii c m
+  | Chan _ -> if c.binary then next_binary c else next_ascii c
 
 let iter_cursor c f =
   let rec loop () =

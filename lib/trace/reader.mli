@@ -32,18 +32,35 @@ type source =
 val detect : source -> [ `Ascii | `Binary | `Ambiguous of string ]
 
 (** A resumable read position into a trace.  In-memory sources are read in
-    place; file sources are streamed through a fixed [Bytes] block buffer,
-    so a cursor never holds more than one block of the raw trace at a time
-    — multi-pass counting stays cheap (no per-record channel reads)
-    without slurping the file.  The checkers {!rewind} the same cursor
-    between passes; positions are identical for both backings. *)
+    place.  Regular files are mmap'd by default ([`Auto]) and decoded in
+    place straight out of the page cache — no block copies and no
+    per-record heap traffic; when mapping fails (a 0-length stat —
+    procfs-style files lie about their size — exhausted address space,
+    an mmap-less filesystem) or is refused ([`Channel]),
+    the file is streamed through a fixed [Bytes] block buffer instead, so
+    a cursor never holds more than one block of the raw trace at a time.
+    The checkers {!rewind} the same cursor between passes; positions,
+    yielded events and {!Parse_error}s are identical for every backing. *)
 type cursor
+
+(** How file-backed cursors read their bytes.  [`Auto] and [`Mmap] both
+    map the file and silently fall back to the buffered channel path when
+    mapping fails (counted by the [trace.mmap_fallbacks] metric);
+    [`Channel] never maps.  Irrelevant for [From_string] and channel
+    cursors. *)
+type io =
+  [ `Auto | `Mmap | `Channel ]
 
 (** [cursor source] opens a cursor positioned at the first event.
     [format] forces the encoding instead of auto-detecting from the
     magic: forced-binary skips the magic when present, forced-ASCII
-    parses from the very first byte. *)
-val cursor : ?format:Writer.format -> source -> cursor
+    parses from the very first byte.  [io] selects the file backing
+    (default [`Auto]). *)
+val cursor : ?format:Writer.format -> ?io:io -> source -> cursor
+
+(** [io_of_cursor c] is the backing actually in use — [`Mmap] only when
+    the file was successfully mapped. *)
+val io_of_cursor : cursor -> [ `Memory | `Mmap | `Channel ]
 
 (** [channel_cursor ic] opens a single-shot cursor over a non-seekable
     channel (pipe, FIFO, stdin): total length is unknown (end of trace is

@@ -110,6 +110,54 @@ multi-pass strategies:
   $ $R check php8.cnf - -s hybrid < php8.bin | grep "^s "
   s VERIFIED UNSATISFIABLE
 
+The mmap'd and block-buffered data planes are interchangeable: every
+strategy produces byte-identical reports either way (`--io channel`
+forces the buffered path; the default maps regular files):
+
+  $ for s in df bf hybrid par; do
+  >   $R check php8.cnf php8.trc -s $s --io mmap --json > io-m.json
+  >   $R check php8.cnf php8.trc -s $s --io channel --json > io-c.json
+  >   cmp io-m.json io-c.json && echo "$s identical"
+  > done
+  df identical
+  bf identical
+  hybrid identical
+  par identical
+  $ $R check php8.cnf php8.bin -s bf --io mmap --json > iob-m.json
+  $ $R check php8.cnf php8.bin -s bf --io channel --json > iob-c.json
+  $ cmp iob-m.json iob-c.json && echo "binary identical"
+  binary identical
+
+Error reports are byte-identical too — same diagnostics, same lint
+positions, same exit code on both paths:
+
+  $ $R check php8.cnf broken.trc --io mmap > io-m.out 2>&1; echo "exit $?"
+  exit 2
+  $ $R check php8.cnf broken.trc --io channel > io-c.out 2>&1; echo "exit $?"
+  exit 2
+  $ cmp io-m.out io-c.out && echo "identical"
+  identical
+
+A trace file shorter than the 4-byte magic is ambiguous on both paths,
+with the same message:
+
+  $ printf 'ZK' > tiny.trc
+  $ $R check php8.cnf tiny.trc 2> tiny-m.err; echo "exit $?"
+  exit 2
+  $ $R check php8.cnf tiny.trc --io channel 2> tiny-c.err; echo "exit $?"
+  exit 2
+  $ cmp tiny-m.err tiny-c.err && echo "identical"
+  identical
+
+A FIFO is not a regular file, so `check` streams it through the
+channel path (spooling for the second pass) regardless of `--io`:
+
+  $ mkfifo pipe.trc
+  $ cat php8.trc > pipe.trc &
+  $ $R check php8.cnf pipe.trc -s bf | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ wait
+
 Online validation tees the live solver stream into the linter and the
 checker's counting pass; the verdict matches the file-based path and the
 encoder never buffers more than its flush threshold:

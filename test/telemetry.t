@@ -19,14 +19,27 @@ on and off, across three families and both trace encodings:
   >   done
   > done
 
-A breadth-first check exports exactly its two passes as Chrome
-"complete" events (timestamps, durations and thread ids normalised):
+A breadth-first check exports its two passes as Chrome "complete"
+events, plus one mmap instant per file cursor it opens — one for each
+pass (timestamps, durations and thread ids normalised):
 
   $ $R gen php_6 -o p.cnf > /dev/null
   $ $R solve p.cnf --trace p.trc > /dev/null
   [20]
   $ $R check p.cnf p.trc -s bf --trace-events bf.json > /dev/null
   $ sed -E -e 's/[0-9]+\.[0-9]{3}/T/g' -e 's/"tid":[0-9]+/"tid":N/g' bf.json
+  [
+  {"name":"trace.mmap","cat":"trace","ph":"X","ts":T,"dur":T,"pid":1,"tid":N},
+  {"name":"check.pass_one","cat":"bf","ph":"X","ts":T,"dur":T,"pid":1,"tid":N},
+  {"name":"check.pass_two","cat":"bf","ph":"X","ts":T,"dur":T,"pid":1,"tid":N},
+  {"name":"trace.mmap","cat":"trace","ph":"X","ts":T,"dur":T,"pid":1,"tid":N}
+  ]
+
+Forcing the buffered channel path removes the mmap instants and nothing
+else:
+
+  $ $R check p.cnf p.trc -s bf --io channel --trace-events bfc.json > /dev/null
+  $ sed -E -e 's/[0-9]+\.[0-9]{3}/T/g' -e 's/"tid":[0-9]+/"tid":N/g' bfc.json
   [
   {"name":"check.pass_one","cat":"bf","ph":"X","ts":T,"dur":T,"pid":1,"tid":N},
   {"name":"check.pass_two","cat":"bf","ph":"X","ts":T,"dur":T,"pid":1,"tid":N}

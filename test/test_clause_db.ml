@@ -56,6 +56,60 @@ let test_retain_release_balance () =
       Alcotest.check_raises "now dead" (Db.Use_after_free h) (fun () ->
           ignore (Db.size db h)))
 
+(* --- reserved region and frozen read-only views ------------------------ *)
+
+let ints_of_ro ro h =
+  List.init (Db.ro_size ro h) (fun i -> Sat.Lit.to_int (Db.ro_lit ro h i))
+
+let test_reserve_and_freeze () =
+  let db = Db.create ~reserve:4096 () in
+  Alcotest.check Alcotest.bool "reservation honours the request" true
+    (Db.reserved_words db >= 4096);
+  let h = Db.alloc db (c [ 1; -2; 3 ]) in
+  let ro = Db.freeze db in
+  Alcotest.check Alcotest.int "ro_size" 3 (Db.ro_size ro h);
+  Alcotest.(check (list int))
+    "ro_lit reads the packed literals in place"
+    (Array.to_list (Array.map Sat.Lit.to_int (Db.lits db h)))
+    (ints_of_ro ro h);
+  let dst = Array.make 8 0 in
+  let n = Db.ro_copy_lits ro h dst in
+  Alcotest.check Alcotest.int "ro_copy_lits returns the length" 3 n;
+  Alcotest.(check (list int))
+    "ro_copy_lits copies the same run" (ints_of_ro ro h)
+    (List.init n (fun i -> Sat.Lit.to_int dst.(i)))
+
+(* A frozen view is a stable snapshot: growing (and relocating) the
+   arena after the freeze must not disturb reads through the old view,
+   and a fresh freeze must see the same clause in the new arena. *)
+let test_freeze_survives_growth () =
+  let db = Db.create ~reserve:1024 () in
+  let h = Db.alloc db (c [ 7; -8 ]) in
+  let ro = Db.freeze db in
+  let before = ints_of_ro ro h in
+  let keep = ref [] in
+  for i = 1 to 500 do
+    keep := Db.alloc db (c [ (3 * i) + 10; -((3 * i) + 11); (3 * i) + 12 ]) :: !keep
+  done;
+  Alcotest.check Alcotest.bool "arena grew past the tiny reservation" true
+    (Db.reserved_words db > 1024);
+  Alcotest.(check (list int)) "frozen view is a stable snapshot" before
+    (ints_of_ro ro h);
+  let ro' = Db.freeze db in
+  Alcotest.(check (list int)) "re-freeze reads the relocated arena" before
+    (ints_of_ro ro' h)
+
+let test_ro_stale_handle_guard () =
+  with_debug (fun () ->
+      let db = Db.create () in
+      let h0 = Db.alloc db (c [ 1; 2 ]) in
+      let ro = Db.freeze db in
+      let h1 = Db.alloc db (c [ 3; 4 ]) in
+      ignore (Db.ro_size ro h0);
+      (* a handle allocated after the freeze lies past the frozen top *)
+      Alcotest.check_raises "handle past the frozen top"
+        (Db.Use_after_free h1) (fun () -> ignore (Db.ro_size ro h1)))
+
 let suite =
   [
     ( "clause_db debug guards",
@@ -68,5 +122,10 @@ let suite =
           test_refcount_underflow;
         Alcotest.test_case "retain/release balance" `Quick
           test_retain_release_balance;
+        Alcotest.test_case "reserve and freeze" `Quick test_reserve_and_freeze;
+        Alcotest.test_case "freeze survives growth" `Quick
+          test_freeze_survives_growth;
+        Alcotest.test_case "ro guard on stale handles" `Quick
+          test_ro_stale_handle_guard;
       ] );
   ]

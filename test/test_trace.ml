@@ -95,6 +95,186 @@ let test_fold_order () =
   Alcotest.check Alcotest.int "fold sees all events"
     (List.length sample_events) count
 
+(* --- mmap-backed cursors: identical to the buffered channel path ------- *)
+
+let with_temp_trace contents f =
+  let path = Filename.temp_file "trace_mmap" ".trc" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* Drain a cursor completely, recording each event with the position it
+   started at and the parse error (if any) that ended the drain — the
+   full observable surface a checker sees, rendered to a string so a
+   mismatch prints both transcripts. *)
+let drain cur =
+  let buf = Buffer.create 256 in
+  (try
+     let rec loop () =
+       match Trace.Reader.next cur with
+       | Some e ->
+         Buffer.add_string buf
+           (Format.asprintf "%s %a\n"
+              (Trace.Reader.pos_to_string (Trace.Reader.last_pos cur))
+              Trace.Event.pp e);
+         loop ()
+       | None -> Buffer.add_string buf "eof\n"
+     in
+     loop ()
+   with Trace.Reader.Parse_error { pos; msg } ->
+     Buffer.add_string buf
+       (Printf.sprintf "error %s: %s\n" (Trace.Reader.pos_to_string pos) msg));
+  Trace.Reader.close cur;
+  Buffer.contents buf
+
+let check_drains_equal name contents =
+  with_temp_trace contents (fun path ->
+      let via io =
+        drain (Trace.Reader.cursor ~io (Trace.Reader.From_file path))
+      in
+      Alcotest.check Alcotest.string name (via `Channel) (via `Mmap))
+
+(* Every truncation point of a well-formed trace — mid-magic, mid-tag,
+   mid-varint, mid-line — must yield the same events, positions and
+   error text from both backings. *)
+let test_truncation_sweep () =
+  List.iter
+    (fun fmt ->
+      let s = write fmt sample_events in
+      for len = 0 to String.length s - 1 do
+        check_drains_equal
+          (Printf.sprintf "truncated at byte %d" len)
+          (String.sub s 0 len)
+      done)
+    [ Trace.Writer.Ascii; Trace.Writer.Binary ]
+
+let test_corrupt_drains_identical () =
+  List.iter
+    (fun (name, s) -> check_drains_equal name s)
+    [
+      ("CL without sources", "t 3 2\nCL 5\n");
+      ("VAR with non-boolean value", "t 3 2\nVAR 1 2 0\n");
+      ("unknown keyword", "t 3 2\nFROB 1\n");
+      ("non-numeric field", "t 3 2\nCL 4 x y\n");
+      ("garbage after valid events", write Trace.Writer.Ascii sample_events ^ "CL\n");
+      ("unknown binary tag", "ZKB1\x09");
+      ("garbled varint", "ZKB1\x01\x85");
+      ( "mid-varint cut after valid events",
+        write Trace.Writer.Binary sample_events ^ "\x01\x85" );
+    ]
+
+(* A single record bigger than the channel path's 64 KiB block buffer:
+   the block refill logic and the in-place lexer must agree on it. *)
+let test_record_larger_than_block () =
+  let sources = Array.init 25_000 (fun i -> i + 1_000_000) in
+  let events =
+    [
+      Trace.Event.Header { nvars = 9; num_original = 8 };
+      Trace.Event.Learned { id = 2_000_000; sources };
+      Trace.Event.Final_conflict 2_000_000;
+    ]
+  in
+  List.iter
+    (fun fmt ->
+      let s = write fmt events in
+      Alcotest.check Alcotest.bool "record spans several blocks" true
+        (String.length s > 65_536);
+      with_temp_trace s (fun path ->
+          List.iter
+            (fun io ->
+              let cur =
+                Trace.Reader.cursor ~io (Trace.Reader.From_file path)
+              in
+              let got = ref [] in
+              Trace.Reader.iter_cursor cur (fun e -> got := e :: !got);
+              Trace.Reader.close cur;
+              Alcotest.check
+                (Alcotest.list events_testable)
+                "oversized record roundtrips" events
+                (List.rev !got))
+            [ `Mmap; `Channel ]))
+    [ Trace.Writer.Ascii; Trace.Writer.Binary ]
+
+let backing_name = function
+  | `Memory -> "memory"
+  | `Mmap -> "mmap"
+  | `Channel -> "channel"
+
+let test_backing_selection () =
+  let s = write Trace.Writer.Binary sample_events in
+  let io_of ?io src =
+    let cur = Trace.Reader.cursor ?io src in
+    let b = Trace.Reader.io_of_cursor cur in
+    Trace.Reader.close cur;
+    backing_name b
+  in
+  with_temp_trace s (fun path ->
+      let file = Trace.Reader.From_file path in
+      Alcotest.check Alcotest.string "auto maps regular files" "mmap"
+        (io_of file);
+      Alcotest.check Alcotest.string "`Channel never maps" "channel"
+        (io_of ~io:`Channel file));
+  Alcotest.check Alcotest.string "in-memory sources ignore io" "memory"
+    (io_of ~io:`Mmap (Trace.Reader.From_string s));
+  (* a 0-byte stat size is refused (procfs-style files lie about their
+     size): silent channel fallback, and the drain is still clean *)
+  with_temp_trace "" (fun path ->
+      let cur =
+        Trace.Reader.cursor ~io:`Mmap (Trace.Reader.From_file path)
+      in
+      Alcotest.check Alcotest.string "empty file falls back" "channel"
+        (backing_name (Trace.Reader.io_of_cursor cur));
+      Alcotest.check Alcotest.bool "empty file drains clean" true
+        (Trace.Reader.next cur = None);
+      Trace.Reader.close cur)
+
+(* tiny (sub-magic) files: both backings classify them exactly like
+   [detect] on the underlying file *)
+let test_tiny_file_detection () =
+  let show = function
+    | `Ascii -> "ascii"
+    | `Binary -> "binary"
+    | `Ambiguous why -> "ambiguous: " ^ why
+  in
+  List.iter
+    (fun s ->
+      with_temp_trace s (fun path ->
+          let expected =
+            show (Trace.Reader.detect (Trace.Reader.From_file path))
+          in
+          List.iter
+            (fun io ->
+              let cur =
+                Trace.Reader.cursor ~io (Trace.Reader.From_file path)
+              in
+              let got = show (Trace.Reader.detect_cursor cur) in
+              Trace.Reader.close cur;
+              Alcotest.check Alcotest.string
+                (Printf.sprintf "detect agrees on %S" s)
+                expected got)
+            [ `Mmap; `Channel ]))
+    [ ""; "Z"; "ZK"; "ZKB"; "ZKB1"; "\x00"; "t" ]
+
+let test_mmap_rewind () =
+  let s = write Trace.Writer.Ascii sample_events in
+  with_temp_trace s (fun path ->
+      let cur = Trace.Reader.cursor ~io:`Mmap (Trace.Reader.From_file path) in
+      Alcotest.check Alcotest.string "mapped" "mmap"
+        (backing_name (Trace.Reader.io_of_cursor cur));
+      let pass () =
+        let got = ref [] in
+        Trace.Reader.iter_cursor cur (fun e -> got := e :: !got);
+        List.rev !got
+      in
+      let once = pass () in
+      Trace.Reader.rewind cur;
+      let twice = pass () in
+      Trace.Reader.close cur;
+      Alcotest.check (Alcotest.list events_testable) "first pass" sample_events
+        once;
+      Alcotest.check (Alcotest.list events_testable) "rewind replays" once
+        twice)
+
 (* varint edge values survive the binary encoding *)
 let prop_binary_varint =
   Helpers.qtest ~count:200 "binary roundtrip of large ids"
@@ -121,6 +301,17 @@ let suite =
         Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
         Alcotest.test_case "reader errors" `Quick test_reader_errors;
         Alcotest.test_case "fold order" `Quick test_fold_order;
+        Alcotest.test_case "mmap/channel truncation sweep" `Quick
+          test_truncation_sweep;
+        Alcotest.test_case "mmap/channel corrupt traces" `Quick
+          test_corrupt_drains_identical;
+        Alcotest.test_case "record larger than one block" `Quick
+          test_record_larger_than_block;
+        Alcotest.test_case "backing selection and fallback" `Quick
+          test_backing_selection;
+        Alcotest.test_case "tiny file detection" `Quick
+          test_tiny_file_detection;
+        Alcotest.test_case "mmap rewind" `Quick test_mmap_rewind;
         prop_binary_varint;
       ] );
   ]
