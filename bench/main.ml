@@ -5,7 +5,8 @@
 
    Usage:  dune exec bench/main.exe
              [table1|table2|table3|proofshape|scaling|ablation|baseline|
-              par|par_quick|stream|stream_quick|parse|overhead|micro|all]
+              par|par_quick|stream|stream_quick|trim|trim_quick|parse|
+              overhead|micro|all]
 
    Absolute numbers are machine-specific; EXPERIMENTS.md records how the
    *shapes* compare with the paper (who wins, by what factor, where the
@@ -655,6 +656,111 @@ let stream_full () =
 let stream_quick () =
   stream_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
 
+(* --- trim: static core-reachable trimming -------------------------------- *)
+
+(* Size reduction and downstream payoff of the {!Analysis.Dag} trimmer:
+   per family and encoding, records/bytes before and after, the dead
+   fraction dropped, the one-shot static trim cost, and the bf re-check
+   wall time on the original vs the trimmed trace.  Every trimmed trace
+   is re-verified before its timing is trusted: bf must accept it, and
+   the clauses it builds must be exactly the trimmer's kept set. *)
+let trim_bench instances =
+  print_endline
+    "Trim. Static core-reachable trimming: size, cost, re-check payoff\n";
+  let rows =
+    List.concat_map
+      (fun (name, generate) ->
+        let f : Sat.Cnf.t = generate () in
+        List.map
+          (fun (fmt_name, format) ->
+            let result, _stats, trace =
+              Pipeline.Validate.solve_with_trace ~format f
+            in
+            (match result with
+             | Solver.Cdcl.Unsat -> ()
+             | Solver.Cdcl.Sat _ ->
+               failwith
+                 (name ^ ": benchmark instance unexpectedly satisfiable"));
+            let do_trim () =
+              let w = Trace.Writer.create format in
+              match
+                Analysis.Dag.trim (Trace.Reader.From_string trace) w
+              with
+              | Ok (stats, _profile) -> (stats, Trace.Writer.contents w)
+              | Error e ->
+                failwith
+                  (Printf.sprintf "%s/%s: trim: %s" name fmt_name
+                     e.Analysis.Dag.message)
+            in
+            let (stats, trimmed), trim_s = timed_median do_trim in
+            let recheck label t =
+              match Checker.Bf.check f (Trace.Reader.From_string t) with
+              | Ok r -> r
+              | Error d ->
+                failwith
+                  (Printf.sprintf "%s/%s: bf on %s trace: %s" name fmt_name
+                     label
+                     (Checker.Diagnostics.to_string d))
+            in
+            let _, orig_s =
+              timed_median (fun () -> recheck "original" trace)
+            in
+            let r_trim, trimmed_s =
+              timed_median (fun () -> recheck "trimmed" trimmed)
+            in
+            if r_trim.Checker.Report.clauses_built <> stats.Analysis.Dag.kept_learned
+            then
+              failwith
+                (Printf.sprintf
+                   "%s/%s: bf built %d clauses on the trimmed trace, trimmer \
+                    kept %d"
+                   name fmt_name r_trim.Checker.Report.clauses_built
+                   stats.Analysis.Dag.kept_learned);
+            let learned_in =
+              stats.Analysis.Dag.kept_learned
+              + stats.Analysis.Dag.dropped_learned
+            in
+            let dead_frac =
+              if learned_in = 0 then 0.0
+              else
+                float_of_int stats.Analysis.Dag.dropped_learned
+                /. float_of_int learned_in
+            in
+            [
+              name;
+              fmt_name;
+              string_of_int stats.Analysis.Dag.records_in;
+              string_of_int stats.Analysis.Dag.records_out;
+              string_of_int stats.Analysis.Dag.bytes_in;
+              string_of_int stats.Analysis.Dag.bytes_out;
+              fmt_pct dead_frac;
+              fmt_f ~decimals:3 trim_s;
+              fmt_f ~decimals:3 orig_s;
+              fmt_f ~decimals:3 trimmed_s;
+              fmt_f ~decimals:2 (orig_s /. Float.max 1e-6 trimmed_s);
+            ])
+          [ ("ascii", Trace.Writer.Ascii); ("binary", Trace.Writer.Binary) ])
+      instances
+  in
+  print_table "trim"
+    ~headers:
+      [
+        "instance"; "format"; "recs in"; "recs out"; "bytes in"; "bytes out";
+        "dead"; "trim (s)"; "bf orig (s)"; "bf trim (s)"; "recheck speedup";
+      ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows
+
+let trim_full () =
+  trim_bench
+    [
+      ("php_7", fun () -> Gen.Php.unsat ~holes:7);
+      ("php_8", fun () -> Gen.Php.unsat ~holes:8);
+    ]
+
+(* CI-sized run: one small family, same columns and JSON artifact. *)
+let trim_quick () = trim_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
+
 (* --- parse-path micro-bench: ascii/binary x mmap/channel ---------------- *)
 
 (* Throughput and allocation of the trace decode alone (no checking):
@@ -962,6 +1068,8 @@ let () =
   | "par_quick" -> par_quick ()
   | "stream" -> stream_full ()
   | "stream_quick" -> stream_quick ()
+  | "trim" -> trim_full ()
+  | "trim_quick" -> trim_quick ()
   | "parse" -> parse_bench ()
   | "overhead" -> overhead ()
   | "all" ->
@@ -983,11 +1091,14 @@ let () =
     print_newline ();
     stream_full ();
     print_newline ();
+    trim_full ();
+    print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown mode %S (expected \
        table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
-       par_quick|stream|stream_quick|parse|overhead|micro|all)\n"
+       par_quick|stream|stream_quick|trim|trim_quick|parse|overhead|micro|\
+       all)\n"
       other;
     exit 2

@@ -4,9 +4,10 @@
      solve      solve a DIMACS file, optionally emitting a resolution trace
      check      validate an UNSAT trace (df / bf / hybrid)
      lint       statically lint a trace without replaying it
+     analyze    profile the whole proof DAG without replaying it
      validate   solve and check in one step
      core       extract / iteratively shrink an unsat core (--minimal: MUC)
-     trim       shrink a trace to its proof core
+     trim       shrink a trace to its core-reachable records
      simplify   preprocess a formula
      drup       convert a trace to DRUP and RUP-verify it
      mc         BMC / interpolation-based model checking
@@ -208,6 +209,27 @@ let load_formula path =
   try Ok (Sat.Dimacs.parse_file path)
   with Sat.Dimacs.Parse_error m -> Error m
 
+(* Compact two-line proof-DAG summary shared by `check --analyze` and
+   `validate --analyze`; the full profile belongs to `analyze`. *)
+let print_dag_summary (p : Analysis.Dag.profile) =
+  Printf.printf
+    "c dag: %d/%d learned reachable, %d dead, core %d/%d originals, depth %d\n"
+    p.reachable_learned p.learned p.dead_learned p.core_originals p.originals
+    p.max_depth;
+  Printf.printf
+    "c dag: predicted peak live df %d bf %d hybrid %d; warnings %s\n"
+    p.predicted_peak_live.df p.predicted_peak_live.bf
+    p.predicted_peak_live.hybrid
+    (Analysis.Dag.warning_summary p)
+
+let analyze_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Also run the whole-proof static analysis (see $(b,analyze)) over \
+           the trace and print a two-line DAG summary.")
+
 let print_stats (stats : Solver.Cdcl.stats) =
   Printf.printf
     "c decisions %d, propagations %d, conflicts %d, learned %d, deleted %d, restarts %d\n"
@@ -328,7 +350,7 @@ let mem_limit_arg =
 
 let check_cmd =
   let run () formula_path trace_path strategy jobs mem_limit no_lint
-      format_override io json =
+      format_override io json analyze =
     validate_jobs jobs;
     (match strategy with
      | `Online ->
@@ -404,11 +426,24 @@ let check_cmd =
             (Analysis.Lint.stream_start ~formula:f
                ~binary:(Trace.Reader.is_binary_cursor cur) ())
       in
+      (* the DAG analyzer taps the same single parse as the linter *)
+      let dag_stream =
+        if analyze then
+          Some
+            (Analysis.Dag.stream_start
+               ~binary:(Trace.Reader.is_binary_cursor cur) ())
+        else None
+      in
       let tapped =
         let base = Trace.Source.of_cursor ~close_cursor:true cur in
-        match lint_stream with
+        let base =
+          match lint_stream with
+          | None -> base
+          | Some t -> Trace.Source.tap (Analysis.Lint.stream_event t) base
+        in
+        match dag_stream with
         | None -> base
-        | Some t -> Trace.Source.tap (Analysis.Lint.stream_event t) base
+        | Some t -> Trace.Source.tap (Analysis.Dag.stream_event t) base
       in
       let first_pass =
         (* closing the first pass (the checkers do, even on failure) also
@@ -460,6 +495,14 @@ let check_cmd =
               elapsed seconds, so this output is diffable across runs *)
            print_endline (Checker.Report.to_json report)
          else begin
+           (match dag_stream with
+            | Some t -> (
+              match Analysis.Dag.stream_finish t with
+              | Ok p -> print_dag_summary p
+              | Error e ->
+                Printf.printf "c dag: analysis unavailable (%s)\n"
+                  e.Analysis.Dag.message)
+            | None -> ());
            Format.printf "%a@." Checker.Report.pp report;
            Printf.printf "c checked in %.3f s\n" seconds
          end;
@@ -526,7 +569,7 @@ let check_cmd =
     Term.(
       const run $ telemetry_term $ formula_arg $ trace_pos $ strategy_arg
       $ jobs_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg $ io_arg
-      $ json_arg)
+      $ json_arg $ analyze_flag_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -607,11 +650,79 @@ let lint_cmd =
       const run $ telemetry_term $ trace_pos $ formula_opt $ json_arg
       $ max_diags_arg $ in_format_arg $ io_arg)
 
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run () trace_path json max_diags format_override io =
+    let src = Trace.Reader.From_file trace_path in
+    (match format_override with
+     | Some _ -> ()
+     | None -> (
+       match Trace.Reader.detect src with
+       | `Ambiguous msg -> ambiguous_format_exit msg
+       | `Ascii | `Binary -> ()
+       | exception Sys_error m ->
+         prerr_endline ("error: " ^ m);
+         exit 2));
+    match
+      Analysis.Dag.run ?format:format_override ~io ~max_diagnostics:max_diags
+        src
+    with
+    | exception Sys_error m ->
+      prerr_endline ("error: " ^ m);
+      exit 2
+    | Error e ->
+      (* a trace without a profilable DAG is bad input, same exit class
+         as a lint error or an unparsable trace *)
+      Printf.printf "c cannot analyze: %s at %s\n" e.Analysis.Dag.message
+        (Trace.Reader.pos_to_string e.Analysis.Dag.pos);
+      print_endline "s BAD TRACE (analyze)";
+      exit 2
+    | Ok p ->
+      if json then print_endline (Analysis.Dag.to_json p)
+      else begin
+        Format.printf "@[<v>%a@]@." Analysis.Dag.pp p;
+        print_endline "s ANALYZE OK"
+      end;
+      exit 0
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Resolution trace to analyze.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the profile as machine-readable JSON.")
+  in
+  let max_diags_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "max-diagnostics" ] ~docv:"N"
+          ~doc:
+            "Keep at most $(docv) diagnostics (counts keep accumulating \
+             past the cap).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically profile the whole proof DAG in one streaming pass — \
+          reachability from the final conflict, dead and duplicate \
+          derivations (L5xx warnings), chain shape, def/use lifetimes and \
+          per-strategy peak-live predictions; clause literals are never \
+          materialised.  Exit codes: 0 profiled (warnings allowed), 2 \
+          unreadable, unparsable or structurally broken input.")
+    Term.(
+      const run $ telemetry_term $ trace_pos $ json_arg $ max_diags_arg
+      $ in_format_arg $ io_arg)
+
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
   let run () formula_path strategy jobs format seed bcp no_restarts
-      no_deletion minimize sanitize =
+      no_deletion minimize sanitize analyze =
     validate_jobs jobs;
     match load_formula formula_path with
     | Error m ->
@@ -631,7 +742,7 @@ let validate_cmd =
       in
       let o =
         or_sanitizer_exit (fun () ->
-            Pipeline.Validate.run ~config ~format ~strategy f)
+            Pipeline.Validate.run ~config ~format ~strategy ~analyze f)
       in
       print_stats o.stats;
       Printf.printf "c solve %.3f s, check %.3f s, trace %d bytes\n"
@@ -649,6 +760,7 @@ let validate_cmd =
                 info.lint.Analysis.Lint.warnings
             | _ -> "")
        | None -> ());
+      (match o.dag with Some p -> print_dag_summary p | None -> ());
       (match o.verdict with
        | Pipeline.Validate.Sat_verified _ ->
          print_endline "s SATISFIABLE (model verified)";
@@ -674,7 +786,7 @@ let validate_cmd =
     Term.(
       const run $ telemetry_term $ formula_arg $ strategy_arg $ jobs_arg
       $ format_arg $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg
-      $ minimize_arg $ sanitize_arg)
+      $ minimize_arg $ sanitize_arg $ analyze_flag_arg)
 
 (* --- core ---------------------------------------------------------------- *)
 
@@ -812,33 +924,71 @@ let simplify_cmd =
 (* --- trim ---------------------------------------------------------------- *)
 
 let trim_cmd =
-  let run formula_path trace_path output format =
+  let run () formula_path trace_path output format_opt checked io =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
       exit 2
-    | Ok f -> (
-      match Checker.Trim.trim f (Trace.Reader.From_file trace_path) with
-      | Error d ->
-        Printf.printf "c input trace does not check: %s\n"
-          (Checker.Diagnostics.to_string d);
-        exit 1
-      | Ok r ->
-        let w = Trace.Writer.create format in
-        Checker.Trim.write w r;
-        Trace.Writer.to_file w output;
-        Printf.printf
-          "c kept %d learned clauses, dropped %d; trimmed trace: %d bytes \
-           -> %s\n"
-          r.kept_learned r.dropped_learned
-          (Trace.Writer.bytes_written w)
-          output;
-        exit 0)
+    | Ok f ->
+      let src = Trace.Reader.From_file trace_path in
+      let detected =
+        match Trace.Reader.detect src with
+        | `Ascii -> Trace.Writer.Ascii
+        | `Binary -> Trace.Writer.Binary
+        | `Ambiguous msg -> ambiguous_format_exit msg
+        | exception Sys_error m ->
+          prerr_endline ("error: " ^ m);
+          exit 2
+      in
+      (* by default the trimmed trace keeps the input's encoding;
+         --format rewrites into the other one *)
+      let out_format = Option.value ~default:detected format_opt in
+      if checked then (
+        (* legacy DF-verified path: replay the whole proof, then keep what
+           the checker built.  Slower, but the trim is itself checked. *)
+        match Checker.Trim.trim f src with
+        | Error (Checker.Diagnostics.Malformed_trace _ as d) ->
+          Printf.printf "c bad trace: %s\n" (Checker.Diagnostics.to_string d);
+          print_endline "s BAD TRACE (parse)";
+          exit 2
+        | Error d ->
+          Printf.printf "c input trace does not check: %s\n"
+            (Checker.Diagnostics.to_string d);
+          exit 1
+        | Ok r ->
+          let w = Trace.Writer.create out_format in
+          Checker.Trim.write w r;
+          Trace.Writer.to_file w output;
+          Printf.printf
+            "c kept %d learned clauses, dropped %d; trimmed trace: %d bytes \
+             -> %s\n"
+            r.kept_learned r.dropped_learned
+            (Trace.Writer.bytes_written w)
+            output;
+          exit 0)
+      else (
+        let w = Trace.Writer.create out_format in
+        match Analysis.Dag.trim ~io src w with
+        | Error e ->
+          Printf.printf "c cannot trim: %s at %s\n" e.Analysis.Dag.message
+            (Trace.Reader.pos_to_string e.Analysis.Dag.pos);
+          print_endline "s BAD TRACE (analyze)";
+          exit 2
+        | Ok (stats, _profile) ->
+          Trace.Writer.to_file w output;
+          Printf.printf
+            "c trim: kept %d of %d learned clauses (%d dead dropped), %d -> \
+             %d records, %d -> %d bytes -> %s\n"
+            stats.kept_learned
+            (stats.kept_learned + stats.dropped_learned)
+            stats.dropped_learned stats.records_in stats.records_out
+            stats.bytes_in stats.bytes_out output;
+          exit 0)
   in
   let trace_pos =
     Arg.(
       required
-      & pos 1 (some file) None
+      & pos 1 (some string) None
       & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
   in
   let output_arg =
@@ -847,12 +997,39 @@ let trim_cmd =
       & opt (some string) None
       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Trimmed trace path.")
   in
+  let out_format_arg =
+    Arg.(
+      value
+      & opt (some format_conv) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Encoding of the trimmed trace ($(b,ascii) or $(b,binary)); \
+             defaults to the input's encoding.")
+  in
+  let checked_arg =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "Replay the proof with the depth-first checker and keep the \
+             clauses it built, instead of the default static reachability \
+             analysis.  Slower; rejects a trace that does not check \
+             (exit 1).")
+  in
   Cmd.v
     (Cmd.info "trim"
        ~doc:
-         "Shrink a trace to the clauses its proof actually uses (the \
-          proof-core trace).")
-    Term.(const run $ formula_arg $ trace_pos $ output_arg $ format_arg)
+         "Shrink a trace to its core-reachable records: dead derivations \
+          (never used to reach the final conflict) and trailing junk are \
+          dropped, through a static analysis of the proof DAG — the proof \
+          is not replayed.  Every checking strategy reaches an identical \
+          verdict and core on the trimmed trace, and trimming again is a \
+          no-op.  Exit codes: 0 trimmed, 1 $(b,--checked) replay rejected \
+          the proof, 2 unreadable, unparsable or structurally broken \
+          input.")
+    Term.(
+      const run $ telemetry_term $ formula_arg $ trace_pos $ output_arg
+      $ out_format_arg $ checked_arg $ io_arg)
 
 (* --- drup ---------------------------------------------------------------- *)
 
@@ -1074,6 +1251,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            solve_cmd; check_cmd; lint_cmd; validate_cmd; core_cmd; trim_cmd;
-            simplify_cmd; drup_cmd; mc_cmd; gen_cmd;
+            solve_cmd; check_cmd; lint_cmd; analyze_cmd; validate_cmd;
+            core_cmd; trim_cmd; simplify_cmd; drup_cmd; mc_cmd; gen_cmd;
           ]))

@@ -1,0 +1,720 @@
+type peaks = {
+  df : int;
+  bf : int;
+  hybrid : int;
+  par : int;
+  online : int;
+}
+
+type hist = (int * int) list
+
+type profile = {
+  binary : bool;
+  events : int;
+  learned : int;
+  level0 : int;
+  nvars : int;
+  originals : int;
+  conflict_id : int;
+  topological : bool;
+  forward_refs : int;
+  dangling_refs : int;
+  reachable_learned : int;
+  dead_learned : int;
+  core_originals : int;
+  duplicate_derivations : int;
+  singleton_chains : int;
+  max_depth : int;
+  depth_hist : hist;
+  max_width : int;
+  widest_depth : int;
+  max_fanin : int;
+  total_arcs : int;
+  lifetime_max : int;
+  lifetime_mean : float;
+  lifetime_hist : hist;
+  first_gap_max : int;
+  first_gap_mean : float;
+  predicted_peak_live : peaks;
+  warnings : int;
+  dropped : int;
+  by_code : (string * int) list;
+  diagnostics : Lint.diagnostic list;
+}
+
+type error = {
+  pos : Trace.Reader.pos;
+  message : string;
+}
+
+(* --- growable int arrays ------------------------------------------------- *)
+
+(* The whole analysis state lives in a few of these: flat int storage, no
+   per-record boxing, so memory stays a small constant times the number of
+   clause ids plus antecedent arcs — the property the dag.table_bytes
+   gauge reports and the acceptance test bounds. *)
+type ibuf = {
+  mutable a : int array;
+  mutable n : int;
+}
+
+let ibuf_create cap = { a = Array.make (max cap 16) 0; n = 0 }
+
+let ibuf_push b x =
+  if b.n = Array.length b.a then begin
+    let a' = Array.make (2 * Array.length b.a) 0 in
+    Array.blit b.a 0 a' 0 b.n;
+    b.a <- a'
+  end;
+  b.a.(b.n) <- x;
+  b.n <- b.n + 1
+
+let ibuf_get b i = b.a.(i)
+
+(* --- telemetry ----------------------------------------------------------- *)
+
+let m_records = Obs.Metrics.counter Obs.Metrics.global "dag.records"
+let m_dead = Obs.Metrics.counter Obs.Metrics.global "dag.dead_derivations"
+
+let m_duplicates =
+  Obs.Metrics.counter Obs.Metrics.global "dag.duplicate_derivations"
+
+let m_trim_kept = Obs.Metrics.counter Obs.Metrics.global "dag.trim_kept"
+let m_trim_dropped = Obs.Metrics.counter Obs.Metrics.global "dag.trim_dropped"
+let g_ids = Obs.Metrics.gauge Obs.Metrics.global "dag.tracked_ids"
+let g_bytes = Obs.Metrics.gauge Obs.Metrics.global "dag.table_bytes"
+
+(* --- streaming state ----------------------------------------------------- *)
+
+type stream = {
+  cap : int;
+  s_binary : bool;
+  mutable err : error option;  (* first structural defect, if any *)
+  mutable end_pos : Trace.Reader.pos;
+  mutable n_events : int;
+  mutable n_learned : int;
+  mutable n_level0 : int;
+  mutable header : (int * int) option;  (* nvars, num_original *)
+  slot_of_id : (int, int) Hashtbl.t;    (* learned id -> slot *)
+  ids : ibuf;   (* slot -> clause id *)
+  ord : ibuf;   (* slot -> record ordinal of the definition *)
+  dpos : ibuf;  (* slot -> definition position (line or byte) *)
+  off : ibuf;   (* slot -> offset into [arcs] *)
+  len : ibuf;   (* slot -> source count *)
+  arcs : ibuf;  (* flattened antecedent ids *)
+  l0_ante : ibuf;  (* pre-conflict level-0 antecedent ids *)
+  l0_ord : ibuf;
+  mutable conflict : (int * int * int) option;  (* id, ordinal, position *)
+}
+
+let pos_int = function
+  | Trace.Reader.Line n -> n
+  | Trace.Reader.Byte n -> n
+
+let pos_of t n = if t.s_binary then Trace.Reader.Byte n else Trace.Reader.Line n
+
+let stream_start ?(max_diagnostics = 100) ~binary () =
+  {
+    cap = max max_diagnostics 0;
+    s_binary = binary;
+    err = None;
+    end_pos = (if binary then Trace.Reader.Byte 4 else Trace.Reader.Line 1);
+    n_events = 0;
+    n_learned = 0;
+    n_level0 = 0;
+    header = None;
+    slot_of_id = Hashtbl.create 1024;
+    ids = ibuf_create 1024;
+    ord = ibuf_create 1024;
+    dpos = ibuf_create 1024;
+    off = ibuf_create 1024;
+    len = ibuf_create 1024;
+    arcs = ibuf_create 4096;
+    l0_ante = ibuf_create 64;
+    l0_ord = ibuf_create 64;
+    conflict = None;
+  }
+
+let fail t pos fmt =
+  Printf.ksprintf
+    (fun message -> if t.err = None then t.err <- Some { pos; message })
+    fmt
+
+let stream_event t pos (e : Trace.Event.t) =
+  t.end_pos <- pos;
+  match t.err with
+  | Some _ -> ()
+  | None ->
+    let ordinal = t.n_events in
+    t.n_events <- ordinal + 1;
+    if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_records 1;
+    (match e, t.header with
+     | Trace.Event.Header _, _ | _, Some _ -> ()
+     | _, None -> fail t pos "record precedes the trace header");
+    (match e with
+     | Trace.Event.Header h ->
+       (match t.header with
+        | Some _ -> fail t pos "second header record"
+        | None ->
+          if h.nvars <= 0 || h.num_original <= 0 then
+            fail t pos "header declares %d variables, %d original clauses"
+              h.nvars h.num_original
+          else t.header <- Some (h.nvars, h.num_original))
+     | Trace.Event.Learned { id; sources } ->
+       t.n_learned <- t.n_learned + 1;
+       let norig = match t.header with Some (_, n) -> n | None -> 0 in
+       if id <= norig then
+         fail t pos "learned-clause id %d lies in the original range 1..%d" id
+           norig
+       else if Hashtbl.mem t.slot_of_id id then
+         fail t pos "learned-clause id %d defined twice" id
+       else begin
+         Hashtbl.replace t.slot_of_id id t.ids.n;
+         ibuf_push t.ids id;
+         ibuf_push t.ord ordinal;
+         ibuf_push t.dpos (pos_int pos);
+         ibuf_push t.off t.arcs.n;
+         ibuf_push t.len (Array.length sources);
+         Array.iter (fun s -> ibuf_push t.arcs s) sources
+       end
+     | Trace.Event.Level0 { ante; _ } ->
+       t.n_level0 <- t.n_level0 + 1;
+       (* roots of the reachability closure — but only while the proof is
+          still in progress: trailing level-0 records after the conflict
+          are dropped by the trimmer and must not revive dead clauses *)
+       if t.conflict = None then begin
+         ibuf_push t.l0_ante ante;
+         ibuf_push t.l0_ord ordinal
+       end
+     | Trace.Event.Final_conflict id ->
+       if t.conflict = None then
+         t.conflict <- Some (id, ordinal, pos_int pos))
+
+let sink t ~pos = Trace.Sink.make (fun e -> stream_event t (pos ()) e)
+
+(* --- sealing the analysis ------------------------------------------------ *)
+
+let hist_of_values values =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      let b = Obs.Metrics.Histogram.bucket_index v in
+      let n = try Hashtbl.find tbl b with Not_found -> 0 in
+      Hashtbl.replace tbl b (n + 1))
+    values;
+  Hashtbl.fold (fun b n acc -> (b, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Peak of the refcount-zero deletion schedule: each selected clause is
+   resident from its defining record to its last use (a never-used clause
+   is built and freed within its own record), so the peak is the maximum
+   overlap of those intervals — a diff-array sweep over record ordinals. *)
+let sweep_peak ~n_events ~selected ~ord_of ~last_use_of count =
+  let diff = Array.make (n_events + 2) 0 in
+  for i = 0 to count - 1 do
+    if selected i then begin
+      let s = ord_of i in
+      let e = max s (last_use_of i) in
+      diff.(s) <- diff.(s) + 1;
+      diff.(e + 1) <- diff.(e + 1) - 1
+    end
+  done;
+  let live = ref 0 and peak = ref 0 in
+  Array.iter
+    (fun d ->
+      live := !live + d;
+      if !live > !peak then peak := !live)
+    diff;
+  !peak
+
+(* [finish_internal] seals the stream and additionally returns the
+   reachability predicate over learned ids, which the trimmer's second
+   pass filters with. *)
+let finish_internal ?end_pos t =
+  let end_pos = match end_pos with Some p -> p | None -> t.end_pos in
+  match t.err with
+  | Some e -> Error e
+  | None ->
+    (match t.header, t.conflict with
+     | None, _ -> Error { pos = end_pos; message = "trace has no header record" }
+     | _, None ->
+       Error
+         {
+           pos = end_pos;
+           message = "trace ends without a final-conflict record";
+         }
+     | Some (nvars, norig), Some (conflict_id, conflict_ord, conflict_pos) ->
+       let n = t.ids.n in
+       let defined id =
+         id >= 1 && (id <= norig || Hashtbl.mem t.slot_of_id id)
+       in
+       if not (defined conflict_id) then
+         Error
+           {
+             pos = pos_of t conflict_pos;
+             message =
+               Printf.sprintf "final conflict references undefined clause %d"
+                 conflict_id;
+           }
+       else begin
+         let slot id = Hashtbl.find_opt t.slot_of_id id in
+         (* -- pass over the arcs: reference classes, depth, uses -------- *)
+         let forward_refs = ref 0 and dangling_refs = ref 0 in
+         let depth = Array.make (max n 1) 0 in
+         let last_use = Array.make (max n 1) (-1) in
+         let first_use = Array.make (max n 1) max_int in
+         let use ~ordinal j =
+           if ordinal > last_use.(j) then last_use.(j) <- ordinal;
+           if ordinal < first_use.(j) then first_use.(j) <- ordinal
+         in
+         let classify ~ordinal ~def_slot s =
+           (* [def_slot] is the slot being defined, or [-1] for level-0 /
+              conflict reference sites *)
+           if s >= 1 && s <= norig then ()
+           else
+             match slot s with
+             | None -> incr dangling_refs
+             | Some j ->
+               if def_slot >= 0 && j >= def_slot then incr forward_refs
+               else if def_slot < 0 && ibuf_get t.ord j > ordinal then
+                 incr forward_refs
+               else use ~ordinal j
+         in
+         for i = 0 to n - 1 do
+           let o = ibuf_get t.off i and l = ibuf_get t.len i in
+           let ordinal = ibuf_get t.ord i in
+           let d = ref 0 in
+           for k = o to o + l - 1 do
+             let s = ibuf_get t.arcs k in
+             classify ~ordinal ~def_slot:i s;
+             (match slot s with
+              | Some j when j < i -> if depth.(j) > !d then d := depth.(j)
+              | Some _ | None -> ())
+           done;
+           depth.(i) <- !d + 1
+         done;
+         for k = 0 to t.l0_ante.n - 1 do
+           classify ~ordinal:(ibuf_get t.l0_ord k) ~def_slot:(-1)
+             (ibuf_get t.l0_ante k)
+         done;
+         classify ~ordinal:conflict_ord ~def_slot:(-1) conflict_id;
+         (* -- backward reachability from the conflict + level-0 roots -- *)
+         let reach = Array.make (max n 1) false in
+         let orig_used = Array.make (norig + 1) false in
+         let stack = ref [] in
+         let root id =
+           if id >= 1 && id <= norig then orig_used.(id) <- true
+           else
+             match slot id with
+             | Some j when not reach.(j) ->
+               reach.(j) <- true;
+               stack := j :: !stack
+             | Some _ | None -> ()
+         in
+         root conflict_id;
+         for k = 0 to t.l0_ante.n - 1 do
+           root (ibuf_get t.l0_ante k)
+         done;
+         while !stack <> [] do
+           match !stack with
+           | [] -> ()
+           | i :: rest ->
+             stack := rest;
+             let o = ibuf_get t.off i and l = ibuf_get t.len i in
+             for k = o to o + l - 1 do
+               root (ibuf_get t.arcs k)
+             done
+         done;
+         let reachable_learned = ref 0 in
+         Array.iteri (fun i r -> if r && i < n then incr reachable_learned)
+           reach;
+         let reachable_learned = !reachable_learned in
+         let core_originals = ref 0 in
+         Array.iter (fun u -> if u then incr core_originals) orig_used;
+         (* -- duplicate derivations ------------------------------------- *)
+         let dup_of = Array.make (max n 1) (-1) in
+         let chains = Hashtbl.create (max n 16) in
+         let key = Buffer.create 64 in
+         for i = 0 to n - 1 do
+           Buffer.clear key;
+           let o = ibuf_get t.off i and l = ibuf_get t.len i in
+           for k = o to o + l - 1 do
+             Buffer.add_string key (string_of_int (ibuf_get t.arcs k));
+             Buffer.add_char key ','
+           done;
+           let k = Buffer.contents key in
+           match Hashtbl.find_opt chains k with
+           | Some first -> dup_of.(i) <- first
+           | None -> Hashtbl.replace chains k i
+         done;
+         (* -- shape: depth histogram, per-depth width, fan-in ----------- *)
+         let max_depth = Array.fold_left max 0 (Array.sub depth 0 n) in
+         let width = Array.make (max_depth + 1) 0 in
+         for i = 0 to n - 1 do
+           width.(depth.(i)) <- width.(depth.(i)) + 1
+         done;
+         let max_width = ref 0 and widest_depth = ref 0 in
+         Array.iteri
+           (fun d w ->
+             if w > !max_width then begin
+               max_width := w;
+               widest_depth := d
+             end)
+           width;
+         let max_fanin = ref 0 in
+         for i = 0 to n - 1 do
+           if ibuf_get t.len i > !max_fanin then max_fanin := ibuf_get t.len i
+         done;
+         (* -- lifetimes ------------------------------------------------- *)
+         let lifetimes = ref [] and gaps = ref [] in
+         let lifetime_max = ref 0 and lifetime_sum = ref 0 in
+         let gap_max = ref 0 and gap_sum = ref 0 in
+         let used = ref 0 in
+         for i = 0 to n - 1 do
+           if last_use.(i) >= 0 then begin
+             incr used;
+             let span = last_use.(i) - ibuf_get t.ord i in
+             let gap = first_use.(i) - ibuf_get t.ord i in
+             lifetimes := span :: !lifetimes;
+             gaps := gap :: !gaps;
+             lifetime_sum := !lifetime_sum + span;
+             gap_sum := !gap_sum + gap;
+             if span > !lifetime_max then lifetime_max := span;
+             if gap > !gap_max then gap_max := gap
+           end
+         done;
+         let mean sum = if !used = 0 then 0.0 else float sum /. float !used in
+         (* -- predicted peaks ------------------------------------------- *)
+         let ord_of i = ibuf_get t.ord i in
+         let bf_peak =
+           sweep_peak ~n_events:t.n_events
+             ~selected:(fun _ -> true)
+             ~ord_of
+             ~last_use_of:(fun i -> last_use.(i))
+             n
+         in
+         (* hybrid rebuilds only the core-reachable clauses, so a clause's
+            last use is its last use by a *reachable* consumer (or a
+            level-0 / conflict site, which are reachable by definition) *)
+         let hyb_last = Array.make (max n 1) (-1) in
+         let hyb_use ~ordinal j =
+           if ordinal > hyb_last.(j) then hyb_last.(j) <- ordinal
+         in
+         for i = 0 to n - 1 do
+           if reach.(i) then begin
+             let o = ibuf_get t.off i and l = ibuf_get t.len i in
+             for k = o to o + l - 1 do
+               match slot (ibuf_get t.arcs k) with
+               | Some j when j < i -> hyb_use ~ordinal:(ibuf_get t.ord i) j
+               | Some _ | None -> ()
+             done
+           end
+         done;
+         for k = 0 to t.l0_ante.n - 1 do
+           match slot (ibuf_get t.l0_ante k) with
+           | Some j -> hyb_use ~ordinal:(ibuf_get t.l0_ord k) j
+           | None -> ()
+         done;
+         (match slot conflict_id with
+          | Some j -> hyb_use ~ordinal:conflict_ord j
+          | None -> ());
+         let hybrid_peak =
+           sweep_peak ~n_events:t.n_events
+             ~selected:(fun i -> reach.(i))
+             ~ord_of
+             ~last_use_of:(fun i -> hyb_last.(i))
+             n
+         in
+         let predicted_peak_live =
+           {
+             df = reachable_learned;
+             bf = bf_peak;
+             hybrid = hybrid_peak;
+             par = bf_peak;
+             online = bf_peak;
+           }
+         in
+         (* -- L5xx diagnostics, in record order ------------------------- *)
+         let dup_count = ref 0 and singleton_count = ref 0 in
+         let dead_count = ref 0 in
+         let diags = ref [] and kept = ref 0 and dropped = ref 0 in
+         let warnings = ref 0 in
+         let counts = Hashtbl.create 8 in
+         let emit i code fmt =
+           Printf.ksprintf
+             (fun message ->
+               incr warnings;
+               Lint.count_code counts code;
+               if !kept < t.cap then begin
+                 incr kept;
+                 diags :=
+                   { Lint.code; pos = pos_of t (ibuf_get t.dpos i); message }
+                   :: !diags
+               end
+               else incr dropped)
+             fmt
+         in
+         for i = 0 to n - 1 do
+           let id = ibuf_get t.ids i in
+           if dup_of.(i) >= 0 then begin
+             incr dup_count;
+             emit i Lint.Duplicate_derivation
+               "clause %d repeats the derivation of clause %d" id
+               (ibuf_get t.ids dup_of.(i))
+           end;
+           if ibuf_get t.len i = 1 then begin
+             incr singleton_count;
+             emit i Lint.Singleton_chain
+               "clause %d is derived from the single source %d" id
+               (ibuf_get t.arcs (ibuf_get t.off i))
+           end;
+           if not reach.(i) then begin
+             incr dead_count;
+             emit i Lint.Dead_derivation
+               "clause %d is never used to reach the final conflict" id
+           end
+         done;
+         (* -- telemetry: the analysis footprint is a few int tables ----- *)
+         if Obs.Ctl.on () then begin
+           Obs.Metrics.Counter.incr m_dead !dead_count;
+           Obs.Metrics.Counter.incr m_duplicates !dup_count;
+           Obs.Metrics.Gauge.set g_ids (float (n + norig));
+           let words =
+             Array.length t.ids.a + Array.length t.ord.a
+             + Array.length t.dpos.a + Array.length t.off.a
+             + Array.length t.len.a + Array.length t.arcs.a
+             + Array.length t.l0_ante.a + Array.length t.l0_ord.a
+             + Array.length depth + Array.length last_use
+             + Array.length first_use + Array.length hyb_last
+             + Array.length dup_of + Array.length reach
+             + Array.length orig_used + Array.length width
+             + (2 * (t.n_events + 2))
+           in
+           Obs.Metrics.Gauge.set g_bytes (float (8 * words))
+         end;
+         let profile =
+           {
+             binary = t.s_binary;
+             events = t.n_events;
+             learned = t.n_learned;
+             level0 = t.n_level0;
+             nvars;
+             originals = norig;
+             conflict_id;
+             topological = !forward_refs = 0;
+             forward_refs = !forward_refs;
+             dangling_refs = !dangling_refs;
+             reachable_learned;
+             dead_learned = !dead_count;
+             core_originals = !core_originals;
+             duplicate_derivations = !dup_count;
+             singleton_chains = !singleton_count;
+             max_depth;
+             depth_hist =
+               hist_of_values (Array.to_list (Array.sub depth 0 n));
+             max_width = !max_width;
+             widest_depth = !widest_depth;
+             max_fanin = !max_fanin;
+             total_arcs = t.arcs.n;
+             lifetime_max = !lifetime_max;
+             lifetime_mean = mean !lifetime_sum;
+             lifetime_hist = hist_of_values !lifetimes;
+             first_gap_max = !gap_max;
+             first_gap_mean = mean !gap_sum;
+             predicted_peak_live;
+             warnings = !warnings;
+             dropped = !dropped;
+             by_code = Lint.code_counts counts;
+             diagnostics = List.rev !diags;
+           }
+         in
+         let reachable id =
+           match Hashtbl.find_opt t.slot_of_id id with
+           | Some i -> reach.(i)
+           | None -> false
+         in
+         Ok (profile, reachable)
+       end)
+
+let stream_finish ?end_pos t =
+  match finish_internal ?end_pos t with
+  | Ok (profile, _) -> Ok profile
+  | Error e -> Error e
+
+(* --- one-shot drivers ---------------------------------------------------- *)
+
+(* Feed a whole serialised trace through a stream.  Unlike the linter a
+   parse failure is terminal: a trace that does not decode has no DAG. *)
+let feed ?format ?io ?max_diagnostics source =
+  let cur = Trace.Reader.cursor ?format ?io source in
+  let binary = Trace.Reader.is_binary_cursor cur in
+  let t = stream_start ?max_diagnostics ~binary () in
+  let result =
+    try
+      let continue = ref true in
+      while !continue do
+        match Trace.Reader.next cur with
+        | Some e -> stream_event t (Trace.Reader.last_pos cur) e
+        | None -> continue := false
+      done;
+      Ok t
+    with Trace.Reader.Parse_error { pos; msg } -> Error { pos; message = msg }
+  in
+  let end_pos = Trace.Reader.last_pos cur in
+  Trace.Reader.close cur;
+  (result, end_pos)
+
+let run ?format ?io ?max_diagnostics source =
+  Obs.Span.scope ~cat:"analysis" "dag.run" @@ fun () ->
+  match feed ?format ?io ?max_diagnostics source with
+  | Error e, _ -> Error e
+  | Ok t, end_pos -> stream_finish ~end_pos t
+
+type trim_stats = {
+  records_in : int;
+  records_out : int;
+  kept_learned : int;
+  dropped_learned : int;
+  dropped_after_conflict : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
+let trim ?format ?io ?max_diagnostics source w =
+  Obs.Span.scope ~cat:"analysis" "dag.trim" @@ fun () ->
+  match feed ?format ?io ?max_diagnostics source with
+  | Error e, _ -> Error e
+  | Ok t, end_pos ->
+    (match finish_internal ~end_pos t with
+     | Error e -> Error e
+     | Ok (profile, reachable) ->
+       if profile.forward_refs > 0 || profile.dangling_refs > 0 then
+         Error
+           {
+             pos = end_pos;
+             message =
+               Printf.sprintf
+                 "trace has %d forward and %d dangling references; refusing \
+                  to trim a proof whose reference order is broken"
+                 profile.forward_refs profile.dangling_refs;
+           }
+       else begin
+         (* pass two: re-read and emit only the core-reachable subgraph;
+            the event stream is never materialised *)
+         let cur = Trace.Reader.cursor ?format ?io source in
+         let records_out = ref 0 and kept_learned = ref 0 in
+         let dropped_learned = ref 0 and dropped_after = ref 0 in
+         let seen_conflict = ref false in
+         let emit e =
+           incr records_out;
+           Trace.Writer.emit w e
+         in
+         Trace.Reader.iter_cursor cur (fun e ->
+             if !seen_conflict then incr dropped_after
+             else
+               match e with
+               | Trace.Event.Header _ | Trace.Event.Level0 _ -> emit e
+               | Trace.Event.Learned { id; _ } ->
+                 if reachable id then begin
+                   incr kept_learned;
+                   emit e
+                 end
+                 else incr dropped_learned
+               | Trace.Event.Final_conflict _ ->
+                 seen_conflict := true;
+                 emit e);
+         Trace.Reader.close cur;
+         if Obs.Ctl.on () then begin
+           Obs.Metrics.Counter.incr m_trim_kept !kept_learned;
+           Obs.Metrics.Counter.incr m_trim_dropped
+             (!dropped_learned + !dropped_after)
+         end;
+         Ok
+           ( {
+               records_in = t.n_events;
+               records_out = !records_out;
+               kept_learned = !kept_learned;
+               dropped_learned = !dropped_learned;
+               dropped_after_conflict = !dropped_after;
+               bytes_in = Trace.Reader.size_bytes source;
+               bytes_out = Trace.Writer.bytes_written w;
+             },
+             profile )
+       end)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let warning_summary p =
+  match p.by_code with
+  | [] -> "none"
+  | l -> String.concat " " (List.map (fun (id, n) -> Printf.sprintf "%s:%d" id n) l)
+
+let pp fmt p =
+  List.iter
+    (fun d -> Format.fprintf fmt "%a@," Lint.pp_diagnostic d)
+    p.diagnostics;
+  if p.dropped > 0 then
+    Format.fprintf fmt "... %d further diagnostics dropped@," p.dropped;
+  Format.fprintf fmt
+    "proof dag: %s format, %d records (%d learned, %d level-0, %d originals), \
+     conflict clause %d@,"
+    (if p.binary then "binary" else "ascii")
+    p.events p.learned p.level0 p.originals p.conflict_id;
+  Format.fprintf fmt
+    "reachable: %d/%d learned, %d dead, core %d/%d originals; topological %s \
+     (%d forward, %d dangling refs)@,"
+    p.reachable_learned p.learned p.dead_learned p.core_originals p.originals
+    (if p.topological then "yes" else "no")
+    p.forward_refs p.dangling_refs;
+  Format.fprintf fmt
+    "shape: depth %d, max width %d at depth %d, max fan-in %d, %d arcs@,"
+    p.max_depth p.max_width p.widest_depth p.max_fanin p.total_arcs;
+  Format.fprintf fmt
+    "lifetime: last-use span max %d mean %.1f, first-use gap max %d mean \
+     %.1f@,"
+    p.lifetime_max p.lifetime_mean p.first_gap_max p.first_gap_mean;
+  Format.fprintf fmt
+    "predicted peak live: df %d, bf %d, hybrid %d, par %d, online %d; \
+     warnings %s"
+    p.predicted_peak_live.df p.predicted_peak_live.bf
+    p.predicted_peak_live.hybrid p.predicted_peak_live.par
+    p.predicted_peak_live.online (warning_summary p)
+
+let hist_json h =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (b, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%d,%d]" b n))
+    h;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let to_json p =
+  let f = Obs.Metrics.json_float in
+  Printf.sprintf
+    "{\"format\":\"%s\",\"events\":%d,\"learned\":%d,\"level0\":%d,\
+     \"nvars\":%d,\"originals\":%d,\"conflict_id\":%d,\"topological\":%b,\
+     \"forward_refs\":%d,\"dangling_refs\":%d,\"reachable_learned\":%d,\
+     \"dead_learned\":%d,\"core_originals\":%d,\"duplicate_derivations\":%d,\
+     \"singleton_chains\":%d,\
+     \"depth\":{\"max\":%d,\"buckets\":%s},\
+     \"width\":{\"max\":%d,\"at_depth\":%d},\
+     \"fanin\":{\"max\":%d,\"total_arcs\":%d},\
+     \"lifetime\":{\"max\":%d,\"mean\":%s,\"buckets\":%s},\
+     \"first_use_gap\":{\"max\":%d,\"mean\":%s},\
+     \"predicted_peak_live\":{\"df\":%d,\"bf\":%d,\"hybrid\":%d,\"par\":%d,\
+     \"online\":%d},\
+     \"warnings\":%d,\"dropped\":%d,\"by_code\":%s,\"diagnostics\":%s}"
+    (if p.binary then "binary" else "ascii")
+    p.events p.learned p.level0 p.nvars p.originals p.conflict_id
+    p.topological p.forward_refs p.dangling_refs p.reachable_learned
+    p.dead_learned p.core_originals p.duplicate_derivations p.singleton_chains
+    p.max_depth (hist_json p.depth_hist) p.max_width p.widest_depth p.max_fanin
+    p.total_arcs p.lifetime_max (f p.lifetime_mean) (hist_json p.lifetime_hist)
+    p.first_gap_max (f p.first_gap_mean) p.predicted_peak_live.df
+    p.predicted_peak_live.bf p.predicted_peak_live.hybrid
+    p.predicted_peak_live.par p.predicted_peak_live.online p.warnings p.dropped
+    (Lint.by_code_json p.by_code)
+    (Lint.diagnostics_json p.diagnostics)

@@ -25,6 +25,9 @@ type code =
   | Formula_var_range
   | Formula_duplicate_lit
   | Formula_tautology
+  | Dead_derivation
+  | Duplicate_derivation
+  | Singleton_chain
 
 let code_id = function
   | Parse -> "L001"
@@ -49,10 +52,14 @@ let code_id = function
   | Formula_var_range -> "L402"
   | Formula_duplicate_lit -> "L403"
   | Formula_tautology -> "L404"
+  | Dead_derivation -> "L501"
+  | Duplicate_derivation -> "L502"
+  | Singleton_chain -> "L503"
 
 let severity_of = function
   | Nonmonotone_id | Repeated_source | After_conflict | Formula_duplicate_lit
-  | Formula_tautology ->
+  | Formula_tautology | Dead_derivation | Duplicate_derivation
+  | Singleton_chain ->
     Warning
   | Parse | Missing_header | Duplicate_header | Header_dims
   | Event_before_header | Shadows_original | Duplicate_id | Empty_sources
@@ -76,6 +83,7 @@ type report = {
   warnings : int;
   diagnostics : diagnostic list;
   dropped : int;
+  by_code : (string * int) list;
 }
 
 let clean r = r.errors = 0
@@ -89,6 +97,7 @@ type state = {
   mutable n_dropped : int;
   mutable n_errors : int;
   mutable n_warnings : int;
+  code_counts : (string, int) Hashtbl.t;  (* code id -> count, uncapped *)
   mutable n_events : int;
   mutable n_learned : int;
   mutable n_level0 : int;
@@ -107,9 +116,22 @@ let m_events = Obs.Metrics.counter Obs.Metrics.global "lint.events"
 let m_errors = Obs.Metrics.counter Obs.Metrics.global "lint.errors"
 let m_warnings = Obs.Metrics.counter Obs.Metrics.global "lint.warnings"
 
+let count_code counts code =
+  let id = code_id code in
+  let n = try Hashtbl.find counts id with Not_found -> 0 in
+  Hashtbl.replace counts id (n + 1)
+
+(* [code_counts counts] seals a per-code count table into the sorted
+   association list reports carry.  Shared with [Dag], whose semantic
+   diagnostics flow through the same machinery. *)
+let code_counts counts =
+  Hashtbl.fold (fun id n acc -> (id, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let emit st pos code fmt =
   Printf.ksprintf
     (fun message ->
+      count_code st.code_counts code;
       (match severity_of code with
        | Error ->
          st.n_errors <- st.n_errors + 1;
@@ -284,6 +306,7 @@ let stream_start ?formula ?(max_diagnostics = 100) ~binary () =
     n_dropped = 0;
     n_errors = 0;
     n_warnings = 0;
+    code_counts = Hashtbl.create 16;
     n_events = 0;
     n_learned = 0;
     n_level0 = 0;
@@ -337,6 +360,7 @@ let stream_finish ?end_pos t =
     warnings = st.n_warnings;
     diagnostics = List.rev st.diags;
     dropped = st.n_dropped;
+    by_code = code_counts st.code_counts;
   }
 
 let sink ?downstream t ~pos =
@@ -401,14 +425,20 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json r =
+let by_code_json by_code =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (id, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" id n))
+    by_code;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let diagnostics_json diagnostics =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\"format\":\"%s\",\"events\":%d,\"learned\":%d,\"level0\":%d,\
-        \"errors\":%d,\"warnings\":%d,\"dropped\":%d,\"diagnostics\":["
-       (if r.binary then "binary" else "ascii")
-       r.events r.learned r.level0 r.errors r.warnings r.dropped);
+  Buffer.add_char buf '[';
   List.iteri
     (fun i d ->
       if i > 0 then Buffer.add_char buf ',';
@@ -423,6 +453,19 @@ let to_json r =
            (code_id d.code)
            (severity_string (severity_of d.code))
            where (json_escape d.message)))
-    r.diagnostics;
-  Buffer.add_string buf "]}";
+    diagnostics;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"format\":\"%s\",\"events\":%d,\"learned\":%d,\"level0\":%d,\
+        \"errors\":%d,\"warnings\":%d,\"dropped\":%d,\"by_code\":%s,\
+        \"diagnostics\":%s}"
+       (if r.binary then "binary" else "ascii")
+       r.events r.learned r.level0 r.errors r.warnings r.dropped
+       (by_code_json r.by_code)
+       (diagnostics_json r.diagnostics));
   Buffer.contents buf

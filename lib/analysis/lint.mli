@@ -26,7 +26,9 @@ type severity =
 (** Stable diagnostic codes.  The numeric ids ([L001]…) are part of the
     tool's contract: tests, scripts and the DESIGN.md table key on them.
     Groups: L0xx stream/framing, L1xx clause records, L2xx level-0
-    records, L3xx final conflict, L4xx trace-vs-formula. *)
+    records, L3xx final conflict, L4xx trace-vs-formula, L5xx whole-proof
+    semantics (emitted by {!Dag}, which reasons about the complete
+    resolution DAG rather than one record at a time). *)
 type code =
   | Parse                  (** L001 record does not parse / truncated / garbled *)
   | Missing_header         (** L002 no [t nvars norig] record *)
@@ -51,6 +53,11 @@ type code =
   | Formula_var_range      (** L402 formula literal out of declared range *)
   | Formula_duplicate_lit  (** L403 formula clause repeats a literal *)
   | Formula_tautology      (** L404 formula clause is tautological *)
+  | Dead_derivation        (** L501 learned clause unreachable from the
+                               final conflict — dead weight in the proof *)
+  | Duplicate_derivation   (** L502 identical source chain derived twice *)
+  | Singleton_chain        (** L503 single-source chain: the clause is a
+                               copy of (or subsumed by) its one source *)
 
 (** [code_id c] is the stable "Lnnn" identifier. *)
 val code_id : code -> string
@@ -72,6 +79,10 @@ type report = {
   warnings : int;
   diagnostics : diagnostic list;  (** stream order, capped — counts are not *)
   dropped : int;             (** diagnostics beyond the cap, counted only *)
+  by_code : (string * int) list;
+      (** per-code counts keyed by the stable "Lnnn" id, sorted by id and
+          never capped — lets CI and tests assert on a specific
+          diagnostic class instead of grepping message text *)
 }
 
 (** [run ?formula ?max_diagnostics source] lints the trace in one
@@ -138,6 +149,25 @@ val pp : Format.formatter -> report -> unit
 
 (** [to_json r] is a machine-readable rendering (self-contained, no
     external JSON dependency): [{"format":…, "events":…, "errors":…,
-    "warnings":…, "diagnostics":[{"code","severity","line"|"byte",
-    "message"},…]}]. *)
+    "warnings":…, "by_code":{"Lnnn":count,…},
+    "diagnostics":[{"code","severity","line"|"byte","message"},…]}]. *)
 val to_json : report -> string
+
+(** {2 Shared rendering helpers}
+
+    Used by {!Dag}, whose semantic diagnostics are {!diagnostic} values
+    with L5xx codes and must render identically. *)
+
+(** [by_code_json l] renders a per-code count list as a JSON object. *)
+val by_code_json : (string * int) list -> string
+
+(** [diagnostics_json l] renders diagnostics as the JSON array
+    {!to_json} embeds. *)
+val diagnostics_json : diagnostic list -> string
+
+(** [code_counts tbl] seals a per-code count table into the sorted
+    association list reports carry. *)
+val code_counts : (string, int) Hashtbl.t -> (string * int) list
+
+(** [count_code tbl c] bumps [c]'s entry in a per-code count table. *)
+val count_code : (string, int) Hashtbl.t -> code -> unit

@@ -23,6 +23,7 @@ type outcome = {
   solve_seconds : float;
   check_seconds : float;
   online : online_info option;
+  dag : Analysis.Dag.profile option;
 }
 
 (* Telemetry mirrors of the outcome's byte statistics. *)
@@ -45,7 +46,7 @@ let observe_verdict v =
     | Unsat_verified report -> Checker.Report.observe report
     | Sat_verified _ | Sat_model_wrong _ | Unsat_check_failed _ -> ()
 
-let run_buffered ?config ?format ~strategy ?meter f =
+let run_buffered ?config ?format ~strategy ?meter ~analyze f =
   let (result, stats, trace), solve_seconds =
     Harness.Timer.time (fun () -> solve_with_trace ?config ?format f)
   in
@@ -73,9 +74,18 @@ let run_buffered ?config ?format ~strategy ?meter f =
           | Ok report -> Unsat_verified report
           | Error failure -> Unsat_check_failed failure))
   in
+  (* the analyze stage profiles the proof DAG from the buffered trace; a
+     SAT answer has no proof to profile *)
+  let dag =
+    if analyze && result = Solver.Cdcl.Unsat then
+      match Analysis.Dag.run (Trace.Reader.From_string trace) with
+      | Ok p -> Some p
+      | Error _ -> None
+    else None
+  in
   observe_verdict verdict;
   { verdict; stats; trace_bytes = String.length trace; solve_seconds;
-    check_seconds; online = None }
+    check_seconds; online = None; dag }
 
 (* Online validation: the solver's live event stream is teed into the
    linter, the streaming encoder (which spools encoded chunks to a temp
@@ -86,7 +96,7 @@ let run_buffered ?config ?format ~strategy ?meter f =
    kernel validation and the reconstruction pass re-reads the identical
    bytes, so verdicts, reports, cores and failure diagnostics match the
    file-based breadth-first path bit for bit (timings aside). *)
-let run_online ?config ~format ?meter f =
+let run_online ?config ~format ?meter ~analyze f =
   let spool = Filename.temp_file "rescheck_online" ".trc" in
   let oc = open_out_bin spool in
   let cleanup () =
@@ -109,7 +119,19 @@ let run_online ?config ~format ?meter f =
         if binary then Trace.Reader.Byte wstats.Trace.Writer.bytes
         else Trace.Reader.Line (counter.Trace.Sink.events + 1)
       in
-      let sink = Trace.Sink.tee [ Analysis.Lint.sink lint_stream ~pos; tail ] in
+      (* the DAG analyzer rides the same tee as the linter: it profiles
+         the live stream with no extra read of the trace *)
+      let dag_stream =
+        if analyze then Some (Analysis.Dag.stream_start ~binary ()) else None
+      in
+      let sink =
+        Trace.Sink.tee
+          (Analysis.Lint.sink lint_stream ~pos
+           ::
+           (match dag_stream with
+            | Some t -> [ Analysis.Dag.sink t ~pos; tail ]
+            | None -> [ tail ]))
+      in
       let (result, stats), solve_seconds =
         Harness.Timer.time (fun () ->
             (* on the online timeline this span brackets solving plus the
@@ -145,12 +167,22 @@ let run_online ?config ~format ?meter f =
               | Error failure -> Unsat_check_failed failure))
       in
       observe_verdict verdict;
+      (* a SAT answer's partial trace has no conflict, so the analyzer
+         legitimately refuses it — the profile is simply absent *)
+      let dag =
+        match dag_stream with
+        | Some t -> (
+          match Analysis.Dag.stream_finish t with
+          | Ok p -> Some p
+          | Error _ -> None)
+        | None -> None
+      in
       { verdict; stats; trace_bytes = wstats.Trace.Writer.bytes;
-        solve_seconds; check_seconds; online })
+        solve_seconds; check_seconds; online; dag })
 
-let run ?config ?format ?(strategy = Depth_first) ?meter f =
+let run ?config ?format ?(strategy = Depth_first) ?meter ?(analyze = false) f =
   match strategy with
   | Online ->
     let format = Option.value ~default:Trace.Writer.Ascii format in
-    run_online ?config ~format ?meter f
-  | _ -> run_buffered ?config ?format ~strategy ?meter f
+    run_online ?config ~format ?meter ~analyze f
+  | _ -> run_buffered ?config ?format ~strategy ?meter ~analyze f

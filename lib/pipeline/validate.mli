@@ -49,14 +49,23 @@ type outcome = {
   solve_seconds : float;
   check_seconds : float;
   online : online_info option;  (** present iff the strategy was {!Online} *)
+  dag : Analysis.Dag.profile option;
+      (** present when [analyze] was requested and the solver produced a
+          complete proof trace: the whole-proof static profile.  Online
+          runs tee the analyzer into the live stream; buffered runs
+          profile the trace string. *)
 }
 
-(** [run ?config ?format ?strategy ?meter f] solves and validates [f]. *)
+(** [run ?config ?format ?strategy ?meter ?analyze f] solves and
+    validates [f].  [analyze] (default false) additionally runs the
+    {!Analysis.Dag} static analysis over the proof trace, surfacing its
+    profile in [dag]. *)
 val run :
   ?config:Solver.Cdcl.config ->
   ?format:Trace.Writer.format ->
   ?strategy:strategy ->
   ?meter:Harness.Meter.t ->
+  ?analyze:bool ->
   Sat.Cnf.t ->
   outcome
 

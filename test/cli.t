@@ -197,11 +197,114 @@ Unsat-core iteration (php needs every clause, fixed point after round 1):
   $ $R core php8.cnf | grep "fixed point"
   c fixed point: true after 1 rounds
 
+Whole-proof static analysis: one streaming pass over ids and antecedent
+lists profiles the resolution DAG — reachability, duplicates, shape,
+lifetimes, predicted peak-live per strategy — and reports dead or
+duplicated derivations as L5xx lint warnings:
+
+  $ $R analyze php8.trc > analyze.out; echo "exit $?"
+  exit 0
+  $ grep "^s " analyze.out
+  s ANALYZE OK
+  $ grep -c "^proof dag:" analyze.out
+  1
+  $ grep -c "^predicted peak live:" analyze.out
+  1
+  $ [ $(grep -c "warning L501" analyze.out) -gt 0 ] && echo "dead derivations flagged"
+  dead derivations flagged
+
+The same profile as JSON, on either encoding:
+
+  $ $R analyze php8.trc --json | grep -o '"predicted_peak_live":{"df":[0-9]*' | grep -c df
+  1
+  $ $R analyze php8.bin --json > analyze-bin.json
+  $ grep -o '"format":"binary"' analyze-bin.json
+  "format":"binary"
+  $ grep -o '"by_code":{[^}]*"L501":[0-9]*' analyze-bin.json | grep -c L501
+  1
+
+Structurally broken input is a bad-input failure for analyze and trim
+alike (exit 2), the same contract as check:
+
+  $ $R analyze broken.trc > analyze-broken.out; echo "exit $?"
+  exit 2
+  $ grep "^s " analyze-broken.out
+  s BAD TRACE (analyze)
+  $ $R analyze empty.trc 2>/dev/null; echo "exit $?"
+  exit 2
+  $ $R analyze no-such.trc 2>/dev/null; echo "exit $?"
+  exit 2
+  $ $R trim php8.cnf broken.trc -o /dev/null > trim-broken.out; echo "exit $?"
+  exit 2
+  $ grep "^s " trim-broken.out
+  s BAD TRACE (analyze)
+  $ $R trim php8.cnf empty.trc -o /dev/null 2>/dev/null; echo "exit $?"
+  exit 2
+  $ $R trim php8.cnf no-such.trc -o /dev/null 2>/dev/null; echo "exit $?"
+  exit 2
+
+The per-code summary also lands in the lint JSON:
+
+  $ $R lint broken.trc --json | grep -o '"by_code":{[^}]*}' | grep -c L001
+  1
+
+`check --analyze` and `validate --analyze` surface the same profile as a
+two-line summary next to the verdict:
+
+  $ $R check php8.cnf php8.trc --analyze > check-analyze.out
+  $ grep -c "^c dag:" check-analyze.out
+  2
+  $ $R validate php8.cnf --analyze | grep -c "^c dag:"
+  2
+  $ $R validate php8.cnf --mode online --analyze | grep -c "^c dag:"
+  2
+
 Trim the trace to its proof core and re-check it:
 
-  $ $R trim php8.cnf php8.trc -o trimmed.trc > /dev/null; echo "exit $?"
+  $ $R trim php8.cnf php8.trc -o trimmed.trc > trim.out; echo "exit $?"
   exit 0
+  $ grep -c "^c trim: kept" trim.out
+  1
   $ $R check php8.cnf trimmed.trc -s bf | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+Every strategy reaches the same verdict and core on the trimmed trace as
+on the original (the dead derivations it drops were never resolved on):
+
+  $ for s in df bf hybrid par; do
+  >   $R check php8.cnf php8.trc -s $s | grep "^s " > v-orig.out
+  >   $R check php8.cnf trimmed.trc -s $s | grep "^s " > v-trim.out
+  >   cmp v-orig.out v-trim.out && echo "$s identical"
+  > done
+  df identical
+  bf identical
+  hybrid identical
+  par identical
+  $ $R check php8.cnf php8.trc -s df --json | grep -o '"core_original_ids":\[[0-9,]*\]' > core-orig.out
+  $ $R check php8.cnf trimmed.trc -s df --json | grep -o '"core_original_ids":\[[0-9,]*\]' > core-trim.out
+  $ cmp core-orig.out core-trim.out && echo "core identical"
+  core identical
+
+Trimming is idempotent — a second trim drops nothing and reproduces the
+same bytes:
+
+  $ $R trim php8.cnf trimmed.trc -o trimmed2.trc > /dev/null
+  $ cmp trimmed.trc trimmed2.trc && echo "idempotent"
+  idempotent
+
+The output encoding defaults to the input's and can be forced; a binary
+trim of the ASCII trace checks the same:
+
+  $ $R trim php8.cnf php8.trc -o trimmed.bin --format binary > /dev/null
+  $ $R check php8.cnf trimmed.bin -s bf | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+`trim --checked` replays the resolutions through the depth-first checker
+before writing (the slow, paranoid path):
+
+  $ $R trim php8.cnf php8.trc -o trimmed-dfs.trc --checked > /dev/null; echo "exit $?"
+  exit 0
+  $ $R check php8.cnf trimmed-dfs.trc -s df | grep "^s "
   s VERIFIED UNSATISFIABLE
 
 Convert to DRUP and verify by reverse unit propagation:

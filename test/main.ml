@@ -10,7 +10,8 @@ let () =
    @ Test_assumptions.suite @ Test_selector_core.suite @ Test_resolution.suite @ Test_level0.suite @ Test_df.suite
    @ Test_bf.suite @ Test_hybrid.suite @ Test_par.suite
    @ Test_cross_checker.suite
-   @ Test_trim.suite @ Test_rup.suite @ Test_lint.suite @ Test_clause_db.suite
+   @ Test_trim.suite @ Test_rup.suite @ Test_lint.suite @ Test_dag.suite
+   @ Test_clause_db.suite
    @ Test_proof_stats.suite
    @ Test_interpolant.suite
    @ Test_pipeline.suite @ Test_bmc_engine.suite @ Test_mc_oracle.suite

@@ -324,6 +324,49 @@ let test_json_output () =
         Alcotest.failf "json missing %s in %s" sub j)
     [ {|"format":"ascii"|}; {|"code":"L106"|}; {|"code":"L301"|}; {|"line":2|} ]
 
+let test_by_code_counts () =
+  let r =
+    lint
+      (serialize Trace.Writer.Ascii
+         Trace.Event.
+           [
+             Header { nvars = 2; num_original = 2 };
+             Learned { id = 3; sources = [| 1; 99 |] };
+             Learned { id = 4; sources = [| 2; 98 |] };
+           ])
+  in
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "per-code counts, sorted"
+    [ ("L106", 2); ("L301", 1) ]
+    r.L.by_code;
+  let j = L.to_json r in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length j && (String.sub j i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  if not (contains {|"by_code":{"L106":2,"L301":1}|}) then
+    Alcotest.failf "json missing by_code block in %s" j
+
+let test_by_code_uncapped () =
+  (* the cap drops retained diagnostics, never the per-code counts *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b "t 2 2\n";
+  for i = 0 to 19 do
+    Buffer.add_string b (Printf.sprintf "CL %d 1 99\n" (3 + i))
+  done;
+  Buffer.add_string b "CONF 3\n";
+  let r =
+    L.run ~max_diagnostics:5 (Trace.Reader.From_string (Buffer.contents b))
+  in
+  Alcotest.check
+    (Alcotest.option Alcotest.int)
+    "L106 counted past the cap" (Some 20)
+    (List.assoc_opt "L106" r.L.by_code)
+
 let test_diagnostic_cap () =
   let b = Buffer.create 256 in
   Buffer.add_string b "t 2 2\n";
@@ -415,6 +458,8 @@ let suite =
         tc "formula dims mismatch (L401)" test_formula_mismatch;
         tc "formula clause lint (L403/L404)" test_formula_clause_lint;
         tc "json rendering" test_json_output;
+        tc "by-code counts" test_by_code_counts;
+        tc "by-code counts survive the cap" test_by_code_uncapped;
         tc "diagnostic cap" test_diagnostic_cap;
         Alcotest.test_case "all benchmark families lint clean" `Slow
           test_families_lint_clean;
