@@ -5,8 +5,8 @@
 
    Usage:  dune exec bench/main.exe
              [table1|table2|table3|proofshape|scaling|ablation|baseline|
-              par|par_quick|stream|stream_quick|trim|trim_quick|parse|
-              overhead|micro|all]
+              par|par_quick|stream|stream_quick|trim|trim_quick|
+              hint|hint_quick|parse|overhead|micro|all]
 
    Absolute numbers are machine-specific; EXPERIMENTS.md records how the
    *shapes* compare with the paper (who wins, by what factor, where the
@@ -761,6 +761,157 @@ let trim_full () =
 (* CI-sized run: one small family, same columns and JSON artifact. *)
 let trim_quick () = trim_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
 
+(* --- hinted one-pass vs breadth-first ----------------------------------- *)
+
+(* The hinted trade: `rescheck hint` pays one static conversion pass so
+   every later check runs in a single trace read at breadth-first's peak
+   residency.  Per family and encoding: the conversion cost, trace
+   growth, wall time and learned-clause throughput for bf (two passes)
+   vs the one-pass hinted check, and the peak-live story against df.
+   Two hard gates ride along: the hinted report must be bit-identical
+   to bf's, and hinted peak-live must stay at-or-below both bf's runtime
+   peak and df's (the memory the hints exist to avoid).  The wall-clock
+   "gate" column flags a hinted check slower than bf beyond noise —
+   one pass should never lose to two. *)
+let hint_bench instances =
+  print_endline
+    "Hint. One-pass checking of deletion-hinted traces vs breadth-first\n";
+  let rows =
+    List.concat_map
+      (fun (name, generate) ->
+        let f : Sat.Cnf.t = generate () in
+        List.map
+          (fun (fmt_name, format) ->
+            let result, _stats, trace =
+              Pipeline.Validate.solve_with_trace ~format f
+            in
+            (match result with
+             | Solver.Cdcl.Unsat -> ()
+             | Solver.Cdcl.Sat _ ->
+               failwith
+                 (name ^ ": benchmark instance unexpectedly satisfiable"));
+            let do_hint () =
+              let w = Trace.Writer.create ~version:2 format in
+              match
+                Analysis.Dag.hint (Trace.Reader.From_string trace) w
+              with
+              | Ok (stats, profile) ->
+                (stats, profile, Trace.Writer.contents w)
+              | Error e ->
+                failwith
+                  (Printf.sprintf "%s/%s: hint: %s" name fmt_name
+                     e.Analysis.Dag.message)
+            in
+            let (hstats, dag, hinted), hint_conv_s = timed_median do_hint in
+            let check label checker t =
+              match checker f (Trace.Reader.From_string t) with
+              | Ok r -> r
+              | Error d ->
+                failwith
+                  (Printf.sprintf "%s/%s: %s: %s" name fmt_name label
+                     (Checker.Diagnostics.to_string d))
+            in
+            let bf, bf_s =
+              timed_median (fun () -> check "bf" Checker.Bf.check trace)
+            in
+            let df, _ =
+              timed_median (fun () -> check "df" Checker.Df.check trace)
+            in
+            let hint, hint_s =
+              timed_median (fun () ->
+                  check "hint" Checker.Hint.check hinted)
+            in
+            (* identity gate: the one-pass report matches bf bit for bit *)
+            if
+              hint.Checker.Report.clauses_built
+              <> bf.Checker.Report.clauses_built
+              || hint.Checker.Report.resolution_steps
+                 <> bf.Checker.Report.resolution_steps
+              || hint.Checker.Report.learned_built_ids
+                 <> bf.Checker.Report.learned_built_ids
+            then
+              failwith
+                (Printf.sprintf "%s/%s: hinted report differs from bf" name
+                   fmt_name);
+            (* memory gate: the hints must deliver bf residency, which in
+               turn undercuts df — that is the whole point of the format *)
+            if
+              hint.Checker.Report.peak_live_clauses
+              > bf.Checker.Report.peak_live_clauses
+            then
+              failwith
+                (Printf.sprintf "%s/%s: hinted peak %d > bf peak %d" name
+                   fmt_name hint.Checker.Report.peak_live_clauses
+                   bf.Checker.Report.peak_live_clauses);
+            if
+              hint.Checker.Report.peak_live_clauses
+              > df.Checker.Report.peak_live_clauses
+            then
+              failwith
+                (Printf.sprintf "%s/%s: hinted peak %d > df peak %d" name
+                   fmt_name hint.Checker.Report.peak_live_clauses
+                   df.Checker.Report.peak_live_clauses);
+            let predicted_df =
+              dag.Analysis.Dag.predicted_peak_live.Analysis.Dag.df
+            in
+            if hint.Checker.Report.peak_live_clauses > predicted_df then
+              failwith
+                (Printf.sprintf
+                   "%s/%s: hinted peak %d > df static prediction %d" name
+                   fmt_name hint.Checker.Report.peak_live_clauses
+                   predicted_df);
+            let throughput r s =
+              float_of_int r.Checker.Report.clauses_built
+              /. Float.max 1e-6 s
+            in
+            (* wall-clock gate, with slack for timer noise on CI boxes *)
+            let gate = if hint_s <= bf_s *. 1.15 then "ok" else "FAIL" in
+            [
+              name;
+              fmt_name;
+              string_of_int bf.Checker.Report.total_learned;
+              string_of_int hstats.Analysis.Dag.hints;
+              fmt_f ~decimals:3 hint_conv_s;
+              fmt_f ~decimals:3 bf_s;
+              fmt_f ~decimals:3 hint_s;
+              fmt_f ~decimals:2 (bf_s /. Float.max 1e-6 hint_s);
+              fmt_f ~decimals:0 (throughput bf bf_s);
+              fmt_f ~decimals:0 (throughput hint hint_s);
+              string_of_int df.Checker.Report.peak_live_clauses;
+              string_of_int predicted_df;
+              string_of_int bf.Checker.Report.peak_live_clauses;
+              string_of_int hint.Checker.Report.peak_live_clauses;
+              gate;
+            ])
+          [ ("ascii", Trace.Writer.Ascii); ("binary", Trace.Writer.Binary) ])
+      instances
+  in
+  print_table "hint"
+    ~headers:
+      [
+        "instance"; "format"; "learned"; "hints"; "hint (s)"; "bf (s)";
+        "1pass (s)"; "speedup"; "bf cl/s"; "1pass cl/s"; "df peak";
+        "df pred"; "bf peak"; "1pass peak"; "gate";
+      ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows;
+  if List.exists (fun r -> List.mem "FAIL" r) rows then begin
+    prerr_endline
+      "hint: one-pass checking lost to breadth-first beyond the noise \
+       budget";
+    exit 1
+  end
+
+let hint_full () =
+  hint_bench
+    [
+      ("php_7", fun () -> Gen.Php.unsat ~holes:7);
+      ("php_8", fun () -> Gen.Php.unsat ~holes:8);
+    ]
+
+(* CI-sized run: one small family, same columns, JSON artifact and gate. *)
+let hint_quick () = hint_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
+
 (* --- parse-path micro-bench: ascii/binary x mmap/channel ---------------- *)
 
 (* Throughput and allocation of the trace decode alone (no checking):
@@ -1070,6 +1221,8 @@ let () =
   | "stream_quick" -> stream_quick ()
   | "trim" -> trim_full ()
   | "trim_quick" -> trim_quick ()
+  | "hint" -> hint_full ()
+  | "hint_quick" -> hint_quick ()
   | "parse" -> parse_bench ()
   | "overhead" -> overhead ()
   | "all" ->
@@ -1093,12 +1246,14 @@ let () =
     print_newline ();
     trim_full ();
     print_newline ();
+    hint_full ();
+    print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown mode %S (expected \
        table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
-       par_quick|stream|stream_quick|trim|trim_quick|parse|overhead|micro|\
-       all)\n"
+       par_quick|stream|stream_quick|trim|trim_quick|hint|hint_quick|parse|\
+       overhead|micro|all)\n"
       other;
     exit 2

@@ -296,35 +296,141 @@ let solve_cmd =
       $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg $ minimize_arg
       $ sanitize_arg)
 
+(* --- the checking-mode table -------------------------------------------- *)
+
+(* Everything per-mode — the --mode argument's vocabulary, `check`'s
+   checker dispatch, `validate`'s pipeline strategy, and which trace
+   format versions the mode reads — derives from this one table, so a
+   new mode is one new row, not four scattered match arms. *)
+
+type check_call = {
+  cc_meter : Harness.Meter.t;
+  cc_format : Trace.Writer.format option;
+  cc_io : Trace.Reader.io;
+  cc_first_pass : Trace.Source.t;
+  cc_jobs : int;
+  cc_window : int;
+}
+
+type mode = {
+  m_name : string;
+  m_aliases : string list;
+  m_hints : bool;
+      (* accepts deletion-hinted (format version 2) traces *)
+  m_check :
+    (check_call ->
+    Sat.Cnf.t ->
+    Trace.Reader.source ->
+    (Checker.Report.t, Checker.Diagnostics.failure) result)
+    option;
+      (* None: the mode only exists for `validate` *)
+  m_strategy : jobs:int -> window:int -> Pipeline.Validate.strategy;
+}
+
+let modes =
+  [
+    {
+      m_name = "df";
+      m_aliases = [ "depth-first" ];
+      m_hints = false;
+      m_check =
+        Some
+          (fun c f src ->
+            Checker.Df.check ~meter:c.cc_meter ?format:c.cc_format
+              ~io:c.cc_io ~first_pass:c.cc_first_pass f src);
+      m_strategy = (fun ~jobs:_ ~window:_ -> Pipeline.Validate.Depth_first);
+    };
+    {
+      m_name = "bf";
+      m_aliases = [ "breadth-first" ];
+      m_hints = false;
+      m_check =
+        Some
+          (fun c f src ->
+            Checker.Bf.check ~meter:c.cc_meter ?format:c.cc_format
+              ~io:c.cc_io ~first_pass:c.cc_first_pass f src);
+      m_strategy = (fun ~jobs:_ ~window:_ -> Pipeline.Validate.Breadth_first);
+    };
+    {
+      m_name = "hybrid";
+      m_aliases = [];
+      m_hints = false;
+      m_check =
+        Some
+          (fun c f src ->
+            Checker.Hybrid.check ~meter:c.cc_meter ?format:c.cc_format
+              ~io:c.cc_io ~first_pass:c.cc_first_pass f src);
+      m_strategy = (fun ~jobs:_ ~window:_ -> Pipeline.Validate.Hybrid);
+    };
+    {
+      m_name = "par";
+      m_aliases = [ "parallel" ];
+      m_hints = false;
+      m_check =
+        Some
+          (fun c f src ->
+            Checker.Par.check ~meter:c.cc_meter ?format:c.cc_format
+              ~io:c.cc_io ~jobs:c.cc_jobs ~first_pass:c.cc_first_pass f src);
+      m_strategy = (fun ~jobs ~window:_ -> Pipeline.Validate.Parallel jobs);
+    };
+    {
+      m_name = "online";
+      m_aliases = [];
+      m_hints = false;
+      m_check = None;
+      m_strategy = (fun ~jobs:_ ~window:_ -> Pipeline.Validate.Online);
+    };
+    {
+      m_name = "hint";
+      m_aliases = [ "hinted" ];
+      m_hints = true;
+      m_check =
+        Some
+          (fun c f src ->
+            Checker.Hint.check ~meter:c.cc_meter ?format:c.cc_format
+              ~io:c.cc_io ~first_pass:c.cc_first_pass f src);
+      m_strategy = (fun ~jobs:_ ~window:_ -> Pipeline.Validate.Hinted);
+    };
+    {
+      m_name = "window";
+      m_aliases = [];
+      m_hints = false;
+      m_check =
+        Some
+          (fun c f src ->
+            Checker.Window.check ~meter:c.cc_meter ?format:c.cc_format
+              ~io:c.cc_io ~window:c.cc_window ~first_pass:c.cc_first_pass f
+              src);
+      m_strategy = (fun ~jobs:_ ~window -> Pipeline.Validate.Window window);
+    };
+  ]
+
 (* --- check -------------------------------------------------------------- *)
 
 let strategy_arg =
-  let parse = function
-    | "df" | "depth-first" -> Ok `Df
-    | "bf" | "breadth-first" -> Ok `Bf
-    | "hybrid" -> Ok `Hybrid
-    | "par" | "parallel" -> Ok `Par
-    | "online" -> Ok `Online
-    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  let parse s =
+    match
+      List.find_opt
+        (fun m -> m.m_name = s || List.mem s m.m_aliases)
+        modes
+    with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
   in
-  let print fmt = function
-    | `Df -> Format.pp_print_string fmt "df"
-    | `Bf -> Format.pp_print_string fmt "bf"
-    | `Hybrid -> Format.pp_print_string fmt "hybrid"
-    | `Par -> Format.pp_print_string fmt "par"
-    | `Online -> Format.pp_print_string fmt "online"
-  in
+  let print fmt m = Format.pp_print_string fmt m.m_name in
   Arg.(
     value
-    & opt (conv (parse, print)) `Df
+    & opt (conv (parse, print)) (List.hd modes)
     & info [ "strategy"; "s"; "mode" ] ~docv:"S"
         ~doc:
           "Checking mode: $(b,df) (fast, memory-hungry), $(b,bf) \
            (streaming, bounded memory), $(b,hybrid) (best of both, the \
            paper's future work), $(b,par) (bf replayed as wavefronts \
-           across $(b,--jobs) domains), or — for $(b,validate) only — \
-           $(b,online) (lint and check the live solver stream while it is \
-           being produced).")
+           across $(b,--jobs) domains), $(b,hint) (one-pass checking of a \
+           deletion-hinted trace, see $(b,rescheck hint)), $(b,window) \
+           (bf with at most $(b,--window) learned clauses resident), or — \
+           for $(b,validate) only — $(b,online) (lint and check the live \
+           solver stream while it is being produced).")
 
 let jobs_arg =
   Arg.(
@@ -341,6 +447,22 @@ let validate_jobs jobs =
     exit 2
   end
 
+let window_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "Window size for $(b,--mode window): at most $(b,N) learned \
+           clauses stay arena-resident; everything alive at a window \
+           boundary is spilled and reloaded on demand.  Ignored by the \
+           other modes.  Must be at least 1.")
+
+let validate_window window =
+  if window < 1 then begin
+    Printf.eprintf "error: --window must be >= 1 (got %d)\n" window;
+    exit 2
+  end
+
 let mem_limit_arg =
   Arg.(
     value
@@ -349,16 +471,19 @@ let mem_limit_arg =
         ~doc:"Simulated memory budget in words (the paper's 800 MB cap).")
 
 let check_cmd =
-  let run () formula_path trace_path strategy jobs mem_limit no_lint
+  let run () formula_path trace_path mode jobs window mem_limit no_lint
       format_override io json analyze =
     validate_jobs jobs;
-    (match strategy with
-     | `Online ->
-       prerr_endline
-         "error: --mode online belongs to `validate' (check replays an \
-          existing trace; pass - or a FIFO to stream one in)";
-       exit 2
-     | _ -> ());
+    validate_window window;
+    let mode_check =
+      match mode.m_check with
+      | Some c -> c
+      | None ->
+        prerr_endline
+          "error: --mode online belongs to `validate' (check replays an \
+           existing trace; pass - or a FIFO to stream one in)";
+        exit 2
+    in
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -400,6 +525,22 @@ let check_cmd =
              remove_spool ();
              ambiguous_format_exit msg
            | _ -> ());
+          (* version negotiation: refuse a hinted trace up front when the
+             selected mode cannot honour deletion hints, instead of
+             failing mid-check *)
+          (match Trace.Reader.sniff_version src with
+           | 1 -> ()
+           | 2 when mode.m_hints -> ()
+           | v ->
+             Printf.printf
+               "c bad trace: trace format version %d is not supported by \
+                --mode %s\n"
+               v mode.m_name;
+             print_endline "s BAD TRACE (version)";
+             exit 2
+           | exception Sys_error m ->
+             prerr_endline ("error: " ^ m);
+             exit 2);
           (Trace.Reader.cursor ?format:format_override ~io src, src)
         | Some ic ->
           let path = Filename.temp_file "rescheck_spool" ".trc" in
@@ -458,16 +599,16 @@ let check_cmd =
       let checked, seconds =
         try
           Harness.Timer.time (fun () ->
-              let format = format_override in
-              match strategy with
-              | `Df -> Checker.Df.check ~meter ?format ~io ~first_pass f source
-              | `Bf -> Checker.Bf.check ~meter ?format ~io ~first_pass f source
-              | `Hybrid ->
-                Checker.Hybrid.check ~meter ?format ~io ~first_pass f source
-              | `Par ->
-                Checker.Par.check ~meter ?format ~io ~jobs ~first_pass f
-                  source
-              | `Online -> assert false)
+              mode_check
+                {
+                  cc_meter = meter;
+                  cc_format = format_override;
+                  cc_io = io;
+                  cc_first_pass = first_pass;
+                  cc_jobs = jobs;
+                  cc_window = window;
+                }
+                f source)
         with Harness.Meter.Out_of_memory_simulated e ->
           remove_spool ();
           Printf.printf
@@ -508,6 +649,15 @@ let check_cmd =
          end;
          print_endline "s VERIFIED UNSATISFIABLE";
          exit 0
+       | Error Checker.Diagnostics.Hints_unsupported ->
+         (* streamed/spooled hinted input reaches the checker before the
+            version gate can see the file; the refusal also truncates the
+            spool, so re-linting it would only mask the real cause *)
+         remove_spool ();
+         Printf.printf "c bad trace: %s\n"
+           (Checker.Diagnostics.to_string Checker.Diagnostics.Hints_unsupported);
+         print_endline "s BAD TRACE (version)";
+         exit 2
        | Error d ->
          (* the tee'd lint stopped where the checker stopped; re-lint the
             (spooled) trace in full so the report matches a standalone
@@ -568,8 +718,8 @@ let check_cmd =
           ambiguous encoding, or bad $(b,--jobs)), 3 memory-out.")
     Term.(
       const run $ telemetry_term $ formula_arg $ trace_pos $ strategy_arg
-      $ jobs_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg $ io_arg
-      $ json_arg $ analyze_flag_arg)
+      $ jobs_arg $ window_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg
+      $ io_arg $ json_arg $ analyze_flag_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -721,9 +871,10 @@ let analyze_cmd =
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run () formula_path strategy jobs format seed bcp no_restarts
+  let run () formula_path mode jobs window format seed bcp no_restarts
       no_deletion minimize sanitize analyze =
     validate_jobs jobs;
+    validate_window window;
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -732,14 +883,7 @@ let validate_cmd =
       let config =
         config_of seed bcp no_restarts no_deletion minimize sanitize
       in
-      let strategy =
-        match strategy with
-        | `Df -> Pipeline.Validate.Depth_first
-        | `Bf -> Pipeline.Validate.Breadth_first
-        | `Hybrid -> Pipeline.Validate.Hybrid
-        | `Par -> Pipeline.Validate.Parallel jobs
-        | `Online -> Pipeline.Validate.Online
-      in
+      let strategy = mode.m_strategy ~jobs ~window in
       let o =
         or_sanitizer_exit (fun () ->
             Pipeline.Validate.run ~config ~format ~strategy ~analyze f)
@@ -785,8 +929,8 @@ let validate_cmd =
           so the full encoded trace is never held in memory.")
     Term.(
       const run $ telemetry_term $ formula_arg $ strategy_arg $ jobs_arg
-      $ format_arg $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg
-      $ minimize_arg $ sanitize_arg $ analyze_flag_arg)
+      $ window_arg $ format_arg $ seed_arg $ bcp_arg $ no_restarts_arg
+      $ no_deletion_arg $ minimize_arg $ sanitize_arg $ analyze_flag_arg)
 
 (* --- core ---------------------------------------------------------------- *)
 
@@ -1031,6 +1175,106 @@ let trim_cmd =
       const run $ telemetry_term $ formula_arg $ trace_pos $ output_arg
       $ out_format_arg $ checked_arg $ io_arg)
 
+(* --- hint --------------------------------------------------------------- *)
+
+let hint_cmd =
+  let run () trace_path output format_opt strip io =
+    let src = Trace.Reader.From_file trace_path in
+    let detected =
+      match Trace.Reader.detect src with
+      | `Ascii -> Trace.Writer.Ascii
+      | `Binary -> Trace.Writer.Binary
+      | `Ambiguous msg -> ambiguous_format_exit msg
+      | exception Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        exit 2
+    in
+    (* like trim: the output keeps the input's encoding unless --format
+       rewrites into the other one *)
+    let out_format = Option.value ~default:detected format_opt in
+    if strip then (
+      let w = Trace.Writer.create ~version:1 out_format in
+      match Analysis.Dag.strip_hints ~io src w with
+      | Error e ->
+        Printf.printf "c cannot strip: %s at %s\n" e.Analysis.Dag.message
+          (Trace.Reader.pos_to_string e.Analysis.Dag.pos);
+        print_endline "s BAD TRACE (parse)";
+        exit 2
+      | Ok stats ->
+        Trace.Writer.to_file w output;
+        Printf.printf
+          "c strip: dropped %d delete records, %d -> %d records, %d bytes \
+           -> %s\n"
+          stats.Analysis.Dag.dropped_hints stats.Analysis.Dag.h_records_in
+          stats.Analysis.Dag.h_records_out
+          (Trace.Writer.bytes_written w)
+          output;
+        exit 0)
+    else (
+      let w = Trace.Writer.create ~version:2 out_format in
+      match Analysis.Dag.hint ~io src w with
+      | Error e ->
+        Printf.printf "c cannot hint: %s at %s\n" e.Analysis.Dag.message
+          (Trace.Reader.pos_to_string e.Analysis.Dag.pos);
+        print_endline "s BAD TRACE (analyze)";
+        exit 2
+      | Ok (stats, _profile) ->
+        Trace.Writer.to_file w output;
+        Printf.printf
+          "c hint: %d delete records cover %d clauses (%d pinned for the \
+           final chain, %d stale hints dropped), %d -> %d records, %d \
+           bytes -> %s\n"
+          stats.Analysis.Dag.hints stats.Analysis.Dag.hinted_clauses
+          stats.Analysis.Dag.pinned stats.Analysis.Dag.dropped_hints
+          stats.Analysis.Dag.h_records_in stats.Analysis.Dag.h_records_out
+          (Trace.Writer.bytes_written w)
+          output;
+        exit 0)
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Resolution trace produced by solve.")
+  in
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Hinted trace path.")
+  in
+  let out_format_arg =
+    Arg.(
+      value
+      & opt (some format_conv) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Encoding of the output trace ($(b,ascii) or $(b,binary)); \
+             defaults to the input's encoding.")
+  in
+  let strip_arg =
+    Arg.(
+      value & flag
+      & info [ "strip" ]
+          ~doc:
+            "Reverse direction: drop every deletion hint and write a plain \
+             version-1 trace that any mode can check.")
+  in
+  Cmd.v
+    (Cmd.info "hint"
+       ~doc:
+         "Rewrite a trace into the deletion-hinted format (version 2): a \
+          static last-use analysis of the proof DAG inserts delete records \
+          at each clause's final reference, so $(b,check --mode hint) can \
+          validate the proof in one pass at breadth-first's peak memory.  \
+          Clauses the final conflict chain needs are pinned (never hinted) \
+          and hinting an already-hinted trace is a no-op on the schedule.  \
+          With $(b,--strip) the rewrite runs the other way.  Exit codes: 0 \
+          written, 2 unreadable, unparsable or structurally broken input.")
+    Term.(
+      const run $ telemetry_term $ trace_pos $ output_arg $ out_format_arg
+      $ strip_arg $ io_arg)
+
 (* --- drup ---------------------------------------------------------------- *)
 
 let drup_cmd =
@@ -1252,5 +1496,6 @@ let () =
        (Cmd.group info
           [
             solve_cmd; check_cmd; lint_cmd; analyze_cmd; validate_cmd;
-            core_cmd; trim_cmd; simplify_cmd; drup_cmd; mc_cmd; gen_cmd;
+            core_cmd; trim_cmd; hint_cmd; simplify_cmd; drup_cmd; mc_cmd;
+            gen_cmd;
           ]))

@@ -188,7 +188,11 @@ let stream_event t pos (e : Trace.Event.t) =
        end
      | Trace.Event.Final_conflict id ->
        if t.conflict = None then
-         t.conflict <- Some (id, ordinal, pos_int pos))
+         t.conflict <- Some (id, ordinal, pos_int pos)
+     | Trace.Event.Delete _ ->
+       (* deletion hints are memory advice, not proof structure: they do
+          not affect reachability, lifetimes, or the predicted peaks *)
+       ())
 
 let sink t ~pos = Trace.Sink.make (fun e -> stream_event t (pos ()) e)
 
@@ -622,7 +626,20 @@ let trim ?format ?io ?max_diagnostics source w =
                  else incr dropped_learned
                | Trace.Event.Final_conflict _ ->
                  seen_conflict := true;
-                 emit e);
+                 emit e
+               | Trace.Event.Delete ids ->
+                 (* keep only hints for clauses that survive the trim *)
+                 let norig =
+                   match t.header with Some (_, n) -> n | None -> 0
+                 in
+                 let kept =
+                   Array.of_list
+                     (List.filter
+                        (fun id -> id <= norig || reachable id)
+                        (Array.to_list ids))
+                 in
+                 if Array.length kept > 0 then
+                   emit (Trace.Event.Delete kept));
          Trace.Reader.close cur;
          if Obs.Ctl.on () then begin
            Obs.Metrics.Counter.incr m_trim_kept !kept_learned;
@@ -641,6 +658,151 @@ let trim ?format ?io ?max_diagnostics source w =
              },
              profile )
        end)
+
+(* --- deletion-hint conversion -------------------------------------------- *)
+
+type hint_stats = {
+  h_records_in : int;
+  h_records_out : int;
+  hints : int;
+  hinted_clauses : int;
+  pinned : int;
+  dropped_hints : int;
+}
+
+(* [hint source w] rewrites a trace into its deletion-hinted form: every
+   clause id gets a [Delete] record right after the record of its last
+   use (dead derivations right after their own definition), except ids
+   the empty-clause construction needs at the very end — the final
+   conflict and every level-0 antecedent stay pinned.  Existing hints in
+   the input are discarded and regenerated, so hinting is idempotent. *)
+let hint ?format ?io ?max_diagnostics source w =
+  Obs.Span.scope ~cat:"analysis" "dag.hint" @@ fun () ->
+  if Trace.Writer.version w < 2 then
+    invalid_arg "Dag.hint: deletion hints require a version-2 trace writer";
+  match feed ?format ?io ?max_diagnostics source with
+  | Error e, _ -> Error e
+  | Ok t, end_pos ->
+    (match finish_internal ~end_pos t with
+     | Error e -> Error e
+     | Ok (profile, _reachable) ->
+       if profile.forward_refs > 0 || profile.dangling_refs > 0 then
+         Error
+           {
+             pos = end_pos;
+             message =
+               Printf.sprintf
+                 "trace has %d forward and %d dangling references; refusing \
+                  to hint a proof whose reference order is broken"
+                 profile.forward_refs profile.dangling_refs;
+           }
+       else begin
+         (* pass two: last-use ordinal of every referenced id, originals
+            included (the stream pass only tracks learned lifetimes);
+            level-0 antecedents and the conflict clause are pinned — the
+            empty-clause construction resolves with them after the last
+            trace record *)
+         let last_use = Hashtbl.create 1024 in
+         let pinned_ids = Hashtbl.create 64 in
+         let cur = Trace.Reader.cursor ?format ?io source in
+         let ord = ref 0 in
+         Trace.Reader.iter_cursor cur (fun e ->
+             (match e with
+              | Trace.Event.Header _ | Trace.Event.Delete _ -> ()
+              | Trace.Event.Learned l ->
+                Array.iter
+                  (fun s -> Hashtbl.replace last_use s !ord)
+                  l.sources
+              | Trace.Event.Level0 v -> Hashtbl.replace pinned_ids v.ante ()
+              | Trace.Event.Final_conflict id ->
+                Hashtbl.replace pinned_ids id ());
+             incr ord);
+         let die_at = Hashtbl.create 1024 in
+         Hashtbl.iter
+           (fun id o ->
+             if not (Hashtbl.mem pinned_ids id) then
+               Hashtbl.replace die_at o
+                 (id
+                 :: Option.value ~default:[] (Hashtbl.find_opt die_at o)))
+           last_use;
+         (* pass three: re-emit with grouped deletes where ids drain *)
+         Trace.Reader.rewind cur;
+         let records_in = ref 0 and records_out = ref 0 in
+         let hints = ref 0 and hinted = ref 0 and dropped = ref 0 in
+         let seen_conflict = ref false in
+         let ord = ref 0 in
+         let emit e =
+           incr records_out;
+           Trace.Writer.emit w e
+         in
+         let emit_delete ids =
+           emit (Trace.Event.Delete ids);
+           incr hints;
+           hinted := !hinted + Array.length ids
+         in
+         Trace.Reader.iter_cursor cur (fun e ->
+             incr records_in;
+             let o = !ord in
+             incr ord;
+             (match e with
+              | Trace.Event.Delete _ -> incr dropped
+              | Trace.Event.Final_conflict _ ->
+                seen_conflict := true;
+                emit e
+              | Trace.Event.Header _ | Trace.Event.Level0 _ -> emit e
+              | Trace.Event.Learned l ->
+                emit e;
+                if
+                  (not !seen_conflict)
+                  && (not (Hashtbl.mem last_use l.id))
+                  && not (Hashtbl.mem pinned_ids l.id)
+                then
+                  (* dead derivation: checked, then freed on the spot *)
+                  emit_delete [| l.id |]);
+             if not !seen_conflict then
+               match Hashtbl.find_opt die_at o with
+               | Some ids ->
+                 emit_delete (Array.of_list (List.sort compare ids))
+               | None -> ());
+         Trace.Reader.close cur;
+         Ok
+           ( {
+               h_records_in = !records_in;
+               h_records_out = !records_out;
+               hints = !hints;
+               hinted_clauses = !hinted;
+               pinned = Hashtbl.length pinned_ids;
+               dropped_hints = !dropped;
+             },
+             profile )
+       end)
+
+(* [strip_hints source w] is the downgrade path: drop every [Delete]
+   record and emit the rest unchanged, turning a version-2 trace back
+   into one every hint-blind strategy accepts. *)
+let strip_hints ?format ?io source w =
+  try
+    let cur = Trace.Reader.cursor ?format ?io source in
+    let records_in = ref 0 and records_out = ref 0 and dropped = ref 0 in
+    Trace.Reader.iter_cursor cur (fun e ->
+        incr records_in;
+        match e with
+        | Trace.Event.Delete _ -> incr dropped
+        | Trace.Event.Header _ | Trace.Event.Learned _ | Trace.Event.Level0 _
+        | Trace.Event.Final_conflict _ ->
+          incr records_out;
+          Trace.Writer.emit w e);
+    Trace.Reader.close cur;
+    Ok
+      {
+        h_records_in = !records_in;
+        h_records_out = !records_out;
+        hints = 0;
+        hinted_clauses = 0;
+        pinned = 0;
+        dropped_hints = !dropped;
+      }
+  with Trace.Reader.Parse_error { pos; msg } -> Error { pos; message = msg }
 
 (* --- rendering ----------------------------------------------------------- *)
 

@@ -152,6 +152,49 @@ val trim :
   Trace.Writer.t ->
   (trim_stats * profile, error) result
 
+(** {2 Deletion-hint conversion} *)
+
+type hint_stats = {
+  h_records_in : int;
+  h_records_out : int;
+  hints : int;            (** delete records emitted *)
+  hinted_clauses : int;   (** clause ids covered by emitted hints *)
+  pinned : int;           (** ids kept alive for the final chain *)
+  dropped_hints : int;    (** input delete records discarded *)
+}
+
+(** [hint source w] rewrites the trace into its deletion-hinted form
+    (format version 2): every clause id — originals included — gets a
+    [Delete] record right after the record of its last use, grouped per
+    record, and a dead derivation is deleted right after its own
+    definition.  Ids the empty-clause construction needs at the very
+    end (the final conflict, every level-0 antecedent) are pinned and
+    never deleted, and no hint is emitted at or after the final
+    conflict.  Existing hints are discarded and regenerated, so hinting
+    is idempotent.  The hinted trace reaches identical verdicts, cores
+    and diagnostics under every strategy that accepts it, and drives
+    {!Checker.Hint.check}'s peak residency down to the refcount-zero
+    schedule.  Refuses traces with forward or dangling references, like
+    {!trim}.
+    @raise Invalid_argument when [w] is not a version-2 writer. *)
+val hint :
+  ?format:Trace.Writer.format ->
+  ?io:Trace.Reader.io ->
+  ?max_diagnostics:int ->
+  Trace.Reader.source ->
+  Trace.Writer.t ->
+  (hint_stats * profile, error) result
+
+(** [strip_hints source w] drops every [Delete] record and emits the
+    rest unchanged — the downgrade path back to a version-1 trace that
+    hint-blind strategies accept.  No structural validation is run. *)
+val strip_hints :
+  ?format:Trace.Writer.format ->
+  ?io:Trace.Reader.io ->
+  Trace.Reader.source ->
+  Trace.Writer.t ->
+  (hint_stats, error) result
+
 (** {2 Rendering} *)
 
 (** [pp fmt p] renders the full human-readable report: retained

@@ -28,6 +28,9 @@ type code =
   | Dead_derivation
   | Duplicate_derivation
   | Singleton_chain
+  | Dangling_delete
+  | Duplicate_delete
+  | Use_after_delete
 
 let code_id = function
   | Parse -> "L001"
@@ -55,6 +58,9 @@ let code_id = function
   | Dead_derivation -> "L501"
   | Duplicate_derivation -> "L502"
   | Singleton_chain -> "L503"
+  | Dangling_delete -> "L601"
+  | Duplicate_delete -> "L602"
+  | Use_after_delete -> "L603"
 
 let severity_of = function
   | Nonmonotone_id | Repeated_source | After_conflict | Formula_duplicate_lit
@@ -65,7 +71,8 @@ let severity_of = function
   | Event_before_header | Shadows_original | Duplicate_id | Empty_sources
   | Self_source | Bad_reference | Var_out_of_range | Duplicate_level0
   | Bad_antecedent | Missing_conflict | Conflict_unknown | Formula_mismatch
-  | Formula_var_range ->
+  | Formula_var_range | Dangling_delete | Duplicate_delete | Use_after_delete
+    ->
     Error
 
 type diagnostic = {
@@ -107,6 +114,7 @@ type state = {
   mutable last_learned_id : int;
   defined : (int, unit) Hashtbl.t;      (* learned ids, stream order *)
   level0_vars : (int, unit) Hashtbl.t;
+  deleted : (int, unit) Hashtbl.t;      (* ids named by delete hints *)
   mutable conflict_seen : bool;
   mutable after_conflict_reported : bool;
 }
@@ -191,7 +199,10 @@ let check_learned st pos id sources =
         emit st pos Bad_reference
           "clause %d references source %d, which is neither an original \
            clause nor a learned clause defined upstream"
-          id s;
+          id s
+      else if Hashtbl.mem st.deleted s then
+        emit st pos Use_after_delete
+          "clause %d resolves with source %d after its delete hint" id s;
       if (not !repeated) && i > 0 && sources.(i - 1) = s then begin
         repeated := true;
         emit st pos Repeated_source
@@ -217,12 +228,37 @@ let check_level0 st pos var ante =
   if not (resolvable st ante) then
     emit st pos Bad_antecedent
       "level-0 record for variable %d names undefined antecedent %d" var ante
+  else if Hashtbl.mem st.deleted ante then
+    emit st pos Use_after_delete
+      "level-0 record for variable %d names antecedent %d after its delete \
+       hint"
+      var ante
 
 let check_conflict st pos id =
   if not (resolvable st id) then
     emit st pos Conflict_unknown
-      "final conflict references undefined clause %d" id;
+      "final conflict references undefined clause %d" id
+  else if Hashtbl.mem st.deleted id then
+    emit st pos Use_after_delete
+      "final conflict references clause %d after its delete hint" id;
   st.conflict_seen <- true
+
+(* Delete-hint records (format version 2, L6xx): each listed id must name
+   a clause that is currently live — defined upstream and not already
+   deleted.  A hint that is merely premature (the clause is used again
+   later) surfaces at the use site as [Use_after_delete]. *)
+let check_delete st pos ids =
+  Array.iter
+    (fun id ->
+      if not (resolvable st id) then
+        emit st pos Dangling_delete
+          "delete hint names clause %d, which is neither an original clause \
+           nor a learned clause defined upstream"
+          id
+      else if Hashtbl.mem st.deleted id then
+        emit st pos Duplicate_delete "clause %d deleted twice" id
+      else Hashtbl.replace st.deleted id ())
+    ids
 
 let handle_event st pos (e : Trace.Event.t) =
   st.n_events <- st.n_events + 1;
@@ -243,6 +279,7 @@ let handle_event st pos (e : Trace.Event.t) =
   | Trace.Event.Learned l -> check_learned st pos l.id l.sources
   | Trace.Event.Level0 v -> check_level0 st pos v.var v.ante
   | Trace.Event.Final_conflict id -> check_conflict st pos id
+  | Trace.Event.Delete ids -> check_delete st pos ids
 
 (* Formula-side lint (L4xx): the trace proves the *formula* unsat, so
    degenerate original clauses — out-of-range, duplicate or tautological
@@ -315,6 +352,7 @@ let stream_start ?formula ?(max_diagnostics = 100) ~binary () =
     last_learned_id = 0;
     defined = Hashtbl.create 1024;
     level0_vars = Hashtbl.create 256;
+    deleted = Hashtbl.create 256;
     conflict_seen = false;
     after_conflict_reported = false;
   } in

@@ -58,6 +58,9 @@ type code =
   | Duplicate_derivation   (** L502 identical source chain derived twice *)
   | Singleton_chain        (** L503 single-source chain: the clause is a
                                copy of (or subsumed by) its one source *)
+  | Dangling_delete        (** L601 delete hint names an undefined clause *)
+  | Duplicate_delete       (** L602 clause deleted twice *)
+  | Use_after_delete       (** L603 clause referenced after its delete hint *)
 
 (** [code_id c] is the stable "Lnnn" identifier. *)
 val code_id : code -> string

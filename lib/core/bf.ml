@@ -47,7 +47,8 @@ let iter_use_ids cur f =
       | Trace.Event.Header _ -> ()
       | Trace.Event.Learned l -> Array.iter f l.sources
       | Trace.Event.Level0 v -> f v.ante
-      | Trace.Event.Final_conflict id -> f id)
+      | Trace.Event.Final_conflict id -> f id
+      | Trace.Event.Delete _ -> ())
 
 let write_counts_file cur ~chunk =
   let chunk = max 1 chunk in
@@ -105,7 +106,8 @@ let build_pass st cur =
         else Proof.Clause_db.release (Proof.Kernel.db k) h;
         Array.iter (fun s -> release_one_use st s) l.sources
       | Trace.Event.Level0 _ -> ()
-      | Trace.Event.Final_conflict _ -> ())
+      | Trace.Event.Final_conflict _ -> ()
+      | Trace.Event.Delete _ -> ())
 
 (* Incremental pass-one ingest: the same counting/validation state, but
    fed one event at a time so it can sit behind a {!Trace.Sink.t} and
@@ -153,6 +155,8 @@ let ingest_event g e =
         | Trace.Event.Learned l -> Array.iter (add_use g.ist) l.sources
         | Trace.Event.Level0 v -> add_use g.ist v.ante
         | Trace.Event.Final_conflict id -> add_use g.ist id
+        (* unreachable: stream_feed refuses hints first *)
+        | Trace.Event.Delete _ -> ()
     with Diagnostics.Check_failed f -> g.failed <- Some f
 
 let ingest_sink g = Trace.Sink.make (ingest_event g)

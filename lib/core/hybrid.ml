@@ -50,7 +50,7 @@ let build_pass st cur =
         Proof.Kernel.define k l.id h;
         Array.iter (fun s -> release_one_use st s) l.sources
       | Trace.Event.Learned _ | Trace.Event.Header _ | Trace.Event.Level0 _
-      | Trace.Event.Final_conflict _ -> ())
+      | Trace.Event.Final_conflict _ | Trace.Event.Delete _ -> ())
 
 let check ?meter ?format ?io ?first_pass formula source =
   let meter =
@@ -88,7 +88,8 @@ let check ?meter ?format ?io ?first_pass formula source =
                   match e with
                   | Trace.Event.Learned l -> Sat.Vec.push defs (l.id, l.sources)
                   | Trace.Event.Level0 v -> Sat.Vec.push antes v.ante
-                  | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ())
+                  | Trace.Event.Header _ | Trace.Event.Final_conflict _
+                  | Trace.Event.Delete _ -> ())
                 src))
     in
     let conf_id =

@@ -295,7 +295,8 @@ let check ?meter ?format ?io ?(jobs = 1) ?(window = default_window)
                       :: !tasks_rev;
                     incr seq
                   | Trace.Event.Level0 v -> add_use v.ante
-                  | Trace.Event.Final_conflict id -> add_use id)
+                  | Trace.Event.Final_conflict id -> add_use id
+                  | Trace.Event.Delete _ -> ())
                 src))
     in
     let conf_id =

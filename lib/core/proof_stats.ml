@@ -32,7 +32,8 @@ let analyze formula source =
       Proof.Kernel.stream_pass k ~stream_order:true ~l0
         ~on_event:(fun e ->
           match e with
-          | Trace.Event.Header _ | Trace.Event.Final_conflict _ -> ()
+          | Trace.Event.Header _ | Trace.Event.Final_conflict _
+          | Trace.Event.Delete _ -> ()
           | Trace.Event.Learned l ->
             let h =
               Proof.Kernel.chain_ids k ~context ~fetch ~learned_id:l.id

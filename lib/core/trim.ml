@@ -31,7 +31,7 @@ let trim f source =
               false
             end
           | Trace.Event.Header _ | Trace.Event.Level0 _
-          | Trace.Event.Final_conflict _ -> true)
+          | Trace.Event.Final_conflict _ | Trace.Event.Delete _ -> true)
         events
     in
     Ok { events = trimmed; kept_learned = !kept; dropped_learned = !dropped }

@@ -1,0 +1,291 @@
+(* Window-shifting breadth-first checking.
+
+   Pass one is breadth-first's counting pass verbatim: validate record
+   shape and stream order, count every clause's uses.  Pass two replays
+   the trace through a window scheduler: learned records are processed
+   in windows of [window] definitions, and when a window fills, every
+   clause still alive — learned clauses with undrained use counts, plus
+   any materialised originals — is evicted from the arena.  Learned
+   clauses are spilled byte-for-byte through a frozen arena view
+   ({!Proof.Clause_db.freeze}) into a temp file; originals need no spill
+   because the formula itself backs them.  A later reference reloads the
+   clause transiently for the one chain that needs it and releases it
+   right after, so the arena never holds more than [window] learned
+   clauses plus one chain's operands.
+
+   The schedule changes nothing the checker observes: verdicts, cores
+   (empty, like breadth-first), built sets, resolution step counts and
+   diagnostics are identical to {!Bf.check} on every trace. *)
+
+type stats = {
+  windows : int;      (* boundaries crossed *)
+  spilled : int;      (* learned clauses written to the spill file *)
+  reloaded : int;     (* transient reloads from the spill file *)
+  max_resident : int; (* high-water defined-and-live learned clauses *)
+}
+
+let g_resident =
+  Obs.Metrics.gauge Obs.Metrics.global "window.resident_clauses"
+
+let g_spilled = Obs.Metrics.gauge Obs.Metrics.global "window.spilled_clauses"
+
+type spill = {
+  path : string;
+  oc : out_channel;
+  ic : in_channel;
+  index : (int, int * int) Hashtbl.t; (* id -> (byte offset, lit count) *)
+}
+
+let spill_create () =
+  let path = Filename.temp_file "window_spill" ".bin" in
+  { path; oc = open_out_bin path; ic = open_in_bin path;
+    index = Hashtbl.create 256 }
+
+let spill_close s =
+  close_out_noerr s.oc;
+  close_in_noerr s.ic;
+  try Sys.remove s.path with Sys_error _ -> ()
+
+type state = {
+  kernel : Proof.Kernel.t;
+  counts : (int, int) Hashtbl.t;
+  live : (int, unit) Hashtbl.t;      (* learned ids resident in the arena *)
+  orig_live : (int, unit) Hashtbl.t; (* originals materialised this window *)
+  spill : spill;
+  mutable scratch : int array;
+  mutable transients : Proof.Clause_db.handle list;
+  mutable fill : int;       (* learned records in the current window *)
+  mutable windows : int;
+  mutable spilled : int;
+  mutable reloaded : int;
+  mutable max_resident : int;
+}
+
+let get_count st id = Option.value ~default:0 (Hashtbl.find_opt st.counts id)
+
+let release_use st id =
+  match get_count st id with
+  | 0 -> ()
+  | n when n <= 1 ->
+    Hashtbl.remove st.counts id;
+    Proof.Kernel.release_id st.kernel id;
+    Hashtbl.remove st.live id;
+    Hashtbl.remove st.orig_live id;
+    Hashtbl.remove st.spill.index id
+  | n -> Hashtbl.replace st.counts id (n - 1)
+
+let ensure_scratch st n =
+  if Array.length st.scratch < n then
+    st.scratch <- Array.make (max n (2 * Array.length st.scratch)) 0
+
+(* Shift the window: spill every live learned clause out through a frozen
+   view, drop materialised originals (the formula backs them), and start
+   the next window with an empty arena. *)
+let boundary st =
+  st.windows <- st.windows + 1;
+  st.fill <- 0;
+  if Hashtbl.length st.live > 0 then begin
+    let db = Proof.Kernel.db st.kernel in
+    let ro = Proof.Clause_db.freeze db in
+    let ids = Hashtbl.fold (fun id () acc -> id :: acc) st.live [] in
+    List.iter
+      (fun id ->
+        let h = Option.get (Proof.Kernel.peek st.kernel id) in
+        let n = Proof.Clause_db.ro_size ro h in
+        ensure_scratch st n;
+        let n = Proof.Clause_db.ro_copy_lits ro h st.scratch in
+        let off = pos_out st.spill.oc in
+        for i = 0 to n - 1 do
+          output_binary_int st.spill.oc st.scratch.(i)
+        done;
+        Hashtbl.replace st.spill.index id (off, n);
+        st.spilled <- st.spilled + 1;
+        Proof.Kernel.release_id st.kernel id)
+      ids;
+    Hashtbl.reset st.live;
+    flush st.spill.oc
+  end;
+  Hashtbl.iter
+    (fun id () -> Proof.Kernel.release_id st.kernel id)
+    st.orig_live;
+  Hashtbl.reset st.orig_live
+
+let reload st ~context id =
+  match Hashtbl.find_opt st.spill.index id with
+  | None -> Proof.Kernel.find st.kernel ~context id (* raises Unknown_clause *)
+  | Some (off, n) ->
+    ensure_scratch st n;
+    seek_in st.spill.ic off;
+    for i = 0 to n - 1 do
+      st.scratch.(i) <- input_binary_int st.spill.ic
+    done;
+    st.reloaded <- st.reloaded + 1;
+    let h =
+      Proof.Clause_db.alloc_sorted (Proof.Kernel.db st.kernel) st.scratch n
+    in
+    st.transients <- h :: st.transients;
+    h
+
+(* Clause lookup for pass two and the final chain: arena-resident first,
+   then originals from the formula, then the spill file. *)
+let fetch st ~context id =
+  match Proof.Kernel.peek st.kernel id with
+  | Some h -> h
+  | None ->
+    if Proof.Kernel.is_original st.kernel id then begin
+      let h = Proof.Kernel.find st.kernel ~context id in
+      Hashtbl.replace st.orig_live id ();
+      h
+    end
+    else reload st ~context id
+
+let drop_transients st =
+  let db = Proof.Kernel.db st.kernel in
+  List.iter (fun h -> Proof.Clause_db.release db h) st.transients;
+  st.transients <- []
+
+let build_pass st ~window cur =
+  let k = st.kernel in
+  let context = "breadth-first reconstruction" in
+  let fetch = fetch st ~context in
+  Trace.Reader.rewind cur;
+  Trace.Reader.iter_cursor cur (fun e ->
+      match e with
+      | Trace.Event.Header _ | Trace.Event.Level0 _
+      | Trace.Event.Final_conflict _ | Trace.Event.Delete _ -> ()
+      | Trace.Event.Learned l ->
+        let h =
+          Proof.Kernel.chain_ids k ~context ~fetch ~learned_id:l.id l.sources
+        in
+        drop_transients st;
+        if get_count st l.id > 0 then begin
+          Proof.Kernel.define k l.id h;
+          Hashtbl.replace st.live l.id ();
+          let r = Hashtbl.length st.live in
+          if r > st.max_resident then st.max_resident <- r
+        end
+        else Proof.Clause_db.release (Proof.Kernel.db k) h;
+        Array.iter (fun s -> release_use st s) l.sources;
+        st.fill <- st.fill + 1;
+        if st.fill >= window then boundary st)
+
+let check ?meter ?format ?io ?first_pass ?on_stats ~window formula source =
+  if window < 1 then
+    invalid_arg "Window.check: window size must be at least 1";
+  let meter =
+    match meter with Some m -> m | None -> Harness.Meter.create ()
+  in
+  let kernel = Proof.Kernel.create ~meter formula in
+  let l0 = Proof.Level0.create () in
+  let stream =
+    Proof.Kernel.stream_start kernel ~stream_order:true ~l0 ()
+  in
+  let st =
+    {
+      kernel;
+      counts = Hashtbl.create 4096;
+      live = Hashtbl.create 256;
+      orig_live = Hashtbl.create 256;
+      spill = spill_create ();
+      scratch = Array.make 64 0;
+      transients = [];
+      fill = 0;
+      windows = 0;
+      spilled = 0;
+      reloaded = 0;
+      max_resident = 0;
+    }
+  in
+  let add_use id = Hashtbl.replace st.counts id (1 + get_count st id) in
+  let finish () =
+    spill_close st.spill;
+    if Obs.Ctl.on () then begin
+      Obs.Metrics.Gauge.set g_resident (float_of_int st.max_resident);
+      Obs.Metrics.Gauge.set g_spilled (float_of_int st.spilled)
+    end;
+    match on_stats with
+    | None -> ()
+    | Some f ->
+      f
+        {
+          windows = st.windows;
+          spilled = st.spilled;
+          reloaded = st.reloaded;
+          max_resident = st.max_resident;
+        }
+  in
+  try
+    (* pass one: breadth-first's validating/counting pass *)
+    let (), pass_one_seconds =
+      Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"window" "check.pass_one" @@ fun () ->
+          let src =
+            match first_pass with
+            | Some s -> s
+            | None ->
+              Trace.Source.of_cursor ~close_cursor:true
+                (Trace.Reader.cursor ?format ?io source)
+          in
+          Fun.protect
+            ~finally:(fun () -> Trace.Source.close src)
+            (fun () ->
+              Trace.Source.iter
+                (fun e ->
+                  Proof.Kernel.stream_feed stream e;
+                  match e with
+                  | Trace.Event.Header _ -> ()
+                  | Trace.Event.Learned l -> Array.iter add_use l.sources
+                  | Trace.Event.Level0 v -> add_use v.ante
+                  | Trace.Event.Final_conflict id -> add_use id
+                  (* unreachable: stream_feed refuses hints first *)
+                  | Trace.Event.Delete _ -> ())
+                src))
+    in
+    let pass = Proof.Kernel.stream_finish stream in
+    let conf_id =
+      match pass.Proof.Kernel.final_conflict with
+      | Some id -> id
+      | None -> Diagnostics.fail Diagnostics.Missing_final_conflict
+    in
+    (* pass two: windowed reconstruction with eager frees and spills *)
+    let (), pass_two_seconds =
+      Harness.Timer.wall_time (fun () ->
+          Obs.Span.scope ~cat:"window" "check.pass_two" @@ fun () ->
+          let cur = Trace.Reader.cursor ?format ?io source in
+          build_pass st ~window cur;
+          Trace.Reader.close cur;
+          let fetch = fetch st ~context:"empty-clause construction" in
+          let (_ : int) =
+            Proof.Kernel.final_chain_ids kernel ~l0 ~fetch
+              ~conflict_id:conf_id
+          in
+          drop_transients st)
+    in
+    let c = Proof.Kernel.counters kernel in
+    let r =
+      {
+        Report.clauses_built = c.Proof.Kernel.clauses_built;
+        total_learned = pass.Proof.Kernel.total_learned;
+        resolution_steps = c.Proof.Kernel.resolution_steps;
+        core_original_ids = [];
+        learned_built_ids = Proof.Kernel.built_ids kernel;
+        core_vars = 0;
+        peak_mem_words = Harness.Meter.peak_words meter;
+        peak_live_clauses = c.Proof.Kernel.peak_live_clauses;
+        arena_bytes_resident = c.Proof.Kernel.arena_peak_bytes;
+        jobs = 1;
+        wavefronts = 0;
+        max_wavefront_width = 0;
+        pass_one_seconds;
+        pass_two_seconds;
+      }
+    in
+    finish ();
+    Ok r
+  with
+  | Diagnostics.Check_failed f ->
+    finish ();
+    Error f
+  | Trace.Reader.Parse_error { pos; msg } ->
+    finish ();
+    Error (Diagnostics.of_parse_error ~pos msg)

@@ -21,7 +21,7 @@ let of_trace f source =
             Proof.Kernel.define k l.id h;
             order := Proof.Clause_db.lits (Proof.Kernel.db k) h :: !order
           | Trace.Event.Header _ | Trace.Event.Level0 _
-          | Trace.Event.Final_conflict _ -> ())
+          | Trace.Event.Final_conflict _ | Trace.Event.Delete _ -> ())
         src
     in
     Ok (List.rev ([||] :: !order))

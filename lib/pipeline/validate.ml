@@ -4,6 +4,8 @@ type strategy =
   | Hybrid
   | Parallel of int  (* worker domains *)
   | Online
+  | Hinted           (* native deletion hints + one-pass hinted check *)
+  | Window of int    (* window-shifting BF with this window size *)
 
 type verdict =
   | Sat_verified of Sat.Assignment.t
@@ -32,8 +34,8 @@ let m_trace_bytes =
 let m_peak_buffered =
   Obs.Metrics.gauge Obs.Metrics.global "pipeline.peak_buffered_bytes"
 
-let solve_with_trace ?config ?(format = Trace.Writer.Ascii) f =
-  let w = Trace.Writer.create format in
+let solve_with_trace ?config ?(version = 1) ?(format = Trace.Writer.Ascii) f =
+  let w = Trace.Writer.create ~version format in
   let result, stats =
     Obs.Span.scope ~cat:"pipeline" "pipeline.solve_encode" @@ fun () ->
     Solver.Cdcl.solve ?config ~trace:(Trace.Writer.as_sink w) f
@@ -47,8 +49,17 @@ let observe_verdict v =
     | Sat_verified _ | Sat_model_wrong _ | Unsat_check_failed _ -> ()
 
 let run_buffered ?config ?format ~strategy ?meter ~analyze f =
+  (* the hinted strategy asks the solver for native deletion hints,
+     which need a version-2 trace *)
+  let config, version =
+    match strategy with
+    | Hinted ->
+      let c = Option.value ~default:Solver.Cdcl.default_config config in
+      (Some { c with Solver.Cdcl.emit_deletes = true }, 2)
+    | _ -> (config, 1)
+  in
   let (result, stats, trace), solve_seconds =
-    Harness.Timer.time (fun () -> solve_with_trace ?config ?format f)
+    Harness.Timer.time (fun () -> solve_with_trace ?config ~version ?format f)
   in
   if Obs.Ctl.on () then
     Obs.Metrics.Gauge.set m_trace_bytes (float_of_int (String.length trace));
@@ -68,6 +79,8 @@ let run_buffered ?config ?format ~strategy ?meter ~analyze f =
             | Breadth_first -> Checker.Bf.check ?meter f source
             | Hybrid -> Checker.Hybrid.check ?meter f source
             | Parallel jobs -> Checker.Par.check ?meter ~jobs f source
+            | Hinted -> Checker.Hint.check ?meter f source
+            | Window window -> Checker.Window.check ?meter ~window f source
             | Online -> assert false
           in
           match checked with

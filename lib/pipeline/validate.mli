@@ -19,6 +19,15 @@ type strategy =
           pass re-reads a spooled temp file.  Verdicts, cores, reports and
           diagnostics are bit-identical to [Breadth_first] (timings
           aside), but the full encoded trace is never held in memory. *)
+  | Hinted
+      (** the solver emits native deletion hints
+          ({!Solver.Cdcl.config.emit_deletes}) into a format-version-2
+          trace, and the one-pass hinted checker ({!Checker.Hint})
+          validates it in a single forward read with eager frees. *)
+  | Window of int
+      (** window-shifting BF ({!Checker.Window}) with this window size:
+          at most that many learned clauses are ever arena-resident,
+          boundary clauses spill through frozen arena views. *)
 
 type verdict =
   | Sat_verified of Sat.Assignment.t
@@ -69,10 +78,13 @@ val run :
   Sat.Cnf.t ->
   outcome
 
-(** [solve_with_trace ?config ?format f] is the solving half: result,
-    stats, and the serialised trace. *)
+(** [solve_with_trace ?config ?version ?format f] is the solving half:
+    result, stats, and the serialised trace.  [version] (default 1)
+    selects the trace format version — pass 2 together with a config
+    enabling {!Solver.Cdcl.config.emit_deletes} for a hinted trace. *)
 val solve_with_trace :
   ?config:Solver.Cdcl.config ->
+  ?version:int ->
   ?format:Trace.Writer.format ->
   Sat.Cnf.t ->
   Solver.Cdcl.result * Solver.Cdcl.stats * string

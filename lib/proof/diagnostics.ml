@@ -20,6 +20,9 @@ type failure =
   | Level0_duplicate_var of Sat.Lit.var
   | Final_literal_not_false of { clause_id : int; lit : Sat.Lit.t }
   | Antecedent_mismatch of { var : Sat.Lit.var; ante : int; reason : string }
+  | Hints_unsupported
+  | Bad_delete_hint of { id : int; reason : string }
+  | Positioned of { pos : Trace.Reader.pos; failure : failure }
 
 exception Check_failed of failure
 
@@ -29,7 +32,7 @@ let malformed ?pos msg = Malformed_trace { pos; msg }
 
 let of_parse_error ~pos msg = Malformed_trace { pos = Some pos; msg }
 
-let pp fmt = function
+let rec pp fmt = function
   | Malformed_trace { pos = None; msg } ->
     Format.fprintf fmt "trace does not parse: %s" msg
   | Malformed_trace { pos = Some p; msg } ->
@@ -87,5 +90,14 @@ let pp fmt = function
     Format.fprintf fmt
       "clause %d is not a valid antecedent for variable %d: %s" a.ante a.var
       a.reason
+  | Hints_unsupported ->
+    Format.fprintf fmt
+      "trace carries deletion hints (format version 2), which this \
+       checking mode does not support — re-run with --mode hint or strip \
+       the hints with `rescheck hint --strip`"
+  | Bad_delete_hint b ->
+    Format.fprintf fmt "bad deletion hint: clause %d %s" b.id b.reason
+  | Positioned p ->
+    Format.fprintf fmt "at %a: %a" Trace.Reader.pp_pos p.pos pp p.failure
 
 let to_string f = Format.asprintf "%a" pp f

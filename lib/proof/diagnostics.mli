@@ -55,6 +55,19 @@ type failure =
           guarantees the empty-clause chain terminates, since every
           resolution strictly decreases the latest assignment position in
           the clause *)
+  | Hints_unsupported
+      (** the trace carries deletion hints (format version 2) but the
+          selected checking mode cannot honour them — a version
+          negotiation failure, reported as bad input (exit 2), never as a
+          wrong proof *)
+  | Bad_delete_hint of { id : int; reason : string }
+      (** hinted mode only: a delete record names a clause that is not
+          live (dangling id, double delete) or frees a clause the rest of
+          the proof still needs *)
+  | Positioned of { pos : Trace.Reader.pos; failure : failure }
+      (** wraps a failure with the trace position of the record that
+          triggered it — the one-pass hinted checker localises every
+          failure this way since it never revisits the trace *)
 
 (** Raised internally by checker passes; both public checkers catch it and
     return the failure as data. *)

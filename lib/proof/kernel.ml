@@ -439,6 +439,7 @@ let residency_words = function
   | Trace.Event.Learned l -> 2 + Array.length l.sources
   | Trace.Event.Level0 _ -> 3
   | Trace.Event.Final_conflict _ -> 1
+  | Trace.Event.Delete ids -> 1 + Array.length ids
 
 (* The validating pass is an incremental state machine so that it can be
    driven either by pulling from a {!Trace.Source.t} ({!stream_pass}, the
@@ -452,18 +453,21 @@ type stream = {
   s_stream_order : bool;
   s_l0 : Level0.t option;
   s_charge : residency;
+  s_accept_hints : bool;
   seen : (int, unit) Hashtbl.t;
   mutable saw_header : bool;
   mutable s_total : int;
   mutable s_conf : int option;
 }
 
-let stream_start t ?(stream_order = true) ?l0 ?(charge = `None) () =
+let stream_start t ?(stream_order = true) ?l0 ?(charge = `None)
+    ?(accept_hints = false) () =
   {
     sk = t;
     s_stream_order = stream_order;
     s_l0 = l0;
     s_charge = charge;
+    s_accept_hints = accept_hints;
     seen = Hashtbl.create 1024;
     saw_header = false;
     s_total = 0;
@@ -515,6 +519,12 @@ let stream_feed st e =
     | Some l0 -> Level0.add l0 ~var:v.var ~value:v.value ~ante:v.ante
     | None -> ())
   | Trace.Event.Final_conflict id -> st.s_conf <- Some id
+  | Trace.Event.Delete _ ->
+    (* deletion hints are advice the hinted checker acts on itself; every
+       other mode refuses them up front so a version-2 trace can never be
+       silently mis-checked by a hint-blind strategy *)
+    if not st.s_accept_hints then
+      Diagnostics.fail Diagnostics.Hints_unsupported
 
 let stream_finish st =
   if not st.saw_header then Diagnostics.fail Diagnostics.Missing_header;

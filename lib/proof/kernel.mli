@@ -175,11 +175,22 @@ type residency = [ `Full | `Defs | `None ]
 type stream
 
 val stream_start :
-  t -> ?stream_order:bool -> ?l0:Level0.t -> ?charge:residency -> unit -> stream
+  t ->
+  ?stream_order:bool ->
+  ?l0:Level0.t ->
+  ?charge:residency ->
+  ?accept_hints:bool ->
+  unit ->
+  stream
 
 (** [stream_feed st e] validates one event: header matching the formula,
     no learned id shadowing an original or defined twice, no empty source
     list — and, with [stream_order] (default), no forward references.
+    Deletion-hint records ([Event.Delete]) fail with
+    {!Diagnostics.Hints_unsupported} unless the stream was started with
+    [accept_hints] — the hinted checker acts on them itself; every other
+    strategy must refuse a version-2 trace rather than silently ignore
+    its hints.
     @raise Diagnostics.Check_failed on the first violation. *)
 val stream_feed : stream -> Trace.Event.t -> unit
 

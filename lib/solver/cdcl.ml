@@ -20,6 +20,7 @@ type config = {
   seed : int;
   bcp : bcp_scheme;
   sanitize : bool;
+  emit_deletes : bool;
 }
 
 let default_config = {
@@ -38,6 +39,7 @@ let default_config = {
   seed = 91648253;
   bcp = Two_watched;
   sanitize = false;
+  emit_deletes = false;
 }
 
 type stats = {
@@ -484,7 +486,18 @@ let reduce_db s =
   let to_delete = Array.length arr / 2 in
   for i = 0 to to_delete - 1 do
     delete_clause s arr.(i)
-  done
+  done;
+  (* native deletion hints (trace format version 2): one batched delete
+     per reduction, covering exactly the clauses removed above.  Sound
+     because deleted clauses are invisible to BCP from here on — they
+     can never become an antecedent, a learned source, or the final
+     conflict — and locked clauses (reasons on the trail, level 0
+     included) are never candidates. *)
+  if s.cfg.emit_deletes && to_delete > 0 && s.tracer <> None then begin
+    let ids = Array.init to_delete (fun i -> arr.(i).cid) in
+    Array.sort compare ids;
+    emit s (Trace.Event.Delete ids)
+  end
 
 (* --- trace for the final level-0 conflict (§3.1 modifications 2 and 3) - *)
 

@@ -63,6 +63,13 @@ type config = {
           {!Sanitizer_violation} on the first broken invariant.  Debugging
           aid in the ASan spirit — heavy slowdown, no behaviour change.
           Off by default. *)
+  emit_deletes : bool;
+      (** emit native deletion hints: each database reduction pushes one
+          batched [Trace.Event.Delete] naming exactly the clauses it
+          removed, making the trace a format-version-2 hinted trace (the
+          sink must lead to a version-2 writer).  Hints are memory
+          advice for the hinted one-pass checker; search behaviour and
+          the proof itself are unchanged.  Off by default. *)
 }
 
 val default_config : config

@@ -3,6 +3,7 @@ type t =
   | Learned of { id : int; sources : int array }
   | Level0 of { var : Sat.Lit.var; value : bool; ante : int }
   | Final_conflict of int
+  | Delete of int array
 
 let equal a b =
   match a, b with
@@ -12,7 +13,9 @@ let equal a b =
   | Level0 v1, Level0 v2 ->
     v1.var = v2.var && v1.value = v2.value && v1.ante = v2.ante
   | Final_conflict c1, Final_conflict c2 -> c1 = c2
-  | (Header _ | Learned _ | Level0 _ | Final_conflict _), _ -> false
+  | Delete d1, Delete d2 -> d1 = d2
+  | (Header _ | Learned _ | Level0 _ | Final_conflict _ | Delete _), _ ->
+    false
 
 let pp fmt = function
   | Header h ->
@@ -23,3 +26,6 @@ let pp fmt = function
   | Level0 v ->
     Format.fprintf fmt "VAR %d = %b (ante %d)" v.var v.value v.ante
   | Final_conflict id -> Format.fprintf fmt "CONF %d" id
+  | Delete ids ->
+    Format.fprintf fmt "DELETE";
+    Array.iter (fun id -> Format.fprintf fmt " %d" id) ids

@@ -11,13 +11,21 @@
       assigned at decision level 0, chronologically, with its value and
       antecedent clause ID;
     - modification 2 → [Final_conflict]: the ID of one clause that is
-      conflicting at decision level 0. *)
+      conflicting at decision level 0.
+
+    The hinted (version-2) trace variant adds one event kind on top:
+    - [Delete]: a batch of clause IDs the checker may free — each listed
+      clause has had its last use, so a one-pass checker can release it
+      immediately and keep peak-resident memory at the depth-first
+      prediction.  Deletion hints are advice about memory, never about
+      validity: a checker that ignores them must reach the same verdict. *)
 
 type t =
   | Header of { nvars : int; num_original : int }
   | Learned of { id : int; sources : int array }
   | Level0 of { var : Sat.Lit.var; value : bool; ante : int }
   | Final_conflict of int
+  | Delete of int array
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

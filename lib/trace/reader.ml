@@ -21,6 +21,24 @@ type io =
   [ `Auto | `Mmap | `Channel ]
 
 let binary_magic = "ZKB1"
+let binary_magic_prefix = "ZKB"
+
+(* The fourth magic byte is the trace format version: "ZKB1" is the
+   original paper trace, "ZKB2" the hinted variant (adds delete
+   records).  ASCII traces carry the version as a leading [v 2]
+   directive line instead; version 1 has no directive.  Unknown future
+   digits still classify as binary so the decoder can refuse them with a
+   typed error instead of misparsing. *)
+let magic_version p =
+  if
+    String.length p >= 4
+    && String.sub p 0 3 = binary_magic_prefix
+    && p.[3] >= '0'
+    && p.[3] <= '9'
+  then Some (Char.code p.[3] - Char.code '0')
+  else None
+
+let supported_version v = v = 1 || v = 2
 
 (* Data-plane telemetry: how many trace bytes entered through the mmap
    path, and how often a requested/auto mmap fell back to the block
@@ -79,6 +97,7 @@ type cursor = {
   total : int;                (* serialised length; [max_int] = unknown *)
   binary : bool;
   start : int;
+  mutable version : int;      (* format version (magic / [v] directive) *)
   mutable pos : int;          (* absolute offset of the next unread byte *)
   mutable line : int;         (* ASCII: 1-based number of the next line *)
   mutable last_pos : pos;     (* where the last yielded event started *)
@@ -143,16 +162,15 @@ let at_eof c =
    magic — is ambiguous and the CLI refuses it (exit 2) unless the user
    forces a format. *)
 let classify_prefix p =
-  let m = String.length binary_magic in
   let n = String.length p in
   if n = 0 then `Ambiguous "empty trace"
-  else if n >= m && String.sub p 0 m = binary_magic then `Binary
-  else if n < m && String.sub binary_magic 0 n = p then
+  else if magic_version p <> None then `Binary
+  else if n < 4 && String.sub binary_magic_prefix 0 (min n 3) = p then
     `Ambiguous
       (Printf.sprintf "%d-byte trace is a strict prefix of the binary magic" n)
   else
     match p.[0] with
-    | 't' | 'C' | 'V' | ' ' | '\t' | '\r' | '\n' -> `Ascii
+    | 't' | 'C' | 'V' | 'D' | 'v' | ' ' | '\t' | '\r' | '\n' -> `Ascii
     | c -> `Ambiguous (Printf.sprintf "unrecognized first byte 0x%02x" (Char.code c))
 
 let detect src =
@@ -168,31 +186,36 @@ let detect src =
   in
   classify_prefix prefix
 
-let has_magic backing total =
+let backing_magic backing total =
   let magic = String.length binary_magic in
-  total >= magic
-  &&
-  match backing with
-  | Mem s -> String.sub s 0 magic = binary_magic
-  | Map m -> String.init magic (Bigarray.Array1.get m) = binary_magic
-  | Chan ch -> ch.len >= magic && Bytes.sub_string ch.buf 0 magic = binary_magic
+  if total < magic then None
+  else
+    match backing with
+    | Mem s -> magic_version (String.sub s 0 magic)
+    | Map m -> magic_version (String.init magic (Bigarray.Array1.get m))
+    | Chan ch ->
+      if ch.len >= magic then magic_version (Bytes.sub_string ch.buf 0 magic)
+      else None
 
 let make_cursor ?format backing total =
-  let magic = has_magic backing total in
+  let magic = backing_magic backing total in
   let binary =
     match format with
     | Some Writer.Binary -> true
     | Some Writer.Ascii -> false
-    | None -> magic
+    | None -> magic <> None
   in
   (* a forced-binary read of a magic-less trace starts at offset 0; a
      forced-ASCII read never skips the magic even if present *)
-  let start = if binary && magic then String.length binary_magic else 0 in
+  let start =
+    if binary && magic <> None then String.length binary_magic else 0
+  in
   {
     backing;
     total;
     binary;
     start;
+    version = (match magic with Some v when binary -> v | _ -> 1);
     pos = start;
     line = 1;
     last_pos = (if binary then Byte start else Line 1);
@@ -310,6 +333,40 @@ let rewind c =
 
 let last_pos c = c.last_pos
 
+let version c = c.version
+
+(* Peek a source's format version without constructing a cursor: the
+   magic digit for binary traces, the leading [v] directive (if any) for
+   ASCII ones.  Unknown future versions are returned as-is so callers
+   can refuse them up front. *)
+let sniff_version src =
+  let prefix =
+    match src with
+    | From_string s -> String.sub s 0 (min 64 (String.length s))
+    | From_file path ->
+      let ic = open_in_bin path in
+      let n = min 64 (in_channel_length ic) in
+      let p = really_input_string ic n in
+      close_in_noerr ic;
+      p
+  in
+  match magic_version prefix with
+  | Some v -> v
+  | None ->
+    if String.length prefix >= 2 && prefix.[0] = 'v' && prefix.[1] = ' ' then begin
+      let stop =
+        match String.index_opt prefix '\n' with
+        | Some i -> i
+        | None -> String.length prefix
+      in
+      let line = String.trim (String.sub prefix 0 stop) in
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | [ "v"; n ] -> (
+        match int_of_string_opt n with Some v -> v | None -> 1)
+      | _ -> 1
+    end
+    else 1
+
 let parse_line pos line =
   let parse () =
     match String.split_on_char ' ' line |> List.filter (( <> ) "") with
@@ -332,9 +389,35 @@ let parse_line pos line =
       match int_of_string_opt id with
       | Some id -> Some (Event.Final_conflict id)
       | None -> fail pos "bad CONF line" )
+    | "D" :: rest ->
+      Some (Event.Delete (Array.of_list (List.map int_of_string rest)))
     | w :: _ -> fail pos "unknown trace record %S" w
   in
   try parse () with Failure _ -> fail pos "non-numeric field in %S" line
+
+(* [v <n>] directive lines carry the ASCII trace's format version.  The
+   directive is consumed invisibly — it is not an event — so decoding is
+   idempotent under rewind. *)
+let parse_version_line pos line =
+  match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+  | [ "v"; n ] -> (
+    match int_of_string_opt n with
+    | Some v when supported_version v -> v
+    | Some v -> fail pos "unsupported trace format version %d" v
+    | None -> fail pos "bad version line %S" line)
+  | _ -> fail pos "bad version line %S" line
+
+let is_version_line line =
+  String.length line > 0
+  && line.[0] = 'v'
+  && (String.length line = 1 || line.[1] = ' ')
+
+(* a delete record in a version-1 trace is a version-negotiation
+   failure, not a parse failure of the record itself *)
+let check_version_for_delete c pos = function
+  | Some (Event.Delete _) when c.version < 2 ->
+    fail pos "delete record requires trace format version 2"
+  | e -> e
 
 (* After an ASCII parse error the cursor already stands past the offending
    line, so calling [next] again resumes at the following record — the
@@ -353,9 +436,14 @@ let rec next_ascii c =
     c.line <- line_no + 1;
     let line = String.trim (Buffer.contents c.line_buf) in
     if line = "" then next_ascii c
+    else if is_version_line line then begin
+      c.version <- parse_version_line (Line line_no) line;
+      next_ascii c
+    end
     else begin
       c.last_pos <- Line line_no;
-      parse_line (Line line_no) line
+      check_version_for_delete c (Line line_no)
+        (parse_line (Line line_no) line)
     end
   end
 
@@ -414,6 +502,18 @@ let next_binary c =
       let ante = varint () in
       Some (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
     | 3 -> Some (Event.Final_conflict (varint ()))
+    | 4 when c.version >= 2 ->
+      let n = varint () in
+      if
+        n < 0
+        || (c.total <> max_int && c.pos + n > c.total)
+        || (c.total = max_int && n > max_stream_sources)
+      then fail record_start "truncated binary trace (%d deletes claimed)" n;
+      let ids = Array.make n 0 in
+      for i = 0 to n - 1 do
+        ids.(i) <- varint ()
+      done;
+      Some (Event.Delete ids)
     | tag -> fail record_start "unknown binary tag %d" tag
   end
 
@@ -529,6 +629,23 @@ module Contig (C : CONTIG) = struct
     end
     else if token_equal data s t0e "CONF" then
       Event.Final_conflict (last_int data i e)
+    else if token_equal data s t0e "D" then begin
+      let n = ref 0 in
+      let j = ref i in
+      while !j < e do
+        let te = token_end data !j e in
+        incr n;
+        j := skip_spaces data te e
+      done;
+      let ids = Array.make !n 0 in
+      let j = ref i in
+      for k = 0 to !n - 1 do
+        let te = token_end data !j e in
+        ids.(k) <- int_of_span data !j te;
+        j := skip_spaces data te e
+      done;
+      Event.Delete ids
+    end
     else raise_notrace Slow_path
 
   let rec next_ascii c (data : C.t) =
@@ -553,12 +670,20 @@ module Contig (C : CONTIG) = struct
         decr e
       done;
       if !s >= !e then next_ascii c data
+      else if
+        C.get data !s = 'v' && (!s + 1 >= !e || C.get data (!s + 1) = ' ')
+      then begin
+        c.version <-
+          parse_version_line (Line line_no) (C.sub data !s (!e - !s));
+        next_ascii c data
+      end
       else begin
         c.last_pos <- Line line_no;
         match parse_span data !s !e with
-        | event -> Some event
+        | event -> check_version_for_delete c (Line line_no) (Some event)
         | exception Slow_path ->
-          parse_line (Line line_no) (C.sub data !s (!e - !s))
+          check_version_for_delete c (Line line_no)
+            (parse_line (Line line_no) (C.sub data !s (!e - !s)))
       end
     end
 
@@ -621,6 +746,15 @@ module Contig (C : CONTIG) = struct
         finish
           (Event.Level0 { var = packed / 2; value = packed land 1 = 1; ante })
       | 3 -> finish (Event.Final_conflict (varint ()))
+      | 4 when c.version >= 2 ->
+        let n = varint () in
+        if n < 0 || !pos + n > total then
+          err "truncated binary trace (%d deletes claimed)" n;
+        let ids = Array.make n 0 in
+        for i = 0 to n - 1 do
+          ids.(i) <- varint ()
+        done;
+        finish (Event.Delete ids)
       | tag -> err "unknown binary tag %d" tag
     end
 end
@@ -644,6 +778,8 @@ module Contig_big = Contig (struct
 end)
 
 let next c =
+  if c.binary && not (supported_version c.version) then
+    fail (Byte 0) "unsupported binary trace format version %d" c.version;
   match c.backing with
   | Mem s ->
     if c.binary then Contig_string.next_binary c s

@@ -24,12 +24,20 @@ type source =
   | From_string of string  (** in-memory trace, e.g. from {!Writer.contents} *)
   | From_file of string    (** trace file on disk *)
 
-(** [detect src] sniffs the encoding from the first bytes: the "ZKB1"
-    magic means binary, a byte that can start an ASCII record means
-    ASCII, and anything else (empty trace, strict prefix of the magic,
-    unrecognized first byte) is ambiguous — the CLI turns [`Ambiguous]
-    into a usage error unless the user forces a format. *)
+(** [detect src] sniffs the encoding from the first bytes: a "ZKB" magic
+    (any version digit) means binary, a byte that can start an ASCII
+    record means ASCII, and anything else (empty trace, strict prefix of
+    the magic, unrecognized first byte) is ambiguous — the CLI turns
+    [`Ambiguous] into a usage error unless the user forces a format. *)
 val detect : source -> [ `Ascii | `Binary | `Ambiguous of string ]
+
+(** [sniff_version src] peeks the trace's format version without opening
+    a cursor: the magic's version digit for binary traces, the leading
+    [v <n>] directive (absent means 1) for ASCII ones.  Unknown future
+    versions are returned as-is so callers can refuse them up front.
+    Version 1 is the original paper trace; version 2 is the hinted
+    variant that additionally carries {!Event.Delete} records. *)
+val sniff_version : source -> int
 
 (** A resumable read position into a trace.  In-memory sources are read in
     place.  Regular files are mmap'd by default ([`Auto]) and decoded in
@@ -87,11 +95,22 @@ val close : cursor -> unit
     override) selected. *)
 val is_binary_cursor : cursor -> bool
 
+(** [version c] is the trace format version the cursor has established:
+    binary cursors know it from the magic immediately, ASCII cursors
+    learn it when the [v] directive line (if any) is consumed — so for
+    ASCII the value is authoritative once the first event has been
+    pulled.  Version-2 traces may carry {!Event.Delete} records; a
+    delete in a version-1 trace and an unsupported version both raise
+    {!Parse_error} from {!next}. *)
+val version : cursor -> int
+
 (** [next c] yields the next event, or [None] at end of trace.
     After an ASCII parse error the cursor stands at the next line, so the
     caller may resume; after a binary one the remaining bytes cannot be
-    re-synchronised and resuming yields garbage.
-    @raise Parse_error on malformed input. *)
+    re-synchronised and resuming yields garbage.  ASCII [v] version
+    directive lines are consumed invisibly (they are not events).
+    @raise Parse_error on malformed input, including an unsupported
+    format version. *)
 val next : cursor -> Event.t option
 
 (** [last_pos c] is where the most recently yielded event starts (also

@@ -1,6 +1,29 @@
 type format = Ascii | Binary
 
 let binary_magic = "ZKB1"
+let binary_magic_v2 = "ZKB2"
+
+(* Format versions.  Version 1 is the original paper trace; version 2
+   adds deletion-hint records ([Event.Delete]).  The version is carried
+   in-band — binary traces bake it into the fourth magic byte, ASCII
+   traces open with a [v 2] directive line — so old readers refuse new
+   traces cleanly instead of misparsing them. *)
+
+let check_version v =
+  if v <> 1 && v <> 2 then
+    invalid_arg
+      (Printf.sprintf "Trace.Writer: unsupported trace format version %d" v)
+
+let magic_of_version v = if v = 2 then binary_magic_v2 else binary_magic
+
+let ascii_prologue v = if v = 2 then "v 2\n" else ""
+
+let check_event version (e : Event.t) =
+  match e with
+  | Delete _ when version < 2 ->
+    invalid_arg
+      "Trace.Writer: Delete records require trace format version 2"
+  | Header _ | Learned _ | Level0 _ | Final_conflict _ | Delete _ -> ()
 
 let add_varint buf n =
   assert (n >= 0);
@@ -56,7 +79,14 @@ let emit_ascii buf (e : Event.t) =
      add_uint buf v.ante
    | Final_conflict id ->
      Buffer.add_string buf "CONF ";
-     add_uint buf id);
+     add_uint buf id
+   | Delete ids ->
+     Buffer.add_char buf 'D';
+     Array.iter
+       (fun id ->
+         Buffer.add_char buf ' ';
+         add_uint buf id)
+       ids);
   Buffer.add_char buf '\n'
 
 let emit_binary buf (e : Event.t) =
@@ -77,6 +107,10 @@ let emit_binary buf (e : Event.t) =
   | Final_conflict id ->
     Buffer.add_char buf '\003';
     add_varint buf id
+  | Delete ids ->
+    Buffer.add_char buf '\004';
+    add_varint buf (Array.length ids);
+    Array.iter (add_varint buf) ids
 
 let emit_event fmt buf e =
   match fmt with
@@ -109,7 +143,9 @@ let encoded_size fmt (e : Event.t) =
       + Array.fold_left (fun acc s -> acc + 1 + uint_digits s) 0 l.sources
       + 1
     | Level0 v -> 4 + uint_digits v.var + 3 + uint_digits v.ante + 1
-    | Final_conflict id -> 5 + uint_digits id + 1)
+    | Final_conflict id -> 5 + uint_digits id + 1
+    | Delete ids ->
+      1 + Array.fold_left (fun acc id -> acc + 1 + uint_digits id) 0 ids + 1)
   | Binary -> (
     match e with
     | Header h -> 1 + varint_len h.nvars + varint_len h.num_original
@@ -119,7 +155,11 @@ let encoded_size fmt (e : Event.t) =
       + Array.fold_left (fun acc s -> acc + varint_len s) 0 l.sources
     | Level0 v ->
       1 + varint_len ((v.var * 2) + if v.value then 1 else 0) + varint_len v.ante
-    | Final_conflict id -> 1 + varint_len id)
+    | Final_conflict id -> 1 + varint_len id
+    | Delete ids ->
+      1
+      + varint_len (Array.length ids)
+      + Array.fold_left (fun acc id -> acc + varint_len id) 0 ids)
 
 (* Streaming encoder: events in, encoded chunks out through [write].  The
    scratch buffer is flushed whenever it crosses [flush_threshold], so
@@ -141,9 +181,13 @@ let m_buffered = Obs.Metrics.gauge Obs.Metrics.global "trace.buffered_bytes"
 
 let default_flush_threshold = 65536
 
-let sink ?(flush_threshold = default_flush_threshold) fmt ~write =
+let sink ?(flush_threshold = default_flush_threshold) ?(version = 1) fmt
+    ~write =
+  check_version version;
   let scratch = Buffer.create (min flush_threshold 65536) in
-  if fmt = Binary then Buffer.add_string scratch binary_magic;
+  (match fmt with
+   | Binary -> Buffer.add_string scratch (magic_of_version version)
+   | Ascii -> Buffer.add_string scratch (ascii_prologue version));
   let st = { bytes = Buffer.length scratch; peak_buffered = Buffer.length scratch } in
   let flush () =
     if Buffer.length scratch > 0 then begin
@@ -152,6 +196,7 @@ let sink ?(flush_threshold = default_flush_threshold) fmt ~write =
     end
   in
   let push e =
+    check_event version e;
     let before = Buffer.length scratch in
     emit_event fmt scratch e;
     let len = Buffer.length scratch in
@@ -167,9 +212,10 @@ let sink ?(flush_threshold = default_flush_threshold) fmt ~write =
   in
   (st, Sink.make ~close:flush push)
 
-let to_channel ?flush_threshold fmt oc =
+let to_channel ?flush_threshold ?version fmt oc =
   let st, s =
-    sink ?flush_threshold fmt ~write:(fun chunk -> output_string oc chunk)
+    sink ?flush_threshold ?version fmt
+      ~write:(fun chunk -> output_string oc chunk)
   in
   (st, Sink.make ~close:(fun () -> Sink.close s; flush oc) (Sink.push s))
 
@@ -177,16 +223,23 @@ let to_channel ?flush_threshold fmt oc =
    in memory, retained for callers (tests, the file-based pipeline) that
    want the whole encoded artefact as a string. *)
 
-type t = { fmt : format; buf : Buffer.t }
+type t = { fmt : format; version : int; buf : Buffer.t }
 
-let create fmt =
+let create ?(version = 1) fmt =
+  check_version version;
   let buf = Buffer.create 65536 in
-  if fmt = Binary then Buffer.add_string buf binary_magic;
-  { fmt; buf }
+  (match fmt with
+   | Binary -> Buffer.add_string buf (magic_of_version version)
+   | Ascii -> Buffer.add_string buf (ascii_prologue version));
+  { fmt; version; buf }
 
 let format w = w.fmt
 
-let emit w e = emit_event w.fmt w.buf e
+let version w = w.version
+
+let emit w e =
+  check_event w.version e;
+  emit_event w.fmt w.buf e
 
 let bytes_written w = Buffer.length w.buf
 

@@ -9,12 +9,22 @@
     CL <id> <src_1> ... <src_k>
     VAR <var> <0|1> <ante_id>
     CONF <id>
+    D <id_1> ... <id_k>          (version 2 only)
     v}
 
     Binary format: magic "ZKB1", then per event a tag byte
-    (0 header, 1 learned, 2 level0, 3 final-conflict) followed by LEB128
-    unsigned varints; the learned-source list is length-prefixed; the
-    level-0 value is folded into the variable varint's low bit.
+    (0 header, 1 learned, 2 level0, 3 final-conflict, 4 delete) followed
+    by LEB128 unsigned varints; the learned-source and delete id lists
+    are length-prefixed; the level-0 value is folded into the variable
+    varint's low bit.
+
+    Format versions: version 1 (the default) is the original paper
+    trace.  Version 2 — the hinted variant — additionally allows
+    {!Event.Delete} records; its binary magic is "ZKB2" and its ASCII
+    form opens with a [v 2] directive line, so version-1 readers refuse
+    hinted traces with a typed error instead of misparsing them.
+    Emitting a [Delete] through a version-1 encoder raises
+    [Invalid_argument].
 
     Encoders are {!Sink.t}s: {!sink} streams encoded chunks out through a
     callback with bounded buffering, {!to_channel} does so into a channel,
@@ -40,21 +50,30 @@ type stats = {
 
 (** [sink fmt ~write] is an encoding sink that emits serialised chunks
     through [write] whenever [flush_threshold] (default 64 KiB) bytes
-    accumulate, and on close.  Binary traces start with the magic,
-    counted in [stats.bytes] from creation. *)
+    accumulate, and on close.  Binary traces start with the magic and
+    ASCII version-2 traces with the [v 2] directive, counted in
+    [stats.bytes] from creation.  [version] defaults to 1;
+    @raise Invalid_argument on an unsupported version. *)
 val sink :
-  ?flush_threshold:int -> format -> write:(string -> unit) -> stats * Sink.t
+  ?flush_threshold:int ->
+  ?version:int ->
+  format ->
+  write:(string -> unit) ->
+  stats * Sink.t
 
 (** [to_channel fmt oc] encodes into [oc]; close flushes the channel but
     does not close it. *)
-val to_channel : ?flush_threshold:int -> format -> out_channel -> stats * Sink.t
+val to_channel :
+  ?flush_threshold:int -> ?version:int -> format -> out_channel ->
+  stats * Sink.t
 
 (** A writer appends events to an internal buffer.  [bytes_written] lets
     the harness report trace sizes (Table 2, column "Trace Size"). *)
 type t
 
-val create : format -> t
+val create : ?version:int -> format -> t
 val format : t -> format
+val version : t -> int
 val emit : t -> Event.t -> unit
 val bytes_written : t -> int
 

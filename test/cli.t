@@ -27,6 +27,39 @@ Check the trace with each strategy:
   s VERIFIED UNSATISFIABLE
   $ $R check php8.cnf php8.trc -s hybrid | grep "^s "
   s VERIFIED UNSATISFIABLE
+  $ $R check php8.cnf php8.trc -s window --window 16 | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+The hint converter rewrites a trace into the deletion-hinted format
+(version 2), which the one-pass checker validates in a single read;
+stripping the hints recovers the original byte for byte:
+
+  $ $R hint php8.trc -o php8.hinted.trc | grep -c "^c hint: "
+  1
+  $ head -1 php8.hinted.trc
+  v 2
+  $ $R check php8.cnf php8.hinted.trc -s hint | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R check php8.cnf php8.trc -s hint | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R hint php8.hinted.trc -o php8.stripped.trc --strip > /dev/null
+  $ cmp php8.trc php8.stripped.trc && echo same
+  same
+
+The non-hint modes refuse a hinted trace up front with a typed version
+error (bad input, exit 2), never a mid-check parse crash:
+
+  $ $R check php8.cnf php8.hinted.trc -s bf > version.out; echo "exit $?"
+  exit 2
+  $ grep "^s " version.out
+  s BAD TRACE (version)
+  $ $R check php8.cnf php8.hinted.trc -s par --jobs 2 2>/dev/null | grep "^s "
+  s BAD TRACE (version)
+
+A bad --window value is a usage error:
+
+  $ $R check php8.cnf php8.trc -s window --window 0 2>/dev/null; echo "exit $?"
+  exit 2
 
 Lint the trace: structural validation in one streaming pass (exit 0 =
 clean; warnings do not fail the lint):

@@ -9,6 +9,7 @@ let () =
    @ Test_heap.suite @ Test_cdcl.suite @ Test_dll_dp.suite
    @ Test_assumptions.suite @ Test_selector_core.suite @ Test_resolution.suite @ Test_level0.suite @ Test_df.suite
    @ Test_bf.suite @ Test_hybrid.suite @ Test_par.suite
+   @ Test_hint.suite @ Test_window.suite
    @ Test_cross_checker.suite
    @ Test_trim.suite @ Test_rup.suite @ Test_lint.suite @ Test_dag.suite
    @ Test_clause_db.suite

@@ -4,7 +4,9 @@
    learned set, the hybrid's built set sandwiches between DF's and BF's,
    DF's unsat core is contained in the hybrid's, resolution-step counts
    grow monotonically with the built sets, and the parallel wavefront
-   checker is bit-identical to BF at every job count. *)
+   checker, the hinted one-pass checker (on the plain trace and on its
+   hinted rewrite) and the window scheduler at every window size are all
+   bit-identical to BF — a seven-way agreement matrix. *)
 
 let module_name = "cross-checker"
 
@@ -82,7 +84,43 @@ let check_instance ~round f trace =
         pr.Checker.Report.jobs;
       if pr.Checker.Report.total_learned > 0 && pr.Checker.Report.wavefronts < 1
       then Alcotest.failf "%s: no wavefronts reported" (pk "wavefronts"))
-    [ 1; 2; 4 ]
+    [ 1; 2; 4 ];
+  (* the hinted one-pass checker accepts a plain (version-1) trace too —
+     it simply never frees — and must land exactly on BF's report *)
+  let bf_identical name r =
+    let rk field = ck (Printf.sprintf "%s %s" name field) in
+    Alcotest.check Alcotest.int (rk "learned") bf.total_learned
+      r.Checker.Report.total_learned;
+    Alcotest.check Alcotest.int (rk "built") bf.clauses_built
+      r.Checker.Report.clauses_built;
+    Alcotest.check Alcotest.int (rk "steps") bf.resolution_steps
+      r.Checker.Report.resolution_steps;
+    Alcotest.check (Alcotest.list Alcotest.int) (rk "built ids")
+      bf.learned_built_ids r.Checker.Report.learned_built_ids;
+    Alcotest.check (Alcotest.list Alcotest.int) (rk "core") []
+      r.Checker.Report.core_original_ids
+  in
+  bf_identical "hint" (get "Hint" (fun f src -> Checker.Hint.check f src));
+  (* ...and the hinted rewrite of the same trace reaches the same report *)
+  let hinted =
+    let w = Trace.Writer.create ~version:2 Trace.Writer.Ascii in
+    match Analysis.Dag.hint src w with
+    | Ok _ -> Trace.Reader.From_string (Trace.Writer.contents w)
+    | Error e ->
+      Alcotest.failf "round %d: hint converter refused: %s" round
+        e.Analysis.Dag.message
+  in
+  bf_identical "hint/v2"
+    (get "Hint/v2" (fun f _ -> Checker.Hint.check f hinted));
+  (* the window scheduler is invisible at every window size *)
+  List.iter
+    (fun window ->
+      bf_identical
+        (Printf.sprintf "window %d" window)
+        (get
+           (Printf.sprintf "Window %d" window)
+           (fun f src -> Checker.Window.check ~window f src)))
+    [ 1; 7; max_int ]
 
 let test_fuzzed_agreement () =
   let rng = Sat.Rng.create 424242 in
