@@ -6,7 +6,8 @@
    Usage:  dune exec bench/main.exe
              [table1|table2|table3|proofshape|scaling|ablation|baseline|
               par|par_quick|stream|stream_quick|trim|trim_quick|
-              hint|hint_quick|parse|overhead|micro|all]
+              hint|hint_quick|simplify|simplify_quick|parse|overhead|micro|
+              all]
 
    Absolute numbers are machine-specific; EXPERIMENTS.md records how the
    *shapes* compare with the paper (who wins, by what factor, where the
@@ -912,6 +913,134 @@ let hint_full () =
 (* CI-sized run: one small family, same columns, JSON artifact and gate. *)
 let hint_quick () = hint_bench [ ("php_5", fun () -> Gen.Php.unsat ~holes:5) ]
 
+(* --- simplify: proof-emitting preprocessing ------------------------------ *)
+
+(* The cost/benefit of running the proof-emitting simplifier in front of
+   the solver.  Per family and encoding: trace size and end-to-end wall
+   time (solve + bf check) with preprocessing off vs on.  Both traces are
+   checked against the ORIGINAL formula — the pre trace opens with the
+   simplifier's derivation records, so the checker never needs the
+   simplified formula.  Hard gates: both runs must verify, and the pre
+   run's unsat core must stay within the original clause indices. *)
+let simplify_bench instances =
+  print_endline
+    "Simplify. Proof-emitting preprocessing: trace size and end-to-end \
+     payoff\n\
+     (e2e = solve + bf check; the pre trace checks against the original \
+     formula)\n";
+  (* acceptance gate: preprocessing must pay for itself somewhere — at
+     least one family/encoding must shrink the trace while keeping the
+     end-to-end time within 1.1x of the plain run *)
+  let wins = ref false in
+  let rows =
+    List.concat_map
+      (fun (fam : Gen.Families.family) ->
+        let f = fam.generate () in
+        List.map
+          (fun (fmt_name, format) ->
+            let run ~pre () =
+              let result, _stats, trace =
+                Pipeline.Validate.solve_with_trace ~format ~pre f
+              in
+              (match result with
+               | Solver.Cdcl.Unsat -> ()
+               | Solver.Cdcl.Sat _ ->
+                 failwith
+                   (fam.name ^ ": benchmark instance unexpectedly \
+                    satisfiable"));
+              trace
+            in
+            let check label trace =
+              match Checker.Bf.check f (Trace.Reader.From_string trace) with
+              | Ok r -> r
+              | Error d ->
+                failwith
+                  (Printf.sprintf "%s/%s: bf on %s trace: %s" fam.name
+                     fmt_name label
+                     (Checker.Diagnostics.to_string d))
+            in
+            let trace_off, solve_off = timed_median (run ~pre:false) in
+            let _, check_off =
+              timed_median (fun () -> check "plain" trace_off)
+            in
+            let trace_on, solve_on = timed_median (run ~pre:true) in
+            let _, check_on = timed_median (fun () -> check "pre" trace_on) in
+            (* core gate: the pre proof's core still indexes the original
+               DIMACS (df tracks the core; bf does not) *)
+            (match
+               Checker.Df.check f (Trace.Reader.From_string trace_on)
+             with
+             | Error d ->
+               failwith
+                 (Printf.sprintf "%s/%s: df on pre trace: %s" fam.name
+                    fmt_name
+                    (Checker.Diagnostics.to_string d))
+             | Ok r ->
+               let n = Sat.Cnf.nclauses f in
+               List.iter
+                 (fun id ->
+                   if id < 1 || id > n then
+                     failwith
+                       (Printf.sprintf
+                          "%s/%s: pre core id %d outside original 1..%d"
+                          fam.name fmt_name id n))
+                 r.Checker.Report.core_original_ids);
+            let b_off = String.length trace_off
+            and b_on = String.length trace_on in
+            let e2e_off = solve_off +. check_off
+            and e2e_on = solve_on +. check_on in
+            if b_on < b_off && e2e_on <= e2e_off *. 1.1 then wins := true;
+            [
+              fam.name;
+              fmt_name;
+              string_of_int b_off;
+              string_of_int b_on;
+              fmt_pct
+                (float_of_int (b_off - b_on) /. float_of_int (max 1 b_off));
+              fmt_f ~decimals:3 solve_off;
+              fmt_f ~decimals:3 solve_on;
+              fmt_f ~decimals:3 check_off;
+              fmt_f ~decimals:3 check_on;
+              fmt_f ~decimals:3 e2e_off;
+              fmt_f ~decimals:3 e2e_on;
+              fmt_f ~decimals:2 (e2e_on /. Float.max 1e-6 e2e_off);
+            ])
+          [ ("ascii", Trace.Writer.Ascii); ("binary", Trace.Writer.Binary) ])
+      instances
+  in
+  print_table "simplify"
+    ~headers:
+      [
+        "instance"; "format"; "bytes off"; "bytes on"; "saved";
+        "solve off (s)"; "solve on (s)"; "check off (s)"; "check on (s)";
+        "e2e off (s)"; "e2e on (s)"; "e2e ratio";
+      ]
+    ~align:[ Harness.Table.Left; Harness.Table.Left ]
+    rows;
+  if not !wins then begin
+    prerr_endline
+      "simplify: no family shrank its trace within the 1.1x end-to-end \
+       budget";
+    exit 1
+  end
+
+let simplify_families names =
+  List.map
+    (fun n ->
+      match Gen.Families.find n with
+      | Some fam -> fam
+      | None -> failwith ("unknown family " ^ n))
+    names
+
+let simplify_full () =
+  simplify_bench
+    (simplify_families
+       [ "php_8"; "rand_unsat"; "bw_grid"; "fpga_route"; "counter_bmc" ])
+
+(* CI-sized run: two small families, same columns and JSON artifact. *)
+let simplify_quick () =
+  simplify_bench (simplify_families [ "php_8"; "counter_bmc" ])
+
 (* --- parse-path micro-bench: ascii/binary x mmap/channel ---------------- *)
 
 (* Throughput and allocation of the trace decode alone (no checking):
@@ -1223,6 +1352,8 @@ let () =
   | "trim_quick" -> trim_quick ()
   | "hint" -> hint_full ()
   | "hint_quick" -> hint_quick ()
+  | "simplify" -> simplify_full ()
+  | "simplify_quick" -> simplify_quick ()
   | "parse" -> parse_bench ()
   | "overhead" -> overhead ()
   | "all" ->
@@ -1248,12 +1379,14 @@ let () =
     print_newline ();
     hint_full ();
     print_newline ();
+    simplify_full ();
+    print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown mode %S (expected \
        table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
-       par_quick|stream|stream_quick|trim|trim_quick|hint|hint_quick|parse|\
-       overhead|micro|all)\n"
+       par_quick|stream|stream_quick|trim|trim_quick|hint|hint_quick|\
+       simplify|simplify_quick|parse|overhead|micro|all)\n"
       other;
     exit 2

@@ -196,6 +196,18 @@ let config_of seed bcp no_restarts no_deletion minimize sanitize =
     sanitize;
   }
 
+let pre_arg =
+  Arg.(
+    value & flag
+    & info [ "pre" ]
+        ~doc:
+          "Run the proof-emitting simplifier before search.  The trace \
+           opens with the simplifier's derivation records (one $(b,Learned) \
+           record per derived clause, resolving original clauses), so it \
+           still checks against the $(b,original) formula under every mode \
+           and unsat cores keep original DIMACS clause indices; SAT models \
+           are reconstructed to models of the original formula.")
+
 (* A sanitizer violation is by definition a solver bug — same exit class
    as a rejected proof. *)
 let or_sanitizer_exit f =
@@ -239,8 +251,8 @@ let print_stats (stats : Solver.Cdcl.stats) =
 (* --- solve -------------------------------------------------------------- *)
 
 let solve_cmd =
-  let run () formula_path trace_path format seed bcp no_restarts no_deletion
-      minimize sanitize =
+  let run () formula_path trace_path format pre seed bcp no_restarts
+      no_deletion minimize sanitize =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
@@ -249,13 +261,19 @@ let solve_cmd =
       let config =
         config_of seed bcp no_restarts no_deletion minimize sanitize
       in
-      let writer = Option.map (fun _ -> Trace.Writer.create format) trace_path in
-      let (result, stats), seconds =
+      (* no trace requested and no preprocessing: skip the encoder
+         entirely, as solve always did *)
+      let (result, stats, trace), seconds =
         or_sanitizer_exit (fun () ->
             Harness.Timer.time (fun () ->
-                Solver.Cdcl.solve ~config
-                  ?trace:(Option.map Trace.Writer.as_sink writer)
-                  f))
+                if pre || trace_path <> None then
+                  let r, s, t =
+                    Pipeline.Validate.solve_with_trace ~config ~format ~pre f
+                  in
+                  (r, s, Some t)
+                else
+                  let r, s = Solver.Cdcl.solve ~config f in
+                  (r, s, None)))
       in
       print_stats stats;
       Printf.printf "c solved in %.3f s\n" seconds;
@@ -273,11 +291,13 @@ let solve_cmd =
          print_endline (Buffer.contents buf);
          exit 10
        | Solver.Cdcl.Unsat ->
-         (match writer, trace_path with
-          | Some w, Some path ->
-            Trace.Writer.to_file w path;
+         (match trace, trace_path with
+          | Some t, Some path ->
+            let oc = open_out_bin path in
+            output_string oc t;
+            close_out oc;
             Printf.printf "c trace written to %s (%d bytes)\n" path
-              (Trace.Writer.bytes_written w)
+              (String.length t)
           | _ -> ());
          print_endline "s UNSATISFIABLE";
          exit 20)
@@ -293,8 +313,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DIMACS formula, optionally with a trace.")
     Term.(
       const run $ telemetry_term $ formula_arg $ trace_arg $ format_arg
-      $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg $ minimize_arg
-      $ sanitize_arg)
+      $ pre_arg $ seed_arg $ bcp_arg $ no_restarts_arg $ no_deletion_arg
+      $ minimize_arg $ sanitize_arg)
 
 (* --- the checking-mode table -------------------------------------------- *)
 
@@ -871,7 +891,7 @@ let analyze_cmd =
 (* --- validate ------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run () formula_path mode jobs window format seed bcp no_restarts
+  let run () formula_path mode jobs window format pre seed bcp no_restarts
       no_deletion minimize sanitize analyze =
     validate_jobs jobs;
     validate_window window;
@@ -886,9 +906,19 @@ let validate_cmd =
       let strategy = mode.m_strategy ~jobs ~window in
       let o =
         or_sanitizer_exit (fun () ->
-            Pipeline.Validate.run ~config ~format ~strategy ~analyze f)
+            Pipeline.Validate.run ~config ~format ~strategy ~analyze ~pre f)
       in
       print_stats o.stats;
+      (match o.pre with
+       | Some (s : Solver.Simplify.stats) ->
+         Printf.printf
+           "c pre: %d units, %d pures, %d subsumed, %d strengthened, %d \
+            vars eliminated (+%d resolvents), %d failed literals, %d \
+            derived records, %d rounds\n"
+           s.units_propagated s.pure_literals s.subsumed_removed
+           s.strengthened s.eliminated_vars s.resolvents_added
+           s.failed_literals s.derived_records s.rounds
+       | None -> ());
       Printf.printf "c solve %.3f s, check %.3f s, trace %d bytes\n"
         o.solve_seconds o.check_seconds o.trace_bytes;
       (match o.online with
@@ -929,19 +959,20 @@ let validate_cmd =
           so the full encoded trace is never held in memory.")
     Term.(
       const run $ telemetry_term $ formula_arg $ strategy_arg $ jobs_arg
-      $ window_arg $ format_arg $ seed_arg $ bcp_arg $ no_restarts_arg
-      $ no_deletion_arg $ minimize_arg $ sanitize_arg $ analyze_flag_arg)
+      $ window_arg $ format_arg $ pre_arg $ seed_arg $ bcp_arg
+      $ no_restarts_arg $ no_deletion_arg $ minimize_arg $ sanitize_arg
+      $ analyze_flag_arg)
 
 (* --- core ---------------------------------------------------------------- *)
 
 let core_cmd =
-  let run () formula_path rounds output minimal =
+  let run () formula_path rounds output minimal pre =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
       exit 2
     | Ok f when minimal -> (
-      match Pipeline.Muc.minimize f with
+      match Pipeline.Muc.minimize ~pre f with
       | Error `Sat ->
         print_endline "s SATISFIABLE (no unsat core)";
         exit 10
@@ -958,7 +989,7 @@ let core_cmd =
          | None -> ());
         exit 20)
     | Ok f -> (
-      match Pipeline.Unsat_core.shrink ~max_rounds:rounds f with
+      match Pipeline.Unsat_core.shrink ~pre ~max_rounds:rounds f with
       | Error `Sat ->
         print_endline "s SATISFIABLE (no unsat core)";
         exit 10
@@ -1014,43 +1045,106 @@ let core_cmd =
   in
   Cmd.v
     (Cmd.info "core"
-       ~doc:"Extract and iteratively shrink an unsatisfiable core (§4).")
+       ~doc:
+         "Extract and iteratively shrink an unsatisfiable core (§4).  With \
+          $(b,--pre) each extraction preprocesses first; indices still \
+          point into the input formula.")
     Term.(
       const run $ telemetry_term $ formula_arg $ rounds_arg $ output_arg
-      $ minimal_arg)
+      $ minimal_arg $ pre_arg)
 
 (* --- simplify ------------------------------------------------------------ *)
 
+let simplify_stats_json ~verdict ~original ~remaining
+    (s : Solver.Simplify.stats) =
+  Printf.sprintf
+    "{\"verdict\":\"%s\",\"original_clauses\":%d,\"remaining_clauses\":%d,\
+     \"rounds\":%d,\"derived_records\":%d,\"passes\":{\
+     \"units_propagated\":%d,\"pure_literals\":%d,\
+     \"tautologies_removed\":%d,\"subsumed_removed\":%d,\
+     \"duplicates_removed\":%d,\"strengthened\":%d,\"eliminated_vars\":%d,\
+     \"resolvents_added\":%d,\"failed_literals\":%d}}"
+    verdict original remaining s.rounds s.derived_records s.units_propagated
+    s.pure_literals s.tautologies_removed s.subsumed_removed
+    s.duplicates_removed s.strengthened s.eliminated_vars s.resolvents_added
+    s.failed_literals
+
 let simplify_cmd =
-  let run formula_path output =
+  let run () formula_path output trace_path format json =
     match load_formula formula_path with
     | Error m ->
       prerr_endline ("error: " ^ m);
       exit 2
     | Ok f ->
-      let outcome, stats = Solver.Simplify.simplify f in
-      Printf.printf
-        "c units %d, pures %d, tautologies %d, subsumed %d, duplicates %d\n"
-        stats.units_propagated stats.pure_literals stats.tautologies_removed
-        stats.subsumed_removed stats.duplicates_removed;
+      let writer =
+        Option.map (fun _ -> Trace.Writer.create ~version:1 format) trace_path
+      in
+      let outcome, stats =
+        Obs.Span.scope ~cat:"pipeline" "simplify.cli" @@ fun () ->
+        Solver.Simplify.run ?trace:(Option.map Trace.Writer.as_sink writer) f
+      in
+      (match writer, trace_path with
+       | Some w, Some path ->
+         Trace.Writer.to_file w path;
+         if not json then
+           Printf.printf "c trace written to %s (%d bytes)\n" path
+             (Trace.Writer.bytes_written w)
+       | _ -> ());
+      if not json then begin
+        Printf.printf
+          "c units %d, pures %d, tautologies %d, subsumed %d, duplicates %d\n"
+          stats.units_propagated stats.pure_literals stats.tautologies_removed
+          stats.subsumed_removed stats.duplicates_removed;
+        Printf.printf
+          "c strengthened %d, eliminated %d vars (+%d resolvents), failed \
+           literals %d\n"
+          stats.strengthened stats.eliminated_vars stats.resolvents_added
+          stats.failed_literals;
+        Printf.printf "c %d derived records in %d rounds\n"
+          stats.derived_records stats.rounds
+      end;
+      let finish ~verdict ~remaining code =
+        if json then
+          print_endline
+            (simplify_stats_json ~verdict ~original:(Sat.Cnf.nclauses f)
+               ~remaining stats);
+        exit code
+      in
       (match outcome with
-       | Solver.Simplify.Proved_unsat ->
-         print_endline "s UNSATISFIABLE (by preprocessing)";
-         exit 20
-       | Solver.Simplify.Proved_sat _ ->
-         print_endline "s SATISFIABLE (by preprocessing)";
-         exit 10
-       | Solver.Simplify.Simplified { formula; _ } ->
-         Printf.printf "c %d/%d clauses remain\n" (Sat.Cnf.nclauses formula)
-           (Sat.Cnf.nclauses f);
-         (match output with
-          | Some path ->
-            Sat.Dimacs.write_file
-              ~comment:(Printf.sprintf "simplified from %s" formula_path)
-              path formula;
-            Printf.printf "c written to %s\n" path
-          | None -> print_string (Sat.Dimacs.to_string formula));
-         exit 0)
+       | Solver.Simplify.P_unsat ->
+         if not json then print_endline "s UNSATISFIABLE (by preprocessing)";
+         finish ~verdict:"unsat" ~remaining:0 20
+       | Solver.Simplify.P_sat _ ->
+         if not json then print_endline "s SATISFIABLE (by preprocessing)";
+         finish ~verdict:"sat" ~remaining:0 10
+       | Solver.Simplify.P_simplified { clauses; units; _ } ->
+         (* the surviving clause set as a formula: forced assignments have
+            been applied, so the unit clauses are not repeated in it *)
+         let formula =
+           Sat.Cnf.of_clauses (Sat.Cnf.nvars f) (List.map snd clauses)
+         in
+         if not json then begin
+           Printf.printf "c %d/%d clauses remain (%d forced units)\n"
+             (Sat.Cnf.nclauses formula) (Sat.Cnf.nclauses f)
+             (List.length units);
+           match output with
+           | Some path ->
+             Sat.Dimacs.write_file
+               ~comment:(Printf.sprintf "simplified from %s" formula_path)
+               path formula;
+             Printf.printf "c written to %s\n" path
+           | None -> print_string (Sat.Dimacs.to_string formula)
+         end
+         else
+           Option.iter
+             (fun path ->
+               Sat.Dimacs.write_file
+                 ~comment:(Printf.sprintf "simplified from %s" formula_path)
+                 path formula)
+             output;
+         finish ~verdict:"simplified"
+           ~remaining:(Sat.Cnf.nclauses formula + List.length units)
+           0)
   in
   let output_arg =
     Arg.(
@@ -1058,12 +1152,40 @@ let simplify_cmd =
       & opt (some string) None
       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace"; "t" ] ~docv:"FILE"
+          ~doc:
+            "Write the simplifier's proof-emitting trace here: one \
+             $(b,Learned) record per derived clause, resolving original \
+             clauses.  When preprocessing alone proves UNSAT the trace is \
+             complete and $(b,rescheck check) validates it against the \
+             input formula; otherwise it is the (documented) proof prefix \
+             a seeded search run would extend.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the outcome and per-pass statistics as deterministic \
+             JSON instead of the human-readable text (the formula itself \
+             is only written with $(b,--output)).")
+  in
   Cmd.v
     (Cmd.info "simplify"
        ~doc:
-         "Preprocess a formula (units, pure literals, subsumption) into an \
-          equisatisfiable smaller one.")
-    Term.(const run $ formula_arg $ output_arg)
+         "Preprocess a formula (units, pure literals, subsumption, \
+          self-subsuming resolution, bounded variable elimination, \
+          failed-literal probing) into an equisatisfiable smaller one.  \
+          Every derived clause carries a resolution justification; \
+          $(b,--trace) captures them.  Exit codes: 0 simplified, 10/20 \
+          decided by preprocessing alone, 2 malformed DIMACS.")
+    Term.(
+      const run $ telemetry_term $ formula_arg $ output_arg $ trace_arg
+      $ format_arg $ json_arg)
 
 (* --- trim ---------------------------------------------------------------- *)
 

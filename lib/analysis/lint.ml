@@ -31,6 +31,9 @@ type code =
   | Dangling_delete
   | Duplicate_delete
   | Use_after_delete
+  | Chain_no_clash
+  | Chain_multi_clash
+  | Redundant_derivation
 
 let code_id = function
   | Parse -> "L001"
@@ -61,18 +64,21 @@ let code_id = function
   | Dangling_delete -> "L601"
   | Duplicate_delete -> "L602"
   | Use_after_delete -> "L603"
+  | Chain_no_clash -> "L701"
+  | Chain_multi_clash -> "L702"
+  | Redundant_derivation -> "L703"
 
 let severity_of = function
   | Nonmonotone_id | Repeated_source | After_conflict | Formula_duplicate_lit
   | Formula_tautology | Dead_derivation | Duplicate_derivation
-  | Singleton_chain ->
+  | Singleton_chain | Redundant_derivation ->
     Warning
   | Parse | Missing_header | Duplicate_header | Header_dims
   | Event_before_header | Shadows_original | Duplicate_id | Empty_sources
   | Self_source | Bad_reference | Var_out_of_range | Duplicate_level0
   | Bad_antecedent | Missing_conflict | Conflict_unknown | Formula_mismatch
   | Formula_var_range | Dangling_delete | Duplicate_delete | Use_after_delete
-    ->
+  | Chain_no_clash | Chain_multi_clash ->
     Error
 
 type diagnostic = {
@@ -117,7 +123,16 @@ type state = {
   deleted : (int, unit) Hashtbl.t;      (* ids named by delete hints *)
   mutable conflict_seen : bool;
   mutable after_conflict_reported : bool;
+  (* normalized original clauses ([None] = tautological), id-1 indexed;
+     empty without a formula.  Feeds the L7xx chain simulation. *)
+  originals : Sat.Clause.t option array;
+  orig_keys : (string, int) Hashtbl.t;  (* normalized-clause key -> id *)
 }
+
+(* Canonical key of a normalized clause: [Clause.normalize] sorts
+   literals, so equal clause sets render identically. *)
+let clause_key c =
+  String.concat "," (List.map string_of_int (Sat.Clause.to_ints c))
 
 (* Telemetry handles; updates are guarded at the few lint hot points. *)
 let m_events = Obs.Metrics.counter Obs.Metrics.global "lint.events"
@@ -212,7 +227,54 @@ let check_learned st pos id sources =
   (* define even a flawed id: downstream references to it are not the
      record to blame *)
   if not duplicate then Hashtbl.replace st.defined id ();
-  if id > st.last_learned_id then st.last_learned_id <- id
+  if id > st.last_learned_id then st.last_learned_id <- id;
+  (* L7xx: a chain whose sources are all original clauses — the shape the
+     proof-emitting simplifier produces — is fully simulable from the
+     formula alone, with no clause database: replay it left to right and
+     flag steps the resolution kernel would refuse (no clashing variable,
+     or several).  Chains touching learned sources are skipped: their
+     rebuilt clauses may carry level-0 literals the stream does not show.
+     Tautological originals are skipped too (already L404). *)
+  let n_orig_known = Array.length st.originals in
+  if
+    n_orig_known > 0
+    && Array.length sources >= 2
+    && Array.for_all (fun s -> s >= 1 && s <= n_orig_known) sources
+    && Array.for_all (fun s -> st.originals.(s - 1) <> None) sources
+  then begin
+    let get s = Option.get st.originals.(s - 1) in
+    let acc = ref (get sources.(0)) in
+    let step_ok = ref true in
+    let i = ref 1 in
+    while !step_ok && !i < Array.length sources do
+      let s = sources.(!i) in
+      let c = get s in
+      (match Sat.Clause.clashing_vars !acc c with
+       | [ v ] -> acc := Sat.Clause.resolve !acc c v
+       | [] ->
+         step_ok := false;
+         emit st pos Chain_no_clash
+           "clause %d: chain step %d resolves against original clause %d \
+            with no clashing variable"
+           id !i s
+       | _ :: _ :: _ ->
+         step_ok := false;
+         emit st pos Chain_multi_clash
+           "clause %d: chain step %d resolves against original clause %d \
+            with more than one clashing variable (tautological resolvent)"
+           id !i s);
+      incr i
+    done;
+    if !step_ok then
+      match Sat.Clause.normalize !acc with
+      | None -> ()
+      | Some r -> (
+        match Hashtbl.find_opt st.orig_keys (clause_key r) with
+        | Some oid ->
+          emit st pos Redundant_derivation
+            "clause %d rederives original clause %d verbatim" id oid
+        | None -> ())
+  end
 
 let check_level0 st pos var ante =
   st.n_level0 <- st.n_level0 + 1;
@@ -336,6 +398,24 @@ type stream = {
 }
 
 let stream_start ?formula ?(max_diagnostics = 100) ~binary () =
+  let originals, orig_keys =
+    match formula with
+    | None -> ([||], Hashtbl.create 1)
+    | Some f ->
+      let arr = Array.make (Sat.Cnf.nclauses f) None in
+      let keys = Hashtbl.create (2 * Sat.Cnf.nclauses f + 1) in
+      Sat.Cnf.iter_clauses
+        (fun i c ->
+          match Sat.Clause.normalize c with
+          | None -> ()
+          | Some n ->
+            arr.(i) <- Some n;
+            (* first definition wins: duplicates report the earliest id *)
+            let k = clause_key n in
+            if not (Hashtbl.mem keys k) then Hashtbl.add keys k (i + 1))
+        f;
+      (arr, keys)
+  in
   let st = {
     cap = max max_diagnostics 0;
     diags = [];
@@ -355,6 +435,8 @@ let stream_start ?formula ?(max_diagnostics = 100) ~binary () =
     deleted = Hashtbl.create 256;
     conflict_seen = false;
     after_conflict_reported = false;
+    originals;
+    orig_keys;
   } in
   let origin = if binary then Trace.Reader.Byte 0 else Trace.Reader.Line 0 in
   (match formula with

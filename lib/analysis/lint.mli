@@ -28,7 +28,11 @@ type severity =
     Groups: L0xx stream/framing, L1xx clause records, L2xx level-0
     records, L3xx final conflict, L4xx trace-vs-formula, L5xx whole-proof
     semantics (emitted by {!Dag}, which reasons about the complete
-    resolution DAG rather than one record at a time). *)
+    resolution DAG rather than one record at a time), L6xx deletion
+    hints, L7xx simplifier-derivation shape (chains over original
+    clauses only — the records {!Solver.Simplify} emits — are simulated
+    against the formula; a simplifier record with {e no} sources at all
+    is already the generic L104). *)
 type code =
   | Parse                  (** L001 record does not parse / truncated / garbled *)
   | Missing_header         (** L002 no [t nvars norig] record *)
@@ -61,6 +65,14 @@ type code =
   | Dangling_delete        (** L601 delete hint names an undefined clause *)
   | Duplicate_delete       (** L602 clause deleted twice *)
   | Use_after_delete       (** L603 clause referenced after its delete hint *)
+  | Chain_no_clash         (** L701 all-original chain step with no clashing
+                               variable — the kernel would refuse it *)
+  | Chain_multi_clash      (** L702 all-original chain step with several
+                               clashing variables (tautological resolvent) —
+                               not a valid self-subsuming-resolution /
+                               elimination step shape *)
+  | Redundant_derivation   (** L703 all-original chain rederives an original
+                               clause verbatim — valid but pointless work *)
 
 (** [code_id c] is the stable "Lnnn" identifier. *)
 val code_id : code -> string

@@ -9,7 +9,7 @@ let is_unsat config f =
   | Solver.Cdcl.Unsat, _ -> true
   | Solver.Cdcl.Sat _, _ -> false
 
-let minimize ?config ?(seed_with_proof_core = true) f =
+let minimize ?config ?pre ?(seed_with_proof_core = true) f =
   let calls = ref 0 in
   let solve_unsat g =
     incr calls;
@@ -20,7 +20,7 @@ let minimize ?config ?(seed_with_proof_core = true) f =
     (* seed: the §4 fixpoint core (cheap and usually much smaller) *)
     let start_indices =
       if seed_with_proof_core then
-        match Unsat_core.shrink ?config f with
+        match Unsat_core.shrink ?config ?pre f with
         | Ok s ->
           calls := !calls + s.rounds;
           s.final_indices

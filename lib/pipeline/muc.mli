@@ -17,12 +17,16 @@ type result = {
   solver_calls : int;      (** SAT calls spent minimising *)
 }
 
-(** [minimize ?config ?seed_with_proof_core f] returns a minimal
+(** [minimize ?config ?pre ?seed_with_proof_core f] returns a minimal
     unsatisfiable core of [f], or [Error `Sat].  When
     [seed_with_proof_core] (default true), the §4 fixpoint core is
-    computed first so the destructive loop starts from a small set. *)
+    computed first so the destructive loop starts from a small set;
+    [pre] (default false) makes those seeding extractions run the
+    proof-emitting simplifier — indices still point into the input
+    formula. *)
 val minimize :
   ?config:Solver.Cdcl.config ->
+  ?pre:bool ->
   ?seed_with_proof_core:bool ->
   Sat.Cnf.t ->
   (result, [ `Sat ]) Stdlib.result

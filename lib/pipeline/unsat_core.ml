@@ -4,9 +4,9 @@ type core = {
   num_vars : int;
 }
 
-let extract ?config f =
+let extract ?config ?pre f =
   Obs.Span.scope ~cat:"pipeline" "core.extract" @@ fun () ->
-  let result, _stats, trace = Validate.solve_with_trace ?config f in
+  let result, _stats, trace = Validate.solve_with_trace ?config ?pre f in
   match result with
   | Solver.Cdcl.Sat _ -> Error `Sat
   | Solver.Cdcl.Unsat -> (
@@ -33,7 +33,7 @@ type shrink_outcome = {
   final_indices : int list;
 }
 
-let shrink ?config ?(max_rounds = 30) f =
+let shrink ?config ?pre ?(max_rounds = 30) f =
   let initial =
     { clauses = Sat.Cnf.nclauses f; vars = Sat.Cnf.num_distinct_vars f }
   in
@@ -42,7 +42,7 @@ let shrink ?config ?(max_rounds = 30) f =
     if round > max_rounds then
       Ok (List.rev acc, false, current, current_indices)
     else
-      match extract ?config current with
+      match extract ?config ?pre current with
       | Error e -> Error e
       | Ok core ->
         let next = Sat.Cnf.restrict_to current core.clause_indices in

@@ -15,12 +15,17 @@ type core = {
   num_vars : int;             (** distinct variables in the core clauses *)
 }
 
-(** [extract ?config f] solves [f] with tracing and returns the proof
-    core.  [Error `Sat] when the formula is satisfiable;
+(** [extract ?config ?pre f] solves [f] with tracing and returns the
+    proof core.  [Error `Sat] when the formula is satisfiable;
     [Error (`Check_failed d)] if the produced trace does not check (a
-    solver bug — should be impossible with the in-tree solver). *)
+    solver bug — should be impossible with the in-tree solver).  [pre]
+    (default false) runs the proof-emitting simplifier first; because
+    original clauses keep their DIMACS ids through the simplifier's
+    records, the returned indices still point into the {e input}
+    formula. *)
 val extract :
   ?config:Solver.Cdcl.config ->
+  ?pre:bool ->
   Sat.Cnf.t ->
   (core, [ `Sat | `Check_failed of Checker.Diagnostics.failure ]) result
 
@@ -37,10 +42,12 @@ type shrink_outcome = {
   final_indices : int list;      (** its 0-based indices into the input *)
 }
 
-(** [shrink ?config ?max_rounds f] iterates extraction until a fixed point
-    or [max_rounds] (default 30, as measured in Table 3). *)
+(** [shrink ?config ?pre ?max_rounds f] iterates extraction until a
+    fixed point or [max_rounds] (default 30, as measured in Table 3).
+    [pre] is threaded to each {!extract} round. *)
 val shrink :
   ?config:Solver.Cdcl.config ->
+  ?pre:bool ->
   ?max_rounds:int ->
   Sat.Cnf.t ->
   (shrink_outcome, [ `Sat | `Check_failed of Checker.Diagnostics.failure ]) result

@@ -26,6 +26,7 @@ type outcome = {
   check_seconds : float;
   online : online_info option;
   dag : Analysis.Dag.profile option;
+  pre : Solver.Simplify.stats option;
 }
 
 (* Telemetry mirrors of the outcome's byte statistics. *)
@@ -34,13 +35,56 @@ let m_trace_bytes =
 let m_peak_buffered =
   Obs.Metrics.gauge Obs.Metrics.global "pipeline.peak_buffered_bytes"
 
-let solve_with_trace ?config ?(version = 1) ?(format = Trace.Writer.Ascii) f =
+(* Simplify then continue the same proof with the seeded solver: the
+   simplifier's records and the CDCL records land in the one sink, so
+   the combined trace checks against the original formula.  The SAT
+   model is lifted back through [reconstruct] before it leaves this
+   function, so callers always hold a model of the input. *)
+let solve_into_sink ?config ~pre ~version sink f =
+  if not pre then
+    let result, stats = Solver.Cdcl.solve ?config ~trace:sink f in
+    (result, stats, None)
+  else begin
+    let sconfig =
+      { Solver.Simplify.default_config with emit_deletes = version = 2 }
+    in
+    let outcome, sstats = Solver.Simplify.run ~config:sconfig ~trace:sink f in
+    let result, stats =
+      match outcome with
+      | Solver.Simplify.P_unsat -> (Solver.Cdcl.Unsat, Solver.Cdcl.empty_stats)
+      | Solver.Simplify.P_sat a -> (Solver.Cdcl.Sat a, Solver.Cdcl.empty_stats)
+      | Solver.Simplify.P_simplified
+          { clauses; units; next_id; reconstruct; _ } ->
+        let seed =
+          {
+            Solver.Cdcl.seed_nvars = Sat.Cnf.nvars f;
+            seed_clauses =
+              clauses @ List.map (fun (id, l) -> (id, [| l |])) units;
+            seed_first_learned = next_id;
+          }
+        in
+        let result, stats = Solver.Cdcl.solve_seeded ?config ~trace:sink seed in
+        (match result with
+         | Solver.Cdcl.Sat a -> (Solver.Cdcl.Sat (reconstruct a), stats)
+         | Solver.Cdcl.Unsat -> (Solver.Cdcl.Unsat, stats))
+    in
+    (result, stats, Some sstats)
+  end
+
+let solve_encode ?config ~version ~format ~pre f =
   let w = Trace.Writer.create ~version format in
-  let result, stats =
+  let result, stats, pre_stats =
     Obs.Span.scope ~cat:"pipeline" "pipeline.solve_encode" @@ fun () ->
-    Solver.Cdcl.solve ?config ~trace:(Trace.Writer.as_sink w) f
+    solve_into_sink ?config ~pre ~version (Trace.Writer.as_sink w) f
   in
-  (result, stats, Trace.Writer.contents w)
+  (result, stats, pre_stats, Trace.Writer.contents w)
+
+let solve_with_trace ?config ?(version = 1) ?(format = Trace.Writer.Ascii)
+    ?(pre = false) f =
+  let result, stats, _pre_stats, trace =
+    solve_encode ?config ~version ~format ~pre f
+  in
+  (result, stats, trace)
 
 let observe_verdict v =
   if Obs.Ctl.on () then
@@ -48,7 +92,7 @@ let observe_verdict v =
     | Unsat_verified report -> Checker.Report.observe report
     | Sat_verified _ | Sat_model_wrong _ | Unsat_check_failed _ -> ()
 
-let run_buffered ?config ?format ~strategy ?meter ~analyze f =
+let run_buffered ?config ?format ~strategy ?meter ~analyze ~pre f =
   (* the hinted strategy asks the solver for native deletion hints,
      which need a version-2 trace *)
   let config, version =
@@ -58,8 +102,9 @@ let run_buffered ?config ?format ~strategy ?meter ~analyze f =
       (Some { c with Solver.Cdcl.emit_deletes = true }, 2)
     | _ -> (config, 1)
   in
-  let (result, stats, trace), solve_seconds =
-    Harness.Timer.time (fun () -> solve_with_trace ?config ~version ?format f)
+  let format = Option.value ~default:Trace.Writer.Ascii format in
+  let (result, stats, pre_stats, trace), solve_seconds =
+    Harness.Timer.time (fun () -> solve_encode ?config ~version ~format ~pre f)
   in
   if Obs.Ctl.on () then
     Obs.Metrics.Gauge.set m_trace_bytes (float_of_int (String.length trace));
@@ -98,7 +143,7 @@ let run_buffered ?config ?format ~strategy ?meter ~analyze f =
   in
   observe_verdict verdict;
   { verdict; stats; trace_bytes = String.length trace; solve_seconds;
-    check_seconds; online = None; dag }
+    check_seconds; online = None; dag; pre = pre_stats }
 
 (* Online validation: the solver's live event stream is teed into the
    linter, the streaming encoder (which spools encoded chunks to a temp
@@ -109,7 +154,7 @@ let run_buffered ?config ?format ~strategy ?meter ~analyze f =
    kernel validation and the reconstruction pass re-reads the identical
    bytes, so verdicts, reports, cores and failure diagnostics match the
    file-based breadth-first path bit for bit (timings aside). *)
-let run_online ?config ~format ?meter ~analyze f =
+let run_online ?config ~format ?meter ~analyze ~pre f =
   let spool = Filename.temp_file "rescheck_online" ".trc" in
   let oc = open_out_bin spool in
   let cleanup () =
@@ -145,12 +190,12 @@ let run_online ?config ~format ?meter ~analyze f =
             | Some t -> [ Analysis.Dag.sink t ~pos; tail ]
             | None -> [ tail ]))
       in
-      let (result, stats), solve_seconds =
+      let (result, stats, pre_stats), solve_seconds =
         Harness.Timer.time (fun () ->
             (* on the online timeline this span brackets solving plus the
                teed lint/encode/ingest work interleaved with it *)
             Obs.Span.scope ~cat:"pipeline" "pipeline.online_stream"
-            @@ fun () -> Solver.Cdcl.solve ?config ~trace:sink f)
+            @@ fun () -> solve_into_sink ?config ~pre ~version:1 sink f)
       in
       Trace.Sink.close sink;
       flush oc;
@@ -191,11 +236,12 @@ let run_online ?config ~format ?meter ~analyze f =
         | None -> None
       in
       { verdict; stats; trace_bytes = wstats.Trace.Writer.bytes;
-        solve_seconds; check_seconds; online; dag })
+        solve_seconds; check_seconds; online; dag; pre = pre_stats })
 
-let run ?config ?format ?(strategy = Depth_first) ?meter ?(analyze = false) f =
+let run ?config ?format ?(strategy = Depth_first) ?meter ?(analyze = false)
+    ?(pre = false) f =
   match strategy with
   | Online ->
     let format = Option.value ~default:Trace.Writer.Ascii format in
-    run_online ?config ~format ?meter ~analyze f
-  | _ -> run_buffered ?config ?format ~strategy ?meter ~analyze f
+    run_online ?config ~format ?meter ~analyze ~pre f
+  | _ -> run_buffered ?config ?format ~strategy ?meter ~analyze ~pre f

@@ -63,28 +63,42 @@ type outcome = {
           complete proof trace: the whole-proof static profile.  Online
           runs tee the analyzer into the live stream; buffered runs
           profile the trace string. *)
+  pre : Solver.Simplify.stats option;
+      (** present iff [pre] was requested: the proof-emitting
+          simplifier's per-pass statistics *)
 }
 
-(** [run ?config ?format ?strategy ?meter ?analyze f] solves and
+(** [run ?config ?format ?strategy ?meter ?analyze ?pre f] solves and
     validates [f].  [analyze] (default false) additionally runs the
     {!Analysis.Dag} static analysis over the proof trace, surfacing its
-    profile in [dag]. *)
+    profile in [dag].  [pre] (default false) runs the proof-emitting
+    simplifier ({!Solver.Simplify.run}) first and continues search with
+    {!Solver.Cdcl.solve_seeded} on the same trace: UNSAT traces still
+    check against the {e original} formula (under every strategy —
+    hinted runs additionally carry the simplifier's deletion hints), and
+    SAT models are reconstructed to models of the original before
+    verification. *)
 val run :
   ?config:Solver.Cdcl.config ->
   ?format:Trace.Writer.format ->
   ?strategy:strategy ->
   ?meter:Harness.Meter.t ->
   ?analyze:bool ->
+  ?pre:bool ->
   Sat.Cnf.t ->
   outcome
 
-(** [solve_with_trace ?config ?version ?format f] is the solving half:
-    result, stats, and the serialised trace.  [version] (default 1)
-    selects the trace format version — pass 2 together with a config
-    enabling {!Solver.Cdcl.config.emit_deletes} for a hinted trace. *)
+(** [solve_with_trace ?config ?version ?format ?pre f] is the solving
+    half: result, stats, and the serialised trace.  [version] (default
+    1) selects the trace format version — pass 2 together with a config
+    enabling {!Solver.Cdcl.config.emit_deletes} for a hinted trace.
+    With [pre] the trace opens with the simplifier's derivation records
+    and, when [version] is 2, its deletion hints; a [Sat] model is
+    already reconstructed against the original formula. *)
 val solve_with_trace :
   ?config:Solver.Cdcl.config ->
   ?version:int ->
   ?format:Trace.Writer.format ->
+  ?pre:bool ->
   Sat.Cnf.t ->
   Solver.Cdcl.result * Solver.Cdcl.stats * string

@@ -21,6 +21,7 @@ type config = {
   bcp : bcp_scheme;
   sanitize : bool;
   emit_deletes : bool;
+  inprocess_interval : int;
 }
 
 let default_config = {
@@ -40,6 +41,7 @@ let default_config = {
   bcp = Two_watched;
   sanitize = false;
   emit_deletes = false;
+  inprocess_interval = 0;
 }
 
 type stats = {
@@ -51,6 +53,18 @@ type stats = {
   deleted_clauses : int;
   restarts : int;
   max_decision_level : int;
+}
+
+(* for outcomes settled before search starts (e.g. by the simplifier) *)
+let empty_stats = {
+  decisions = 0;
+  propagations = 0;
+  conflicts = 0;
+  learned_clauses = 0;
+  learned_literals = 0;
+  deleted_clauses = 0;
+  restarts = 0;
+  max_decision_level = 0;
 }
 
 (* Telemetry handles, resolved once at load.  Every update below is
@@ -102,6 +116,7 @@ type t = {
   rng : Sat.Rng.t;
   mutable n_learned_alive : int;
   mutable max_learned : float;
+  mutable last_inprocess : int;
   mutable s_decisions : int;
   mutable s_propagations : int;
   mutable s_conflicts : int;
@@ -514,6 +529,101 @@ let emit_final_conflict s confl_cid =
        s.trail);
   emit s (Trace.Event.Final_conflict confl_cid)
 
+(* --- inprocessing (level-0 clause simplification during search) --------- *)
+
+(* Simplify the attached clause set against the level-0 assignment.  Runs
+   at decision level 0 on a BCP fixpoint, so an unsatisfied clause's
+   literals are level-0-false or unassigned:
+   - a clause with a true literal at level 0 is deleted (no proof needed,
+     removal only weakens the formula);
+   - a clause with false literals at level 0 is replaced by its
+     shortening, emitted as a [Learned] record whose chain resolves the
+     old clause against the reasons of the removed variables in
+     decreasing trail position — the exact shape conflict-clause
+     minimization already emits, so the checker carries the extra
+     level-0 literals of the reasons and the final conflict chain
+     resolves them away.
+   Locked clauses (reasons of level-0 assignments) are skipped, which
+   also keeps every level-0 antecedent alive for the final conflict.
+   Replacements inherit the learned flag: a strengthened original must
+   never become eligible for clause-database reduction. *)
+let inprocess s =
+  assert (decision_level s = 0);
+  let hints = ref [] in
+  let hint c =
+    (* originals are only safe to hint once a chain has referenced them:
+       a satisfied original was possibly never materialised by the
+       checker, so only learned clauses are hinted on deletion *)
+    if s.cfg.emit_deletes && s.tracer <> None then hints := c.cid :: !hints
+  in
+  let n = Sat.Vec.length s.clauses in
+  for i = 0 to n - 1 do
+    let c = Sat.Vec.get s.clauses i in
+    if c.attached && not c.deleted then begin
+      let locked =
+        Array.exists
+          (fun l ->
+            let v = Sat.Lit.var l in
+            s.value.(v) <> v_unassigned && s.reason.(v) = c.cid)
+          c.lits
+      in
+      if not locked then begin
+        let n_true = ref 0 and false_lits = ref [] in
+        Array.iter
+          (fun l ->
+            match lit_value s l with
+            | v when v = v_true -> incr n_true
+            | v when v = v_false -> false_lits := l :: !false_lits
+            | _ -> ())
+          c.lits;
+        if !n_true > 0 then begin
+          delete_clause s c;
+          if c.learned then hint c
+        end
+        else if !false_lits <> [] then begin
+          let keep =
+            Array.of_list
+              (List.filter (fun l -> lit_value s l <> v_false)
+                 (Array.to_list c.lits))
+          in
+          (* [keep] has >= 2 literals on a conflict-free BCP fixpoint: an
+             empty or unit remainder would have conflicted or propagated *)
+          if Array.length keep >= 2
+             && Array.for_all
+                  (fun l -> s.reason.(Sat.Lit.var l) <> 0)
+                  (Array.of_list !false_lits)
+          then begin
+            let by_pos_desc =
+              List.sort
+                (fun a b ->
+                  Int.compare s.pos.(Sat.Lit.var b) s.pos.(Sat.Lit.var a))
+                !false_lits
+            in
+            let sources =
+              c.cid
+              :: List.map (fun l -> s.reason.(Sat.Lit.var l)) by_pos_desc
+            in
+            let cr = new_clause s keep c.learned true in
+            if c.learned then s.n_learned_alive <- s.n_learned_alive + 1;
+            emit s
+              (Trace.Event.Learned
+                 { id = cr.cid; sources = Array.of_list sources });
+            delete_clause s c;
+            (* the old clause was just referenced, so the checker has it
+               materialised whether learned or original: safe to hint *)
+            if s.cfg.emit_deletes && s.tracer <> None then
+              hints := c.cid :: !hints
+          end
+        end
+      end
+    end
+  done;
+  if !hints <> [] then begin
+    let ids = Array.of_list !hints in
+    Array.sort compare ids;
+    emit s (Trace.Event.Delete ids)
+  end
+
 (* --- runtime sanitizer (ASan-style invariant checks) -------------------- *)
 
 exception Sanitizer_violation of string
@@ -726,8 +836,7 @@ let load_original s f =
 
 (* --- top level (paper Figure 1) ---------------------------------------- *)
 
-let make_state cfg tracer f =
-  let nvars = Sat.Cnf.nvars f in
+let make_state cfg tracer nvars =
   let activity = Array.make (nvars + 1) 0.0 in
   let order = Heap.create nvars ~score:(fun v -> activity.(v)) in
   let s = {
@@ -757,6 +866,7 @@ let make_state cfg tracer f =
     rng = Sat.Rng.create cfg.seed;
     n_learned_alive = 0;
     max_learned = 0.0;
+    last_inprocess = 0;
     s_decisions = 0;
     s_propagations = 0;
     s_conflicts = 0;
@@ -916,6 +1026,14 @@ let search s config assumptions =
         reduce_db s;
         s.max_learned <- s.max_learned *. config.max_learned_inc
       end;
+      if
+        config.inprocess_interval > 0
+        && s.s_conflicts - s.last_inprocess >= config.inprocess_interval
+      then begin
+        s.last_inprocess <- s.s_conflicts;
+        backtrack s 0;
+        inprocess s
+      end;
       (* place pending assumptions as decisions, then branch freely *)
       let rec branch () =
         let dl = decision_level s in
@@ -947,7 +1065,7 @@ let search s config assumptions =
 (* one-shot setup: build the state, load the clauses, run the level-0
    preprocessing BCP *)
 let setup config trace f =
-  let s = make_state config trace f in
+  let s = make_state config trace (Sat.Cnf.nvars f) in
   emit s
     (Trace.Event.Header
        { nvars = s.nvars; num_original = Sat.Cnf.nclauses f });
@@ -981,6 +1099,103 @@ let solve ?(config = default_config) ?trace f =
     | O_sat a -> (Sat a, stats_of s)
     | O_unsat_formula -> (Unsat, stats_of s)
     | O_unsat_assumptions _ -> assert false
+
+(* --- solving a pre-seeded id space (checked preprocessing) -------------- *)
+
+type seed = {
+  seed_nvars : int;
+  seed_clauses : (int * Sat.Clause.t) list;
+  seed_first_learned : int;
+}
+
+(* Ids the simplifier used for clauses it has since removed are parked as
+   deleted, unattached placeholders so the cid = vector-index + 1
+   convention keeps holding; the parallel counting vectors stay aligned. *)
+let pad_to s id =
+  while Sat.Vec.length s.clauses + 1 < id do
+    let cid = Sat.Vec.length s.clauses + 1 in
+    Sat.Vec.push s.clauses
+      {
+        cid;
+        lits = [||];
+        learned = false;
+        activity = 0.0;
+        deleted = true;
+        attached = false;
+      };
+    Sat.Vec.push s.n_false 0;
+    Sat.Vec.push s.n_true 0
+  done
+
+(* Load the surviving clause set under the simplifier's ids.  The clauses
+   arrive normalized (no tautologies, no duplicate literals) and at a
+   propagation fixpoint, so an immediate conflict cannot arise — but the
+   degenerate paths are kept for robustness.  Returns the cid of an
+   immediately conflicting clause, or 0. *)
+let load_seeded s seed =
+  let conflict = ref 0 in
+  List.iter
+    (fun (id, c) ->
+      pad_to s id;
+      if Sat.Vec.length s.clauses + 1 <> id then
+        invalid_arg "Cdcl.solve_seeded: seed clause ids not increasing";
+      match Array.length c with
+      | 0 ->
+        let cr = new_clause s [||] false false in
+        if !conflict = 0 then conflict := cr.cid
+      | 1 ->
+        let cr = new_clause s c false false in
+        let l = c.(0) in
+        if !conflict = 0 then (
+          match lit_value s l with
+          | v when v = v_false -> conflict := cr.cid
+          | v when v = v_true -> ()
+          | _ -> enqueue s l cr.cid)
+      | _ -> ignore (new_clause s c false true))
+    seed.seed_clauses;
+  pad_to s seed.seed_first_learned;
+  !conflict
+
+(* [solve_seeded] continues a trace the simplifier opened: no header is
+   emitted (the simplifier owns it), learned ids start at
+   [seed_first_learned], and level-0 records cite the seeded unit
+   clauses, so the combined trace checks against the original formula. *)
+let solve_seeded ?(config = default_config) ?trace seed =
+  Obs.Span.scope ~cat:"solver" "solve_seeded" @@ fun () ->
+  let s = make_state config trace seed.seed_nvars in
+  s.max_learned <-
+    config.max_learned_factor
+    *. float_of_int (List.length seed.seed_clauses);
+  let seed =
+    {
+      seed with
+      seed_clauses =
+        List.sort
+          (fun (a, _) (b, _) -> compare a b)
+          seed.seed_clauses;
+    }
+  in
+  let initial_conflict = load_seeded s seed in
+  if initial_conflict <> 0 then begin
+    emit_final_conflict s initial_conflict;
+    (Unsat, stats_of s)
+  end
+  else begin
+    let pre = propagate s in
+    if pre <> 0 then begin
+      s.s_conflicts <- s.s_conflicts + 1;
+      if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_conflicts 1;
+      emit_final_conflict s pre;
+      (Unsat, stats_of s)
+    end
+    else begin
+      if config.sanitize then sanitize_state s;
+      match search s config [] with
+      | O_sat a -> (Sat a, stats_of s)
+      | O_unsat_formula -> (Unsat, stats_of s)
+      | O_unsat_assumptions _ -> assert false
+    end
+  end
 
 type assumed_result =
   | A_sat of Sat.Assignment.t

@@ -70,6 +70,15 @@ type config = {
           sink must lead to a version-2 writer).  Hints are memory
           advice for the hinted one-pass checker; search behaviour and
           the proof itself are unchanged.  Off by default. *)
+  inprocess_interval : int;
+      (** when positive, every [inprocess_interval] conflicts the solver
+          backtracks to level 0 and simplifies the clause database
+          against the level-0 assignment: satisfied clauses are deleted
+          and clauses with level-0-false literals are replaced by their
+          shortening, each emitted as a [Learned] record resolving the
+          old clause against the removed variables' antecedents (the
+          same chain shape as minimization), so traces stay checkable
+          under every strategy.  0 (the default) disables the pass. *)
 }
 
 val default_config : config
@@ -91,6 +100,9 @@ type stats = {
   max_decision_level : int;
 }
 
+(** All-zero statistics, for outcomes settled before search starts. *)
+val empty_stats : stats
+
 (** [solve ?config ?trace f] decides [f].  A [Sat] answer always carries a
     model that satisfies [f] (checked by the test suite through
     {!Sat.Model.satisfies}); an [Unsat] answer is what the checker
@@ -98,6 +110,30 @@ type stats = {
     are produced (it is {e not} closed — the caller owns the sink, and
     may have teed it into several consumers). *)
 val solve : ?config:config -> ?trace:Trace.Sink.t -> Sat.Cnf.t -> result * stats
+
+(** A pre-seeded clause space, as produced by {!Simplify.run}: the
+    surviving clauses (including one unit clause per justified forced
+    literal) keep the ids they hold in the trace the simplifier already
+    emitted, and the solver's own learned clauses start at
+    [seed_first_learned]. *)
+type seed = {
+  seed_nvars : int;
+  seed_clauses : (int * Sat.Clause.t) list;
+      (** id-tagged normalized clauses, any order; ids must be distinct
+          and below [seed_first_learned] *)
+  seed_first_learned : int;  (** first id owned by the solver *)
+}
+
+(** [solve_seeded ?config ?trace seed] continues the proof the
+    simplifier started: no header event is emitted (the simplifier's
+    sink already carries one), learned records take ids from
+    [seed_first_learned] upwards, and the final level-0 records cite the
+    seeded unit clauses — so appending this run to the simplifier's
+    events yields one trace that checks against the {e original}
+    formula.  A [Sat] model covers the seeded clause set only; lift it
+    with the simplifier's [reconstruct]. *)
+val solve_seeded :
+  ?config:config -> ?trace:Trace.Sink.t -> seed -> result * stats
 
 (** Result of solving under assumptions. *)
 type assumed_result =

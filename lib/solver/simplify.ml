@@ -1,3 +1,89 @@
+(* Proof-emitting CNF simplification.
+
+   Unlike the solver, which discovers clauses by conflict analysis, the
+   simplifier *transforms* the clause set — so its proof obligations come
+   in exactly two shapes:
+
+   - a derived clause (shortened under the level-0 assignment, a
+     self-subsuming-resolution strengthening, a variable-elimination
+     resolvent, a probed failed literal) is justified by an ordinary
+     [Learned] record whose sources are a left-to-right resolution chain
+     over already-present ids, indistinguishable from a CDCL learned
+     clause to every checker;
+   - a removed clause (satisfied, subsumed, duplicate, eliminated) needs
+     no justification for UNSAT — removal only weakens the formula — and
+     with [emit_deletes] becomes a version-2 [Delete] hint; the SAT
+     direction is repaired by [reconstruct] replaying removals in
+     reverse.
+
+   The load-bearing invariant throughout is that *live clauses mention
+   only unassigned, uneliminated variables*: the moment a variable is
+   assigned, every clause containing it is either buried (satisfied) or
+   replaced by a derived shortening.  That invariant is what makes every
+   chain below single-clash (a pair of live clauses cannot clash on an
+   assigned variable), keeps probing purely local (the base assignment
+   never interferes), and makes model reconstruction compositional (a
+   clause saved when variable v was eliminated cannot mention any
+   variable forced or eliminated earlier, so reverse replay sees all its
+   variables decided). *)
+
+module Lit = Sat.Lit
+module Clause = Sat.Clause
+module Cnf = Sat.Cnf
+module Assignment = Sat.Assignment
+module Event = Trace.Event
+module Sink = Trace.Sink
+
+type config = {
+  enable_subsumption : bool;
+  enable_strengthen : bool;
+  enable_bve : bool;
+  enable_probe : bool;
+  bve_occ_limit : int;
+  bve_growth : int;
+  probe_limit : int;
+  max_rounds : int;
+  emit_deletes : bool;
+}
+
+let default_config =
+  {
+    enable_subsumption = true;
+    enable_strengthen = true;
+    enable_bve = true;
+    enable_probe = true;
+    bve_occ_limit = 16;
+    bve_growth = 0;
+    probe_limit = 256;
+    max_rounds = 10;
+    emit_deletes = false;
+  }
+
+type stats = {
+  units_propagated : int;
+  pure_literals : int;
+  tautologies_removed : int;
+  subsumed_removed : int;
+  duplicates_removed : int;
+  strengthened : int;
+  eliminated_vars : int;
+  resolvents_added : int;
+  failed_literals : int;
+  derived_records : int;
+  rounds : int;
+}
+
+type proof_outcome =
+  | P_simplified of {
+      clauses : (int * Sat.Clause.t) list;
+      units : (int * Sat.Lit.t) list;
+      next_id : int;
+      forced : (Sat.Lit.var * bool) list;
+      reconstruct : Sat.Assignment.t -> Sat.Assignment.t;
+    }
+  | P_unsat
+  | P_sat of Sat.Assignment.t
+
 type outcome =
   | Simplified of {
       formula : Sat.Cnf.t;
@@ -7,232 +93,672 @@ type outcome =
   | Proved_unsat
   | Proved_sat of Sat.Assignment.t
 
-type stats = {
-  units_propagated : int;
-  pure_literals : int;
-  tautologies_removed : int;
-  subsumed_removed : int;
-  duplicates_removed : int;
-}
+(* Telemetry handles, resolved once at load (same discipline as Cdcl). *)
+let m_derived =
+  Obs.Metrics.counter Obs.Metrics.global "simplify.derived_records"
 
-exception Empty_clause_derived
+let m_removed =
+  Obs.Metrics.counter Obs.Metrics.global "simplify.removed_clauses"
 
-(* working state: clause set as sorted literal lists, current forced
-   assignment *)
-type work = {
+let m_rounds = Obs.Metrics.gauge Obs.Metrics.global "simplify.rounds"
+
+(* --- internal state ----------------------------------------------------- *)
+
+type cls = { id : int; lits : Clause.t; mutable dead : bool }
+
+type recon =
+  | R_forced of Lit.var * bool (* unit-justified or pure assignment *)
+  | R_bve of Lit.var * Clause.t list
+      (* occurrences removed when the variable was eliminated *)
+
+type st = {
+  cfg : config;
+  tr : Sink.t option;
   nvars : int;
-  mutable clauses : Sat.Clause.t list;
-  value : Sat.Assignment.t;
-  mutable forced_rev : (Sat.Lit.var * bool) list;
+  num_original : int;
+  mutable next_id : int;
+  occ : cls list array; (* literal-indexed; lazily skips dead entries *)
+  mutable all : cls list; (* every clause ever added; compacted per round *)
+  value : Assignment.t;
+  unit_id : int array; (* var -> justifying unit clause id; 0 = pure *)
+  mutable forced_rev : (Lit.var * bool * int) list;
+  eliminated : bool array;
+  mutable recon_rev : recon list;
+  dup_keys : (string, int) Hashtbl.t; (* canonical lits -> live clause id *)
+  referenced : (int, unit) Hashtbl.t; (* ids used as chain sources *)
+  protected : (int, unit) Hashtbl.t; (* level-0 antecedents: never hinted *)
+  queue : (Lit.t * int) Queue.t; (* pending unit assignments *)
+  mutable dead_batch : int list; (* delete hints awaiting a flush *)
+  mutable dirty : int; (* bumped on every change; fixpoint detector *)
   mutable s_units : int;
   mutable s_pures : int;
   mutable s_tauts : int;
   mutable s_subsumed : int;
   mutable s_dups : int;
+  mutable s_strengthened : int;
+  mutable s_elim : int;
+  mutable s_resolvents : int;
+  mutable s_failed : int;
+  mutable s_records : int;
+  mutable s_rounds : int;
 }
 
-let assign w v b =
-  match Sat.Assignment.value w.value v with
-  | Sat.Assignment.Unassigned ->
-    Sat.Assignment.set w.value v b;
-    w.forced_rev <- (v, b) :: w.forced_rev
-  | Sat.Assignment.True -> if not b then raise Empty_clause_derived
-  | Sat.Assignment.False -> if b then raise Empty_clause_derived
+(* [Conflict cid] escapes to [run]: clause [cid] is falsified by the
+   justified level-0 assignment (or is a just-emitted empty clause), so
+   the trace finishes with the level-0 records and a final conflict. *)
+exception Conflict of int
 
-(* apply the current assignment to every clause; detect units and
-   conflicts; returns true when some new assignment was made *)
-let propagate_pass w =
-  let progress = ref false in
-  let keep = ref [] in
-  List.iter
-    (fun c ->
-      match Sat.Model.clause_status w.value c with
-      | Sat.Model.Satisfied -> ()
-      | Sat.Model.Conflicting -> raise Empty_clause_derived
-      | Sat.Model.Unit l ->
-        w.s_units <- w.s_units + 1;
-        assign w (Sat.Lit.var l) (not (Sat.Lit.is_neg l));
-        progress := true
-      | Sat.Model.Unresolved -> keep := c :: !keep)
-    w.clauses;
-  w.clauses <- List.rev !keep;
-  !progress
-
-let pure_pass w =
-  let seen_pos = Array.make (w.nvars + 1) false in
-  let seen_neg = Array.make (w.nvars + 1) false in
-  List.iter
-    (fun c ->
-      Array.iter
-        (fun l ->
-          match Sat.Assignment.lit_value w.value l with
-          | Sat.Assignment.True | Sat.Assignment.False -> ()
-          | Sat.Assignment.Unassigned ->
-            if Sat.Lit.is_neg l then seen_neg.(Sat.Lit.var l) <- true
-            else seen_pos.(Sat.Lit.var l) <- true)
-        c)
-    w.clauses;
-  let progress = ref false in
-  for v = 1 to w.nvars do
-    if not (Sat.Assignment.is_assigned w.value v) then
-      if seen_pos.(v) && not seen_neg.(v) then begin
-        w.s_pures <- w.s_pures + 1;
-        assign w v true;
-        progress := true
-      end
-      else if seen_neg.(v) && not seen_pos.(v) then begin
-        w.s_pures <- w.s_pures + 1;
-        assign w v false;
-        progress := true
-      end
-  done;
-  !progress
-
-(* structural cleanup under the current assignment: reduce each clause to
-   its unassigned literals, drop tautologies and duplicates *)
-let cleanup w =
-  let seen = Hashtbl.create 256 in
-  let keep = ref [] in
-  List.iter
-    (fun c ->
-      match Sat.Model.clause_status w.value c with
-      | Sat.Model.Satisfied -> ()
-      | Sat.Model.Conflicting | Sat.Model.Unit _ ->
-        (* propagate_pass runs first; these should not persist here, but
-           be safe and keep them for the next propagation round *)
-        keep := c :: !keep
-      | Sat.Model.Unresolved -> (
-        let remaining =
-          Array.of_seq
-            (Seq.filter
-               (fun l ->
-                 Sat.Assignment.lit_value w.value l
-                 = Sat.Assignment.Unassigned)
-               (Array.to_seq c))
-        in
-        match Sat.Clause.normalize remaining with
-        | None -> w.s_tauts <- w.s_tauts + 1
-        | Some d ->
-          if Hashtbl.mem seen d then w.s_dups <- w.s_dups + 1
-          else begin
-            Hashtbl.replace seen d ();
-            keep := d :: !keep
-          end))
-    w.clauses;
-  w.clauses <- List.rev !keep
-
-(* forward subsumption: a clause is removed when a (strictly shorter or
-   equal) clause is a subset of it.  Occurrence lists on the least
-   frequent literal keep it near-linear for our sizes. *)
-let subsumption_pass w =
-  let clauses = Array.of_list w.clauses in
-  let n = Array.length clauses in
-  let removed = Array.make n false in
-  (* occurrence lists: literal -> clause indexes *)
-  let occurs = Hashtbl.create 1024 in
-  Array.iteri
-    (fun i c ->
-      Array.iter
-        (fun l ->
-          let cur = Option.value ~default:[] (Hashtbl.find_opt occurs l) in
-          Hashtbl.replace occurs l (i :: cur))
-        c)
-    clauses;
-  let subset small big =
-    Array.for_all (fun l -> Sat.Clause.mem l big) small
-  in
-  (* sort indexes by clause size so subsumers are processed first *)
-  let order = Array.init n (fun i -> i) in
-  Array.sort
-    (fun i j -> Int.compare (Array.length clauses.(i)) (Array.length clauses.(j)))
-    order;
-  Array.iter
-    (fun i ->
-      if not removed.(i) then begin
-        let c = clauses.(i) in
-        if Array.length c > 0 then begin
-          (* candidates: clauses containing c's first literal *)
-          let best = ref c.(0) in
-          Array.iter
-            (fun l ->
-              let len ll =
-                List.length
-                  (Option.value ~default:[] (Hashtbl.find_opt occurs ll))
-              in
-              if len l < len !best then best := l)
-            c;
-          List.iter
-            (fun j ->
-              if
-                j <> i && not removed.(j)
-                && Array.length clauses.(j) >= Array.length c
-                && subset c clauses.(j)
-              then begin
-                removed.(j) <- true;
-                w.s_subsumed <- w.s_subsumed + 1
-              end)
-            (Option.value ~default:[] (Hashtbl.find_opt occurs !best))
-        end
-      end)
-    order;
-  let keep = ref [] in
-  for i = n - 1 downto 0 do
-    if not removed.(i) then keep := clauses.(i) :: !keep
-  done;
-  w.clauses <- !keep
-
-let simplify f =
-  let w = {
-    nvars = Sat.Cnf.nvars f;
-    clauses = Array.to_list (Sat.Cnf.clauses f);
-    value = Sat.Assignment.create (Sat.Cnf.nvars f);
+let make cfg tr f =
+  let nvars = Cnf.nvars f in
+  {
+    cfg;
+    tr;
+    nvars;
+    num_original = Cnf.nclauses f;
+    next_id = Cnf.nclauses f + 1;
+    occ = Array.make ((2 * nvars) + 2) [];
+    all = [];
+    value = Assignment.create nvars;
+    unit_id = Array.make (nvars + 1) 0;
     forced_rev = [];
+    eliminated = Array.make (nvars + 1) false;
+    recon_rev = [];
+    dup_keys = Hashtbl.create 257;
+    referenced = Hashtbl.create 257;
+    protected = Hashtbl.create 64;
+    queue = Queue.create ();
+    dead_batch = [];
+    dirty = 0;
     s_units = 0;
     s_pures = 0;
     s_tauts = 0;
     s_subsumed = 0;
     s_dups = 0;
-  } in
-  let stats () = {
-    units_propagated = w.s_units;
-    pure_literals = w.s_pures;
-    tautologies_removed = w.s_tauts;
-    subsumed_removed = w.s_subsumed;
-    duplicates_removed = w.s_dups;
-  } in
-  try
-    let continue_ = ref true in
-    while !continue_ do
-      let p1 = propagate_pass w in
-      if not p1 then begin
-        cleanup w;
-        subsumption_pass w;
-        let p2 = pure_pass w in
-        continue_ := p2
+    s_strengthened = 0;
+    s_elim = 0;
+    s_resolvents = 0;
+    s_failed = 0;
+    s_records = 0;
+    s_rounds = 0;
+  }
+
+let emit st ev = match st.tr with Some t -> Sink.push t ev | None -> ()
+
+(* Canonical key of a normalized (sorted, deduplicated) literal array. *)
+let key lits =
+  let b = Buffer.create 32 in
+  Array.iter
+    (fun l ->
+      Buffer.add_string b (string_of_int l);
+      Buffer.add_char b ' ')
+    lits;
+  Buffer.contents b
+
+let flush_deletes st =
+  match st.tr with
+  | Some t when st.dead_batch <> [] ->
+    let ids = Array.of_list st.dead_batch in
+    st.dead_batch <- [];
+    Array.sort compare ids;
+    Sink.push t (Event.Delete ids)
+  | _ -> st.dead_batch <- []
+
+(* A clause leaves the live set.  It becomes a delete hint only when the
+   hinted checker could act on it: derived clauses always, originals only
+   once a chain has referenced (materialised) them, and never a clause
+   protected as a level-0 antecedent — those are fetched again by the
+   final conflict chain at the very end of the trace. *)
+let bury st c =
+  c.dead <- true;
+  st.dirty <- st.dirty + 1;
+  if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_removed 1;
+  let k = key c.lits in
+  (match Hashtbl.find_opt st.dup_keys k with
+  | Some id when id = c.id -> Hashtbl.remove st.dup_keys k
+  | _ -> ());
+  if
+    st.tr <> None && st.cfg.emit_deletes
+    && (not (Hashtbl.mem st.protected c.id))
+    && (c.id > st.num_original || Hashtbl.mem st.referenced c.id)
+  then st.dead_batch <- c.id :: st.dead_batch
+
+let attach st c =
+  st.all <- c :: st.all;
+  Array.iter (fun l -> st.occ.(l) <- c :: st.occ.(l)) c.lits;
+  Hashtbl.replace st.dup_keys (key c.lits) c.id
+
+(* Emit a derived clause and register it.  [lits] must be normalized;
+   [sources] is the left-to-right resolution chain.  Returns [None]
+   without emitting when an identical live clause already exists (the
+   derivation is then redundant — the existing clause carries the
+   meaning).  Raises [Conflict] after emitting when the clause is empty. *)
+let derive st lits sources =
+  match Hashtbl.find_opt st.dup_keys (key lits) with
+  | Some _ ->
+    st.s_dups <- st.s_dups + 1;
+    None
+  | None ->
+    let id = st.next_id in
+    st.next_id <- id + 1;
+    List.iter (fun s -> Hashtbl.replace st.referenced s ()) sources;
+    emit st (Event.Learned { id; sources = Array.of_list sources });
+    st.s_records <- st.s_records + 1;
+    st.dirty <- st.dirty + 1;
+    if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_derived 1;
+    if Array.length lits = 0 then raise (Conflict id);
+    let c = { id; lits; dead = false } in
+    attach st c;
+    if Array.length lits = 1 then Queue.add (lits.(0), id) st.queue;
+    Some id
+
+let record_assign st l uid =
+  let v = Lit.var l in
+  let b = not (Lit.is_neg l) in
+  Assignment.set st.value v b;
+  st.unit_id.(v) <- uid;
+  st.forced_rev <- (v, b, uid) :: st.forced_rev;
+  st.recon_rev <- R_forced (v, b) :: st.recon_rev;
+  if uid <> 0 then begin
+    Hashtbl.replace st.protected uid ();
+    st.s_units <- st.s_units + 1
+  end
+  else st.s_pures <- st.s_pures + 1;
+  st.dirty <- st.dirty + 1
+
+(* Replace a live clause containing falsified literals by its shortening
+   under the current assignment: resolve each falsified literal away
+   against the unit clause that justified the assignment. *)
+let shorten st c =
+  let rest = ref [] and units = ref [] and sat = ref false in
+  Array.iter
+    (fun l ->
+      match Assignment.lit_value st.value l with
+      | Assignment.True -> sat := true
+      | Assignment.False -> units := st.unit_id.(Lit.var l) :: !units
+      | Assignment.Unassigned -> rest := l :: !rest)
+    c.lits;
+  if !sat then bury st c
+  else if !rest = [] then raise (Conflict c.id)
+  else begin
+    let lits = Array.of_list (List.rev !rest) in
+    let sources = c.id :: List.rev !units in
+    ignore (derive st lits sources : int option);
+    bury st c
+  end
+
+let apply_unit st l uid =
+  record_assign st l uid;
+  let sat = st.occ.(l) in
+  st.occ.(l) <- [];
+  List.iter (fun c -> if not c.dead then bury st c) sat;
+  let fal = st.occ.(Lit.negate l) in
+  st.occ.(Lit.negate l) <- [];
+  List.iter (fun c -> if not c.dead then shorten st c) fal
+
+let drain st =
+  while not (Queue.is_empty st.queue) do
+    let l, uid = Queue.take st.queue in
+    match Assignment.lit_value st.value l with
+    | Assignment.True -> ()
+    | Assignment.False ->
+      (* the pending unit clause itself is falsified — it is the final
+         conflict clause, so make sure no hint ever freed it *)
+      Hashtbl.replace st.protected uid ();
+      raise (Conflict uid)
+    | Assignment.Unassigned -> apply_unit st l uid
+  done
+
+(* --- loading ------------------------------------------------------------ *)
+
+let load st f =
+  for i = 0 to Cnf.nclauses f - 1 do
+    let id = i + 1 in
+    match Clause.normalize (Cnf.clause f i) with
+    | None -> st.s_tauts <- st.s_tauts + 1
+    | Some lits ->
+      if Array.length lits = 0 then raise (Conflict id)
+      else if Hashtbl.mem st.dup_keys (key lits) then
+        st.s_dups <- st.s_dups + 1
+      else begin
+        let c = { id; lits; dead = false } in
+        attach st c;
+        if Array.length lits = 1 then Queue.add (lits.(0), id) st.queue
       end
-    done;
-    cleanup w;
-    let forced = List.rev w.forced_rev in
-    if w.clauses = [] then begin
-      let a = Sat.Assignment.create w.nvars in
-      List.iter (fun (v, b) -> Sat.Assignment.set a v b) forced;
-      for v = 1 to w.nvars do
-        if not (Sat.Assignment.is_assigned a v) then
-          Sat.Assignment.set a v false
-      done;
-      (Proved_sat a, stats ())
-    end
-    else begin
-      let formula = Sat.Cnf.of_clauses w.nvars w.clauses in
-      let reconstruct model =
-        let a = Sat.Assignment.copy model in
-        List.iter (fun (v, b) -> Sat.Assignment.set a v b) forced;
-        for v = 1 to w.nvars do
-          if not (Sat.Assignment.is_assigned a v) then
-            Sat.Assignment.set a v false
-        done;
-        a
+  done
+
+(* --- passes ------------------------------------------------------------- *)
+
+let compact st =
+  st.all <- List.filter (fun c -> not c.dead) st.all;
+  Array.fill st.occ 0 (Array.length st.occ) [];
+  List.iter
+    (fun c -> Array.iter (fun l -> st.occ.(l) <- c :: st.occ.(l)) c.lits)
+    st.all
+
+let live_clauses st =
+  st.all <- List.filter (fun c -> not c.dead) st.all;
+  st.all
+
+(* [subset small big]: sorted-array subset test (literals are ordered by
+   the packed-int order [normalize] uses). *)
+let subset small big =
+  let ns = Array.length small and nb = Array.length big in
+  let rec go i j =
+    if i >= ns then true
+    else if j >= nb then false
+    else if small.(i) = big.(j) then go (i + 1) (j + 1)
+    else if small.(i) > big.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let live_occ_len st l =
+  List.fold_left (fun n c -> if c.dead then n else n + 1) 0 st.occ.(l)
+
+(* Forward subsumption: for each clause (shortest first), scan the
+   occurrence list of its rarest literal for supersets. *)
+let subsume_pass st =
+  let arr = Array.of_list (live_clauses st) in
+  Array.sort
+    (fun a b -> compare (Array.length a.lits) (Array.length b.lits))
+    arr;
+  Array.iter
+    (fun c ->
+      if not c.dead then begin
+        let best = ref c.lits.(0) and best_len = ref max_int in
+        Array.iter
+          (fun l ->
+            let n = live_occ_len st l in
+            if n < !best_len then begin
+              best := l;
+              best_len := n
+            end)
+          c.lits;
+        List.iter
+          (fun d ->
+            if
+              (not d.dead) && d.id <> c.id
+              && Array.length d.lits >= Array.length c.lits
+              && subset c.lits d.lits
+            then begin
+              st.s_subsumed <- st.s_subsumed + 1;
+              bury st d
+            end)
+          st.occ.(!best)
+      end)
+    arr
+
+(* Self-subsuming resolution: when D = (D' ∨ ¬l) with D' ⊆ C \ {l}, the
+   resolvent of C and D on l is exactly C \ {l} — C is strengthened.  The
+   two-clause chain [C; D] is always a valid single-clash step: a second
+   clashing variable w would put both w and ¬w into C (D \ {¬l} ⊆ C), and
+   C is not a tautology. *)
+let strengthen_pass st =
+  let budget = ref 200_000 in
+  List.iter
+    (fun c ->
+      if (not c.dead) && !budget > 0 then
+        Array.iter
+          (fun l ->
+            if not c.dead then begin
+              let nl = Lit.negate l in
+              List.iter
+                (fun d ->
+                  if
+                    (not c.dead) && (not d.dead) && !budget > 0
+                    && d.id <> c.id
+                    && Array.length d.lits <= Array.length c.lits
+                  then begin
+                    decr budget;
+                    if
+                      Array.for_all
+                        (fun m -> m = nl || Clause.mem m c.lits)
+                        d.lits
+                    then begin
+                      let lits =
+                        Array.of_list
+                          (List.filter
+                             (fun m -> m <> l)
+                             (Array.to_list c.lits))
+                      in
+                      st.s_strengthened <- st.s_strengthened + 1;
+                      ignore (derive st lits [ c.id; d.id ] : int option);
+                      bury st c
+                    end
+                  end)
+                st.occ.(nl)
+            end)
+          c.lits)
+    (live_clauses st)
+
+(* Pure literals: the assignment only removes satisfied clauses, so no
+   proof records are needed — the negation of a pure literal occurs in no
+   live clause and can never reappear in a derived one (resolvents only
+   combine live-clause literals). *)
+let pure_pass st =
+  let cnt = Array.make ((2 * st.nvars) + 2) 0 in
+  List.iter
+    (fun c -> Array.iter (fun l -> cnt.(l) <- cnt.(l) + 1) c.lits)
+    (live_clauses st);
+  for v = 1 to st.nvars do
+    if (not st.eliminated.(v)) && not (Assignment.is_assigned st.value v)
+    then begin
+      let p = cnt.(Lit.pos v) and n = cnt.(Lit.neg v) in
+      let lit =
+        if p > 0 && n = 0 then Some (Lit.pos v)
+        else if n > 0 && p = 0 then Some (Lit.neg v)
+        else None
       in
-      (Simplified { formula; forced; reconstruct }, stats ())
+      match lit with
+      | None -> ()
+      | Some l ->
+        record_assign st l 0;
+        List.iter
+          (fun c ->
+            if not c.dead then begin
+              Array.iter (fun m -> cnt.(m) <- cnt.(m) - 1) c.lits;
+              bury st c
+            end)
+          st.occ.(l);
+        st.occ.(l) <- []
     end
-  with Empty_clause_derived -> (Proved_unsat, stats ())
+  done
+
+(* Bounded variable elimination: replace the occurrences of v by all
+   non-tautological resolvents on v, gated so the clause count does not
+   grow.  Tautological resolvents are dropped (always satisfied);
+   resolvents identical to a live clause are not re-derived. *)
+let bve_pass st =
+  drain st;
+  let live_of l = List.filter (fun c -> not c.dead) st.occ.(l) in
+  let candidates = ref [] in
+  for v = 1 to st.nvars do
+    if (not st.eliminated.(v)) && not (Assignment.is_assigned st.value v)
+    then begin
+      let p = live_occ_len st (Lit.pos v)
+      and n = live_occ_len st (Lit.neg v) in
+      if
+        p > 0 && n > 0
+        && p <= st.cfg.bve_occ_limit
+        && n <= st.cfg.bve_occ_limit
+      then candidates := (p + n, v) :: !candidates
+    end
+  done;
+  let candidates = List.sort compare (List.rev !candidates) in
+  List.iter
+    (fun (_, v) ->
+      if (not st.eliminated.(v)) && not (Assignment.is_assigned st.value v)
+      then begin
+        let ps = live_of (Lit.pos v) and ns = live_of (Lit.neg v) in
+        let np = List.length ps and nn = List.length ns in
+        if
+          np > 0 && nn > 0
+          && np <= st.cfg.bve_occ_limit
+          && nn <= st.cfg.bve_occ_limit
+        then begin
+          let resolvents = ref [] and cnt = ref 0 and ok = ref true in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun n ->
+                  if !ok then
+                    match Clause.clashing_vars p.lits n.lits with
+                    | [ w ] when w = v ->
+                      let r =
+                        match
+                          Clause.normalize (Clause.resolve p.lits n.lits v)
+                        with
+                        | Some r -> r
+                        | None -> assert false (* single clash: no taut *)
+                      in
+                      if not (Hashtbl.mem st.dup_keys (key r)) then begin
+                        incr cnt;
+                        if !cnt > np + nn + st.cfg.bve_growth then ok := false
+                        else resolvents := (r, p.id, n.id) :: !resolvents
+                      end
+                    | _ -> () (* tautological resolvent *))
+                ns)
+            ps;
+          if !ok then begin
+            List.iter
+              (fun (r, pid, nid) ->
+                match derive st r [ pid; nid ] with
+                | Some _ -> st.s_resolvents <- st.s_resolvents + 1
+                | None -> ())
+              (List.rev !resolvents);
+            let removed = ps @ ns in
+            st.recon_rev <-
+              R_bve (v, List.map (fun c -> c.lits) removed) :: st.recon_rev;
+            List.iter (fun c -> bury st c) removed;
+            st.eliminated.(v) <- true;
+            st.s_elim <- st.s_elim + 1;
+            drain st
+          end
+        end
+      end)
+    candidates
+
+(* Failed-literal probing.  At the propagation fixpoint live clauses
+   mention no assigned variables, so a probe's BCP closure is entirely
+   local.  On a conflict, resolving the conflicting clause against the
+   local reasons in reverse propagation order yields exactly {¬l} (every
+   local assignment descends from the probe decision), or the empty
+   clause — a direct UNSAT proof. *)
+let probe_pass st =
+  drain st;
+  let budget = ref st.cfg.probe_limit in
+  let lval = Array.make (st.nvars + 1) 0 in
+  let probe l =
+    let trail = ref [] in
+    (* literal truth under the local assignment only *)
+    let local m =
+      let s = lval.(Lit.var m) in
+      if s = 0 then Assignment.Unassigned
+      else if s = 1 <> Lit.is_neg m then Assignment.True
+      else Assignment.False
+    in
+    let assign m reason =
+      lval.(Lit.var m) <- (if Lit.is_neg m then -1 else 1);
+      trail := (m, reason) :: !trail
+    in
+    let q = Queue.create () in
+    assign l None;
+    Queue.add l q;
+    let conflict = ref None in
+    while !conflict = None && not (Queue.is_empty q) do
+      let m = Queue.take q in
+      List.iter
+        (fun c ->
+          if !conflict = None && not c.dead then begin
+            let sat = ref false and un = ref [] in
+            Array.iter
+              (fun x ->
+                match local x with
+                | Assignment.True -> sat := true
+                | Assignment.False -> ()
+                | Assignment.Unassigned -> un := x :: !un)
+              c.lits;
+            if not !sat then
+              match !un with
+              | [] -> conflict := Some c
+              | [ u ] ->
+                assign u (Some c);
+                Queue.add u q
+              | _ -> ()
+          end)
+        st.occ.(Lit.negate m)
+    done;
+    let result =
+      match !conflict with
+      | None -> None
+      | Some k ->
+        (* walk the local trail newest-first: every literal a reason
+           clause contributed was assigned strictly earlier, so it is
+           still ahead of us when we reach it *)
+        let acc = ref k.lits and extra = ref [] in
+        List.iter
+          (fun (m, reason) ->
+            if Clause.mem (Lit.negate m) !acc then
+              match reason with
+              | Some rc ->
+                acc := Clause.resolve !acc rc.lits (Lit.var m);
+                extra := rc.id :: !extra
+              | None -> () (* the probe decision: ¬l stays *))
+          !trail;
+        Some (!acc, k.id :: List.rev !extra)
+    in
+    List.iter (fun (m, _) -> lval.(Lit.var m) <- 0) !trail;
+    result
+  in
+  let v = ref 1 in
+  while !v <= st.nvars && !budget > 0 do
+    if
+      (not st.eliminated.(!v))
+      && (not (Assignment.is_assigned st.value !v))
+      && live_occ_len st (Lit.pos !v) + live_occ_len st (Lit.neg !v) > 0
+    then
+      List.iter
+        (fun l ->
+          if
+            !budget > 0 && not (Assignment.is_assigned st.value (Lit.var l))
+          then begin
+            decr budget;
+            match probe l with
+            | None -> ()
+            | Some (res, sources) ->
+              st.s_failed <- st.s_failed + 1;
+              let lits =
+                match Clause.normalize res with
+                | Some r -> r
+                | None -> assert false (* all literals false: no taut *)
+              in
+              ignore (derive st lits sources : int option);
+              drain st
+          end)
+        [ Lit.pos !v; Lit.neg !v ];
+    incr v
+  done
+
+(* --- driver ------------------------------------------------------------- *)
+
+let fixpoint st =
+  let continue_ = ref true in
+  while !continue_ && st.s_rounds < st.cfg.max_rounds do
+    let before = st.dirty in
+    st.s_rounds <- st.s_rounds + 1;
+    compact st;
+    drain st;
+    if st.cfg.enable_subsumption then subsume_pass st;
+    if st.cfg.enable_strengthen then begin
+      strengthen_pass st;
+      drain st
+    end;
+    pure_pass st;
+    if st.cfg.enable_bve then bve_pass st;
+    if st.cfg.enable_probe then probe_pass st;
+    drain st;
+    flush_deletes st;
+    if st.dirty = before then continue_ := false
+  done
+
+(* The final conflict clause's literals are all falsified by
+   unit-justified assignments (pure literals never falsify anything), so
+   the chronological level-0 records below give the final-conflict chain
+   everything it resolves against. *)
+let finalize_unsat st cid =
+  flush_deletes st;
+  List.iter
+    (fun (v, b, uid) ->
+      if uid <> 0 then
+        emit st (Event.Level0 { var = v; value = b; ante = uid }))
+    (List.rev st.forced_rev);
+  emit st (Event.Final_conflict cid)
+
+let snapshot st =
+  {
+    units_propagated = st.s_units;
+    pure_literals = st.s_pures;
+    tautologies_removed = st.s_tauts;
+    subsumed_removed = st.s_subsumed;
+    duplicates_removed = st.s_dups;
+    strengthened = st.s_strengthened;
+    eliminated_vars = st.s_elim;
+    resolvents_added = st.s_resolvents;
+    failed_literals = st.s_failed;
+    derived_records = st.s_records;
+    rounds = st.s_rounds;
+  }
+
+let clause_sat a c =
+  Array.exists (fun l -> Assignment.lit_value a l = Assignment.True) c
+
+(* Lift a model of the simplified clause set to the original formula:
+   totalize, then replay removals newest-first.  A variable eliminated at
+   step i only appears in clauses saved at step i over variables decided
+   later in the replay (see the module-head invariant), and one of the
+   two phases always satisfies every saved clause because the model
+   satisfies all resolvents. *)
+let reconstruct_fn nvars recon_rev model =
+  let a = Assignment.copy model in
+  for v = 1 to nvars do
+    if not (Assignment.is_assigned a v) then Assignment.set a v false
+  done;
+  List.iter
+    (function
+      | R_forced (v, b) -> Assignment.set a v b
+      | R_bve (v, saved) ->
+        Assignment.set a v true;
+        if not (List.for_all (clause_sat a) saved) then
+          Assignment.set a v false)
+    recon_rev;
+  a
+
+let run ?(config = default_config) ?trace f =
+  Obs.Span.scope ~cat:"solver" "simplify.run" @@ fun () ->
+  let st = make config trace f in
+  emit st (Event.Header { nvars = st.nvars; num_original = st.num_original });
+  let outcome =
+    try
+      load st f;
+      fixpoint st;
+      flush_deletes st;
+      let live = List.sort (fun a b -> compare a.id b.id) (live_clauses st) in
+      let forced = List.rev_map (fun (v, b, _) -> (v, b)) st.forced_rev in
+      let reconstruct = reconstruct_fn st.nvars st.recon_rev in
+      if live = [] then P_sat (reconstruct (Assignment.create st.nvars))
+      else
+        P_simplified
+          {
+            clauses = List.map (fun c -> (c.id, c.lits)) live;
+            units =
+              List.filter_map
+                (fun (v, b, uid) ->
+                  if uid = 0 then None else Some (uid, Lit.make v (not b)))
+                (List.rev st.forced_rev);
+            next_id = st.next_id;
+            forced;
+            reconstruct;
+          }
+    with Conflict cid ->
+      finalize_unsat st cid;
+      P_unsat
+  in
+  if Obs.Ctl.on () then
+    Obs.Metrics.Gauge.set m_rounds (float_of_int st.s_rounds);
+  (outcome, snapshot st)
+
+let simplify f =
+  let po, stats = run f in
+  let outcome =
+    match po with
+    | P_unsat -> Proved_unsat
+    | P_sat a -> Proved_sat a
+    | P_simplified { clauses; forced; reconstruct; _ } ->
+      Simplified
+        {
+          formula = Cnf.of_clauses (Cnf.nvars f) (List.map snd clauses);
+          forced;
+          reconstruct;
+        }
+  in
+  (outcome, stats)

@@ -1,24 +1,121 @@
-(** CNF preprocessing: satisfiability-preserving simplification applied
-    before search, in the spirit of the preprocess() step of the paper's
-    Figure 1 but as a standalone formula-to-formula pass.
+(** Checked CNF preprocessing: satisfiability-preserving simplification
+    applied before search, in the spirit of the preprocess() step of the
+    paper's Figure 1 — but as a {e proof-emitting} layer, not a
+    formula→formula black box.
 
-    Techniques (iterated to a fixed point):
+    Techniques (iterated to a fixed point, each independently gated by
+    {!config}):
     - unit propagation — forced assignments are applied, satisfied
-      clauses removed, falsified literals deleted;
+      clauses removed, falsified literals resolved away;
     - pure-literal elimination — a variable occurring in one phase only
-      is assigned that phase;
+      is assigned that phase (no proof records needed: removals only);
     - tautology and duplicate-literal removal;
-    - subsumption — a clause that contains another as a subset is
-      removed.
+    - subsumption — a clause containing another as a subset is removed;
+    - self-subsuming resolution (clause strengthening) — when
+      [D \ {¬l} ⊆ C \ {l}], the resolvent [C \ {l}] replaces [C];
+    - bounded variable elimination — a variable whose resolvent set does
+      not grow the formula is resolved away entirely;
+    - failed-literal probing — a literal whose BCP closure conflicts
+      forces its negation.
 
-    The simplified formula lives in the same variable space (no
-    renumbering), so clause provenance stays obvious; [reconstruct] lifts
-    a model of the simplified formula to a model of the original by
-    replaying the forced and pure assignments.
+    {b End-to-end guarantee.}  When a {!Trace.Sink.t} is supplied, every
+    clause the simplifier {e derives} (shortened clauses, strengthening
+    resolvents, variable-elimination resolvents, probed units) is emitted
+    as an ordinary [Learned] record whose sources form a left-to-right
+    resolution chain over original (and earlier-derived) clause ids —
+    exactly the records the solver emits during search.  Original clauses
+    keep their DIMACS ids [1..num_original]; derived clauses take fresh
+    increasing ids from [num_original + 1].  Continuing the search with
+    {!Cdcl.solve_seeded} on the simplified clause set appends the CDCL
+    records to the same trace, so the combined trace checks against the
+    {e original} DIMACS formula under every checking strategy, and unsat
+    cores name original clause indices.  (The historical caveat that a
+    preprocessed run had to be validated against the simplified formula
+    is gone — that is the point of this module.)
 
-    Note: the solver's UNSAT traces refer to the formula actually given
-    to it — validate a preprocessed run against the simplified formula. *)
+    Clause {e removals} (satisfied, subsumed, duplicate, eliminated) need
+    no justification for the UNSAT direction; with
+    {!config.emit_deletes} they become format-version-2 [Delete] hints so
+    the hinted one-pass checker frees them eagerly.  Removals that affect
+    the SAT direction are undone by [reconstruct], which lifts a model of
+    the simplified clause set to a model of the original formula by
+    replaying forced, pure and eliminated-variable assignments in
+    reverse. *)
 
+(** Pass gates and budgets.  The defaults enable everything with
+    conservative limits. *)
+type config = {
+  enable_subsumption : bool;
+  enable_strengthen : bool;  (** self-subsuming resolution *)
+  enable_bve : bool;         (** bounded variable elimination *)
+  enable_probe : bool;       (** failed-literal probing *)
+  bve_occ_limit : int;
+      (** skip elimination of variables with more occurrences than this
+          in either phase *)
+  bve_growth : int;
+      (** allow at most [removed + growth] resolvents per elimination *)
+  probe_limit : int;         (** maximum probes per round *)
+  max_rounds : int;          (** fixed-point iteration cap *)
+  emit_deletes : bool;
+      (** emit version-2 [Delete] hints for removed clauses (the sink
+          must lead to a version-2 writer); original clauses are only
+          hinted once a resolution chain has referenced them, matching
+          the hinted checker's materialisation rule *)
+}
+
+val default_config : config
+
+type stats = {
+  units_propagated : int;
+  pure_literals : int;
+  tautologies_removed : int;
+  subsumed_removed : int;
+  duplicates_removed : int;
+  strengthened : int;        (** self-subsuming resolution steps *)
+  eliminated_vars : int;     (** variables removed by elimination *)
+  resolvents_added : int;    (** clauses added by variable elimination *)
+  failed_literals : int;     (** literals forced by probing *)
+  derived_records : int;     (** [Learned] records emitted *)
+  rounds : int;              (** fixed-point rounds executed *)
+}
+
+(** Outcome of the proof-emitting entry point.  Ids refer to the shared
+    trace id space: originals [1..num_original], derived clauses above. *)
+type proof_outcome =
+  | P_simplified of {
+      clauses : (int * Sat.Clause.t) list;
+          (** surviving non-unit clauses, id-tagged, ascending ids *)
+      units : (int * Sat.Lit.t) list;
+          (** justified forced literals with their unit-clause ids, in
+              assignment order — seed these as unit clauses so the
+              solver's level-0 records have antecedents *)
+      next_id : int;
+          (** first free id: seed {!Cdcl.solve_seeded} with it *)
+      forced : (Sat.Lit.var * bool) list;
+          (** every assignment applied (unit-justified and pure), in
+              order *)
+      reconstruct : Sat.Assignment.t -> Sat.Assignment.t;
+          (** lift a model of the simplified clause set to a model of
+              the original formula *)
+    }
+  | P_unsat
+      (** the trace already ends in a checked final conflict *)
+  | P_sat of Sat.Assignment.t
+      (** everything simplified away; a model of the input *)
+
+(** [run ?config ?trace f] simplifies [f], pushing the trace header and
+    one [Learned] record per derived clause into [trace] (which is not
+    closed — the caller owns it, and typically hands it on to
+    {!Cdcl.solve_seeded}).  On [P_unsat] the level-0 records and the
+    final-conflict record have already been emitted. *)
+val run :
+  ?config:config ->
+  ?trace:Trace.Sink.t ->
+  Sat.Cnf.t ->
+  proof_outcome * stats
+
+(** Legacy formula→formula view, kept for callers that do not thread a
+    trace. *)
 type outcome =
   | Simplified of {
       formula : Sat.Cnf.t;
@@ -27,16 +124,10 @@ type outcome =
       reconstruct : Sat.Assignment.t -> Sat.Assignment.t;
           (** lift a model of [formula] to a model of the input *)
     }
-  | Proved_unsat  (** propagation alone derived the empty clause *)
+  | Proved_unsat  (** simplification alone derived the empty clause *)
   | Proved_sat of Sat.Assignment.t
       (** everything simplified away; a model of the input *)
 
-type stats = {
-  units_propagated : int;
-  pure_literals : int;
-  tautologies_removed : int;
-  subsumed_removed : int;
-  duplicates_removed : int;
-}
-
+(** [simplify f] is {!run} without a trace, presenting the surviving
+    clauses as a formula over the same variable space. *)
 val simplify : Sat.Cnf.t -> outcome * stats

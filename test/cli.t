@@ -95,14 +95,27 @@ bad-input failure (exit code 2), distinct from a semantic check failure:
   $ grep "^s " check.out
   s BAD TRACE (lint)
 
-A structurally well-formed trace that proves nothing is the checker's
-job, not the linter's: lint passes, the resolution check fails (exit 1):
+With the formula in hand the pre-lint simulates chains over original
+clauses, so a chain step with no clashing variable is caught before the
+kernel runs (exit 2) even though the structural lint alone passes:
 
   $ printf 'p cnf 1 2\n1 0\n-1 0\n' > min.cnf
   $ printf 't 1 2\nCL 3 1 1\nVAR 1 1 1\nCONF 3\n' > bad.trc
   $ $R lint bad.trc | grep "^s "
   s LINT OK
   $ $R check min.cnf bad.trc > semantic.out; echo "exit $?"
+  exit 2
+  $ grep "^s " semantic.out
+  s BAD TRACE (lint)
+
+A trace that lints clean but proves nothing is still the checker's job:
+the resolution steps are fine, the conflict claim is not (exit 1):
+
+  $ printf 'p cnf 2 2\n1 2 0\n-1 2 0\n' > weak.cnf
+  $ printf 't 2 2\nCL 3 1 2\nCONF 3\n' > weak.trc
+  $ $R lint -f weak.cnf weak.trc | grep "^s "
+  s LINT OK
+  $ $R check weak.cnf weak.trc > semantic.out; echo "exit $?"
   exit 1
   $ grep "^s " semantic.out
   s CHECK FAILED
@@ -362,8 +375,52 @@ Model checking built-in transition systems:
   $ grep "^s " mc.out
   s UNSAFE (counterexample at depth 1)
 
-Preprocessing reports its statistics:
+Preprocessing reports per-pass statistics; a formula decided outright
+exits like solve (10/20):
 
   $ printf 'p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n' > units.cnf
-  $ $R simplify units.cnf | grep "^s "
+  $ $R simplify units.cnf; echo "exit $?"
+  c units 3, pures 0, tautologies 0, subsumed 0, duplicates 0
+  c strengthened 0, eliminated 0 vars (+0 resolvents), failed literals 0
+  c 2 derived records in 2 rounds
   s SATISFIABLE (by preprocessing)
+  exit 10
+
+Every simplification justifies itself: the derivation records written by
+--trace form a complete resolution proof when preprocessing alone
+refutes the formula, checkable against the original DIMACS:
+
+  $ printf 'p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n' > tiny.cnf
+  $ $R simplify tiny.cnf --trace tiny.trc; echo "exit $?"
+  c trace written to tiny.trc (50 bytes)
+  c units 1, pures 0, tautologies 0, subsumed 0, duplicates 1
+  c strengthened 4, eliminated 0 vars (+0 resolvents), failed literals 0
+  c 3 derived records in 1 rounds
+  s UNSATISFIABLE (by preprocessing)
+  exit 20
+  $ $R check tiny.cnf tiny.trc | grep "^s "
+  s VERIFIED UNSATISFIABLE
+
+The machine-readable report is deterministic:
+
+  $ $R simplify tiny.cnf --json
+  {"verdict":"unsat","original_clauses":4,"remaining_clauses":0,"rounds":1,"derived_records":3,"passes":{"units_propagated":1,"pure_literals":0,"tautologies_removed":0,"subsumed_removed":0,"duplicates_removed":1,"strengthened":4,"eliminated_vars":0,"resolvents_added":0,"failed_literals":0}}
+  [20]
+
+--pre runs the simplifier in front of the solver; the combined trace
+still checks against the ORIGINAL formula under every strategy:
+
+  $ $R solve php8.cnf --pre --trace php8pre.trc > presolve.out; echo "exit $?"
+  exit 20
+  $ $R check php8.cnf php8pre.trc -s df | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R check php8.cnf php8pre.trc -s hybrid | grep "^s "
+  s VERIFIED UNSATISFIABLE
+  $ $R lint -f php8.cnf php8pre.trc | grep "^s "
+  s LINT OK
+  $ $R validate php8.cnf --pre -s hint > preval.out; echo "exit $?"
+  exit 20
+  $ grep "^c pre" preval.out
+  c pre: 0 units, 0 pures, 0 subsumed, 0 strengthened, 9 vars eliminated (+72 resolvents), 0 failed literals, 72 derived records, 2 rounds
+  $ grep "^s " preval.out
+  s UNSATISFIABLE (proof verified)

@@ -18,5 +18,6 @@ let () =
    @ Test_pipeline.suite @ Test_bmc_engine.suite @ Test_mc_oracle.suite
    @ Test_circuit.suite
    @ Test_arith.suite @ Test_bdd.suite @ Test_gen.suite @ Test_simplify_muc.suite
+   @ Test_presolve.suite
    @ Test_obs.suite
    @ Test_harness.suite @ Test_fuzz.suite)

@@ -122,12 +122,11 @@ let check_instance ~round f trace =
            (fun f src -> Checker.Window.check ~window f src)))
     [ 1; 7; max_int ]
 
-let test_fuzzed_agreement () =
-  let rng = Sat.Rng.create 424242 in
-  let target = 50 in
+let fuzzed_agreement ~pre ~seed ~target () =
+  let rng = Sat.Rng.create seed in
   let unsat_seen = ref 0 in
   let round = ref 0 in
-  (* fuzz formulas until 50 UNSAT instances have been cross-checked *)
+  (* fuzz formulas until [target] UNSAT instances have been cross-checked *)
   while !unsat_seen < target && !round < 2000 do
     incr round;
     let nvars = 3 + Sat.Rng.int rng 10 in
@@ -137,7 +136,7 @@ let test_fuzzed_agreement () =
         Helpers.random_messy_cnf rng ~nvars ~nclauses
       else Gen.Random3sat.generate rng ~nvars ~nclauses:(min nclauses (6 * nvars))
     in
-    let result, _stats, trace = Pipeline.Validate.solve_with_trace f in
+    let result, _stats, trace = Pipeline.Validate.solve_with_trace ~pre f in
     match result with
     | Solver.Cdcl.Sat _ -> ()
     | Solver.Cdcl.Unsat ->
@@ -147,8 +146,20 @@ let test_fuzzed_agreement () =
   if !unsat_seen < target then
     Alcotest.failf "only %d unsat instances in %d rounds" !unsat_seen !round
 
+let test_fuzzed_agreement () = fuzzed_agreement ~pre:false ~seed:424242 ~target:50 ()
+
+(* same matrix on preprocessed runs: the trace opens with the
+   simplifier's derivation records and still checks against the original
+   formula under every strategy *)
+let test_fuzzed_agreement_pre () =
+  fuzzed_agreement ~pre:true ~seed:424243 ~target:30 ()
+
 let suite =
   [
     ( module_name,
-      [ Alcotest.test_case "fuzzed agreement x50" `Quick test_fuzzed_agreement ] );
+      [
+        Alcotest.test_case "fuzzed agreement x50" `Quick test_fuzzed_agreement;
+        Alcotest.test_case "fuzzed agreement x30 (pre)" `Quick
+          test_fuzzed_agreement_pre;
+      ] );
   ]
