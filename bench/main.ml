@@ -1262,6 +1262,15 @@ let overhead () =
       if Sys.opaque_identity false then Obs.Metrics.Counter.incr m 1
     done
   in
+  (* the journal guard is the same shape as the telemetry guard but a
+     separate flag; measure it separately so the gate covers both *)
+  Obs.Journal.disarm ();
+  let journal_loop () =
+    for _ = 1 to n_calls do
+      if Obs.Journal.on () then
+        Obs.Journal.record ~sub:"bench" "probe" []
+    done
+  in
   let reps = 7 in
   let best f =
     let t = ref infinity in
@@ -1272,8 +1281,12 @@ let overhead () =
     !t
   in
   let t_base = best base_loop and t_guard = best guard_loop in
+  let t_journal = best journal_loop in
   let guard_ns =
     Float.max 0.0 ((t_guard -. t_base) /. float_of_int n_calls *. 1e9)
+  in
+  let journal_ns =
+    Float.max 0.0 ((t_journal -. t_base) /. float_of_int n_calls *. 1e9)
   in
   (* 2. count guard firings on the real workload *)
   let f = Gen.Php.unsat ~holes:6 in
@@ -1302,9 +1315,14 @@ let overhead () =
       0.0 counted
   in
   let site_factor = 4.0 in
+  (* journal sites (restarts, spills, arena growth ...) fire far less
+     often than the counted hot metrics; charging them at one guard
+     evaluation per counted firing is a deliberate over-estimate *)
+  let journal_site_factor = 1.0 in
   (* 3. model and gate *)
   let modeled_pct =
-    guard_ns *. 1e-9 *. firings *. site_factor /. t_off *. 100.0
+    ((guard_ns *. site_factor) +. (journal_ns *. journal_site_factor))
+    *. 1e-9 *. firings /. t_off *. 100.0
   in
   let workload_pct = (t_on -. t_off) /. t_off *. 100.0 in
   print_table "overhead"
@@ -1313,6 +1331,8 @@ let overhead () =
     [
       [ "disabled guard cost (ns/call)";
         fmt_f ~decimals:2 guard_ns; "-"; "-"; "info" ];
+      [ "disabled journal guard (ns/call)";
+        fmt_f ~decimals:2 journal_ns; "-"; "-"; "info" ];
       [ "guard firings, validate php_6 bf";
         Printf.sprintf "%.0f x%.0f" firings site_factor; "-"; "-"; "info" ];
       [ "modeled disabled overhead";
@@ -1332,6 +1352,169 @@ let overhead () =
       modeled_pct budget_pct guard_ns firings;
     exit 1
   end
+
+(* --- regress: diff fresh BENCH tables against committed baselines ------- *)
+
+(* The solver is seeded, so every count/byte column in a BENCH table is
+   machine-independent; only wall-clock-derived columns vary run to run.
+   [regress] therefore compares a freshly produced BENCH_<t>.json
+   against the committed baseline cell by cell: headers and row counts
+   must match exactly, timing-flavoured columns (recognised by header
+   substrings) are skipped, non-numeric cells must be identical, and
+   numeric cells may drift at most RESCHECK_REGRESS_PCT percent
+   (default 2).  Gated drift exits non-zero, turning the bench series
+   into an enforced trajectory rather than eyeballed artifacts. *)
+
+let timing_column header =
+  let h = String.lowercase_ascii header in
+  let contains sub =
+    let nh = String.length h and ns = String.length sub in
+    let rec go i = i + ns <= nh && (String.sub h i ns = sub || go (i + 1)) in
+    go 0
+  in
+  List.exists contains
+    [
+      "(s)"; "(mb)"; "/s"; "speedup"; "ratio"; "ns/"; "ms/"; "overhead";
+      "budget"; "value"; "buffered"; "verdict";
+    ]
+
+let cell_number s =
+  let s = String.trim s in
+  let n = String.length s in
+  let s =
+    if n > 0 && (s.[n - 1] = '%' || s.[n - 1] = 'x') then String.sub s 0 (n - 1)
+    else s
+  in
+  float_of_string_opt s
+
+let regress () =
+  let dir =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench/baselines"
+  in
+  let budget_pct =
+    match Sys.getenv_opt "RESCHECK_REGRESS_PCT" with
+    | Some s -> (try float_of_string s with _ -> 2.0)
+    | None -> 2.0
+  in
+  let baselines =
+    match Sys.readdir dir with
+    | entries ->
+      Array.to_list entries
+      |> List.filter (fun f ->
+             String.length f > 10
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort String.compare
+    | exception Sys_error msg ->
+      Printf.eprintf "regress: cannot read baseline dir: %s\n" msg;
+      exit 2
+  in
+  if baselines = [] then begin
+    Printf.eprintf "regress: no BENCH_*.json baselines in %s\n" dir;
+    exit 2
+  end;
+  let strings_of j =
+    match Obs.Json.list j with
+    | Some l -> List.filter_map Obs.Json.string l
+    | None -> []
+  in
+  let load path =
+    let j = Obs.Json.of_file path in
+    let headers =
+      match Obs.Json.member "headers" j with Some h -> strings_of h | None -> []
+    in
+    let rows =
+      match Obs.Json.(Option.bind (member "rows" j) list) with
+      | Some rs -> List.map strings_of rs
+      | None -> []
+    in
+    (headers, rows)
+  in
+  let any_fail = ref false in
+  let report_rows =
+    List.map
+      (fun file ->
+        let table =
+          Filename.chop_suffix file ".json"
+          |> fun s -> String.sub s 6 (String.length s - 6)
+        in
+        if not (Sys.file_exists file) then
+          [ table; "-"; "-"; "-"; "skip (no fresh table)" ]
+        else
+          match (load (Filename.concat dir file), load file) with
+          | exception Obs.Json.Parse_error msg ->
+            any_fail := true;
+            Printf.eprintf "regress: %s: %s\n" file msg;
+            [ table; "-"; "-"; "-"; "FAIL (unparsable)" ]
+          | (bh, brows), (fh, frows) ->
+            if bh <> fh then begin
+              any_fail := true;
+              [ table; "-"; "-"; "-"; "FAIL (headers changed)" ]
+            end
+            else if List.length brows <> List.length frows then begin
+              any_fail := true;
+              Printf.eprintf "regress: %s: %d baseline rows, %d fresh\n"
+                table (List.length brows) (List.length frows);
+              [ table; "-"; "-"; "-"; "FAIL (row count)" ]
+            end
+            else begin
+              let checked = ref 0 and skipped = ref 0 in
+              let worst = ref 0.0 in
+              let failures = ref [] in
+              List.iteri
+                (fun ri (brow, frow) ->
+                  List.iteri
+                    (fun ci (b, f) ->
+                      let header = List.nth bh ci in
+                      if timing_column header then incr skipped
+                      else begin
+                        incr checked;
+                        match (cell_number b, cell_number f) with
+                        | Some nb, Some nf ->
+                          let drift =
+                            if nb = 0.0 then if nf = 0.0 then 0.0 else infinity
+                            else Float.abs (nf -. nb) /. Float.abs nb *. 100.0
+                          in
+                          if drift > !worst then worst := drift;
+                          if drift > budget_pct then
+                            failures :=
+                              Printf.sprintf
+                                "%s row %d %S: %s -> %s (%.2f%% > %.1f%%)"
+                                table ri header b f drift budget_pct
+                              :: !failures
+                        | _ ->
+                          if b <> f then
+                            failures :=
+                              Printf.sprintf "%s row %d %S: %S -> %S" table
+                                ri header b f
+                              :: !failures
+                      end)
+                    (List.combine brow frow))
+                (List.combine brows frows);
+              if !failures <> [] then begin
+                any_fail := true;
+                List.iter
+                  (fun m -> Printf.eprintf "regress: %s\n" m)
+                  (List.rev !failures)
+              end;
+              [
+                table;
+                string_of_int (List.length brows);
+                Printf.sprintf "%d/%d" !checked (!checked + !skipped);
+                (if Float.is_finite !worst then
+                   Printf.sprintf "%.3f%%" !worst
+                 else "inf");
+                (if !failures = [] then "ok"
+                 else Printf.sprintf "FAIL (%d cells)" (List.length !failures));
+              ]
+            end)
+      baselines
+  in
+  print_table "regress"
+    ~headers:[ "table"; "rows"; "cells checked"; "worst drift"; "verdict" ]
+    ~align:[ Harness.Table.Left ]
+    report_rows;
+  if !any_fail then exit 1
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1356,6 +1539,7 @@ let () =
   | "simplify_quick" -> simplify_quick ()
   | "parse" -> parse_bench ()
   | "overhead" -> overhead ()
+  | "regress" -> regress ()
   | "all" ->
     table1 ();
     print_newline ();
@@ -1387,6 +1571,6 @@ let () =
       "unknown mode %S (expected \
        table1|table2|table3|proofshape|scaling|ablation|baseline|par|\
        par_quick|stream|stream_quick|trim|trim_quick|hint|hint_quick|\
-       simplify|simplify_quick|parse|overhead|micro|all)\n"
+       simplify|simplify_quick|parse|overhead|regress|micro|all)\n"
       other;
     exit 2

@@ -132,12 +132,72 @@ let telemetry_term =
              default 1 — printing a heartbeat line to stderr; the series \
              also lands in the $(b,--metrics) profile.")
   in
-  let wire metrics trace_events progress =
-    Obs.Profile.configure ?metrics_file:metrics
-      ?trace_events_file:trace_events ?progress
-      ~heartbeat:(progress <> None) ()
+  let metrics_format_arg =
+    let parse = function
+      | "json" -> Ok `Json
+      | "prom" -> Ok `Prom
+      | s -> Error (`Msg (Printf.sprintf "unknown metrics format %S" s))
+    in
+    let print fmt = function
+      | `Json -> Format.pp_print_string fmt "json"
+      | `Prom -> Format.pp_print_string fmt "prom"
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Json
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:
+            "Format of the $(b,--metrics) file: $(b,json) (default) writes \
+             the run-profile document, $(b,prom) writes the metrics \
+             registry in the Prometheus text exposition format.")
   in
-  Term.(const wire $ metrics_arg $ trace_events_arg $ progress_arg)
+  let journal_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 1024) (some int) None
+      & info [ "journal" ] ~docv:"N"
+          ~doc:
+            "Arm the flight recorder: a ring buffer of the last $(docv) \
+             (default 1024) structured subsystem events — solver restarts \
+             and DB reductions, window spills/reloads, parse slow-path \
+             bails, arena fallbacks, wavefront barriers — dumped as \
+             deterministic JSON at exit (stderr, or $(b,--journal-file)) \
+             and on SIGUSR1.  Verdicts and stdout are byte-identical with \
+             the flag on or off.")
+  in
+  let journal_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-file" ] ~docv:"FILE"
+          ~doc:"Write the $(b,--journal) dump to $(docv) instead of stderr.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 5.0) (some float) None
+      & info [ "watchdog" ] ~docv:"SECS"
+          ~doc:
+            "Arm the stall watchdog: if no forward progress (sampler \
+             ticks) is seen across two $(docv)-second intervals (default \
+             5), print a heartbeat to stderr and dump the journal.  \
+             Implies $(b,--journal).")
+  in
+  let wire metrics metrics_format trace_events progress journal journal_file
+      watchdog =
+    (* --watchdog needs a journal to dump; arm one at default capacity *)
+    let journal =
+      match (journal, watchdog) with
+      | None, Some _ -> Some 1024
+      | j, _ -> j
+    in
+    Obs.Profile.configure ?metrics_file:metrics ~metrics_format
+      ?trace_events_file:trace_events ?progress
+      ~heartbeat:(progress <> None) ?journal ?journal_file ?watchdog ()
+  in
+  Term.(
+    const wire $ metrics_arg $ metrics_format_arg $ trace_events_arg
+    $ progress_arg $ journal_arg $ journal_file_arg $ watchdog_arg)
 
 let seed_arg =
   Arg.(
@@ -492,9 +552,22 @@ let mem_limit_arg =
 
 let check_cmd =
   let run () formula_path trace_path mode jobs window mem_limit no_lint
-      format_override io json analyze =
+      format_override io json analyze refusal_file =
     validate_jobs jobs;
     validate_window window;
+    (* [refuse] is the single exit point for every refusal and rejection:
+       when --refusal names a file, the structured capture (status,
+       message, position, involved ids and codes, journal tail) lands
+       there for [rescheck explain]; stdout is already fully printed by
+       the time it runs, so the capture never perturbs the verdict. *)
+    let refuse ?pos ?(ids = []) ?(codes = []) ~status ~code message =
+      (match refusal_file with
+       | Some file ->
+         Analysis.Explain.write_refusal ~file ~command:"check"
+           ~exit_code:code ~status ~message ?pos ~ids ~codes ()
+       | None -> ());
+      exit code
+    in
     let mode_check =
       match mode.m_check with
       | Some c -> c
@@ -552,12 +625,14 @@ let check_cmd =
            | 1 -> ()
            | 2 when mode.m_hints -> ()
            | v ->
-             Printf.printf
-               "c bad trace: trace format version %d is not supported by \
-                --mode %s\n"
-               v mode.m_name;
+             let msg =
+               Printf.sprintf
+                 "trace format version %d is not supported by --mode %s" v
+                 mode.m_name
+             in
+             Printf.printf "c bad trace: %s\n" msg;
              print_endline "s BAD TRACE (version)";
-             exit 2
+             refuse ~status:"s BAD TRACE (version)" ~code:2 msg
            | exception Sys_error m ->
              prerr_endline ("error: " ^ m);
              exit 2);
@@ -640,7 +715,28 @@ let check_cmd =
         Format.printf "@[<v>%a@]@." Analysis.Lint.pp report;
         print_endline "s BAD TRACE (lint)";
         remove_spool ();
-        exit 2
+        let errors =
+          List.filter
+            (fun (d : Analysis.Lint.diagnostic) ->
+              Analysis.Lint.severity_of d.code = Analysis.Lint.Error)
+            report.Analysis.Lint.diagnostics
+        in
+        let pos, message =
+          match errors with
+          | d :: _ ->
+            ( Some d.Analysis.Lint.pos,
+              Printf.sprintf "%s: %s"
+                (Analysis.Lint.code_id d.Analysis.Lint.code)
+                d.Analysis.Lint.message )
+          | [] -> (None, "trace failed lint")
+        in
+        refuse ?pos
+          ~codes:
+            (List.map
+               (fun (d : Analysis.Lint.diagnostic) ->
+                 Analysis.Lint.code_id d.Analysis.Lint.code)
+               errors)
+          ~status:"s BAD TRACE (lint)" ~code:2 message
       in
       (match checked with
        | Ok report ->
@@ -677,7 +773,8 @@ let check_cmd =
          Printf.printf "c bad trace: %s\n"
            (Checker.Diagnostics.to_string Checker.Diagnostics.Hints_unsupported);
          print_endline "s BAD TRACE (version)";
-         exit 2
+         refuse ~status:"s BAD TRACE (version)" ~code:2
+           (Checker.Diagnostics.to_string Checker.Diagnostics.Hints_unsupported)
        | Error d ->
          (* the tee'd lint stopped where the checker stopped; re-lint the
             (spooled) trace in full so the report matches a standalone
@@ -695,12 +792,19 @@ let check_cmd =
             Printf.printf "c bad trace: %s\n"
               (Checker.Diagnostics.to_string d);
             print_endline "s BAD TRACE (parse)";
-            exit 2
+            refuse
+              ?pos:(Checker.Diagnostics.position d)
+              ~codes:[ "L001" ] ~status:"s BAD TRACE (parse)" ~code:2
+              (Checker.Diagnostics.to_string d)
           | _ ->
             Printf.printf "c check failed: %s\n"
               (Checker.Diagnostics.to_string d);
             print_endline "s CHECK FAILED";
-            exit 1))
+            refuse
+              ?pos:(Checker.Diagnostics.position d)
+              ~ids:(Checker.Diagnostics.ids d)
+              ~status:"s CHECK FAILED" ~code:1
+              (Checker.Diagnostics.to_string d)))
   in
   let trace_pos =
     Arg.(
@@ -728,6 +832,18 @@ let check_cmd =
             "On success, print the report as deterministic JSON (no \
              elapsed-seconds line) instead of the human-readable text.")
   in
+  let refusal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "refusal" ] ~docv:"FILE"
+          ~doc:
+            "On a refusal (exit 2) or rejected proof (exit 1), write a \
+             structured $(b,rescheck-refusal/1) capture — status, message, \
+             position, the clause ids and lint codes involved, and the \
+             journal tail — to $(docv), consumable by $(b,rescheck \
+             explain).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -739,7 +855,7 @@ let check_cmd =
     Term.(
       const run $ telemetry_term $ formula_arg $ trace_pos $ strategy_arg
       $ jobs_arg $ window_arg $ mem_limit_arg $ no_lint_arg $ in_format_arg
-      $ io_arg $ json_arg $ analyze_flag_arg)
+      $ io_arg $ json_arg $ analyze_flag_arg $ refusal_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -1606,6 +1722,261 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a benchmark instance as DIMACS.")
     Term.(const run $ name_arg $ list_arg $ output_arg)
 
+(* --- explain -------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run trace_path refusal_path json window format_override io =
+    (match Analysis.Explain.read_refusal refusal_path with
+     | Error msg ->
+       prerr_endline ("error: " ^ msg);
+       exit 2
+     | Ok refusal -> (
+       match
+         Analysis.Explain.build ?format:format_override ~io ~window
+           ~trace:(Trace.Reader.From_file trace_path)
+           ~refusal ()
+       with
+       | report ->
+         if json then print_endline (Analysis.Explain.to_json report)
+         else Format.printf "%a@?" Analysis.Explain.pp report;
+         exit 0
+       | exception Sys_error msg ->
+         prerr_endline ("error: " ^ msg);
+         exit 2))
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"The trace the refusal is about.")
+  in
+  let refusal_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"REFUSAL"
+          ~doc:
+            "A $(b,rescheck-refusal/1) capture, as written by $(b,check \
+             --refusal).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the report as a deterministic $(b,rescheck-explain/1) \
+             JSON document instead of the human-readable text.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Context records to keep on each side of the offending record \
+             (default 5).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct the context of a captured refusal: the offending \
+          record with a surrounding trace window, the DAG neighborhood of \
+          the clause ids involved, documentation for the lint codes cited, \
+          and the journal tail recorded at refusal time.  Works on the \
+          refused trace itself — parse errors in the window are reported, \
+          not fatal.  Exit codes: 0 report produced, 2 unreadable trace or \
+          refusal file.")
+    Term.(
+      const run $ trace_pos $ refusal_pos $ json_arg $ window_arg
+      $ in_format_arg $ io_arg)
+
+(* --- profile diff --------------------------------------------------------- *)
+
+(* Flatten a rescheck-run-profile/1 document into comparable scalars:
+   counters as themselves, gauges as .value/.max, histograms as
+   .count/.sum.  Bucket shapes are deliberately not compared — two runs
+   with equal counts and sums but different bucketing are within noise
+   for gating purposes. *)
+let flatten_profile j =
+  let open Obs.Json in
+  let metrics = Option.value ~default:(Obj []) (member "metrics" j) in
+  let fields k = Option.value ~default:[] (Option.bind (member k metrics) obj) in
+  let scalars = ref [] in
+  let add name v = scalars := (name, v) :: !scalars in
+  List.iter
+    (fun (name, v) -> Option.iter (add name) (number v))
+    (fields "counters");
+  List.iter
+    (fun (name, v) ->
+      Option.iter (add (name ^ ".value")) (Option.bind (member "value" v) number);
+      Option.iter (add (name ^ ".max")) (Option.bind (member "max" v) number))
+    (fields "gauges");
+  List.iter
+    (fun (name, v) ->
+      Option.iter (add (name ^ ".count")) (Option.bind (member "count" v) number);
+      Option.iter (add (name ^ ".sum")) (Option.bind (member "sum" v) number))
+    (fields "histograms");
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !scalars
+
+let profile_diff_cmd =
+  let run a_path b_path json gate =
+    let load path =
+      match Obs.Json.of_file path with
+      | j -> (
+        match Obs.Json.(Option.bind (member "schema" j) string) with
+        | Some "rescheck-run-profile/1" -> j
+        | _ ->
+          Printf.eprintf "error: %s: not a rescheck-run-profile/1 file\n" path;
+          exit 2)
+      | exception Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+      | exception Obs.Json.Parse_error msg ->
+        Printf.eprintf "error: %s: %s\n" path msg;
+        exit 2
+    in
+    let ja = load a_path and jb = load b_path in
+    let fa = flatten_profile ja and fb = flatten_profile jb in
+    let wall j =
+      Obs.Json.(
+        Option.bind (member "env" j) (fun e ->
+            Option.bind (member "wall_seconds" e) number))
+    in
+    (* drift of b relative to a; a zero baseline with a non-zero value is
+       unbounded drift and always trips a gate *)
+    let pct a b =
+      if a = 0.0 then if b = 0.0 then 0.0 else infinity
+      else Float.abs (b -. a) /. Float.abs a *. 100.0
+    in
+    let shared, only_a =
+      List.partition_map
+        (fun (name, va) ->
+          match List.assoc_opt name fb with
+          | Some vb -> Left (name, va, vb)
+          | None -> Right name)
+        fa
+    in
+    let only_b =
+      List.filter_map
+        (fun (name, _) ->
+          if List.mem_assoc name fa then None else Some name)
+        fb
+    in
+    let gated =
+      match gate with
+      | None -> []
+      | Some limit ->
+        List.filter (fun (_, va, vb) -> pct va vb > limit) shared
+    in
+    let jf = Obs.Metrics.json_float in
+    if json then begin
+      let b = Buffer.create 2048 in
+      Buffer.add_string b
+        (Printf.sprintf
+           {|{"schema":"rescheck-profile-diff/1","a":"%s","b":"%s","wall_seconds":{"a":%s,"b":%s},"metrics":[|}
+           (Obs.Metrics.json_escape a_path)
+           (Obs.Metrics.json_escape b_path)
+           (match wall ja with Some w -> jf w | None -> "null")
+           (match wall jb with Some w -> jf w | None -> "null"));
+      List.iteri
+        (fun i (name, va, vb) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               {|{"name":"%s","a":%s,"b":%s,"pct":%s}|}
+               (Obs.Metrics.json_escape name)
+               (jf va) (jf vb)
+               (let p = pct va vb in
+                if Float.is_finite p then jf p else "\"inf\"")))
+        shared;
+      let names l =
+        String.concat ","
+          (List.map
+             (fun n -> Printf.sprintf {|"%s"|} (Obs.Metrics.json_escape n))
+             l)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           {|],"only_a":[%s],"only_b":[%s],"gate":%s,"over_gate":%d}|}
+           (names only_a) (names only_b)
+           (match gate with Some g -> jf g | None -> "null")
+           (List.length gated));
+      print_endline (Buffer.contents b)
+    end
+    else begin
+      Printf.printf "profile diff: %s vs %s\n" a_path b_path;
+      (match (wall ja, wall jb) with
+       | Some wa, Some wb ->
+         Printf.printf "  wall_seconds: %.6f -> %.6f (info only)\n" wa wb
+       | _ -> ());
+      List.iter
+        (fun (name, va, vb) ->
+          if va <> vb then
+            let p = pct va vb in
+            Printf.printf "  %-32s %s -> %s (%s%%)\n" name (jf va) (jf vb)
+              (if Float.is_finite p then jf p else "inf"))
+        shared;
+      List.iter (fun n -> Printf.printf "  only in A: %s\n" n) only_a;
+      List.iter (fun n -> Printf.printf "  only in B: %s\n" n) only_b;
+      if shared <> [] && List.for_all (fun (_, va, vb) -> va = vb) shared then
+        Printf.printf "  %d metrics identical\n" (List.length shared)
+    end;
+    match gated with
+    | [] -> exit 0
+    | _ ->
+      List.iter
+        (fun (name, va, vb) ->
+          Printf.eprintf "profile diff: %s drifted %s -> %s (gate %s%%)\n"
+            name (jf va) (jf vb)
+            (match gate with Some g -> jf g | None -> "?"))
+        gated;
+      exit 1
+  in
+  let a_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"Baseline run profile.")
+  in
+  let b_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Candidate run profile.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the diff as a deterministic \
+             $(b,rescheck-profile-diff/1) JSON document.")
+  in
+  let gate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 1) when any metric present in both profiles \
+             drifts by more than $(docv) percent.  Wall-clock and \
+             metrics present on only one side are reported but never \
+             gated.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two rescheck-run-profile/1 files metric by metric: \
+          counters, gauge levels and high-water marks, histogram counts \
+          and sums.  Exit codes: 0 within gate (or no gate), 1 gated \
+          drift, 2 bad input.")
+    Term.(const run $ a_pos $ b_pos $ json_arg $ gate_arg)
+
+let profile_cmd =
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:"Cross-run analytics over recorded run profiles.")
+    [ profile_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "rescheck" ~version:"1.0.0"
@@ -1617,7 +1988,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            solve_cmd; check_cmd; lint_cmd; analyze_cmd; validate_cmd;
-            core_cmd; trim_cmd; hint_cmd; simplify_cmd; drup_cmd; mc_cmd;
-            gen_cmd;
+            solve_cmd; check_cmd; lint_cmd; analyze_cmd; explain_cmd;
+            validate_cmd; core_cmd; trim_cmd; hint_cmd; simplify_cmd;
+            drup_cmd; mc_cmd; gen_cmd; profile_cmd;
           ]))

@@ -880,3 +880,107 @@ let to_json p =
     p.predicted_peak_live.par p.predicted_peak_live.online p.warnings p.dropped
     (Lint.by_code_json p.by_code)
     (Lint.diagnostics_json p.diagnostics)
+
+(* --- DAG neighborhood (refusal forensics) -------------------------------- *)
+
+type node = {
+  n_id : int;
+  n_kind : [ `Original | `Learned | `Undefined ];
+  n_def_pos : Trace.Reader.pos option;
+  n_sources : int array;
+  n_uses : int;
+  n_used_by : int list;
+  n_deleted_at : Trace.Reader.pos option;
+}
+
+let neighborhood ?format ?io ?(max_used_by = 8) ~ids source =
+  (* Best-effort by contract: [explain] runs this over the very traces
+     the checker refused, so a parse error simply ends the pass — what
+     was collected up to the refusal point is exactly the context a
+     positioned failure can see anyway. *)
+  let targets = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace targets id ()) ids;
+  let nodes = Hashtbl.create 8 in
+  let node id =
+    match Hashtbl.find_opt nodes id with
+    | Some n -> n
+    | None ->
+      let n =
+        ref
+          {
+            n_id = id;
+            n_kind = `Undefined;
+            n_def_pos = None;
+            n_sources = [||];
+            n_uses = 0;
+            n_used_by = [];
+            n_deleted_at = None;
+          }
+      in
+      Hashtbl.replace nodes id n;
+      n
+  in
+  let originals = ref 0 in
+  let cur = Trace.Reader.cursor ?format ?io source in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Trace.Reader.next cur with
+       | None -> continue := false
+       | Some e -> (
+         let pos = Trace.Reader.last_pos cur in
+         match e with
+         | Trace.Event.Header h -> originals := h.num_original
+         | Trace.Event.Learned l ->
+           if Hashtbl.mem targets l.id then begin
+             let n = node l.id in
+             if !n.n_def_pos = None then
+               n :=
+                 {
+                   !n with
+                   n_kind = `Learned;
+                   n_def_pos = Some pos;
+                   n_sources = Array.copy l.sources;
+                 }
+           end;
+           Array.iter
+             (fun s ->
+               if Hashtbl.mem targets s then begin
+                 let n = node s in
+                 let used_by =
+                   if List.length !n.n_used_by < max_used_by then
+                     !n.n_used_by @ [ l.id ]
+                   else !n.n_used_by
+                 in
+                 n := { !n with n_uses = !n.n_uses + 1; n_used_by = used_by }
+               end)
+             l.sources
+         | Trace.Event.Level0 v ->
+           if Hashtbl.mem targets v.ante then begin
+             let n = node v.ante in
+             n := { !n with n_uses = !n.n_uses + 1 }
+           end
+         | Trace.Event.Final_conflict id ->
+           if Hashtbl.mem targets id then begin
+             let n = node id in
+             n := { !n with n_uses = !n.n_uses + 1 }
+           end
+         | Trace.Event.Delete del ->
+           Array.iter
+             (fun id ->
+               if Hashtbl.mem targets id then begin
+                 let n = node id in
+                 if !n.n_deleted_at = None then
+                   n := { !n with n_deleted_at = Some pos }
+               end)
+             del)
+     done
+   with Trace.Reader.Parse_error _ -> ());
+  Trace.Reader.close cur;
+  List.map
+    (fun id ->
+      let n = !(node id) in
+      if n.n_kind = `Undefined && id >= 1 && id <= !originals then
+        { n with n_kind = `Original }
+      else n)
+    (List.sort_uniq compare ids)

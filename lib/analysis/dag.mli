@@ -195,6 +195,40 @@ val strip_hints :
   Trace.Writer.t ->
   (hint_stats, error) result
 
+(** {2 DAG neighborhood}
+
+    Refusal forensics: the local view of a handful of clause ids, for
+    [rescheck explain].  Unlike {!run} this pass is {e best-effort} — it
+    is run over the very traces the checker refused, so a parse error
+    simply ends the scan and the nodes report what the stream defined up
+    to that point, which is exactly the context visible at a positioned
+    failure. *)
+
+type node = {
+  n_id : int;
+  n_kind : [ `Original | `Learned | `Undefined ];
+      (** [`Original] when the id falls in the header's original range
+          and no learned record redefines it; [`Undefined] when nothing
+          defines it before the scan ends — the typical L106 culprit *)
+  n_def_pos : Trace.Reader.pos option;  (** defining record, if learned *)
+  n_sources : int array;                (** its antecedent list *)
+  n_uses : int;  (** total references: sources, level-0 antecedents,
+                     final conflict *)
+  n_used_by : int list;  (** learned ids citing it, stream order, capped *)
+  n_deleted_at : Trace.Reader.pos option;  (** first delete hint naming it *)
+}
+
+(** [neighborhood ~ids source] scans the trace once and reports one
+    {!node} per distinct id in [ids] (sorted).  [max_used_by] caps the
+    retained citing ids (default 8; [n_uses] is never capped). *)
+val neighborhood :
+  ?format:Trace.Writer.format ->
+  ?io:Trace.Reader.io ->
+  ?max_used_by:int ->
+  ids:int list ->
+  Trace.Reader.source ->
+  node list
+
 (** {2 Rendering} *)
 
 (** [pp fmt p] renders the full human-readable report: retained

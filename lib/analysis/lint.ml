@@ -68,6 +68,131 @@ let code_id = function
   | Chain_multi_clash -> "L702"
   | Redundant_derivation -> "L703"
 
+(* One paragraph per stable L-code, keyed by the printed id so [explain]
+   can document a refusal without knowing the variant.  The first string
+   is a short title, the second what the condition means and what
+   usually causes it. *)
+let code_doc id =
+  let d title text = Some (title, text) in
+  match id with
+  | "L001" ->
+    d "parse error"
+      "The record at this position is not a well-formed trace line: \
+       unknown keyword, malformed integer, or a truncated binary record. \
+       Usually a corrupted or truncated trace file, or mismatched \
+       encoding/version detection."
+  | "L002" ->
+    d "missing header"
+      "The trace carries no problem header, so clause ids cannot be \
+       split into originals and learned clauses."
+  | "L003" -> d "duplicate header" "More than one problem header appears."
+  | "L004" ->
+    d "header dimensions mismatch"
+      "The header's variable or clause counts disagree with the DIMACS \
+       formula the trace is checked against."
+  | "L005" ->
+    d "event before header"
+      "A derivation record precedes the problem header; ids cannot be \
+       classified yet."
+  | "L101" ->
+    d "learned id shadows an original"
+      "A learned clause reuses an id in the original-clause range. Ids \
+       must be disjoint: originals first, learned clauses above them."
+  | "L102" ->
+    d "duplicate learned id"
+      "Two learned clauses define the same id; every derivation must \
+       have a unique name."
+  | "L103" ->
+    d "non-monotone learned id"
+      "Learned ids do not increase in stream order. Checkers tolerate \
+       this but it usually signals a reordered or interleaved trace."
+  | "L104" ->
+    d "empty source list"
+      "A learned clause lists no antecedents; a resolution chain needs \
+       at least two sources."
+  | "L105" ->
+    d "self-referential source"
+      "A learned clause lists itself among its sources."
+  | "L106" ->
+    d "unknown source id"
+      "A source id names a clause that is neither an original (per the \
+       header) nor a previously defined learned clause. Typically a \
+       truncated prefix, a deleted clause, or a corrupted id."
+  | "L107" ->
+    d "repeated source"
+      "The same id appears more than once in one source list; harmless \
+       to resolution but usually a generator bug."
+  | "L201" ->
+    d "level-0 variable out of range"
+      "A level-0 assignment names a variable outside the header's range."
+  | "L202" ->
+    d "duplicate level-0 assignment"
+      "The same variable is assigned at level 0 twice."
+  | "L203" ->
+    d "bad level-0 antecedent"
+      "A level-0 assignment cites an antecedent clause that is not \
+       defined at that point."
+  | "L301" ->
+    d "missing final conflict"
+      "The trace ends without a final conflict record; an UNSAT proof \
+       must name the clause whose literals are all false at level 0."
+  | "L302" ->
+    d "final conflict names unknown clause"
+      "The final conflict record cites an id that was never defined."
+  | "L303" ->
+    d "events after final conflict"
+      "Records follow the final conflict; they are dead weight and \
+       usually indicate a concatenated or truncated-then-resumed trace."
+  | "L401" ->
+    d "original clause mismatch"
+      "An original clause in the trace disagrees with the DIMACS \
+       formula at the same id — wrong formula for this trace."
+  | "L402" ->
+    d "formula variable out of range"
+      "The DIMACS formula uses a variable beyond its declared count."
+  | "L403" ->
+    d "duplicate literal in formula clause"
+      "A formula clause repeats a literal (normalized away, but noted)."
+  | "L404" ->
+    d "tautological formula clause"
+      "A formula clause contains a literal and its negation."
+  | "L501" ->
+    d "dead derivation"
+      "The learned clause is never used on any path to the final \
+       conflict; trimming would remove it."
+  | "L502" ->
+    d "duplicate derivation"
+      "Two learned clauses derive the same literal set; the later one \
+       is redundant."
+  | "L503" ->
+    d "singleton chain"
+      "A derivation lists exactly one source — a copy, not a resolution."
+  | "L601" ->
+    d "dangling delete hint"
+      "A delete hint names an id that is not live at that point: never \
+       defined, or already deleted."
+  | "L602" ->
+    d "duplicate delete hint"
+      "The same id is deleted twice with no intervening definition."
+  | "L603" ->
+    d "use after delete"
+      "A source list cites a clause after a delete hint removed it. A \
+       one-pass hinted checker must refuse this; the hint generator is \
+       deleting too eagerly."
+  | "L701" ->
+    d "chain has no clashing pair"
+      "Simulating the resolution chain found two adjacent resolvents \
+       with no complementary literal — the chain cannot resolve."
+  | "L702" ->
+    d "chain has multiple clashing pairs"
+      "Two chain clauses clash on more than one variable; resolution on \
+       either pivot leaves a tautology, so the chain is ambiguous."
+  | "L703" ->
+    d "redundant derivation"
+      "The simulated chain result is subsumed by an existing clause; \
+       the derivation adds nothing."
+  | _ -> None
+
 let severity_of = function
   | Nonmonotone_id | Repeated_source | After_conflict | Formula_duplicate_lit
   | Formula_tautology | Dead_derivation | Duplicate_derivation

@@ -79,6 +79,13 @@ val code_id : code -> string
 
 val severity_of : code -> severity
 
+(** [code_doc id] is the documentation for a printed lint code id
+    (e.g. ["L106"]): a short title and a paragraph describing the
+    condition and its usual causes.  [None] for unknown ids.  Covers
+    every stable code; [rescheck explain] embeds these in refusal
+    reports. *)
+val code_doc : string -> (string * string) option
+
 type diagnostic = {
   code : code;
   pos : Trace.Reader.pos;

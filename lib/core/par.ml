@@ -451,6 +451,9 @@ let check ?meter ?format ?io ?(jobs = 1) ?(window = default_window)
                     Obs.Metrics.Histogram.observe m_width width;
                     Obs.Sampler.tick ()
                   end;
+                  if Obs.Journal.on () then
+                    Obs.Journal.record ~sub:"par" "wavefront"
+                      [ ("width", width); ("jobs", jobs) ];
                   Obs.Span.leave sp)
                 fronts;
               match !min_fail with

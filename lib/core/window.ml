@@ -102,6 +102,13 @@ let boundary st =
         st.spilled <- st.spilled + 1;
         Proof.Kernel.release_id st.kernel id)
       ids;
+    if Obs.Journal.on () then
+      Obs.Journal.record ~sub:"window" "spill"
+        [
+          ("window", st.windows);
+          ("clauses", List.length ids);
+          ("spilled_total", st.spilled);
+        ];
     Hashtbl.reset st.live;
     flush st.spill.oc
   end;
@@ -120,6 +127,9 @@ let reload st ~context id =
       st.scratch.(i) <- input_binary_int st.spill.ic
     done;
     st.reloaded <- st.reloaded + 1;
+    if Obs.Journal.on () then
+      Obs.Journal.record ~sub:"window" "reload"
+        [ ("id", id); ("lits", n); ("reloaded_total", st.reloaded) ];
     let h =
       Proof.Clause_db.alloc_sorted (Proof.Kernel.db st.kernel) st.scratch n
     in

@@ -1,0 +1,109 @@
+type entry = {
+  seq : int;
+  sub : string;
+  event : string;
+  args : (string * int) list;
+}
+
+(* The armed flag is the hot-path guard: [on] compiles to a load and a
+   branch, same shape as [Ctl.on], so journal sites cost nothing
+   measurable while disarmed.  The ring itself is plain mutable state
+   with no lock — concurrent recorders may occasionally clobber one
+   slot, which is acceptable for a flight record and keeps the armed
+   cost at two stores per event. *)
+let armed = ref false
+let on () = !armed
+
+let default_capacity = 1024
+
+(* [ring] slots hold [None] until first written; [total] counts every
+   record since the last arm/reset, so the write index is just
+   [total mod capacity] and wraparound needs no extra bookkeeping. *)
+let ring : entry option array ref = ref [||]
+let total = ref 0
+
+let arm ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  ring := Array.make capacity None;
+  total := 0;
+  armed := true
+
+let disarm () = armed := false
+let capacity () = Array.length !ring
+let recorded () = !total
+
+let reset () =
+  let n = Array.length !ring in
+  if n > 0 then Array.fill !ring 0 n None;
+  total := 0
+
+let record ~sub event args =
+  let cap = Array.length !ring in
+  if cap > 0 then begin
+    let seq = !total in
+    !ring.(seq mod cap) <- Some { seq; sub; event; args };
+    total := seq + 1
+  end
+
+let entries () =
+  let cap = Array.length !ring in
+  if cap = 0 then []
+  else begin
+    (* Oldest surviving entry sits at the write index once we have
+       wrapped; before that the ring is simply a prefix. *)
+    let n = !total in
+    let start = if n <= cap then 0 else n mod cap in
+    let count = min n cap in
+    let out = ref [] in
+    for i = count - 1 downto 0 do
+      match !ring.((start + i) mod cap) with
+      | Some e -> out := e :: !out
+      | None -> ()
+    done;
+    !out
+  end
+
+let entry_json b e =
+  Buffer.add_string b
+    (Printf.sprintf {|{"seq":%d,"sub":"%s","event":"%s","args":{|} e.seq
+       (Metrics.json_escape e.sub)
+       (Metrics.json_escape e.event));
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf {|"%s":%d|} (Metrics.json_escape k) v))
+    e.args;
+  Buffer.add_string b "}}"
+
+let to_json () =
+  let es = entries () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"schema":"rescheck-journal/1","capacity":%d,"recorded":%d,"dropped":%d,"entries":[|}
+       (capacity ()) !total
+       (max 0 (!total - List.length es)));
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      entry_json b e)
+    es;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let dump oc =
+  output_string oc (to_json ());
+  output_char oc '\n';
+  flush oc
+
+let sigusr1_installed = ref false
+
+let install_sigusr1 () =
+  if not !sigusr1_installed then begin
+    sigusr1_installed := true;
+    try
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle (fun _ -> if !armed then dump stderr))
+    with Invalid_argument _ | Sys_error _ -> ()
+  end

@@ -1,0 +1,223 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg =
+  raise (Parse_error (Printf.sprintf "byte %d: %s" pos msg))
+
+(* One mutable cursor over the input string; each [parse_*] leaves the
+   cursor just past what it consumed. *)
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st.pos (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek st with
+      | None -> fail st.pos "unterminated escape"
+      | Some c ->
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then
+            fail st.pos "truncated \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail st.pos "bad \\u escape"
+          in
+          st.pos <- st.pos + 4;
+          (* Our own writers only escape control characters, so a plain
+             UTF-8 encode of the code point covers everything we read
+             back (surrogate pairs from foreign files decode as two
+             replacement-range chars, which is fine for reports). *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | c -> fail st.pos (Printf.sprintf "bad escape \\%c" c));
+        go ())
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let n = String.length st.src in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < n && is_num_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some v -> Number v
+  | None -> fail start (Printf.sprintf "bad number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st.pos "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elements ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st.pos "expected ',' or ']'"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st.pos "trailing garbage";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let string = function String s -> Some s | _ -> None
+let number = function Number v -> Some v | _ -> None
+
+let int = function
+  | Number v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let bool = function Bool b -> Some b | _ -> None
+let list = function List l -> Some l | _ -> None
+let obj = function Obj l -> Some l | _ -> None
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Number v -> Metrics.json_float v
+  | String s -> Printf.sprintf {|"%s"|} (Metrics.json_escape s)
+  | List items ->
+    "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf {|"%s":%s|} (Metrics.json_escape k) (to_string v))
+           fields)
+    ^ "}"

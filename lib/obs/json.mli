@@ -1,0 +1,46 @@
+(** A minimal JSON reader for the observability artifacts rescheck
+    itself emits — run profiles, journals, refusal reports, BENCH
+    tables.  One recursive-descent pass, no dependencies, strict enough
+    for round-tripping our own writers; not a general-purpose validator
+    (it accepts a few lenient forms such as lone [NaN] never emitted by
+    us anyway).
+
+    Parsed numbers keep their [float] value; object fields keep file
+    order (our writers emit deterministically sorted fields, and diffs
+    want to preserve that order in reports). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a byte offset and a reason. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val of_file : string -> t
+(** Reads and parses a whole file.
+    @raise Sys_error if unreadable, [Parse_error] if malformed. *)
+
+(** {2 Accessors} — total functions returning options; [None] on a kind
+    mismatch as well as on absence, so callers degrade gracefully when a
+    schema evolves. *)
+
+val member : string -> t -> t option
+(** [member k j] is field [k] of object [j]. *)
+
+val string : t -> string option
+val number : t -> float option
+val int : t -> int option
+val bool : t -> bool option
+val list : t -> t list option
+val obj : t -> (string * t) list option
+
+val to_string : t -> string
+(** Re-render (compact, field order preserved); used by tests to check
+    round-trips and by [explain] to embed sub-documents verbatim. *)

@@ -188,6 +188,54 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Prometheus text exposition.  Metric names become
+   [rescheck_<name with separators folded to '_'>]; gauges export their
+   level and a companion [_max] high-water series; log2 histograms map
+   to cumulative [le] buckets whose bounds are each bucket's largest
+   representable integer. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 9) in
+  Buffer.add_string b "rescheck_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let to_prom t =
+  let items = sorted_items t in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, m) ->
+      let pn = prom_name name in
+      match m with
+      | M_counter c ->
+        line "# TYPE %s counter" pn;
+        line "%s %d" pn c.count
+      | M_gauge g ->
+        line "# TYPE %s gauge" pn;
+        line "%s %s" pn (json_float g.value);
+        line "# TYPE %s_max gauge" pn;
+        line "%s_max %s" pn (json_float g.high)
+      | M_histogram h ->
+        line "# TYPE %s histogram" pn;
+        let cum = ref 0 in
+        List.iter
+          (fun (k, n) ->
+            cum := !cum + n;
+            (* bucket 0 holds v <= 0; bucket k >= 1 holds [2^(k-1), 2^k) *)
+            let upper = if k = 0 then 0 else (1 lsl k) - 1 in
+            line "%s_bucket{le=\"%d\"} %d" pn upper !cum)
+          (Histogram.buckets h);
+        line "%s_bucket{le=\"+Inf\"} %d" pn h.n;
+        line "%s_sum %s" pn (json_float h.total);
+        line "%s_count %d" pn h.n)
+    items;
+  Buffer.contents b
+
 let to_json t =
   let items = sorted_items t in
   let pick f = List.filter_map f items in

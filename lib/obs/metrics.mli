@@ -107,6 +107,13 @@ val snapshot : t -> (string * float) list
       "histograms":{"n":{"count":c,"sum":s,"buckets":[[k,n],...]}}}] *)
 val to_json : t -> string
 
+(** [to_prom t] renders the registry in the Prometheus text exposition
+    format, sorted by name.  Metric names are prefixed with [rescheck_]
+    and separators folded to underscores; gauges export a companion
+    [<name>_max] high-water series; log2 histograms become cumulative
+    [le]-bucketed Prometheus histograms. *)
+val to_prom : t -> string
+
 (** JSON helpers shared by the other [Obs] exporters: [json_escape] is a
     string-body escaper, [json_float] prints integral values exactly and
     everything else as [%.6g]. *)

@@ -31,11 +31,37 @@ let gc_json () =
     (Metrics.json_float st.Gc.major_words)
     st.Gc.major_collections
 
+let peak_rss_bytes () =
+  (* Linux exposes the high-water RSS as VmHWM in /proc/self/status;
+     elsewhere (or in stripped sandboxes) the file is absent and the
+     profile reports null.  Best-effort by contract: never raises. *)
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6))
+                " %d kB" (fun kb -> Some (kb * 1024))
+            else scan ()
+          | exception End_of_file -> None
+        in
+        scan ())
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
 let env_json ~wall_seconds =
-  Printf.sprintf "{\"build_id\":\"%s\",\"ocaml\":\"%s\",\"wall_seconds\":%.6f,\"gc\":%s}"
+  Printf.sprintf
+    "{\"build_id\":\"%s\",\"ocaml\":\"%s\",\"wall_seconds\":%.6f,\"peak_rss_bytes\":%s,\"gc\":%s}"
     (Metrics.json_escape (build_id ()))
     (Metrics.json_escape Sys.ocaml_version)
-    wall_seconds (gc_json ())
+    wall_seconds
+    (match peak_rss_bytes () with
+     | Some bytes -> string_of_int bytes
+     | None -> "null")
+    (gc_json ())
 
 let spans_json () =
   let buf = Buffer.create 512 in
@@ -61,18 +87,24 @@ let run_profile_json () =
 
 type config = {
   mutable metrics_file : string option;
+  mutable metrics_format : [ `Json | `Prom ];
   mutable trace_events_file : string option;
   mutable progress : float option;
+  mutable journal_file : string option;
   mutable finalized : bool;
+  mutable journal_finalized : bool;
   mutable exit_hooked : bool;
 }
 
 let cfg =
   {
     metrics_file = None;
+    metrics_format = `Json;
     trace_events_file = None;
     progress = None;
+    journal_file = None;
     finalized = false;
+    journal_finalized = false;
     exit_hooked = false;
   }
 
@@ -84,13 +116,32 @@ let write_file path contents =
       (fun () -> output_string oc contents)
   with Sys_error msg -> Printf.eprintf "rescheck: obs: cannot write %s\n" msg
 
+let dump_journal () =
+  match cfg.journal_file with
+  | Some path -> write_file path (Journal.to_json () ^ "\n")
+  | None -> Journal.dump stderr
+
 let finalize () =
+  (* The journal path is independent of [Ctl]: [--journal] alone arms
+     the recorder without enabling metrics, and its dump must still land
+     on every exit — including the deep [exit 2] refusal paths. *)
+  if Journal.on () && not cfg.journal_finalized then begin
+    cfg.journal_finalized <- true;
+    Sampler.disarm_watchdog ();
+    dump_journal ();
+    Journal.disarm ()
+  end;
   if Ctl.on () && not cfg.finalized then begin
     cfg.finalized <- true;
     if cfg.progress <> None then Sampler.sample_now ();
     Sampler.disarm ();
+    Sampler.disarm_watchdog ();
     (match cfg.metrics_file with
-     | Some path -> write_file path (run_profile_json ())
+     | Some path ->
+       write_file path
+         (match cfg.metrics_format with
+          | `Json -> run_profile_json ()
+          | `Prom -> Metrics.to_prom Metrics.global)
      | None -> ());
     (match cfg.trace_events_file with
      | Some path -> write_file path (Span.to_trace_json ())
@@ -98,10 +149,39 @@ let finalize () =
     Ctl.disable ()
   end
 
-let configure ?metrics_file ?trace_events_file ?progress ?(heartbeat = false) ()
-    =
-  if metrics_file <> None || trace_events_file <> None || progress <> None then begin
+let hook_exit () =
+  (* the CLI handlers call [exit] from arbitrary depths; the hook makes
+     sure the profile and journal still land on disk *)
+  if not cfg.exit_hooked then begin
+    cfg.exit_hooked <- true;
+    at_exit finalize
+  end
+
+let configure ?metrics_file ?(metrics_format = `Json) ?trace_events_file
+    ?progress ?(heartbeat = false) ?journal ?journal_file ?watchdog () =
+  let telemetry =
+    metrics_file <> None || trace_events_file <> None || progress <> None
+  in
+  let forensics = journal <> None || watchdog <> None in
+  if forensics then begin
+    (match journal with
+     | Some capacity -> Journal.arm ~capacity ()
+     | None -> Journal.arm ());
+    cfg.journal_file <- journal_file;
+    cfg.journal_finalized <- false;
+    Journal.install_sigusr1 ();
+    (match watchdog with
+     | Some interval when interval > 0.0 ->
+       (* stall detection is keyed on sampler ticks, which only fire
+          under [Ctl.on] — the watchdog therefore implies telemetry *)
+       Ctl.enable ();
+       Sampler.arm_watchdog ~interval ~on_stall:dump_journal ()
+     | _ -> ());
+    hook_exit ()
+  end;
+  if telemetry then begin
     cfg.metrics_file <- metrics_file;
+    cfg.metrics_format <- metrics_format;
     cfg.trace_events_file <- trace_events_file;
     cfg.progress <- progress;
     cfg.finalized <- false;
@@ -112,10 +192,5 @@ let configure ?metrics_file ?trace_events_file ?progress ?(heartbeat = false) ()
      | Some interval -> Sampler.configure ~interval ~heartbeat ()
      | None -> Sampler.disarm ());
     Ctl.enable ();
-    (* the CLI handlers call [exit] from arbitrary depths; the hook makes
-       sure the profile still lands on disk *)
-    if not cfg.exit_hooked then begin
-      cfg.exit_hooked <- true;
-      at_exit finalize
-    end
+    hook_exit ()
   end

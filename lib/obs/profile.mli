@@ -14,16 +14,32 @@
     file; the trace-events file is the raw Chrome timeline from
     {!Span.to_trace_json}. *)
 
-(** [configure ?metrics_file ?trace_events_file ?progress ?heartbeat ()]
-    enables telemetry for the rest of the process.  [progress] is the
-    sampling interval in seconds; [heartbeat] (default off) echoes each
-    sample to stderr.  With all arguments absent this is a no-op and
-    telemetry stays disabled. *)
+(** [configure ?metrics_file ?metrics_format ?trace_events_file
+    ?progress ?heartbeat ?journal ?journal_file ?watchdog ()] enables
+    telemetry and/or forensics for the rest of the process.  [progress]
+    is the sampling interval in seconds; [heartbeat] (default off)
+    echoes each sample to stderr; [metrics_format] (default [`Json])
+    selects the run-profile JSON or the Prometheus text exposition for
+    the [metrics_file].
+
+    [journal] arms the {!Journal} flight recorder with the given ring
+    capacity and schedules a dump at process exit — to [journal_file]
+    when given, else stderr — plus a [SIGUSR1] dump handler.  [watchdog]
+    arms the {!Sampler} stall watchdog with the given poll interval;
+    it implies telemetry (stall detection is keyed on sampler ticks)
+    and arms the journal too, so a stall dump has content.
+
+    With all arguments absent this is a no-op and telemetry stays
+    disabled. *)
 val configure :
   ?metrics_file:string ->
+  ?metrics_format:[ `Json | `Prom ] ->
   ?trace_events_file:string ->
   ?progress:float ->
   ?heartbeat:bool ->
+  ?journal:int ->
+  ?journal_file:string ->
+  ?watchdog:float ->
   unit ->
   unit
 
@@ -37,9 +53,15 @@ val finalize : unit -> unit
     --dirty], else ["unknown"].  Memoised. *)
 val build_id : unit -> string
 
+(** [peak_rss_bytes ()] is the process's high-water resident set size,
+    read from [/proc/self/status] (VmHWM).  [None] where the proc
+    filesystem is absent; never raises. *)
+val peak_rss_bytes : unit -> int option
+
 (** [env_json ~wall_seconds] is the uniform environment block every
     [BENCH_*.json] embeds:
     [{"build_id":...,"ocaml":...,"wall_seconds":...,
+      "peak_rss_bytes":<bytes or null>,
       "gc":{"minor_words":...,"major_words":...,"major_collections":...}}]. *)
 val env_json : wall_seconds:float -> string
 

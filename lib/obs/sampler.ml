@@ -81,6 +81,74 @@ let tick () =
     end
   end
 
+(* --- stall watchdog ------------------------------------------------------ *)
+
+(* Liveness is defined as tick advancement: instrumented hot paths tick
+   per unit of work, so a wall-clock interval with no new ticks means
+   the process is wedged (or off doing unticked work — the strike count
+   exists to absorb short excursions).  The timer is a real [setitimer]
+   so detection works even when the main loop is stuck; [poll] holds the
+   whole decision so tests can drive it without signals or sleeps. *)
+let wd_interval = ref 0.0
+let wd_strike_limit = ref 2
+let wd_strikes = ref 0
+let wd_last_ticks = ref 0
+let wd_fired = ref false
+let wd_stall_count = ref 0
+let wd_on_stall : (unit -> unit) ref = ref (fun () -> ())
+
+let poll () =
+  if !wd_interval > 0.0 then begin
+    let t = !ticks in
+    if t = !wd_last_ticks then begin
+      incr wd_strikes;
+      if !wd_strikes >= !wd_strike_limit && not !wd_fired then begin
+        (* fire once per stall episode; progress re-arms it *)
+        wd_fired := true;
+        incr wd_stall_count;
+        prerr_endline
+          (Printf.sprintf
+             "obs: watchdog: no forward progress in %.3gs (%d ticks); dumping journal"
+             (float_of_int !wd_strikes *. !wd_interval)
+             t);
+        !wd_on_stall ()
+      end
+    end
+    else begin
+      wd_last_ticks := t;
+      wd_strikes := 0;
+      wd_fired := false
+    end
+  end
+
+let set_timer seconds =
+  try
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = seconds; it_value = seconds })
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let arm_watchdog ?(strikes = 2) ~interval ~on_stall () =
+  if interval > 0.0 then begin
+    wd_interval := interval;
+    wd_strike_limit := max 1 strikes;
+    wd_strikes := 0;
+    wd_last_ticks := !ticks;
+    wd_fired := false;
+    wd_on_stall := on_stall;
+    (try Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ -> poll ()))
+     with Invalid_argument _ | Sys_error _ -> ());
+    set_timer interval
+  end
+
+let disarm_watchdog () =
+  if !wd_interval > 0.0 then begin
+    wd_interval := 0.0;
+    set_timer 0.0
+  end
+
+let stalls () = !wd_stall_count
+
 let samples () = List.rev !series
 
 let to_json () =

@@ -30,6 +30,33 @@ val tick : unit -> unit
 (** [sample_now ()] forces a sample, bypassing the interval check. *)
 val sample_now : unit -> unit
 
+(** {2 Stall watchdog}
+
+    Liveness, defined as tick advancement: a real-interval timer
+    ([setitimer]/[SIGALRM]) polls the tick counter, and [strikes]
+    consecutive polls with no new ticks count as a stall — a heartbeat
+    line goes to stderr and [on_stall] runs (the CLI dumps the
+    {!Journal} there).  The watchdog fires once per stall episode;
+    resumed progress re-arms it.  This is the liveness primitive the
+    future [rescheck serve] daemon reuses per job. *)
+
+(** [arm_watchdog ?strikes ~interval ~on_stall ()] starts the watchdog
+    polling every [interval] seconds (non-positive is a no-op);
+    [strikes] defaults to 2. *)
+val arm_watchdog :
+  ?strikes:int -> interval:float -> on_stall:(unit -> unit) -> unit -> unit
+
+val disarm_watchdog : unit -> unit
+
+(** [poll ()] is one watchdog inspection — exactly what the timer signal
+    runs.  Exposed so tests can drive stall detection deterministically
+    without timers or sleeps. *)
+val poll : unit -> unit
+
+(** [stalls ()] is how many stall episodes have fired since process
+    start. *)
+val stalls : unit -> int
+
 (** [samples ()] is the recorded time-series, oldest first. *)
 val samples : unit -> (float * (string * float) list) list
 

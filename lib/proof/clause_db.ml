@@ -63,7 +63,11 @@ let rec reserve_arena words =
   else
     match make_arena words with
     | arena -> arena
-    | exception Out_of_memory -> reserve_arena (words / 2)
+    | exception Out_of_memory ->
+      if Obs.Journal.on () then
+        Obs.Journal.record ~sub:"arena" "reserve_fallback"
+          [ ("wanted_words", words); ("retry_words", words / 2) ];
+      reserve_arena (words / 2)
 
 let create ?meter ?(reserve = default_reserve_words) () =
   let meter =
@@ -97,6 +101,9 @@ let ensure_capacity db words =
     let arena' = make_arena !cap' in
     Bigarray.Array1.blit db.arena (Bigarray.Array1.sub arena' 0 cap);
     db.arena <- arena';
+    if Obs.Journal.on () then
+      Obs.Journal.record ~sub:"arena" "grow"
+        [ ("from_words", cap); ("to_words", !cap') ];
     (* the gauge tracks the current reservation, not a running sum — a
        relocation replaces the old region rather than adding to it *)
     note_reserved !cap'

@@ -101,3 +101,30 @@ let rec pp fmt = function
     Format.fprintf fmt "at %a: %a" Trace.Reader.pp_pos p.pos pp p.failure
 
 let to_string f = Format.asprintf "%a" pp f
+
+(* Structured accessors for refusal forensics: [rescheck explain] wants
+   the clause ids a failure talks about and where it happened, without
+   re-parsing the rendered message. *)
+let rec ids = function
+  | Malformed_trace _ | Missing_header | Header_mismatch _
+  | Missing_final_conflict | Level0_var_unrecorded _ | Level0_duplicate_var _
+  | Wrong_pivot _ | Hints_unsupported ->
+    []
+  | Unknown_clause u -> [ u.id ]
+  | Duplicate_definition id
+  | Shadows_original id
+  | Empty_source_list id
+  | Cyclic_definition id ->
+    [ id ]
+  | Forward_reference f -> [ f.id; f.source ]
+  | No_clash n -> [ n.c1_id; n.c2_id ]
+  | Multiple_clash m -> [ m.c1_id; m.c2_id ]
+  | Final_literal_not_false f -> [ f.clause_id ]
+  | Antecedent_mismatch a -> [ a.ante ]
+  | Bad_delete_hint b -> [ b.id ]
+  | Positioned p -> ids p.failure
+
+let position = function
+  | Positioned p -> Some p.pos
+  | Malformed_trace { pos; _ } -> pos
+  | _ -> None

@@ -83,3 +83,13 @@ val malformed : ?pos:Trace.Reader.pos -> string -> failure
 val of_parse_error : pos:Trace.Reader.pos -> string -> failure
 val pp : Format.formatter -> failure -> unit
 val to_string : failure -> string
+
+(** [ids f] is the clause ids the failure names, in message order —
+    structured access for refusal reports, so forensics tooling never
+    re-parses the rendered text.  Empty for failures about the trace as
+    a whole. *)
+val ids : failure -> int list
+
+(** [position f] is where the failure was localised: the wrapping
+    {!Positioned} position, or a {!Malformed_trace}'s own. *)
+val position : failure -> Trace.Reader.pos option

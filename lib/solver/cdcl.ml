@@ -512,7 +512,15 @@ let reduce_db s =
     let ids = Array.init to_delete (fun i -> arr.(i).cid) in
     Array.sort compare ids;
     emit s (Trace.Event.Delete ids)
-  end
+  end;
+  if Obs.Journal.on () then
+    Obs.Journal.record ~sub:"solver" "db_reduce"
+      [
+        ("candidates", Array.length arr);
+        ("deleted", to_delete);
+        ("learned_alive", s.n_learned_alive);
+        ("conflicts", s.s_conflicts);
+      ]
 
 (* --- trace for the final level-0 conflict (§3.1 modifications 2 and 3) - *)
 
@@ -1017,6 +1025,14 @@ let search s config assumptions =
                (float_of_int !restart_budget *. config.restart_inc)
          | Luby ->
            restart_budget := config.restart_first * luby !restart_index);
+        if Obs.Journal.on () then
+          Obs.Journal.record ~sub:"solver" "restart"
+            [
+              ("restarts", s.s_restarts);
+              ("conflicts", s.s_conflicts);
+              ("next_budget", !restart_budget);
+              ("learned_alive", s.n_learned_alive);
+            ];
         backtrack s 0
       end;
       if

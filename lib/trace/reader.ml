@@ -258,6 +258,8 @@ let cursor ?format ?(io : io = `Auto) source =
         Some m
       | exception _ ->
         if Obs.Ctl.on () then Obs.Metrics.Counter.incr m_mmap_fallbacks 1;
+        if Obs.Journal.on () then
+          Obs.Journal.record ~sub:"trace" "mmap_fallback" [];
         None)
   in
   let backing, total =
@@ -682,6 +684,9 @@ module Contig (C : CONTIG) = struct
         match parse_span data !s !e with
         | event -> check_version_for_delete c (Line line_no) (Some event)
         | exception Slow_path ->
+          if Obs.Journal.on () then
+            Obs.Journal.record ~sub:"trace" "slow_path"
+              [ ("line", line_no); ("len", !e - !s) ];
           check_version_for_delete c (Line line_no)
             (parse_line (Line line_no) (C.sub data !s (!e - !s)))
       end

@@ -1,0 +1,125 @@
+The forensics layer, end to end: the flight recorder never changes
+what the tool prints or decides, its dumps are deterministic, a
+refusal captures enough context for `explain` to reconstruct it, and
+`profile diff` self-gates at zero drift.
+
+  $ R=../bin/rescheck.exe
+
+  $ $R gen php_6 -o p.cnf > /dev/null
+  $ $R solve p.cnf --trace p.trc > /dev/null
+  [20]
+
+Verdicts and checked artifacts are byte-identical with the journal and
+watchdog on and off (only the wall-clock timing line is filtered, on
+both sides):
+
+  $ $R check p.cnf p.trc | grep -v "c checked in" > plain.out
+  $ $R check p.cnf p.trc --journal --journal-file j.json \
+  >   | grep -v "c checked in" > rec.out
+  $ cmp plain.out rec.out && echo identical
+  identical
+  $ $R check p.cnf p.trc --watchdog=60 --journal-file jw.json \
+  >   | grep -v "c checked in" > wd.out
+  $ cmp plain.out wd.out && echo identical
+  identical
+  $ cat plain.out
+  clauses built: 788 / 946 (83.3%)
+  resolution steps: 6166
+  core: 133 clauses over 42 variables
+  peak memory: 23514 words
+  peak live clauses: 923 (98544 arena bytes)
+  s VERIFIED UNSATISFIABLE
+
+The journal carries no timestamps, so the same run dumps a
+byte-identical flight record — here the parallel checker's wavefront
+barriers:
+
+  $ $R check p.cnf p.trc -s par --jobs 2 --journal --journal-file j1.json > /dev/null
+  $ $R check p.cnf p.trc -s par --jobs 2 --journal --journal-file j2.json > /dev/null
+  $ cmp j1.json j2.json && echo deterministic
+  deterministic
+  $ jq -r '.schema, (.recorded > 0), ((.entries | length) == .recorded)' j1.json
+  rescheck-journal/1
+  true
+  true
+
+A corrupted trace refuses with a positioned diagnostic and, under
+--refusal, leaves a machine-readable artifact:
+
+  $ sed '50s/.*/garbage here/' p.trc > bad.trc
+  $ $R check p.cnf bad.trc --refusal r.json
+  error L001 at line 50: unknown trace record "garbage"
+  error L106 at line 52: clause 184 references source 182, which is neither an original clause nor a learned clause defined upstream
+  trace lint: ascii format, 975 events (945 learned, 28 level-0), 2 errors, 0 warnings
+  s BAD TRACE (lint)
+  [2]
+  $ jq -r '.schema, .exit_code, .pos.line, (.codes | join(","))' r.json
+  rescheck-refusal/1
+  2
+  50
+  L001,L106
+
+`explain` reconstructs the refusal: the offending record flagged inside
+its trace window, plus documentation for every cited code:
+
+  $ $R explain bad.trc r.json | sed -n '1,8p'
+  refusal: s BAD TRACE (lint) (exit 2) from `rescheck check`
+    L001: unknown trace record "garbage"
+    at line 50
+  
+  trace window:
+       line 45: CL 177 <- 89 6 5 117 166 1 105 104 93 176
+       line 46: CL 178 <- 5 166 105 104 93
+       line 47: CL 179 <- 5 125 110 3 167 178 74 72 177 44 40 31 173 59 58 57 56 50
+  $ $R explain bad.trc r.json | grep '>>'
+    >> line 50: <unparsable: unknown trace record "garbage">
+  $ $R explain bad.trc r.json | grep -c '^  L[0-9]* ('
+  2
+  $ $R explain bad.trc r.json --json > e.json
+  $ jq -r '.schema, .refusal.pos.line, ([.window[] | select(.offending)] | length)' e.json
+  rescheck-explain/1
+  50
+  1
+
+A failed check names clause ids; explain then reconstructs their DAG
+neighborhood from the trace.  Renaming a clause definition leaves a
+parse-clean trace whose replay hits an unknown id:
+
+  $ sed 's/^CL 182 /CL 1822 /' p.trc > bad2.trc
+  $ $R check p.cnf bad2.trc --no-lint --refusal rc.json > /dev/null 2>&1
+  [1]
+  $ jq -r '.exit_code, (.ids | join(","))' rc.json
+  1
+  182
+  $ $R explain bad2.trc rc.json | grep '^  clause'
+    clause 182: never defined, 1 use (by 184)
+
+The run profile doubles as a regression baseline: two runs of the same
+seeded workload differ only in wall clock, so a zero-drift gate passes:
+
+  $ $R validate p.cnf --mode online --metrics m1.json > /dev/null
+  [20]
+  $ $R validate p.cnf --mode online --metrics m2.json > /dev/null
+  [20]
+  $ $R profile diff m1.json m2.json --gate 0 | grep -v wall_seconds
+  profile diff: m1.json vs m2.json
+    74 metrics identical
+  $ $R profile diff m1.json m2.json --json | jq -r '.schema, .over_gate'
+  rescheck-profile-diff/1
+  0
+
+Drift beyond the gate fails loudly:
+
+  $ jq '.metrics.counters["solver.conflicts"] += 100' m1.json > m3.json
+  $ $R profile diff m3.json m2.json --gate 5 > /dev/null 2> drift.err; echo "exit $?"
+  exit 1
+  $ grep -c 'solver.conflicts drifted' drift.err
+  1
+
+The same registry also renders in the Prometheus text exposition:
+
+  $ $R check p.cnf p.trc --metrics m.prom --metrics-format prom > /dev/null
+  $ grep -c '^# TYPE rescheck_' m.prom
+  71
+  $ grep '^rescheck_checker_clauses_built ' m.prom
+  rescheck_checker_clauses_built 788

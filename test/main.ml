@@ -12,6 +12,7 @@ let () =
    @ Test_hint.suite @ Test_window.suite
    @ Test_cross_checker.suite
    @ Test_trim.suite @ Test_rup.suite @ Test_lint.suite @ Test_dag.suite
+   @ Test_explain.suite
    @ Test_clause_db.suite
    @ Test_proof_stats.suite
    @ Test_interpolant.suite

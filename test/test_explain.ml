@@ -1,0 +1,301 @@
+(* Refusal forensics: every corrupted-trace corpus entry must explain
+   itself.  Each case corrupts a well-formed trace, lints it to get the
+   positioned diagnostic the CLI would refuse with, writes the
+   [rescheck-refusal/1] artifact, reads it back, and rebuilds the
+   report — asserting the offending record is positioned inside the
+   trace window, the cited L-code carries documentation, and the JSON
+   rendering is schema-tagged.  The DAG-neighborhood and parse-refusal
+   paths get their own cases, since those exercise the
+   hostile-input tolerance of the window scan. *)
+
+module L = Analysis.Lint
+module E = Analysis.Explain
+
+let serialize fmt events =
+  let w = Trace.Writer.create fmt in
+  List.iter (Trace.Writer.emit w) events;
+  Trace.Writer.contents w
+
+(* The corruption corpus, mirroring test_lint: (name, events, code). *)
+let corpus =
+  Trace.Event.
+    [
+      ( "duplicate id",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Final_conflict 3;
+        ],
+        "L102" );
+      ( "forward reference",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 4 |] };
+          Learned { id = 4; sources = [| 2; 3 |] };
+          Final_conflict 4;
+        ],
+        "L106" );
+      ( "dangling reference",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 99 |] };
+          Final_conflict 3;
+        ],
+        "L106" );
+      ( "out-of-range var",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Level0 { var = 9; value = true; ante = 3 };
+          Final_conflict 3;
+        ],
+        "L201" );
+      ( "shadows original",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 2; sources = [| 1; 2 |] };
+          Final_conflict 2;
+        ],
+        "L101" );
+      ( "self source",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 3 |] };
+          Final_conflict 3;
+        ],
+        "L105" );
+      ( "duplicate level0",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Level0 { var = 1; value = true; ante = 3 };
+          Level0 { var = 1; value = false; ante = 3 };
+          Final_conflict 3;
+        ],
+        "L202" );
+      ( "bad antecedent",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Level0 { var = 1; value = true; ante = 77 };
+          Final_conflict 2;
+        ],
+        "L203" );
+      ( "conflict unknown",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Final_conflict 42;
+        ],
+        "L302" );
+      ( "duplicate header",
+        [
+          Header { nvars = 2; num_original = 2 };
+          Header { nvars = 2; num_original = 2 };
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Final_conflict 3;
+        ],
+        "L003" );
+      ( "event before header",
+        [
+          Learned { id = 3; sources = [| 1; 2 |] };
+          Header { nvars = 2; num_original = 2 };
+          Final_conflict 3;
+        ],
+        "L005" );
+    ]
+
+let tmp_refusal = Filename.temp_file "rescheck_refusal" ".json"
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* Lint the trace, refuse on its first error diagnostic exactly as the
+   CLI does, then round-trip through the refusal file and rebuild. *)
+let explain_of_corruption trace =
+  let report = L.run (Trace.Reader.From_string trace) in
+  let err =
+    match
+      List.find_opt
+        (fun (d : L.diagnostic) -> L.severity_of d.code = L.Error)
+        report.L.diagnostics
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "corpus entry produced no error diagnostic"
+  in
+  let codes =
+    List.filter_map
+      (fun (d : L.diagnostic) ->
+        if L.severity_of d.code = L.Error then Some (L.code_id d.code) else None)
+      report.L.diagnostics
+  in
+  E.write_refusal ~file:tmp_refusal ~command:"check" ~exit_code:2
+    ~status:"s BAD TRACE (lint)"
+    ~message:(Printf.sprintf "%s: %s" (L.code_id err.code) err.message)
+    ~pos:err.pos ~codes ();
+  let refusal =
+    match E.read_refusal tmp_refusal with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "refusal did not round-trip: %s" msg
+  in
+  (err, E.build ~trace:(Trace.Reader.From_string trace) ~refusal ())
+
+let check_corpus_entry name events expected_code () =
+  List.iter
+    (fun (fmt, tag) ->
+      let trace = serialize fmt events in
+      let err, report = explain_of_corruption trace in
+      let f = report.E.e_refusal in
+      Alcotest.check Alcotest.int
+        (name ^ "/" ^ tag ^ ": exit code")
+        2 f.E.r_exit_code;
+      if not (List.mem expected_code f.E.r_codes) then
+        Alcotest.failf "%s/%s: refusal lost code %s (has [%s])" name tag
+          expected_code
+          (String.concat "; " f.E.r_codes);
+      (* the positioned record must be in the window, flagged, at the
+         diagnostic's position *)
+      (match
+         List.find_opt (fun w -> w.E.w_offending) report.E.e_window
+       with
+       | None ->
+         Alcotest.failf "%s/%s: no offending record in window" name tag
+       | Some w ->
+         Alcotest.check Alcotest.bool
+           (name ^ "/" ^ tag ^ ": offending record at refusal position")
+           true
+           (w.E.w_pos = err.L.pos));
+      Alcotest.check Alcotest.int
+        (name ^ "/" ^ tag ^ ": exactly one offending record")
+        1
+        (List.length (List.filter (fun w -> w.E.w_offending) report.E.e_window));
+      (* the cited code must come back with documentation *)
+      if
+        not
+          (List.exists
+             (fun (code, _title, doc) ->
+               code = expected_code && String.length doc > 0)
+             report.E.e_docs)
+      then
+        Alcotest.failf "%s/%s: no documentation for %s" name tag expected_code;
+      (* and the JSON rendering is schema-tagged and self-consistent *)
+      let j = E.to_json report in
+      if not (contains j {|"schema":"rescheck-explain/1"|}) then
+        Alcotest.failf "%s/%s: explain json missing schema" name tag;
+      if not (contains j (Printf.sprintf {|"code":"%s"|} expected_code)) then
+        Alcotest.failf "%s/%s: explain json missing code" name tag)
+    [ (Trace.Writer.Ascii, "ascii"); (Trace.Writer.Binary, "binary") ]
+
+(* A parse refusal: the offending window entry is the unparsable record
+   itself, and the ASCII cursor still shows the records around it. *)
+let test_parse_refusal_window () =
+  let trace = "t 2 2\nCL 3 1 2\nnonsense here\nVAR 1 1 3\nCONF 3\n" in
+  let err, report = explain_of_corruption trace in
+  Alcotest.check Alcotest.bool "diagnostic is L001" true
+    (L.code_id err.L.code = "L001");
+  match List.find_opt (fun w -> w.E.w_offending) report.E.e_window with
+  | None -> Alcotest.fail "no offending record"
+  | Some w ->
+    if not (contains w.E.w_text "<unparsable:") then
+      Alcotest.failf "offending text should be the unparsable marker: %s"
+        w.E.w_text;
+    Alcotest.check Alcotest.int "records after the bad line still shown" 2
+      (List.length
+         (List.filter
+            (fun o -> (not o.E.w_offending) && o.E.w_pos > w.E.w_pos)
+            report.E.e_window))
+
+(* A CHECK FAILED refusal names clause ids; the report must carry their
+   DAG neighborhood. *)
+let test_dag_neighborhood_in_report () =
+  let trace = "t 2 2\nCL 3 1 99\nVAR 1 1 3\nCONF 3\n" in
+  E.write_refusal ~file:tmp_refusal ~command:"check" ~exit_code:1
+    ~status:"s CHECK FAILED"
+    ~message:"clause 3 references clause id 99"
+    ~pos:(Trace.Reader.Line 2) ~ids:[ 3; 99 ] ();
+  let refusal =
+    match E.read_refusal tmp_refusal with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "refusal did not round-trip: %s" msg
+  in
+  let report =
+    E.build ~trace:(Trace.Reader.From_string trace) ~refusal ()
+  in
+  let node id =
+    match
+      List.find_opt (fun (n : Analysis.Dag.node) -> n.n_id = id)
+        report.E.e_nodes
+    with
+    | Some n -> n
+    | None -> Alcotest.failf "no dag node for clause %d" id
+  in
+  let n3 = node 3 in
+  Alcotest.check Alcotest.bool "clause 3 is learned" true
+    (n3.n_kind = `Learned);
+  Alcotest.check Alcotest.bool "clause 3 defined at line 2" true
+    (n3.n_def_pos = Some (Trace.Reader.Line 2));
+  let n99 = node 99 in
+  Alcotest.check Alcotest.bool "clause 99 never defined" true
+    (n99.n_kind = `Undefined);
+  Alcotest.check Alcotest.int "clause 99 used once" 1 n99.n_uses
+
+(* The refusal file embeds the journal tail, and it survives the
+   round-trip into the rebuilt report. *)
+let test_refusal_embeds_journal () =
+  Obs.Journal.arm ~capacity:8 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Journal.disarm ();
+      Obs.Journal.reset ())
+    (fun () ->
+      Obs.Journal.record ~sub:"solver" "restart" [ ("conflicts", 12) ];
+      E.write_refusal ~file:tmp_refusal ~command:"check" ~exit_code:2
+        ~status:"s BAD TRACE (parse)" ~message:"boom" ();
+      let refusal =
+        match E.read_refusal tmp_refusal with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+      in
+      let j = Obs.Json.to_string refusal.E.r_journal in
+      if not (contains j {|"event":"restart"|}) then
+        Alcotest.failf "journal entry lost in refusal: %s" j)
+
+let test_code_docs_complete () =
+  (* every code the linter can emit must have explain documentation *)
+  List.iter
+    (fun code ->
+      match L.code_doc code with
+      | Some (title, doc)
+        when String.length title > 0 && String.length doc > 0 ->
+        ()
+      | _ -> Alcotest.failf "no documentation for %s" code)
+    [
+      "L001"; "L002"; "L003"; "L004"; "L005"; "L101"; "L102"; "L103";
+      "L104"; "L105"; "L106"; "L107"; "L201"; "L202"; "L203"; "L301";
+      "L302"; "L303"; "L401"; "L402"; "L403"; "L404"; "L501"; "L502";
+      "L503"; "L601"; "L602"; "L603"; "L701"; "L702"; "L703";
+    ]
+
+let suite =
+  [
+    ( "explain",
+      List.map
+        (fun (name, events, code) ->
+          Alcotest.test_case
+            (Printf.sprintf "corpus: %s (%s)" name code)
+            `Quick
+            (check_corpus_entry name events code))
+        corpus
+      @ [
+          Alcotest.test_case "parse refusal window" `Quick
+            test_parse_refusal_window;
+          Alcotest.test_case "dag neighborhood in report" `Quick
+            test_dag_neighborhood_in_report;
+          Alcotest.test_case "refusal embeds journal" `Quick
+            test_refusal_embeds_journal;
+          Alcotest.test_case "all lint codes documented" `Quick
+            test_code_docs_complete;
+        ] );
+  ]

@@ -218,6 +218,164 @@ let test_reports_identical_on_off () =
       (Pipeline.Validate.Online, "online");
     ]
 
+(* --- prometheus exposition ---------------------------------------------- *)
+
+let test_prom_exposition () =
+  let t = M.create () in
+  let c = M.counter t "solver.conflicts" and g = M.gauge t "arena/bytes" in
+  let h = M.histogram t "chain width" in
+  M.Counter.incr c 42;
+  M.Gauge.set g 7.0;
+  M.Gauge.set g 3.0;
+  M.Histogram.observe h 1;
+  M.Histogram.observe h 5;
+  let p = M.to_prom t in
+  List.iter
+    (fun needle ->
+      if not (contains p needle) then
+        Alcotest.failf "prom output missing %S in:\n%s" needle p)
+    [
+      "# TYPE rescheck_solver_conflicts counter";
+      "rescheck_solver_conflicts 42";
+      "# TYPE rescheck_arena_bytes gauge";
+      "rescheck_arena_bytes 3";
+      "rescheck_arena_bytes_max 7";
+      "# TYPE rescheck_chain_width histogram";
+      {|rescheck_chain_width_bucket{le="1"} 1|};
+      {|rescheck_chain_width_bucket{le="+Inf"} 2|};
+      "rescheck_chain_width_sum 6";
+      "rescheck_chain_width_count 2";
+    ]
+
+(* --- journal flight recorder -------------------------------------------- *)
+
+let with_journal ?capacity f =
+  Obs.Journal.arm ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Journal.disarm ();
+      Obs.Journal.reset ())
+    f
+
+let record_fixed_run () =
+  Obs.Journal.record ~sub:"solver" "restart" [ ("restarts", 1); ("conflicts", 64) ];
+  Obs.Journal.record ~sub:"window" "spill" [ ("window", 2); ("clauses", 17) ];
+  Obs.Journal.record ~sub:"arena" "grow" [ ("from_words", 4096); ("to_words", 8192) ]
+
+let test_journal_deterministic_dump () =
+  let d1 =
+    with_journal ~capacity:8 (fun () ->
+        record_fixed_run ();
+        Obs.Journal.to_json ())
+  in
+  let d2 =
+    with_journal ~capacity:8 (fun () ->
+        record_fixed_run ();
+        Obs.Journal.to_json ())
+  in
+  Alcotest.check Alcotest.string "same run, byte-identical dump" d1 d2;
+  if not (contains d1 {|"schema":"rescheck-journal/1"|}) then
+    Alcotest.failf "journal dump missing schema: %s" d1;
+  if not (contains d1 {|"sub":"solver","event":"restart","args":{"restarts":1,"conflicts":64}|})
+  then Alcotest.failf "journal dump missing entry payload: %s" d1
+
+let test_journal_wraparound () =
+  with_journal ~capacity:4 (fun () ->
+      for i = 0 to 9 do
+        Obs.Journal.record ~sub:"t" "e" [ ("i", i) ]
+      done;
+      Alcotest.check Alcotest.int "recorded counts every entry" 10
+        (Obs.Journal.recorded ());
+      Alcotest.check Alcotest.int "capacity" 4 (Obs.Journal.capacity ());
+      let es = Obs.Journal.entries () in
+      Alcotest.check Alcotest.int "ring keeps capacity entries" 4
+        (List.length es);
+      Alcotest.check
+        (Alcotest.list Alcotest.int)
+        "oldest-first, newest survive"
+        [ 6; 7; 8; 9 ]
+        (List.map (fun (e : Obs.Journal.entry) -> e.seq) es);
+      let j = Obs.Journal.to_json () in
+      if not (contains j {|"recorded":10|} && contains j {|"dropped":6|}) then
+        Alcotest.failf "wraparound accounting wrong: %s" j)
+
+let test_journal_guard_off () =
+  Obs.Journal.disarm ();
+  Alcotest.check Alcotest.bool "disarmed guard is false" false
+    (Obs.Journal.on ());
+  with_journal (fun () ->
+      Alcotest.check Alcotest.bool "armed guard is true" true
+        (Obs.Journal.on ()))
+
+(* --- stall watchdog ------------------------------------------------------ *)
+
+let test_watchdog_stall () =
+  let fired = ref 0 in
+  (* a huge real interval so only the explicit [poll]s below drive it *)
+  Obs.Sampler.arm_watchdog ~strikes:2 ~interval:3600.0
+    ~on_stall:(fun () -> incr fired)
+    ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Sampler.disarm_watchdog ())
+    (fun () ->
+      let base = Obs.Sampler.stalls () in
+      Obs.Sampler.poll ();
+      Alcotest.check Alcotest.int "one strike is not a stall" 0 !fired;
+      Obs.Sampler.poll ();
+      Alcotest.check Alcotest.int "second strike fires" 1 !fired;
+      Obs.Sampler.poll ();
+      Alcotest.check Alcotest.int "fires once per episode" 1 !fired;
+      Obs.Sampler.tick ();
+      Obs.Sampler.poll ();
+      Alcotest.check Alcotest.int "progress re-arms without firing" 1 !fired;
+      Obs.Sampler.poll ();
+      Obs.Sampler.poll ();
+      Alcotest.check Alcotest.int "new stall episode fires again" 2 !fired;
+      Alcotest.check Alcotest.int "episodes counted" (base + 2)
+        (Obs.Sampler.stalls ()))
+
+(* --- json parser ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let src =
+    {|{"schema":"rescheck-journal/1","n":3,"pi":3.5,"neg":-2,"ok":true,"no":false,"nil":null,"s":"a\"b\\c\ndA","l":[1,[2,3],{"k":"v"}]}|}
+  in
+  let j = Obs.Json.of_string src in
+  let open Obs.Json in
+  Alcotest.check
+    (Alcotest.option Alcotest.string)
+    "string member" (Some "rescheck-journal/1")
+    (Option.bind (member "schema" j) string);
+  Alcotest.check (Alcotest.option Alcotest.int) "int member" (Some 3)
+    (Option.bind (member "n" j) int);
+  Alcotest.check (Alcotest.option Alcotest.int) "non-integral int is None"
+    None
+    (Option.bind (member "pi" j) int);
+  Alcotest.check (Alcotest.option Alcotest.int) "negative" (Some (-2))
+    (Option.bind (member "neg" j) int);
+  Alcotest.check (Alcotest.option Alcotest.bool) "bool" (Some true)
+    (Option.bind (member "ok" j) bool);
+  Alcotest.check
+    (Alcotest.option Alcotest.string)
+    "escapes decode" (Some "a\"b\\c\ndA")
+    (Option.bind (member "s" j) string);
+  (match Option.bind (member "l" j) list with
+   | Some [ _; _; _ ] -> ()
+   | _ -> Alcotest.fail "list member should have 3 elements");
+  (* re-render and re-parse: the compact form is stable *)
+  let r1 = to_string j in
+  let r2 = to_string (of_string r1) in
+  Alcotest.check Alcotest.string "render/parse fixpoint" r1 r2
+
+let test_json_rejects_garbage () =
+  let bad = [ ""; "{"; "[1,"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parser accepted %S" s)
+    bad
+
 let suite =
   [
     ( "obs",
@@ -235,5 +393,16 @@ let suite =
           test_span_off_is_silent;
         Alcotest.test_case "reports identical on/off" `Quick
           test_reports_identical_on_off;
+        Alcotest.test_case "prometheus exposition" `Quick test_prom_exposition;
+        Alcotest.test_case "journal deterministic dump" `Quick
+          test_journal_deterministic_dump;
+        Alcotest.test_case "journal ring wraparound" `Quick
+          test_journal_wraparound;
+        Alcotest.test_case "journal guard off by default" `Quick
+          test_journal_guard_off;
+        Alcotest.test_case "watchdog fires on stall" `Quick test_watchdog_stall;
+        Alcotest.test_case "json parser roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json parser rejects garbage" `Quick
+          test_json_rejects_garbage;
       ] );
   ]
